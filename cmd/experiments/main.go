@@ -1,0 +1,60 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -scale tiny -exp all
+//	experiments -exp fig1,fig5,table3
+//
+// Experiment ids: table2 table3 table4 fig1..fig16 correlation all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"indigo/internal/gen"
+	"indigo/internal/harness"
+)
+
+func main() {
+	scaleName := flag.String("scale", "tiny", "input scale (tiny, small, medium, large)")
+	exp := flag.String("exp", "all", "comma-separated experiment ids (table2, table3, table4, fig1..fig16, correlation, all)")
+	threads := flag.Int("threads", 0, "CPU worker count (0 = all cores)")
+	verbose := flag.Bool("v", false, "print collection progress")
+	flag.Parse()
+
+	scale, ok := gen.ParseScale(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	s := harness.NewSession(scale, *threads)
+	s.Verbose = *verbose
+
+	drivers := map[string]func() *harness.Report{
+		"table2": s.Table2, "table3": s.Table3, "table4": s.Table45,
+		"fig1": s.Fig1, "fig2": s.Fig2, "fig3": s.Fig3, "fig4": s.Fig4,
+		"fig5": s.Fig5, "fig6": s.Fig6, "fig7": s.Fig7, "fig8": s.Fig8,
+		"fig9": s.Fig9, "fig10": s.Fig10, "fig11": s.Fig11, "fig12": s.Fig12,
+		"fig13": s.Fig13, "fig14": s.Fig14, "fig15": s.Fig15, "fig16": s.Fig16,
+		"correlation": s.Correlation, "spread": s.Spread, "ablation": s.Ablation,
+	}
+
+	if *exp == "all" {
+		for _, r := range s.All() {
+			fmt.Println(r)
+		}
+		return
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		id = strings.TrimSpace(id)
+		d, ok := drivers[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Println(d())
+	}
+}

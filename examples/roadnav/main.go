@@ -1,0 +1,59 @@
+// Roadnav: single-source shortest paths on a road network — the
+// high-diameter workload class where the paper's topology-vs-data-driven
+// finding matters most (§5.3). It contrasts a topology-driven sweep, a
+// data-driven worklist variant, and the delta-stepping baseline, then
+// answers a few point-to-point distance queries.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/baseline"
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+)
+
+func main() {
+	g := gen.Generate(gen.InputRoad, gen.Small)
+	st := graph.ComputeStats(g)
+	fmt.Printf("road network: %d intersections, %d road segments, diameter ~%d hops\n\n",
+		st.Vertices, st.Edges/2, st.Diameter)
+
+	opt := algo.Options{Source: 0}
+
+	topo := styles.Config{
+		Algo: styles.SSSP, Model: styles.CPP,
+		Drive: styles.TopologyDriven, Flow: styles.Push,
+		Update: styles.ReadModifyWrite, Det: styles.NonDeterministic,
+	}
+	data := topo
+	data.Drive = styles.DataDrivenNoDup
+
+	resTopo, tputTopo := runner.TimeCPU(g, topo, opt)
+	resData, tputData := runner.TimeCPU(g, data, opt)
+	start := time.Now()
+	distDelta := baseline.SSSPDelta(g, 0, 0, 0)
+	tputDelta := runner.Throughput(g, time.Since(start).Seconds())
+
+	fmt.Printf("topology-driven sweep: %8.4f GE/s (%d iterations)\n", tputTopo, resTopo.Iterations)
+	fmt.Printf("data-driven worklist:  %8.4f GE/s (%d iterations)\n", tputData, resData.Iterations)
+	fmt.Printf("delta-stepping (base): %8.4f GE/s\n\n", tputDelta)
+
+	// All three agree; answer some queries with the worklist result.
+	queries := []int32{g.N / 4, g.N / 2, g.N - 1}
+	for _, q := range queries {
+		if resTopo.Dist[q] != resData.Dist[q] || resData.Dist[q] != distDelta[q] {
+			fmt.Printf("DISAGREEMENT at %d!\n", q)
+			continue
+		}
+		fmt.Printf("shortest distance from intersection 0 to %6d: %d\n", q, resData.Dist[q])
+	}
+	if tputTopo > 0 {
+		fmt.Printf("\ndata-driven speedup over topology-driven on this high-diameter input: %.1fx (§5.3)\n",
+			tputData/tputTopo)
+	}
+}

@@ -1,0 +1,111 @@
+// Styletuner: the paper's practical payoff — given your graph and
+// algorithm, sweep the style space and report which parallelization and
+// implementation styles to use (§5.16). It prints the best and worst
+// variants and the resulting spread, which on adversarial inputs spans
+// orders of magnitude.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"indigo/internal/advisor"
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+)
+
+func main() {
+	algoName := flag.String("algo", "sssp", "algorithm to tune (bfs, sssp, cc, mis, pr, tc)")
+	modelName := flag.String("model", "cuda", "programming model (cuda, omp, cpp)")
+	inputName := flag.String("input", "road", "input class (grid2d, copaper, rmat, social, road)")
+	scaleName := flag.String("scale", "tiny", "input scale")
+	top := flag.Int("top", 5, "how many best/worst variants to print")
+	flag.Parse()
+
+	var a styles.Algorithm = -1
+	for x := styles.Algorithm(0); x < styles.NumAlgorithms; x++ {
+		if x.String() == *algoName {
+			a = x
+		}
+	}
+	var m styles.Model = -1
+	for x := styles.Model(0); x < styles.NumModels; x++ {
+		if x.String() == *modelName {
+			m = x
+		}
+	}
+	var in gen.Input = -1
+	for x := gen.Input(0); x < gen.NumInputs; x++ {
+		if x.String() == *inputName {
+			in = x
+		}
+	}
+	scale, okScale := gen.ParseScale(*scaleName)
+	if a < 0 || m < 0 || in < 0 || !okScale {
+		fmt.Fprintln(os.Stderr, "styletuner: bad -algo, -model, -input, or -scale")
+		os.Exit(2)
+	}
+
+	g := gen.Generate(in, scale)
+	fmt.Printf("tuning %s/%s on %v\n\n", a, m, g)
+
+	type scored struct {
+		cfg  styles.Config
+		tput float64
+	}
+	var results []scored
+	opt := algo.Options{}
+	for _, cfg := range styles.Enumerate(a, m) {
+		var tput float64
+		if m == styles.CUDA {
+			_, tput = runner.TimeGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
+		} else {
+			_, tput = runner.TimeCPU(g, cfg, opt)
+		}
+		results = append(results, scored{cfg, tput})
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].tput > results[j].tput })
+
+	n := *top
+	if n > len(results) {
+		n = len(results)
+	}
+	fmt.Printf("best %d of %d variants:\n", n, len(results))
+	for _, r := range results[:n] {
+		fmt.Printf("  %8.4f GE/s  %s\n", r.tput, r.cfg.Name())
+	}
+	fmt.Printf("\nworst %d:\n", n)
+	for _, r := range results[len(results)-n:] {
+		fmt.Printf("  %8.4f GE/s  %s\n", r.tput, r.cfg.Name())
+	}
+	if worst := results[len(results)-1].tput; worst > 0 {
+		fmt.Printf("\nbest/worst spread: %.1fx — choosing the wrong style costs that much (§1)\n",
+			results[0].tput/worst)
+	}
+
+	// Compare the paper's guidelines (§5.16) against the measured sweep.
+	rec := advisor.Recommend(a, m, graph.ComputeStats(g))
+	rank := 0
+	var recTput float64
+	for i, r := range results {
+		if r.cfg == rec.Config {
+			rank = i + 1
+			recTput = r.tput
+			break
+		}
+	}
+	fmt.Printf("\nguideline recommendation (§5.16): %s\n", rec.Config.Name())
+	if rank > 0 {
+		fmt.Printf("  measured rank %d of %d (%.4f GE/s, %.0f%% of best)\n",
+			rank, len(results), recTput, 100*recTput/results[0].tput)
+	}
+	for _, why := range rec.Rationale {
+		fmt.Printf("  - %s\n", why)
+	}
+}

@@ -1,0 +1,166 @@
+// Package advisor encodes the paper's programming guidelines (§5.16)
+// as an executable recommendation engine: given an algorithm, a
+// programming model, and the input graph's shape (the Table 5
+// signature), it recommends a style configuration and explains each
+// choice with the finding that motivates it.
+package advisor
+
+import (
+	"fmt"
+
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Recommendation is a suggested variant plus the per-dimension
+// rationale.
+type Recommendation struct {
+	Config styles.Config
+	// Rationale maps dimension keys to the §5.16 guideline applied.
+	Rationale []string
+}
+
+// highDegreeThreshold is the average (directed) degree above which
+// warp granularity is recommended ("high-degree inputs prefer
+// warp-based parallelization in CUDA", §5.16; the paper's positive
+// correlation is with average degree, §5.13).
+const highDegreeThreshold = 10
+
+// highDiameterThreshold marks inputs where topology-driven sweeps waste
+// whole-graph work per iteration (§5.3: data-driven is much faster "on
+// high-diameter graphs").
+const highDiameterThreshold = 60
+
+// Recommend returns the guideline-based style choice for running a on
+// model over a graph with the given shape.
+func Recommend(a styles.Algorithm, model styles.Model, shape graph.Stats) Recommendation {
+	rec := Recommendation{Config: styles.Config{Algo: a, Model: model}}
+	note := func(format string, args ...any) {
+		rec.Rationale = append(rec.Rationale, fmt.Sprintf(format, args...))
+	}
+	cfg := &rec.Config
+
+	// Non-deterministic and push for every model (§5.16), except PR,
+	// whose pull style wins (§5.4) and whose push variant must be
+	// deterministic.
+	cfg.Det = styles.NonDeterministic
+	cfg.Flow = styles.Push
+	note("non-deterministic: deterministic double buffering costs extra memory and synchronization (§5.6)")
+	note("push: preferred data flow for CC, MIS, BFS, SSSP (§5.4)")
+	if a == styles.PR {
+		cfg.Flow = styles.Pull
+		note("pull (override): PR's medians favor pull (§5.4)")
+	}
+	if a == styles.TC {
+		cfg.Det = styles.Deterministic // TC's only form
+	}
+
+	// Read-modify-write: applies to more algorithms and performs nearly
+	// as well (§5.5); read-write only helps topology-driven codes.
+	cfg.Update = styles.ReadModifyWrite
+	note("read-modify-write: general and typically nearly as fast as read-write (§5.5)")
+
+	// Topology- vs data-driven: graph type should decide (§5.3) — high
+	// diameter favors data-driven work efficiency; the C++ model leans
+	// topology-driven because its worklist overhead rarely pays off
+	// (§5.16).
+	caps := capsOf(a)
+	switch {
+	case !caps.dataDriven:
+		cfg.Drive = styles.TopologyDriven
+	case model == styles.CPP && shape.Diameter < highDiameterThreshold:
+		cfg.Drive = styles.TopologyDriven
+		note("topology-driven: C++ worklist overhead often cannot offset work-efficiency gains (§5.16)")
+	case shape.Diameter >= highDiameterThreshold:
+		cfg.Drive = styles.DataDrivenNoDup
+		note("data-driven (no dup): high-diameter input (%d) makes full sweeps wasteful (§5.3); no-dup caps the worklist (§2.3)", shape.Diameter)
+	case model == styles.CPP:
+		cfg.Drive = styles.TopologyDriven
+		note("topology-driven: C++ prefers it (§5.16)")
+	default:
+		cfg.Drive = styles.DataDrivenNoDup
+		note("data-driven (no dup): tends to be the better choice for CUDA and OpenMP (§5.3)")
+	}
+	if cfg.Drive.IsDataDriven() && a == styles.MIS {
+		cfg.Drive = styles.DataDrivenNoDup // MIS only supports no-dup
+	}
+
+	// Vertex- vs edge-based depends on the algorithm (§5.16): MIS is
+	// always vertex-based (§5.2); thread-granularity TC prefers
+	// edge-based on GPUs (§5.2); CPU codes prefer vertex-based (§5.2).
+	cfg.Iterate = styles.VertexBased
+	if a == styles.TC && model == styles.CUDA && shape.MaxDegree < 32 {
+		cfg.Iterate = styles.EdgeBased
+		note("edge-based: GPU TC without high-degree vertices runs best edge-based at thread granularity (§5.2)")
+	} else {
+		note("vertex-based: CPU codes and MIS prefer vertex-based (§5.2)")
+	}
+
+	if model == styles.CUDA {
+		// Granularity follows the degree distribution (§5.8).
+		if shape.AvgDegree >= highDegreeThreshold || shape.PctDeg512 > 0.5 {
+			cfg.Gran = styles.WarpGran
+			note("warp granularity: average degree %.1f is high; warp-based correlates with degree (§5.8, §5.13)", shape.AvgDegree)
+		} else {
+			cfg.Gran = styles.ThreadGran
+			note("thread granularity: low-degree, uniform inputs do not need intra-vertex parallelism (§5.8)")
+		}
+		cfg.Persist = styles.NonPersistent
+		note("non-persistent: persistent threads rarely help without precomputation to reuse (§5.7)")
+		cfg.Atomics = styles.ClassicAtomic
+		note("classic atomics: avoid default CudaAtomic (§5.1)")
+		if hasReduction(a) {
+			cfg.GPURed = styles.ReductionAdd
+			note("reduction-add: warp primitives avoid most memory traffic (§5.9)")
+		}
+	} else {
+		if hasReduction(a) {
+			cfg.CPURed = styles.ClauseRed
+			note("clause reduction: avoid critical sections and even atomics when a clause exists (§5.10)")
+		}
+		if model == styles.OMP {
+			cfg.OMPSched = styles.DefaultSched
+			note("default schedule: safe; try dynamic only when load imbalance shows (§5.11, §5.16)")
+		} else {
+			cfg.CPPSched = styles.BlockedSched
+			note("blocked schedule: safe; cyclic may pay off for TC-like loops (§5.12, §5.16)")
+		}
+	}
+
+	// Edge-based implies push/topology-driven/thread-granularity
+	// (structural rules); repair any conflict introduced above.
+	if cfg.Iterate == styles.EdgeBased {
+		cfg.Drive = styles.TopologyDriven
+		cfg.Flow = styles.Push
+		if a != styles.TC {
+			cfg.Gran = styles.ThreadGran
+		}
+	}
+	if !styles.Valid(rec.Config) {
+		// The guidelines can only produce invalid combinations through a
+		// programming error; fail loudly.
+		panic(fmt.Sprintf("advisor: produced invalid config %s", rec.Config.Name()))
+	}
+	return rec
+}
+
+// capsView mirrors the pieces of the applicability matrix the advisor
+// needs without exporting styles internals.
+type capsView struct {
+	dataDriven bool
+}
+
+func capsOf(a styles.Algorithm) capsView {
+	// Derived from the enumeration: an algorithm supports data-driven if
+	// any valid variant is data-driven.
+	for _, cfg := range styles.Enumerate(a, styles.OMP) {
+		if cfg.Drive.IsDataDriven() {
+			return capsView{dataDriven: true}
+		}
+	}
+	return capsView{}
+}
+
+func hasReduction(a styles.Algorithm) bool {
+	return a == styles.PR || a == styles.TC
+}

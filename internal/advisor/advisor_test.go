@@ -1,0 +1,104 @@
+package advisor
+
+import (
+	"testing"
+
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+func shapes(t *testing.T) map[gen.Input]graph.Stats {
+	t.Helper()
+	out := make(map[gen.Input]graph.Stats)
+	for in := gen.Input(0); in < gen.NumInputs; in++ {
+		out[in] = graph.ComputeStats(gen.Generate(in, gen.Tiny))
+	}
+	return out
+}
+
+// TestRecommendationsAlwaysValid: every (algorithm, model, input)
+// combination must yield a valid style configuration with rationale.
+func TestRecommendationsAlwaysValid(t *testing.T) {
+	ss := shapes(t)
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		for m := styles.Model(0); m < styles.NumModels; m++ {
+			for in, shape := range ss {
+				rec := Recommend(a, m, shape)
+				if !styles.Valid(rec.Config) {
+					t.Errorf("%v/%v on %v: invalid config %s", a, m, in, rec.Config.Name())
+				}
+				if len(rec.Rationale) < 3 {
+					t.Errorf("%v/%v on %v: thin rationale %v", a, m, in, rec.Rationale)
+				}
+				if rec.Config.Algo != a || rec.Config.Model != m {
+					t.Errorf("%v/%v: config identity mangled: %s", a, m, rec.Config.Name())
+				}
+			}
+		}
+	}
+}
+
+func TestGuidelineWarpOnHighDegree(t *testing.T) {
+	ss := shapes(t)
+	social := Recommend(styles.BFS, styles.CUDA, ss[gen.InputSocial])
+	if social.Config.Gran != styles.WarpGran {
+		t.Errorf("social BFS gran = %v, want warp (§5.8)", social.Config.Gran)
+	}
+	road := Recommend(styles.BFS, styles.CUDA, ss[gen.InputRoad])
+	if road.Config.Gran != styles.ThreadGran {
+		t.Errorf("road BFS gran = %v, want thread (§5.8)", road.Config.Gran)
+	}
+}
+
+func TestGuidelineDataDrivenOnHighDiameter(t *testing.T) {
+	ss := shapes(t)
+	// Tiny road/grid diameters are ~34-38; use a synthetic high-diameter
+	// shape to trigger the rule decisively.
+	shape := ss[gen.InputRoad]
+	shape.Diameter = 500
+	rec := Recommend(styles.SSSP, styles.CPP, shape)
+	if !rec.Config.Drive.IsDataDriven() {
+		t.Errorf("high-diameter SSSP drive = %v, want data-driven (§5.3)", rec.Config.Drive)
+	}
+	// Low diameter + C++ model: topology-driven (§5.16).
+	shape.Diameter = 5
+	rec = Recommend(styles.SSSP, styles.CPP, shape)
+	if rec.Config.Drive != styles.TopologyDriven {
+		t.Errorf("low-diameter C++ SSSP drive = %v, want topo (§5.16)", rec.Config.Drive)
+	}
+}
+
+func TestGuidelineFixedChoices(t *testing.T) {
+	ss := shapes(t)
+	for in, shape := range ss {
+		for m := styles.Model(0); m < styles.NumModels; m++ {
+			rec := Recommend(styles.SSSP, m, shape)
+			if rec.Config.Det != styles.NonDeterministic {
+				t.Errorf("%v/%v: det = %v, want nondet (§5.16)", m, in, rec.Config.Det)
+			}
+			if rec.Config.Flow != styles.Push {
+				t.Errorf("%v/%v: flow = %v, want push (§5.16)", m, in, rec.Config.Flow)
+			}
+			if m == styles.CUDA {
+				if rec.Config.Atomics != styles.ClassicAtomic {
+					t.Errorf("%v: CudaAtomic recommended against §5.16", in)
+				}
+				if rec.Config.Persist != styles.NonPersistent {
+					t.Errorf("%v: persistent recommended against §5.16", in)
+				}
+			}
+		}
+		pr := Recommend(styles.PR, styles.OMP, shape)
+		if pr.Config.Flow != styles.Pull {
+			t.Errorf("PR flow = %v, want pull (§5.4)", pr.Config.Flow)
+		}
+		if pr.Config.CPURed != styles.ClauseRed {
+			t.Errorf("PR reduction = %v, want clause (§5.10)", pr.Config.CPURed)
+		}
+		gtc := Recommend(styles.TC, styles.CUDA, shape)
+		if gtc.Config.GPURed != styles.ReductionAdd {
+			t.Errorf("TC GPU reduction = %v, want reduction-add (§5.9)", gtc.Config.GPURed)
+		}
+	}
+}

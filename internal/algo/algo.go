@@ -1,0 +1,119 @@
+// Package algo holds the types shared by the six algorithm families:
+// run options, results, and the mapping from style configurations to the
+// CPU substrate's scheduling and synchronization choices.
+package algo
+
+import (
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+// Options configures a variant run.
+type Options struct {
+	// Threads is the CPU worker count; 0 means par.Threads().
+	Threads int
+	// Source is the root vertex for BFS and SSSP.
+	Source int32
+	// MaxIter caps outer iterations of iterative algorithms as a safety
+	// net; 0 means a generous default derived from the graph size.
+	MaxIter int32
+	// PRTol is the PageRank convergence threshold on the total residual;
+	// 0 means 1e-4.
+	PRTol float64
+	// PRDamping is the PageRank damping factor; 0 means 0.85.
+	PRDamping float64
+}
+
+// Defaults fills zero fields given the vertex count n.
+func (o Options) Defaults(n int32) Options {
+	if o.Threads <= 0 {
+		o.Threads = par.Threads()
+	}
+	if o.MaxIter <= 0 {
+		// Distance relaxations need at most n iterations; the +8 keeps
+		// tiny graphs from tripping the cap.
+		o.MaxIter = n + 8
+	}
+	if o.PRTol <= 0 {
+		o.PRTol = 1e-4
+	}
+	if o.PRDamping <= 0 {
+		o.PRDamping = 0.85
+	}
+	return o
+}
+
+// Result carries the output of one variant run. Only the fields relevant
+// to the algorithm are set.
+type Result struct {
+	// Dist holds per-vertex hop counts (BFS) or path lengths (SSSP);
+	// graph.Inf marks unreachable vertices.
+	Dist []int32
+	// Label holds per-vertex component labels (CC), the minimum vertex
+	// id in each component.
+	Label []int32
+	// InSet marks the maximal independent set membership (MIS).
+	InSet []bool
+	// Rank holds PageRank scores in the unnormalized formulation
+	// (steady-state sum equals the vertex count).
+	Rank []float32
+	// Triangles is the triangle count (TC).
+	Triangles int64
+	// Iterations is the number of outer iterations executed.
+	Iterations int32
+}
+
+// SchedOf maps a config's model-specific scheduling style to the par
+// substrate's schedule.
+func SchedOf(c styles.Config) par.Sched {
+	switch c.Model {
+	case styles.OMP:
+		if c.OMPSched == styles.DynamicSched {
+			return par.Dynamic
+		}
+		return par.Static
+	case styles.CPP:
+		if c.CPPSched == styles.CyclicSched {
+			return par.Cyclic
+		}
+		return par.Blocked
+	}
+	panic("algo.SchedOf: not a CPU model")
+}
+
+// SyncOf returns the synchronization implementation of the config's
+// model: CAS atomics for the C++ model, critical sections for OpenMP's
+// read-modify-writes (see package par).
+func SyncOf(c styles.Config) par.Sync {
+	switch c.Model {
+	case styles.OMP:
+		return &par.Critical{}
+	case styles.CPP:
+		return par.CAS{}
+	}
+	panic("algo.SyncOf: not a CPU model")
+}
+
+// Sync64Of is SyncOf for the 64-bit data-type variants.
+func Sync64Of(c styles.Config) par.Sync64 {
+	switch c.Model {
+	case styles.OMP:
+		return &par.Critical64{}
+	case styles.CPP:
+		return par.CAS64{}
+	}
+	panic("algo.Sync64Of: not a CPU model")
+}
+
+// RedOf maps the CPU reduction style dimension to the par substrate.
+func RedOf(c styles.Config) par.RedStyle {
+	switch c.CPURed {
+	case styles.AtomicRed:
+		return par.RedAtomic
+	case styles.CriticalRed:
+		return par.RedCritical
+	case styles.ClauseRed:
+		return par.RedClause
+	}
+	panic("algo.RedOf: unknown reduction style")
+}

@@ -1,0 +1,76 @@
+package algo
+
+import (
+	"testing"
+
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+func TestDefaults(t *testing.T) {
+	o := Options{}.Defaults(100)
+	if o.Threads <= 0 {
+		t.Error("Threads not defaulted")
+	}
+	if o.MaxIter != 108 {
+		t.Errorf("MaxIter = %d, want 108", o.MaxIter)
+	}
+	if o.PRTol != 1e-4 || o.PRDamping != 0.85 {
+		t.Errorf("PR defaults wrong: %+v", o)
+	}
+	// Explicit values survive.
+	o2 := Options{Threads: 3, MaxIter: 7, PRTol: 0.5, PRDamping: 0.9}.Defaults(100)
+	if o2.Threads != 3 || o2.MaxIter != 7 || o2.PRTol != 0.5 || o2.PRDamping != 0.9 {
+		t.Errorf("explicit options clobbered: %+v", o2)
+	}
+}
+
+func TestSchedOf(t *testing.T) {
+	cases := []struct {
+		cfg  styles.Config
+		want par.Sched
+	}{
+		{styles.Config{Model: styles.OMP}, par.Static},
+		{styles.Config{Model: styles.OMP, OMPSched: styles.DynamicSched}, par.Dynamic},
+		{styles.Config{Model: styles.CPP}, par.Blocked},
+		{styles.Config{Model: styles.CPP, CPPSched: styles.CyclicSched}, par.Cyclic},
+	}
+	for _, c := range cases {
+		if got := SchedOf(c.cfg); got != c.want {
+			t.Errorf("SchedOf(%v) = %v, want %v", c.cfg.Model, got, c.want)
+		}
+	}
+}
+
+func TestSchedOfPanicsOnCUDA(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	SchedOf(styles.Config{Model: styles.CUDA})
+}
+
+func TestSyncOfModels(t *testing.T) {
+	// The OMP model's read-modify-writes go through critical sections,
+	// the C++ model's through CAS atomics (§5.3's mechanism).
+	if got := SyncOf(styles.Config{Model: styles.OMP}).Name(); got != "critical" {
+		t.Errorf("OMP sync = %s, want critical", got)
+	}
+	if got := SyncOf(styles.Config{Model: styles.CPP}).Name(); got != "cas" {
+		t.Errorf("CPP sync = %s, want cas", got)
+	}
+}
+
+func TestRedOf(t *testing.T) {
+	cases := map[styles.CPURed]par.RedStyle{
+		styles.AtomicRed:   par.RedAtomic,
+		styles.CriticalRed: par.RedCritical,
+		styles.ClauseRed:   par.RedClause,
+	}
+	for in, want := range cases {
+		if got := RedOf(styles.Config{CPURed: in}); got != want {
+			t.Errorf("RedOf(%v) = %v, want %v", in, got, want)
+		}
+	}
+}

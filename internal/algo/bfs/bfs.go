@@ -1,0 +1,55 @@
+// Package bfs implements the breadth-first-search family: per-vertex hop
+// counts from a source vertex, in every applicable style combination.
+package bfs
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/relax"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Serial computes hop distances from src with a textbook queue BFS; it
+// is the verification reference (§4.1).
+func Serial(g *graph.Graph, src int32) []int32 {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = graph.Inf
+	}
+	level[src] = 0
+	queue := make([]int32, 0, g.N)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if level[u] == graph.Inf {
+				level[u] = level[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return level
+}
+
+// problem adapts BFS to the shared min-relaxation engine: the candidate
+// level of an edge's destination is its source's level plus one.
+func problem(src int32) relax.Problem[int32] {
+	return relax.Problem[int32]{
+		Init: func(v int32) int32 {
+			if v == src {
+				return 0
+			}
+			return graph.Inf
+		},
+		Cand:  func(val int32, e int64) int32 { return val + 1 },
+		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+	}
+}
+
+// RunCPU executes the CPU variant selected by cfg.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	opt = opt.Defaults(g.N)
+	dist, iters := relax.Run(g, cfg, opt, problem(opt.Source))
+	return algo.Result{Dist: dist, Iterations: iters}
+}

@@ -1,0 +1,58 @@
+package bfs
+
+import (
+	"testing"
+
+	"indigo/internal/graph"
+)
+
+func path(n int32) *graph.Graph {
+	b := graph.NewBuilder("path", n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1, 7)
+	}
+	return b.Build()
+}
+
+func TestSerialPath(t *testing.T) {
+	g := path(6)
+	level := Serial(g, 0)
+	for v := int32(0); v < 6; v++ {
+		if level[v] != v {
+			t.Errorf("level[%d] = %d, want %d", v, level[v], v)
+		}
+	}
+	mid := Serial(g, 3)
+	want := []int32{3, 2, 1, 0, 1, 2}
+	for v, w := range want {
+		if mid[v] != w {
+			t.Errorf("from 3: level[%d] = %d, want %d", v, mid[v], w)
+		}
+	}
+}
+
+func TestSerialUnreachable(t *testing.T) {
+	b := graph.NewBuilder("two", 4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	level := Serial(b.Build(), 0)
+	if level[0] != 0 || level[1] != 1 {
+		t.Errorf("component levels wrong: %v", level)
+	}
+	if level[2] != graph.Inf || level[3] != graph.Inf {
+		t.Errorf("unreachable vertices have finite levels: %v", level)
+	}
+}
+
+func TestSerialIgnoresWeights(t *testing.T) {
+	// BFS counts hops: a heavy short path beats a light long one.
+	b := graph.NewBuilder("wb", 4)
+	b.AddEdge(0, 3, 100) // 1 hop, heavy
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1) // 3 hops, light
+	level := Serial(b.Build(), 0)
+	if level[3] != 1 {
+		t.Errorf("level[3] = %d, want 1 (hops, not weights)", level[3])
+	}
+}

@@ -1,0 +1,27 @@
+package cc
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpurelax"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// RunGPU executes the CUDA-model variant selected by cfg on device d and
+// returns the result plus the simulated cost.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	p := gpurelax.Problem{
+		Init: func(v int32) int32 { return v },
+		Seeds: func(g *graph.Graph) []int32 {
+			seeds := make([]int32, g.N)
+			for v := int32(0); v < g.N; v++ {
+				seeds[v] = v
+			}
+			return seeds
+		},
+	}
+	label, iters, st := gpurelax.Run(d, g, cfg, opt, p)
+	return algo.Result{Label: label, Iterations: iters}, st
+}

@@ -1,0 +1,72 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indigo/internal/graph"
+)
+
+func TestSerialComponents(t *testing.T) {
+	// Three components: {0,1,2}, {3,4}, {5}.
+	b := graph.NewBuilder("tri", 6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(3, 4, 1)
+	label := Serial(b.Build())
+	want := []int32{0, 0, 0, 3, 3, 5}
+	for v, w := range want {
+		if label[v] != w {
+			t.Errorf("label[%d] = %d, want %d", v, label[v], w)
+		}
+	}
+}
+
+func TestSerialConnected(t *testing.T) {
+	b := graph.NewBuilder("ring", 8)
+	for v := int32(0); v < 8; v++ {
+		b.AddEdge(v, (v+1)%8, 1)
+	}
+	for v, l := range Serial(b.Build()) {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0", v, l)
+		}
+	}
+}
+
+// TestQuickSerialLabelIsComponentMin checks on random graphs that every
+// label is the minimum id reachable from the vertex.
+func TestQuickSerialLabelIsComponentMin(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int32(rawN%25) + 1
+		b := graph.NewBuilder("r", n)
+		s := seed
+		for u := int32(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				if s%5 == 0 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		label := Serial(g)
+		// Property 1: labels are idempotent roots (label[label[v]] ==
+		// label[v]) and label[v] <= v.
+		for v := int32(0); v < n; v++ {
+			if label[v] > v || label[label[v]] != label[v] {
+				return false
+			}
+		}
+		// Property 2: endpoints of every edge share a label.
+		for e := int64(0); e < g.M(); e++ {
+			if label[g.Src[e]] != label[g.Dst[e]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

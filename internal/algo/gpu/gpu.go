@@ -1,0 +1,243 @@
+// Package gpu provides the pieces shared by the GPU kernel families:
+// the device-resident graph, the atomics wrapper that realizes the
+// Atomic vs CudaAtomic style (§2.9), the work-assignment helpers that
+// realize granularity (§2.8) and persistence (§2.7), and device
+// worklists (§2.3).
+package gpu
+
+import (
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// DevGraph is a graph uploaded to a simulated device, in both CSR and
+// COO form (§4.2).
+type DevGraph struct {
+	N       int32
+	M       int64
+	NbrIdx  *gpusim.I64
+	NbrList *gpusim.I32
+	Weights *gpusim.I32
+	Src     *gpusim.I32
+	Dst     *gpusim.I32
+}
+
+// Upload copies g to the device.
+func Upload(d *gpusim.Device, g *graph.Graph) *DevGraph {
+	return &DevGraph{
+		N:       g.N,
+		M:       g.M(),
+		NbrIdx:  d.UploadI64(g.NbrIdx),
+		NbrList: d.UploadI32(g.NbrList),
+		Weights: d.UploadI32(g.Weights),
+		Src:     d.UploadI32(g.Src),
+		Dst:     d.UploadI32(g.Dst),
+	}
+}
+
+// Ops selects between classic atomics and default CudaAtomics for every
+// shared-data access of a kernel. In the CudaAtomic style, plain loads
+// and stores of shared data also go through cuda::atomic load()/store()
+// (§5.1 explains this is why those variants slow down so much).
+type Ops struct {
+	Cuda bool
+}
+
+// OpsOf returns the access wrapper for a config.
+func OpsOf(cfg styles.Config) Ops {
+	return Ops{Cuda: cfg.Atomics == styles.CudaAtomic}
+}
+
+// Ld reads shared location a[i].
+func (o Ops) Ld(w *gpusim.Warp, a *gpusim.I32, i int64) int32 {
+	if o.Cuda {
+		return w.CudaLdI32(a, i)
+	}
+	return w.LdI32(a, i)
+}
+
+// St writes shared location a[i].
+func (o Ops) St(w *gpusim.Warp, a *gpusim.I32, i int64, v int32) {
+	if o.Cuda {
+		w.CudaStI32(a, i, v)
+	} else {
+		w.StI32(a, i, v)
+	}
+}
+
+// Min atomically lowers a[i] and returns the old value.
+func (o Ops) Min(w *gpusim.Warp, a *gpusim.I32, i int64, v int32) int32 {
+	if o.Cuda {
+		return w.CudaAtomicMinI32(a, i, v)
+	}
+	return w.AtomicMinI32(a, i, v)
+}
+
+// Max atomically raises a[i] and returns the old value.
+func (o Ops) Max(w *gpusim.Warp, a *gpusim.I32, i int64, v int32) int32 {
+	if o.Cuda {
+		return w.CudaAtomicMaxI32(a, i, v)
+	}
+	return w.AtomicMaxI32(a, i, v)
+}
+
+// Add atomically adds to a[i] and returns the old value.
+func (o Ops) Add(w *gpusim.Warp, a *gpusim.I32, i int64, v int32) int32 {
+	if o.Cuda {
+		return w.CudaAtomicAddI32(a, i, v)
+	}
+	return w.AtomicAddI32(a, i, v)
+}
+
+// AddI64 atomically adds to a[i] and returns the old value.
+func (o Ops) AddI64(w *gpusim.Warp, a *gpusim.I64, i int64, v int64) int64 {
+	if o.Cuda {
+		return w.CudaAtomicAddI64(a, i, v)
+	}
+	return w.AtomicAddI64(a, i, v)
+}
+
+// Grid returns the launch grid for n work items under the configured
+// granularity and persistence, with the given threads per block.
+func Grid(d *gpusim.Device, cfg styles.Config, n int64, tpb int) int64 {
+	if cfg.Persist == styles.Persistent {
+		return d.PersistentGrid()
+	}
+	switch cfg.Gran {
+	case styles.ThreadGran:
+		return gpusim.GridSize(n, int64(tpb))
+	case styles.WarpGran:
+		return gpusim.GridSize(n, int64(tpb/gpusim.WarpSize))
+	case styles.BlockGran:
+		return gpusim.GridSize(n, 1)
+	}
+	panic("gpu.Grid: unknown granularity")
+}
+
+// ThreadItems hands the warp its thread-granularity items in batches of
+// up to 32 contiguous ids (one per lane), looping grid-stride when
+// persistent (Listing 7a) and once otherwise (Listing 7b).
+func ThreadItems(w *gpusim.Warp, n int64, persistent bool, f func(base int64, cnt int)) {
+	if persistent {
+		stride := w.TotalThreads()
+		for base := w.Gidx(0); base < n; base += stride {
+			f(base, int(min64(int64(gpusim.WarpSize), n-base)))
+		}
+		return
+	}
+	if base := w.Gidx(0); base < n {
+		f(base, int(min64(int64(gpusim.WarpSize), n-base)))
+	}
+}
+
+// WarpItems hands the warp whole items (one vertex per warp, §2.8).
+func WarpItems(w *gpusim.Warp, n int64, persistent bool, f func(item int64)) {
+	if persistent {
+		for it := w.GlobalWarp(); it < n; it += w.TotalWarps() {
+			f(it)
+		}
+		return
+	}
+	if it := w.GlobalWarp(); it < n {
+		f(it)
+	}
+}
+
+// BlockItems hands every warp of a block the block's items (one vertex
+// per block, §2.8); the warps cooperate on each item's neighbor range.
+func BlockItems(w *gpusim.Warp, n int64, persistent bool, f func(item int64)) {
+	if persistent {
+		for it := w.BlockIdx; it < n; it += w.GridDim {
+			f(it)
+		}
+		return
+	}
+	if it := w.BlockIdx; it < n {
+		f(it)
+	}
+}
+
+// WarpRange iterates [beg, end) cooperatively across the warp's lanes in
+// coalesced 32-element chunks (Listing 8b): chunk loads the neighbor ids
+// and calls f per element.
+func WarpRange(w *gpusim.Warp, list *gpusim.I32, beg, end int64, f func(lane int, e int64, v int32)) {
+	for base := beg; base < end; base += gpusim.WarpSize {
+		cnt := int(min64(int64(gpusim.WarpSize), end-base))
+		vals := w.CoalLdI32(list, base, cnt)
+		w.Op(2)
+		for l := 0; l < cnt; l++ {
+			f(l, base+int64(l), vals[l])
+		}
+	}
+}
+
+// BlockRange iterates [beg, end) cooperatively across all warps of the
+// block (Listing 8c): this warp takes every warpsPerBlock-th chunk.
+func BlockRange(w *gpusim.Warp, list *gpusim.I32, beg, end int64, f func(lane int, e int64, v int32)) {
+	warps := int64(w.BlockDim / gpusim.WarpSize)
+	for base := beg + int64(w.WarpInBlock)*gpusim.WarpSize; base < end; base += warps * gpusim.WarpSize {
+		cnt := int(min64(int64(gpusim.WarpSize), end-base))
+		vals := w.CoalLdI32(list, base, cnt)
+		w.Op(2)
+		for l := 0; l < cnt; l++ {
+			f(l, base+int64(l), vals[l])
+		}
+	}
+}
+
+// CopyI32 copies src to dst on the device with a coalesced kernel (used
+// by the deterministic double-buffer variants, §2.6) and returns its
+// cost.
+func CopyI32(d *gpusim.Device, dst, src *gpusim.I32) gpusim.Stats {
+	n := src.Len()
+	return d.Launch(gpusim.LaunchCfg{Blocks: gpusim.GridSize(n, 256)}, func(w *gpusim.Warp) {
+		base := w.Gidx(0)
+		if base >= n {
+			return
+		}
+		cnt := int(min64(int64(gpusim.WarpSize), n-base))
+		vals := w.CoalLdI32(src, base, cnt)
+		w.CoalStI32(dst, base, cnt, &vals)
+	})
+}
+
+// Worklist is a device worklist: an item array and an atomically bumped
+// size (Listing 3a), plus the iteration-stamp array for the
+// no-duplicates style (Listing 3b).
+type Worklist struct {
+	Items *gpusim.I32
+	Size  *gpusim.I32
+}
+
+// NewWorklist allocates a device worklist.
+func NewWorklist(d *gpusim.Device, capacity int64) *Worklist {
+	return &Worklist{Items: d.AllocI32(capacity), Size: d.AllocI32(1)}
+}
+
+// Push appends v, allowing duplicates (Listing 3a).
+func (wl *Worklist) Push(w *gpusim.Warp, o Ops, v int32) {
+	idx := o.Add(w, wl.Size, 0, 1)
+	w.StI32(wl.Items, int64(idx), v)
+}
+
+// PushUnique appends v only once per iteration, guarded by an atomicMax
+// on the stamp array (Listing 3b).
+func (wl *Worklist) PushUnique(w *gpusim.Warp, o Ops, stamp *gpusim.I32, itr, v int32) {
+	if o.Max(w, stamp, int64(v), itr) != itr {
+		wl.Push(w, o, v)
+	}
+}
+
+// HostSize reads the size from the host between launches.
+func (wl *Worklist) HostSize() int32 { return wl.Size.Host()[0] }
+
+// HostReset empties the list from the host between launches.
+func (wl *Worklist) HostReset() { wl.Size.Host()[0] = 0 }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

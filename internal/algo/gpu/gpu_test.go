@@ -1,0 +1,215 @@
+package gpu
+
+import (
+	"testing"
+
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/styles"
+)
+
+func dev() *gpusim.Device { return gpusim.New(gpusim.RTXSim()) }
+
+func TestUploadRoundTrip(t *testing.T) {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	dg := Upload(dev(), g)
+	if dg.N != g.N || dg.M != g.M() {
+		t.Fatalf("shape n=%d m=%d, want %d, %d", dg.N, dg.M, g.N, g.M())
+	}
+	for v := int32(0); v < g.N; v++ {
+		if dg.NbrIdx.Host()[v] != g.NbrIdx[v] {
+			t.Fatalf("NbrIdx[%d] differs", v)
+		}
+	}
+	for e := int64(0); e < g.M(); e++ {
+		if dg.NbrList.Host()[e] != g.NbrList[e] || dg.Src.Host()[e] != g.Src[e] ||
+			dg.Dst.Host()[e] != g.Dst[e] || dg.Weights.Host()[e] != g.Weights[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+}
+
+func TestOpsSelectsAtomicFlavor(t *testing.T) {
+	d := dev()
+	a := d.AllocI32(1)
+	a.Host()[0] = 10
+	classic := OpsOf(styles.Config{Atomics: styles.ClassicAtomic})
+	cuda := OpsOf(styles.Config{Atomics: styles.CudaAtomic})
+	var classicCost, cudaCost int64
+	d.Launch(gpusim.LaunchCfg{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+		before := w.Cycles()
+		classic.Min(w, a, 0, 5)
+		classicCost = w.Cycles() - before
+		before = w.Cycles()
+		cuda.Min(w, a, 0, 3)
+		cudaCost = w.Cycles() - before
+	})
+	if a.Host()[0] != 3 {
+		t.Fatalf("min result = %d, want 3", a.Host()[0])
+	}
+	if cudaCost <= classicCost {
+		t.Errorf("cuda atomic cost %d not above classic %d", cudaCost, classicCost)
+	}
+}
+
+func TestOpsFunctional(t *testing.T) {
+	d := dev()
+	a := d.AllocI32(4)
+	cnt := d.AllocI64(1)
+	for _, o := range []Ops{{Cuda: false}, {Cuda: true}} {
+		a.Host()[0], a.Host()[1], a.Host()[2], a.Host()[3] = 10, 10, 0, 0
+		cnt.Host()[0] = 0
+		d.Launch(gpusim.LaunchCfg{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+			o.Min(w, a, 0, 4)
+			o.Max(w, a, 1, 40)
+			o.Add(w, a, 2, 5)
+			o.St(w, a, 3, 9)
+			o.AddI64(w, cnt, 0, 7)
+			if o.Ld(w, a, 3) != 9 {
+				t.Error("Ld after St wrong")
+			}
+		})
+		if a.Host()[0] != 4 || a.Host()[1] != 40 || a.Host()[2] != 5 || cnt.Host()[0] != 7 {
+			t.Fatalf("ops results wrong (cuda=%v): %v %v", o.Cuda, a.Host(), cnt.Host())
+		}
+	}
+}
+
+func TestGridSizing(t *testing.T) {
+	d := dev()
+	n := int64(10_000)
+	cases := []struct {
+		cfg  styles.Config
+		want int64
+	}{
+		{styles.Config{Gran: styles.ThreadGran}, gpusim.GridSize(n, 256)},
+		{styles.Config{Gran: styles.WarpGran}, gpusim.GridSize(n, 8)},
+		{styles.Config{Gran: styles.BlockGran}, n},
+		{styles.Config{Gran: styles.ThreadGran, Persist: styles.Persistent}, d.PersistentGrid()},
+	}
+	for _, c := range cases {
+		if got := Grid(d, c.cfg, n, 256); got != c.want {
+			t.Errorf("Grid(%v/%v) = %d, want %d", c.cfg.Gran, c.cfg.Persist, got, c.want)
+		}
+	}
+}
+
+// TestItemKernelCoverage checks that every granularity processes each
+// item exactly once, topology-driven.
+func TestItemKernelCoverage(t *testing.T) {
+	g := gen.Generate(gen.InputRMAT, gen.Tiny)
+	for _, gran := range []styles.Gran{styles.ThreadGran, styles.WarpGran, styles.BlockGran} {
+		for _, persist := range []styles.Persist{styles.NonPersistent, styles.Persistent} {
+			d := dev()
+			dg := Upload(d, g)
+			cfg := styles.Config{Gran: gran, Persist: persist}
+			hits := d.AllocI32(int64(g.N))
+			kern := ItemKernel(cfg, dg, int64(g.N), Identity, func(w *gpusim.Warp, v int64, iter RangeFn) {
+				// Only one warp of a block-granularity block counts the
+				// visit; the others cooperate on the range.
+				if gran != styles.BlockGran || w.WarpInBlock == 0 {
+					w.AtomicAddI32(hits, v, 1)
+				}
+			})
+			d.Launch(gpusim.LaunchCfg{Blocks: Grid(d, cfg, int64(g.N), 256), ThreadsPerBlock: 256}, kern)
+			for v, h := range hits.Host() {
+				if h != 1 {
+					t.Fatalf("gran=%v persist=%v: item %d visited %d times", gran, persist, v, h)
+				}
+			}
+		}
+	}
+}
+
+// TestIterForVisitsAllNeighbors checks the cooperative range walkers.
+func TestIterForVisitsAllNeighbors(t *testing.T) {
+	g := gen.Generate(gen.InputCoPaper, gen.Tiny)
+	v := int32(0)
+	for d := int32(1); d < g.N; d++ {
+		if g.Degree(d) > g.Degree(v) {
+			v = d
+		}
+	}
+	want := g.Degree(v)
+	for _, gran := range []styles.Gran{styles.ThreadGran, styles.WarpGran, styles.BlockGran} {
+		d := dev()
+		dg := Upload(d, g)
+		cfg := styles.Config{Gran: gran}
+		count := d.AllocI64(1)
+		iter := IterFor(cfg, dg)
+		d.Launch(gpusim.LaunchCfg{Blocks: 1, ThreadsPerBlock: 256}, func(w *gpusim.Warp) {
+			if gran != styles.BlockGran && w.WarpInBlock != 0 {
+				return
+			}
+			iter(w, dg.NbrIdx.Host()[v], dg.NbrIdx.Host()[v+1], func(_ int, _ int64, u int32) bool {
+				w.AtomicAddI64(count, 0, 1)
+				return true
+			})
+		})
+		if got := count.Host()[0]; got != want {
+			t.Errorf("gran=%v visited %d neighbors, want %d", gran, got, want)
+		}
+	}
+}
+
+func TestIterForEarlyExit(t *testing.T) {
+	g := gen.Generate(gen.InputSocial, gen.Tiny)
+	d := dev()
+	dg := Upload(d, g)
+	iter := IterFor(styles.Config{Gran: styles.WarpGran}, dg)
+	var visited int64
+	d.Launch(gpusim.LaunchCfg{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+		iter(w, 0, 100, func(_ int, _ int64, _ int32) bool {
+			visited++
+			return visited < 5
+		})
+	})
+	if visited != 5 {
+		t.Errorf("early exit visited %d, want 5", visited)
+	}
+}
+
+func TestWorklistPushUnique(t *testing.T) {
+	d := dev()
+	wl := NewWorklist(d, 100)
+	stamp := d.AllocI32(10)
+	o := Ops{}
+	d.Launch(gpusim.LaunchCfg{Blocks: 2, ThreadsPerBlock: 64}, func(w *gpusim.Warp) {
+		for l := 0; l < gpusim.WarpSize; l++ {
+			wl.PushUnique(w, o, stamp, 1, int32(w.Gidx(l)%10))
+		}
+	})
+	if got := wl.HostSize(); got != 10 {
+		t.Fatalf("unique pushes = %d, want 10", got)
+	}
+	wl.HostReset()
+	if wl.HostSize() != 0 {
+		t.Fatal("reset failed")
+	}
+	// A later iteration may push the same vertices again.
+	d.Launch(gpusim.LaunchCfg{Blocks: 1, ThreadsPerBlock: 32}, func(w *gpusim.Warp) {
+		wl.PushUnique(w, o, stamp, 2, 3)
+		wl.PushUnique(w, o, stamp, 2, 3)
+	})
+	if got := wl.HostSize(); got != 1 {
+		t.Fatalf("iteration-2 pushes = %d, want 1", got)
+	}
+}
+
+func TestCopyI32(t *testing.T) {
+	d := dev()
+	src := d.AllocI32(1000)
+	for i := range src.Host() {
+		src.Host()[i] = int32(i * 3)
+	}
+	dst := d.AllocI32(1000)
+	st := CopyI32(d, dst, src)
+	if st.Cycles <= 0 {
+		t.Error("copy reported no cost")
+	}
+	for i := range dst.Host() {
+		if dst.Host()[i] != int32(i*3) {
+			t.Fatalf("dst[%d] = %d", i, dst.Host()[i])
+		}
+	}
+}

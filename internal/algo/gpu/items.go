@@ -1,0 +1,90 @@
+package gpu
+
+import (
+	"indigo/internal/gpusim"
+	"indigo/internal/styles"
+)
+
+// RangeFn walks a CSR slot range cooperatively at some granularity,
+// loading the neighbor ids and invoking f per element until f returns
+// false (early exit).
+type RangeFn func(w *gpusim.Warp, beg, end int64, f func(lane int, e int64, u int32) bool)
+
+// IterFor returns the neighbor-range iterator matching cfg's
+// granularity: a single divergent lane per item for thread granularity,
+// the warp's lanes for warp granularity, and all the block's warps for
+// block granularity (§2.8).
+func IterFor(cfg styles.Config, dg *DevGraph) RangeFn {
+	switch cfg.Gran {
+	case styles.ThreadGran:
+		return func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32) bool) {
+			w.Op(2 * (end - beg))
+			for e := beg; e < end; e++ {
+				if !f(0, e, w.LdI32(dg.NbrList, e)) {
+					return
+				}
+			}
+		}
+	case styles.WarpGran:
+		return func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32) bool) {
+			for base := beg; base < end; base += gpusim.WarpSize {
+				cnt := int(min64(int64(gpusim.WarpSize), end-base))
+				vals := w.CoalLdI32(dg.NbrList, base, cnt)
+				w.Op(2)
+				for l := 0; l < cnt; l++ {
+					if !f(l, base+int64(l), vals[l]) {
+						return
+					}
+				}
+			}
+		}
+	default: // BlockGran
+		return func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32) bool) {
+			warps := int64(w.BlockDim / gpusim.WarpSize)
+			for base := beg + int64(w.WarpInBlock)*gpusim.WarpSize; base < end; base += warps * gpusim.WarpSize {
+				cnt := int(min64(int64(gpusim.WarpSize), end-base))
+				vals := w.CoalLdI32(dg.NbrList, base, cnt)
+				w.Op(2)
+				for l := 0; l < cnt; l++ {
+					if !f(l, base+int64(l), vals[l]) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// ItemKernel builds a kernel that processes items [0, n) at cfg's
+// granularity and persistence. getItem maps an item index to a vertex
+// (identity for topology-driven sweeps, a worklist load for data-driven
+// ones); handle processes one vertex with the matching iterator.
+func ItemKernel(cfg styles.Config, dg *DevGraph, n int64, getItem func(w *gpusim.Warp, i int64) int64, handle func(w *gpusim.Warp, v int64, iter RangeFn)) gpusim.Kernel {
+	persist := cfg.Persist == styles.Persistent
+	iter := IterFor(cfg, dg)
+	switch cfg.Gran {
+	case styles.ThreadGran:
+		return func(w *gpusim.Warp) {
+			ThreadItems(w, n, persist, func(base int64, cnt int) {
+				for l := 0; l < cnt; l++ {
+					handle(w, getItem(w, base+int64(l)), iter)
+				}
+			})
+		}
+	case styles.WarpGran:
+		return func(w *gpusim.Warp) {
+			WarpItems(w, n, persist, func(i int64) {
+				handle(w, getItem(w, i), iter)
+			})
+		}
+	default: // BlockGran
+		return func(w *gpusim.Warp) {
+			BlockItems(w, n, persist, func(i int64) {
+				handle(w, getItem(w, i), iter)
+			})
+		}
+	}
+}
+
+// Identity is the topology-driven getItem.
+func Identity(w *gpusim.Warp, i int64) int64 { return i }

@@ -1,0 +1,404 @@
+// Package gpurelax is the GPU counterpart of the relax engine: it
+// realizes every CUDA-model style combination of the three monotone
+// min-relaxation problems (BFS, SSSP, CC) as kernels on the gpusim
+// substrate — vertex/edge iteration, topology/data-driven worklists,
+// push/pull flow, read-write vs read-modify-write updates, deterministic
+// double buffering, thread/warp/block granularity, persistent threads,
+// and classic vs default CudaAtomics.
+package gpurelax
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpu"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Problem selects the candidate function: cand = val + weight(e)?·UseWeight + Add.
+// BFS is {false, 1}, SSSP is {true, 0}, CC is {false, 0}.
+type Problem struct {
+	UseWeight bool
+	Add       int32
+	// Init gives vertex v's initial value.
+	Init func(v int32) int32
+	// Seeds are the initially changed vertices (data-driven start).
+	Seeds func(g *graph.Graph) []int32
+}
+
+// tpb is the threads-per-block used by every launch, the paper's common
+// 256-thread default.
+const tpb = 256
+
+// Run executes the CUDA-model variant cfg of problem p on device d and
+// returns the final values, the iteration count, and the accumulated
+// simulated cost.
+func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem) ([]int32, int32, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	dg := gpu.Upload(d, g)
+	o := gpu.OpsOf(cfg)
+	init := make([]int32, g.N)
+	for v := int32(0); v < g.N; v++ {
+		init[v] = p.Init(v)
+	}
+	val := d.UploadI32(init)
+
+	var total gpusim.Stats
+	var iters int32
+	if cfg.Drive.IsDataDriven() {
+		iters = runData(d, dg, cfg, opt, p, o, val, &total)
+	} else if cfg.Det == styles.Deterministic {
+		iters = runTopoDet(d, dg, cfg, opt, p, o, val, &total)
+	} else {
+		iters = runTopoNonDet(d, dg, cfg, opt, p, o, val, &total)
+	}
+	out := make([]int32, g.N)
+	copy(out, val.Host())
+	return out, iters, total
+}
+
+// cand computes the candidate value; weight loading (SSSP only) is the
+// caller's job so coalescing is accounted where the load happens.
+func (p Problem) cand(val, weight int32) int32 {
+	if p.UseWeight {
+		return val + weight + p.Add
+	}
+	return val + p.Add
+}
+
+// relaxMin applies the configured update style to valArr[u] (Listing 5)
+// and reports improvement via the changed flag.
+func relaxMin(w *gpusim.Warp, o gpu.Ops, up styles.Update, valArr *gpusim.I32, u int64, nd int32, changed *gpusim.I32) bool {
+	if up == styles.ReadWrite {
+		old := o.Ld(w, valArr, u)
+		if nd < old {
+			o.St(w, valArr, u, nd)
+			w.StI32(changed, 0, 1)
+			return true
+		}
+		return false
+	}
+	old := o.Min(w, valArr, u, nd)
+	if nd < old {
+		w.StI32(changed, 0, 1)
+		return true
+	}
+	return false
+}
+
+// vertexSweep builds the topology-driven vertex kernel: every vertex is
+// processed at the configured granularity; src values are read from
+// rdArr and updates go to wrArr (identical for the non-deterministic
+// in-place variants).
+func vertexSweep(dg *gpu.DevGraph, cfg styles.Config, p Problem, o gpu.Ops, rdArr, wrArr *gpusim.I32, changed *gpusim.I32) gpusim.Kernel {
+	n := int64(dg.N)
+	persist := cfg.Persist == styles.Persistent
+	pull := cfg.Flow == styles.Pull
+
+	// processEdge relaxes one CSR slot e of vertex v whose own value is
+	// dv (push) or accumulates into v (pull).
+	processEdge := func(w *gpusim.Warp, v int64, dv int32, e int64, u int32) {
+		var wt int32
+		if p.UseWeight {
+			wt = w.LdI32(dg.Weights, e)
+		}
+		if pull {
+			du := o.Ld(w, rdArr, int64(u))
+			if du < graph.Inf {
+				relaxMin(w, o, cfg.Update, wrArr, v, p.cand(du, wt), changed)
+			}
+		} else {
+			relaxMin(w, o, cfg.Update, wrArr, int64(u), p.cand(dv, wt), changed)
+		}
+	}
+
+	switch cfg.Gran {
+	case styles.ThreadGran:
+		return func(w *gpusim.Warp) {
+			gpu.ThreadItems(w, n, persist, func(base int64, cnt int) {
+				beg := w.CoalLdI64(dg.NbrIdx, base, cnt)
+				end := w.CoalLdI64(dg.NbrIdx, base+1, cnt)
+				var dv [gpusim.WarpSize]int32
+				if !pull {
+					dv = w.CoalLdI32(rdArr, base, cnt)
+				}
+				for l := 0; l < cnt; l++ {
+					if !pull && dv[l] >= graph.Inf {
+						end[l] = beg[l] // inactive lane
+					}
+				}
+				w.DivergentRanges(cnt, &beg, &end, 2, func(lane int, e int64) {
+					u := w.LdI32(dg.NbrList, e)
+					processEdge(w, base+int64(lane), dv[lane], e, u)
+				})
+			})
+		}
+	case styles.WarpGran:
+		return func(w *gpusim.Warp) {
+			gpu.WarpItems(w, n, persist, func(v int64) {
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				dv := int32(0)
+				if !pull {
+					dv = o.Ld(w, rdArr, v)
+					if dv >= graph.Inf {
+						return
+					}
+				}
+				gpu.WarpRange(w, dg.NbrList, beg, end, func(lane int, e int64, u int32) {
+					processEdge(w, v, dv, e, u)
+				})
+			})
+		}
+	default: // BlockGran
+		return func(w *gpusim.Warp) {
+			gpu.BlockItems(w, n, persist, func(v int64) {
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				dv := int32(0)
+				if !pull {
+					dv = o.Ld(w, rdArr, v)
+					if dv >= graph.Inf {
+						return
+					}
+				}
+				gpu.BlockRange(w, dg.NbrList, beg, end, func(lane int, e int64, u int32) {
+					processEdge(w, v, dv, e, u)
+				})
+			})
+		}
+	}
+}
+
+// edgeSweep builds the topology-driven edge kernel (push-only,
+// thread-granularity per styles rules 1 and 7).
+func edgeSweep(dg *gpu.DevGraph, cfg styles.Config, p Problem, o gpu.Ops, rdArr, wrArr *gpusim.I32, changed *gpusim.I32) gpusim.Kernel {
+	m := dg.M
+	persist := cfg.Persist == styles.Persistent
+	return func(w *gpusim.Warp) {
+		gpu.ThreadItems(w, m, persist, func(base int64, cnt int) {
+			src := w.CoalLdI32(dg.Src, base, cnt)
+			dst := w.CoalLdI32(dg.Dst, base, cnt)
+			var wts [gpusim.WarpSize]int32
+			if p.UseWeight {
+				wts = w.CoalLdI32(dg.Weights, base, cnt)
+			}
+			w.Op(2)
+			for l := 0; l < cnt; l++ {
+				dv := o.Ld(w, rdArr, int64(src[l]))
+				if dv >= graph.Inf {
+					continue
+				}
+				relaxMin(w, o, cfg.Update, wrArr, int64(dst[l]), p.cand(dv, wts[l]), changed)
+			}
+		})
+	}
+}
+
+// items returns the work-item count of one topology-driven sweep.
+func items(dg *gpu.DevGraph, cfg styles.Config) int64 {
+	if cfg.Iterate == styles.EdgeBased {
+		return dg.M
+	}
+	return int64(dg.N)
+}
+
+func runTopoNonDet(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, p Problem, o gpu.Ops, val *gpusim.I32, total *gpusim.Stats) int32 {
+	changed := d.AllocI32(1)
+	var kern gpusim.Kernel
+	if cfg.Iterate == styles.EdgeBased {
+		kern = edgeSweep(dg, cfg, p, o, val, val, changed)
+	} else {
+		kern = vertexSweep(dg, cfg, p, o, val, val, changed)
+	}
+	grid := gpu.Grid(d, cfg, items(dg, cfg), tpb)
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		changed.Host()[0] = 0
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, kern))
+		if changed.Host()[0] == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+func runTopoDet(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, p Problem, o gpu.Ops, val *gpusim.I32, total *gpusim.Stats) int32 {
+	changed := d.AllocI32(1)
+	next := d.AllocI32(int64(dg.N))
+	grid := gpu.Grid(d, cfg, items(dg, cfg), tpb)
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		total.Add(gpu.CopyI32(d, next, val))
+		changed.Host()[0] = 0
+		var kern gpusim.Kernel
+		if cfg.Iterate == styles.EdgeBased {
+			kern = edgeSweep(dg, cfg, p, o, val, next, changed)
+		} else {
+			kern = vertexSweep(dg, cfg, p, o, val, next, changed)
+		}
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, kern))
+		gpusim.SwapI32(val, next)
+		if changed.Host()[0] == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+func runData(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, p Problem, o gpu.Ops, val *gpusim.I32, total *gpusim.Stats) int32 {
+	noDup := cfg.Drive == styles.DataDrivenNoDup
+	capacity := int64(dg.N) + 64
+	if !noDup {
+		capacity = 8*dg.M + int64(dg.N) + 64
+	}
+	wlIn := gpu.NewWorklist(d, capacity)
+	wlOut := gpu.NewWorklist(d, capacity)
+	var stamp *gpusim.I32
+	if noDup {
+		stamp = d.AllocI32(int64(dg.N))
+	}
+	changed := d.AllocI32(1) // unused flag kept for relaxMin's signature
+	pull := cfg.Flow == styles.Pull
+	persist := cfg.Persist == styles.Persistent
+
+	// Host-side seeding (a cudaMemcpy before the first launch).
+	seeds := p.Seeds(graphOf(dg))
+	if pull {
+		mark := make(map[int32]bool)
+		for _, v := range seeds {
+			for e := dg.NbrIdx.Host()[v]; e < dg.NbrIdx.Host()[v+1]; e++ {
+				u := dg.NbrList.Host()[e]
+				if !mark[u] {
+					mark[u] = true
+					wlIn.Items.Host()[wlIn.Size.Host()[0]] = u
+					wlIn.Size.Host()[0]++
+				}
+			}
+		}
+	} else {
+		for i, v := range seeds {
+			wlIn.Items.Host()[i] = v
+		}
+		wlIn.Size.Host()[0] = int32(len(seeds))
+	}
+
+	push := func(w *gpusim.Warp, itr int32, u int32) {
+		if noDup {
+			wlOut.PushUnique(w, o, stamp, itr, u)
+		} else {
+			wlOut.Push(w, o, u)
+		}
+	}
+
+	// processItem handles one worklist vertex at any granularity; range
+	// iteration is supplied by the caller.
+	var iters int32
+	kernelFor := func(itr int32, size int64) gpusim.Kernel {
+		handle := func(w *gpusim.Warp, v int64, iter func(w *gpusim.Warp, beg, end int64, f func(lane int, e int64, u int32))) {
+			beg := w.LdI64(dg.NbrIdx, v)
+			end := w.LdI64(dg.NbrIdx, v+1)
+			if pull {
+				improved := false
+				iter(w, beg, end, func(lane int, e int64, u int32) {
+					du := o.Ld(w, val, int64(u))
+					if du >= graph.Inf {
+						return
+					}
+					var wt int32
+					if p.UseWeight {
+						wt = w.LdI32(dg.Weights, e)
+					}
+					if relaxMin(w, o, cfg.Update, val, v, p.cand(du, wt), changed) {
+						improved = true
+					}
+				})
+				if improved {
+					// Push the full neighborhood: at block granularity
+					// the warps hold disjoint slices, and v's improvement
+					// must re-enqueue every neighbor, not just this
+					// warp's share.
+					w.Op(2 * (end - beg))
+					for e := beg; e < end; e++ {
+						push(w, itr, w.LdI32(dg.NbrList, e))
+					}
+				}
+			} else {
+				dv := o.Ld(w, val, v)
+				if dv >= graph.Inf {
+					return
+				}
+				iter(w, beg, end, func(lane int, e int64, u int32) {
+					var wt int32
+					if p.UseWeight {
+						wt = w.LdI32(dg.Weights, e)
+					}
+					if relaxMin(w, o, cfg.Update, val, int64(u), p.cand(dv, wt), changed) {
+						push(w, itr, u)
+					}
+				})
+			}
+		}
+		switch cfg.Gran {
+		case styles.ThreadGran:
+			return func(w *gpusim.Warp) {
+				gpu.ThreadItems(w, size, persist, func(base int64, cnt int) {
+					vs := w.CoalLdI32(wlIn.Items, base, cnt)
+					for l := 0; l < cnt; l++ {
+						handle(w, int64(vs[l]), func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32)) {
+							// Lone-lane loop: divergence cost of one
+							// lane's full range.
+							var b, e [gpusim.WarpSize]int64
+							b[0], e[0] = beg, end
+							w.DivergentRanges(1, &b, &e, 2, func(_ int, ei int64) {
+								f(0, ei, w.LdI32(dg.NbrList, ei))
+							})
+						})
+					}
+				})
+			}
+		case styles.WarpGran:
+			return func(w *gpusim.Warp) {
+				gpu.WarpItems(w, size, persist, func(i int64) {
+					v := w.LdI32(wlIn.Items, i)
+					handle(w, int64(v), func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32)) {
+						gpu.WarpRange(w, dg.NbrList, beg, end, f)
+					})
+				})
+			}
+		default: // BlockGran
+			return func(w *gpusim.Warp) {
+				gpu.BlockItems(w, size, persist, func(i int64) {
+					v := w.LdI32(wlIn.Items, i)
+					handle(w, int64(v), func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32)) {
+						gpu.BlockRange(w, dg.NbrList, beg, end, f)
+					})
+				})
+			}
+		}
+	}
+
+	for iters < opt.MaxIter {
+		size := int64(wlIn.HostSize())
+		if size == 0 {
+			break
+		}
+		iters++
+		wlOut.HostReset()
+		grid := gpu.Grid(d, cfg, size, tpb)
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, kernelFor(iters, size)))
+		wlIn, wlOut = wlOut, wlIn
+	}
+	return iters
+}
+
+// graphOf reconstructs a host view for seeding (CSR only).
+func graphOf(dg *gpu.DevGraph) *graph.Graph {
+	return &graph.Graph{
+		N:       dg.N,
+		NbrIdx:  dg.NbrIdx.Host(),
+		NbrList: dg.NbrList.Host(),
+	}
+}

@@ -1,0 +1,113 @@
+package gpurelax
+
+import (
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+func ladder() *graph.Graph {
+	b := graph.NewBuilder("ladder", 12)
+	for v := int32(0); v+1 < 12; v++ {
+		b.AddEdge(v, v+1, 2)
+	}
+	b.AddEdge(0, 11, 2)
+	return b.Build()
+}
+
+func hopProblem() Problem {
+	return Problem{
+		Add: 1,
+		Init: func(v int32) int32 {
+			if v == 0 {
+				return 0
+			}
+			return graph.Inf
+		},
+		Seeds: func(g *graph.Graph) []int32 { return []int32{0} },
+	}
+}
+
+func weightProblem() Problem {
+	return Problem{
+		UseWeight: true,
+		Init: func(v int32) int32 {
+			if v == 0 {
+				return 0
+			}
+			return graph.Inf
+		},
+		Seeds: func(g *graph.Graph) []int32 { return []int32{0} },
+	}
+}
+
+func TestCand(t *testing.T) {
+	p := Problem{UseWeight: true, Add: 0}
+	if got := p.cand(5, 3); got != 8 {
+		t.Errorf("weighted cand = %d, want 8", got)
+	}
+	q := Problem{UseWeight: false, Add: 1}
+	if got := q.cand(5, 99); got != 6 {
+		t.Errorf("hop cand = %d, want 6 (weight ignored)", got)
+	}
+}
+
+// TestEngineAllCUDAStyles runs every CUDA SSSP config through the
+// engine on a graph with a shortcut edge, checking the weighted fixed
+// point and that costs accumulate.
+func TestEngineAllCUDAStyles(t *testing.T) {
+	g := ladder()
+	want := []int32{0, 2, 4, 6, 8, 10, 12, 10, 8, 6, 4, 2} // weights all 2
+	for _, cfg := range styles.Enumerate(styles.SSSP, styles.CUDA) {
+		d := gpusim.New(gpusim.RTXSim())
+		val, iters, st := Run(d, g, cfg, algo.Options{}, weightProblem())
+		if iters <= 0 || st.Cycles <= 0 {
+			t.Errorf("%s: iters=%d cycles=%d", cfg.Name(), iters, st.Cycles)
+		}
+		for v := range want {
+			if val[v] != want[v] {
+				t.Errorf("%s: val[%d] = %d, want %d", cfg.Name(), v, val[v], want[v])
+				break
+			}
+		}
+	}
+}
+
+// TestDeterministicIterationsStable: the double-buffered style must use
+// the same iteration count on every run (§2.6).
+func TestDeterministicIterationsStable(t *testing.T) {
+	g := ladder()
+	cfg := styles.Config{
+		Algo: styles.SSSP, Model: styles.CUDA,
+		Det: styles.Deterministic, Update: styles.ReadModifyWrite,
+	}
+	var first int32
+	for rep := 0; rep < 3; rep++ {
+		d := gpusim.New(gpusim.RTXSim())
+		_, iters, _ := Run(d, g, cfg, algo.Options{}, hopProblem())
+		if rep == 0 {
+			first = iters
+		} else if iters != first {
+			t.Fatalf("deterministic variant used %d then %d iterations", first, iters)
+		}
+	}
+}
+
+// TestCudaAtomicVariantCostsMore compares whole-run cost of one config
+// pair differing only in the atomics dimension (the Fig. 1 mechanism).
+func TestCudaAtomicVariantCostsMore(t *testing.T) {
+	g := ladder()
+	classic := styles.Config{Algo: styles.SSSP, Model: styles.CUDA}
+	cuda := classic
+	cuda.Atomics = styles.CudaAtomic
+	d1 := gpusim.New(gpusim.TitanSim())
+	_, _, stClassic := Run(d1, g, classic, algo.Options{}, weightProblem())
+	d2 := gpusim.New(gpusim.TitanSim())
+	_, _, stCuda := Run(d2, g, cuda, algo.Options{}, weightProblem())
+	if stCuda.Cycles <= stClassic.Cycles {
+		t.Errorf("CudaAtomic run %d cycles not above classic %d", stCuda.Cycles, stClassic.Cycles)
+	}
+}

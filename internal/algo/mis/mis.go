@@ -1,0 +1,265 @@
+// Package mis implements the maximal-independent-set family. All
+// variants use the same fixed pseudo-random per-vertex priorities and
+// the local-maximum rule, which makes the resulting set unique (the
+// greedy-by-priority MIS) regardless of execution order — that is what
+// lets every parallel variant be verified against the serial reference
+// (§4.1).
+package mis
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+// Vertex status values. Statuses only ever move Undecided -> In/Out.
+const (
+	undecided int32 = 0
+	in        int32 = 1
+	out       int32 = 2
+)
+
+// Priority returns vertex v's fixed priority (a splitmix-style hash).
+// Ties are impossible: the comparison is on (Priority(v), v).
+func Priority(v int32) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// higher reports whether vertex a has higher priority than vertex b.
+func higher(a, b int32) bool {
+	pa, pb := Priority(a), Priority(b)
+	if pa != pb {
+		return pa > pb
+	}
+	return a > b
+}
+
+// Serial computes the greedy-by-priority MIS, the unique fixed point of
+// the parallel local-max rule; it is the verification reference.
+func Serial(g *graph.Graph) []bool {
+	order := make([]int32, g.N)
+	for v := int32(0); v < g.N; v++ {
+		order[v] = v
+	}
+	sort.Slice(order, func(i, j int) bool { return higher(order[i], order[j]) })
+	inSet := make([]bool, g.N)
+	blocked := make([]bool, g.N)
+	for _, v := range order {
+		if blocked[v] {
+			continue
+		}
+		inSet[v] = true
+		for _, u := range g.Neighbors(v) {
+			blocked[u] = true
+		}
+	}
+	return inSet
+}
+
+// RunCPU executes the CPU variant selected by cfg.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	opt = opt.Defaults(g.N)
+	status := make([]int32, g.N)
+	// Isolated vertices are in every MIS; deciding them up front keeps
+	// the edge-based variants (which only visit edge endpoints) correct.
+	for v := int32(0); v < g.N; v++ {
+		if g.Degree(v) == 0 {
+			status[v] = in
+		}
+	}
+	var iters int32
+	if cfg.Drive.IsDataDriven() {
+		iters = runData(g, cfg, opt, status)
+	} else if cfg.Det == styles.Deterministic {
+		iters = runTopoDet(g, cfg, opt, status)
+	} else {
+		iters = runTopoNonDet(g, cfg, opt, status)
+	}
+	inSet := make([]bool, g.N)
+	for v := range status {
+		inSet[v] = status[v] == in
+	}
+	return algo.Result{InSet: inSet, Iterations: iters}
+}
+
+// localMax reports whether v outranks every undecided or in-set neighbor
+// (reading statuses through read). Out neighbors no longer compete.
+func localMax(g *graph.Graph, v int32, read func(u int32) int32) bool {
+	for _, u := range g.Neighbors(v) {
+		if read(u) != out && higher(u, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// runTopoNonDet sweeps all vertices, updating statuses in place.
+func runTopoNonDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
+	s := algo.SyncOf(cfg)
+	sched := algo.SchedOf(cfg)
+	read := func(u int32) int32 { return s.Load(&status[u]) }
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		var changed atomic.Int32
+		decide := func(v int32) {
+			if s.Load(&status[v]) != undecided {
+				return
+			}
+			if cfg.Flow == styles.Pull {
+				// Pull: v reads neighbors and writes only itself.
+				for _, u := range g.Neighbors(v) {
+					if s.Load(&status[u]) == in {
+						s.Store(&status[v], out)
+						changed.Store(1)
+						return
+					}
+				}
+				if localMax(g, v, read) {
+					s.Store(&status[v], in)
+					changed.Store(1)
+				}
+			} else {
+				// Push: v enters the set and pushes Out to neighbors.
+				if localMax(g, v, read) {
+					s.Store(&status[v], in)
+					for _, u := range g.Neighbors(v) {
+						s.Max(&status[u], out) // Undecided -> Out; In impossible
+					}
+					changed.Store(1)
+				}
+			}
+		}
+		if cfg.Iterate == styles.EdgeBased {
+			// Edge-based: examine each edge's source endpoint; the extra
+			// re-examinations are redundant but harmless (idempotent).
+			par.For(opt.Threads, g.M(), sched, func(e int64) { decide(g.Src[e]) })
+		} else {
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) { decide(int32(i)) })
+		}
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+// runTopoDet is the double-buffered deterministic family: decisions in
+// iteration k read only iteration k-1 statuses.
+func runTopoDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
+	s := algo.SyncOf(cfg)
+	sched := algo.SchedOf(cfg)
+	next := make([]int32, g.N)
+	read := func(u int32) int32 { return status[u] }
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		copy(next, status)
+		var changed atomic.Int32
+		decide := func(v int32) {
+			if status[v] != undecided {
+				return
+			}
+			if cfg.Flow == styles.Pull {
+				for _, u := range g.Neighbors(v) {
+					if status[u] == in {
+						s.Store(&next[v], out)
+						changed.Store(1)
+						return
+					}
+				}
+				if localMax(g, v, read) {
+					s.Store(&next[v], in)
+					changed.Store(1)
+				}
+			} else {
+				if localMax(g, v, read) {
+					s.Store(&next[v], in)
+					for _, u := range g.Neighbors(v) {
+						if status[u] == undecided {
+							s.Max(&next[u], out)
+						}
+					}
+					changed.Store(1)
+				}
+			}
+		}
+		if cfg.Iterate == styles.EdgeBased {
+			par.For(opt.Threads, g.M(), sched, func(e int64) { decide(g.Src[e]) })
+		} else {
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) { decide(int32(i)) })
+		}
+		copy(status, next)
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+// runData is the worklist-driven family (no-duplicates only, Table 2):
+// the worklist holds vertices to (re)examine, seeded with every vertex;
+// a decision re-enqueues the undecided neighbors it may have unblocked.
+func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
+	s := algo.SyncOf(cfg)
+	sched := algo.SchedOf(cfg)
+	wlIn := par.NewWorklist(int64(g.N) + 64)
+	wlOut := par.NewWorklist(int64(g.N) + 64)
+	stamp := make([]int32, g.N)
+	for v := int32(0); v < g.N; v++ {
+		wlIn.Push(v)
+	}
+	read := func(u int32) int32 { return s.Load(&status[u]) }
+	var iters int32
+	for iters < opt.MaxIter && wlIn.Size() > 0 {
+		iters++
+		itr := iters
+		pushNbrs := func(u int32) {
+			for _, w := range g.Neighbors(u) {
+				if s.Load(&status[w]) == undecided {
+					wlOut.PushUnique(w, stamp, itr, s)
+				}
+			}
+		}
+		par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+			v := wlIn.Get(i)
+			if s.Load(&status[v]) != undecided {
+				return
+			}
+			if cfg.Flow == styles.Pull {
+				for _, u := range g.Neighbors(v) {
+					if s.Load(&status[u]) == in {
+						s.Store(&status[v], out)
+						pushNbrs(v)
+						return
+					}
+				}
+				if localMax(g, v, read) {
+					s.Store(&status[v], in)
+					pushNbrs(v)
+				}
+			} else {
+				if localMax(g, v, read) {
+					s.Store(&status[v], in)
+					for _, u := range g.Neighbors(v) {
+						if s.Max(&status[u], out) == undecided {
+							// u just went Out: its undecided neighbors
+							// may have become local maxima.
+							pushNbrs(u)
+						}
+					}
+				}
+			}
+		})
+		wlIn.Reset()
+		wlIn.Swap(wlOut)
+	}
+	return iters
+}

@@ -1,0 +1,299 @@
+package mis
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpu"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+const tpb = 256
+
+// RunGPU executes the CUDA-model variant selected by cfg on device d and
+// returns the result plus the simulated cost.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	dg := gpu.Upload(d, g)
+	o := gpu.OpsOf(cfg)
+	status := d.AllocI32(int64(g.N))
+	for v := int32(0); v < g.N; v++ {
+		if g.Degree(v) == 0 {
+			status.Host()[v] = in
+		}
+	}
+	var total gpusim.Stats
+	var iters int32
+	if cfg.Drive.IsDataDriven() {
+		iters = gpuData(d, dg, cfg, opt, o, status, &total)
+	} else if cfg.Det == styles.Deterministic {
+		iters = gpuTopoDet(d, dg, cfg, opt, o, status, &total)
+	} else {
+		iters = gpuTopoNonDet(d, dg, cfg, opt, o, status, &total)
+	}
+	inSet := make([]bool, g.N)
+	for v, s := range status.Host() {
+		inSet[v] = s == in
+	}
+	return algo.Result{InSet: inSet, Iterations: iters}, total
+}
+
+// higher64 adapts the priority order to the int64 vertex ids kernels use.
+func higher64(u int32, v int64) bool { return higher(u, int32(v)) }
+
+// decideKernel builds one sweep: undecided vertices try to enter the set
+// (push marks neighbors out; pull only writes self). rd is the status
+// array decisions read; wr is the one they write (equal for the
+// in-place non-deterministic variants).
+func decideKernel(dg *gpu.DevGraph, cfg styles.Config, o gpu.Ops, rd, wr *gpusim.I32, changed *gpusim.I32, n int64, getItem func(w *gpusim.Warp, i int64) int64, onDecide func(w *gpusim.Warp, v int64, iter gpu.RangeFn)) gpusim.Kernel {
+	if cfg.Gran == styles.BlockGran {
+		return decideKernelBlock(dg, cfg, o, rd, wr, changed, n, getItem, onDecide)
+	}
+	pull := cfg.Flow == styles.Pull
+	return gpu.ItemKernel(cfg, dg, n, getItem, func(w *gpusim.Warp, v int64, iter gpu.RangeFn) {
+		if w.LdI32(rd, v) != undecided {
+			return
+		}
+		beg := w.LdI64(dg.NbrIdx, v)
+		end := w.LdI64(dg.NbrIdx, v+1)
+		if pull {
+			sawIn := false
+			notMax := false
+			iter(w, beg, end, func(_ int, _ int64, u int32) bool {
+				su := o.Ld(w, rd, int64(u))
+				if su == in {
+					sawIn = true
+					return false
+				}
+				if su != out && higher64(u, v) {
+					notMax = true
+				}
+				return true
+			})
+			if sawIn {
+				o.St(w, wr, v, out)
+				w.StI32(changed, 0, 1)
+				if onDecide != nil {
+					onDecide(w, v, iter)
+				}
+			} else if !notMax {
+				o.St(w, wr, v, in)
+				w.StI32(changed, 0, 1)
+				if onDecide != nil {
+					onDecide(w, v, iter)
+				}
+			}
+			return
+		}
+		// Push: enter if local max, then mark neighbors out.
+		notMax := false
+		iter(w, beg, end, func(_ int, _ int64, u int32) bool {
+			if o.Ld(w, rd, int64(u)) != out && higher64(u, v) {
+				notMax = true
+				return false
+			}
+			return true
+		})
+		if notMax {
+			return
+		}
+		o.St(w, wr, v, in)
+		w.StI32(changed, 0, 1)
+		iter(w, beg, end, func(_ int, _ int64, u int32) bool {
+			// In the deterministic variant only undecided (old) statuses
+			// may be overwritten; Max(out) is safe in both since In
+			// neighbors are impossible.
+			o.Max(w, wr, int64(u), out)
+			return true
+		})
+		if onDecide != nil {
+			onDecide(w, v, iter)
+		}
+	})
+}
+
+// decideKernelBlock is the block-granularity decide sweep: the warps of
+// a block scan disjoint slices of the vertex's neighborhood, so the
+// local-max and in-neighbor verdicts are combined in shared memory
+// across two barriers before one warp commits the decision (and, in
+// push flow, all warps mark their slices out after a third barrier).
+// Every control path executes exactly three Syncs per item so the
+// block's warps stay barrier-aligned.
+func decideKernelBlock(dg *gpu.DevGraph, cfg styles.Config, o gpu.Ops, rd, wr *gpusim.I32, changed *gpusim.I32, n int64, getItem func(w *gpusim.Warp, i int64) int64, onDecide func(w *gpusim.Warp, v int64, iter gpu.RangeFn)) gpusim.Kernel {
+	pull := cfg.Flow == styles.Pull
+	persist := cfg.Persist == styles.Persistent
+	const (
+		slotStatus = 0
+		slotNotMax = 1
+		slotSawIn  = 2
+		slotKind   = 3 // 0 none, 1 in, 2 out
+	)
+	loneIter := func(w *gpusim.Warp, beg, end int64, f func(int, int64, int32) bool) {
+		w.Op(2 * (end - beg))
+		for e := beg; e < end; e++ {
+			if !f(0, e, w.LdI32(dg.NbrList, e)) {
+				return
+			}
+		}
+	}
+	return func(w *gpusim.Warp) {
+		shared := w.SharedI64(3, 4)
+		gpu.BlockItems(w, n, persist, func(i int64) {
+			v := getItem(w, i)
+			if w.WarpInBlock == 0 {
+				w.StSharedI64(shared, slotStatus, int64(w.LdI32(rd, v)))
+				w.StSharedI64(shared, slotNotMax, 0)
+				w.StSharedI64(shared, slotSawIn, 0)
+				w.StSharedI64(shared, slotKind, 0)
+			}
+			w.Sync()
+			if w.SharedLdI64(shared, slotStatus) != int64(undecided) {
+				w.Sync()
+				w.Sync()
+				return
+			}
+			beg := w.LdI64(dg.NbrIdx, v)
+			end := w.LdI64(dg.NbrIdx, v+1)
+			gpu.BlockRange(w, dg.NbrList, beg, end, func(_ int, _ int64, u int32) {
+				su := o.Ld(w, rd, int64(u))
+				if su == in {
+					w.StSharedI64(shared, slotSawIn, 1)
+				}
+				if su != out && higher64(u, v) {
+					w.StSharedI64(shared, slotNotMax, 1)
+				}
+			})
+			w.Sync()
+			if w.WarpInBlock == 0 {
+				notMax := w.SharedLdI64(shared, slotNotMax) != 0
+				sawIn := w.SharedLdI64(shared, slotSawIn) != 0
+				switch {
+				case pull && sawIn:
+					o.St(w, wr, v, out)
+					w.StI32(changed, 0, 1)
+					w.StSharedI64(shared, slotKind, 2)
+				case !notMax:
+					o.St(w, wr, v, in)
+					w.StI32(changed, 0, 1)
+					w.StSharedI64(shared, slotKind, 1)
+				}
+			}
+			w.Sync()
+			kind := w.SharedLdI64(shared, slotKind)
+			if !pull && kind == 1 {
+				gpu.BlockRange(w, dg.NbrList, beg, end, func(_ int, _ int64, u int32) {
+					o.Max(w, wr, int64(u), out)
+				})
+			}
+			if kind != 0 && onDecide != nil && w.WarpInBlock == 0 {
+				onDecide(w, v, loneIter)
+			}
+		})
+	}
+}
+
+func gpuTopoNonDet(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, o gpu.Ops, status *gpusim.I32, total *gpusim.Stats) int32 {
+	changed := d.AllocI32(1)
+	n := int64(dg.N)
+	items := n
+	getItem := gpu.Identity
+	if cfg.Iterate == styles.EdgeBased {
+		items = dg.M
+		getItem = func(w *gpusim.Warp, i int64) int64 { return int64(w.LdI32(dg.Src, i)) }
+	}
+	kern := decideKernel(dg, cfg, o, status, status, changed, items, getItem, nil)
+	grid := gpu.Grid(d, cfg, items, tpb)
+	barrier := cfg.Gran == styles.BlockGran
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		changed.Host()[0] = 0
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: barrier}, kern))
+		if changed.Host()[0] == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+func gpuTopoDet(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, o gpu.Ops, status *gpusim.I32, total *gpusim.Stats) int32 {
+	changed := d.AllocI32(1)
+	next := d.AllocI32(int64(dg.N))
+	n := int64(dg.N)
+	items := n
+	getItem := gpu.Identity
+	if cfg.Iterate == styles.EdgeBased {
+		items = dg.M
+		getItem = func(w *gpusim.Warp, i int64) int64 { return int64(w.LdI32(dg.Src, i)) }
+	}
+	grid := gpu.Grid(d, cfg, items, tpb)
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		total.Add(gpu.CopyI32(d, next, status))
+		changed.Host()[0] = 0
+		kern := decideKernel(dg, cfg, o, status, next, changed, items, getItem, nil)
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: cfg.Gran == styles.BlockGran}, kern))
+		gpusim.SwapI32(status, next)
+		if changed.Host()[0] == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+func gpuData(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Options, o gpu.Ops, status *gpusim.I32, total *gpusim.Stats) int32 {
+	n := int64(dg.N)
+	wlIn := gpu.NewWorklist(d, n+64)
+	wlOut := gpu.NewWorklist(d, n+64)
+	stamp := d.AllocI32(n)
+	changed := d.AllocI32(1)
+	for v := int64(0); v < n; v++ {
+		wlIn.Items.Host()[v] = int32(v)
+	}
+	wlIn.Size.Host()[0] = int32(n)
+
+	var iters int32
+	for iters < opt.MaxIter {
+		size := int64(wlIn.HostSize())
+		if size == 0 {
+			break
+		}
+		iters++
+		itr := iters
+		wlOut.HostReset()
+		getItem := func(w *gpusim.Warp, i int64) int64 { return int64(w.LdI32(wlIn.Items, i)) }
+		// When a vertex decides, its (and in push flow, its newly-outed
+		// neighbors') undecided neighborhood is re-enqueued.
+		pushUndecidedNbrs := func(w *gpusim.Warp, x int64) {
+			beg := w.LdI64(dg.NbrIdx, x)
+			end := w.LdI64(dg.NbrIdx, x+1)
+			w.Op(2 * (end - beg))
+			for e := beg; e < end; e++ {
+				u := w.LdI32(dg.NbrList, e)
+				if o.Ld(w, status, int64(u)) == undecided {
+					wlOut.PushUnique(w, o, stamp, itr, u)
+				}
+			}
+		}
+		onDecide := func(w *gpusim.Warp, v int64, iter gpu.RangeFn) {
+			if cfg.Flow == styles.Pull {
+				pushUndecidedNbrs(w, v)
+				return
+			}
+			// Push flow: v entered the set and marked neighbors out;
+			// those out neighbors' undecided neighbors may be unblocked.
+			beg := w.LdI64(dg.NbrIdx, v)
+			end := w.LdI64(dg.NbrIdx, v+1)
+			w.Op(2 * (end - beg))
+			for e := beg; e < end; e++ {
+				pushUndecidedNbrs(w, int64(w.LdI32(dg.NbrList, e)))
+			}
+		}
+		kern := decideKernel(dg, cfg, o, status, status, changed, size, getItem, onDecide)
+		grid := gpu.Grid(d, cfg, size, tpb)
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: cfg.Gran == styles.BlockGran}, kern))
+		wlIn, wlOut = wlOut, wlIn
+	}
+	return iters
+}

@@ -1,0 +1,118 @@
+package mis
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indigo/internal/graph"
+)
+
+func TestPriorityDistinctAndStable(t *testing.T) {
+	seen := make(map[uint64]int32)
+	for v := int32(0); v < 100000; v++ {
+		p := Priority(v)
+		if u, dup := seen[p]; dup {
+			t.Fatalf("Priority collision between %d and %d", u, v)
+		}
+		seen[p] = v
+	}
+	if Priority(42) != Priority(42) {
+		t.Fatal("Priority not stable")
+	}
+}
+
+func TestHigherIsStrictTotalOrder(t *testing.T) {
+	f := func(a, b int32) bool {
+		if a == b {
+			return !higher(a, b)
+		}
+		return higher(a, b) != higher(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialOnStar(t *testing.T) {
+	// Star: either the hub alone or all leaves form the MIS; the greedy
+	// result must be one of the two and valid.
+	b := graph.NewBuilder("star", 8)
+	for v := int32(1); v < 8; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	g := b.Build()
+	inSet := Serial(g)
+	if inSet[0] {
+		for v := 1; v < 8; v++ {
+			if inSet[v] {
+				t.Fatal("hub and leaf both in set")
+			}
+		}
+	} else {
+		for v := 1; v < 8; v++ {
+			if !inSet[v] {
+				t.Fatal("hub out but a leaf missing")
+			}
+		}
+	}
+}
+
+func TestSerialPropertiesOnRandomGraphs(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int32(rawN%30) + 2
+		b := graph.NewBuilder("r", n)
+		s := seed
+		for u := int32(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				if s%4 == 0 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		inSet := Serial(g)
+		// Independence.
+		for v := int32(0); v < n; v++ {
+			if !inSet[v] {
+				continue
+			}
+			for _, u := range g.Neighbors(v) {
+				if inSet[u] {
+					return false
+				}
+			}
+		}
+		// Maximality.
+		for v := int32(0); v < n; v++ {
+			if inSet[v] {
+				continue
+			}
+			covered := false
+			for _, u := range g.Neighbors(v) {
+				if inSet[u] {
+					covered = true
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialIncludesIsolatedVertices(t *testing.T) {
+	b := graph.NewBuilder("iso", 5)
+	b.AddEdge(0, 1, 1)
+	g := b.Build() // vertices 2, 3, 4 isolated
+	inSet := Serial(g)
+	for v := 2; v < 5; v++ {
+		if !inSet[v] {
+			t.Errorf("isolated vertex %d not in MIS", v)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package pr implements the PageRank family in the unnormalized
+// formulation r[v] = (1-d) + d * sum(r[u]/deg(u)) over neighbors u,
+// whose steady-state ranks sum to the vertex count. Ranks are float32
+// (the paper's 32-bit data type); PR is vertex-based and
+// topology-driven only (Table 2), with push deterministic-only (§5.6)
+// and the per-iteration residual computed with the configured reduction
+// style (§2.10).
+package pr
+
+import (
+	"math"
+	"sync/atomic"
+	"unsafe"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+// Serial runs Jacobi PageRank iterations until the total residual drops
+// below tol; it is the verification reference.
+func Serial(g *graph.Graph, damping float32, tol float64, maxIter int32) ([]float32, int32) {
+	rank := make([]float32, g.N)
+	next := make([]float32, g.N)
+	for v := range rank {
+		rank[v] = 1
+	}
+	base := 1 - damping
+	var iters int32
+	for iters < maxIter {
+		iters++
+		var residual float64
+		for v := int32(0); v < g.N; v++ {
+			var sum float32
+			for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+				u := g.NbrList[e]
+				sum += rank[u] / float32(g.Degree(u))
+			}
+			next[v] = base + damping*sum
+			residual += math.Abs(float64(next[v] - rank[v]))
+		}
+		rank, next = next, rank
+		if residual < tol {
+			break
+		}
+	}
+	return rank, iters
+}
+
+// RunCPU executes the CPU variant selected by cfg.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	opt = opt.Defaults(g.N)
+	damping := float32(opt.PRDamping)
+	base := 1 - damping
+	sched := algo.SchedOf(cfg)
+	red := algo.RedOf(cfg)
+	rank := make([]float32, g.N)
+	for v := range rank {
+		rank[v] = 1
+	}
+
+	var iters int32
+	switch {
+	case cfg.Flow == styles.Pull && cfg.Det == styles.NonDeterministic:
+		// In-place (Gauss-Seidel-flavored) pull: same-iteration updates
+		// are visible, so convergence is faster but internally timing
+		// dependent (§2.6).
+		for iters < opt.MaxIter {
+			iters++
+			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+				v := int32(i)
+				var sum float32
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					u := g.NbrList[e]
+					sum += loadFloat32(&rank[u]) / float32(g.Degree(u))
+				}
+				nv := base + damping*sum
+				old := loadFloat32(&rank[v])
+				storeFloat32(&rank[v], nv)
+				return math.Abs(float64(nv - old))
+			})
+			if residual < opt.PRTol {
+				break
+			}
+		}
+	case cfg.Flow == styles.Pull: // deterministic Jacobi
+		next := make([]float32, g.N)
+		for iters < opt.MaxIter {
+			iters++
+			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+				v := int32(i)
+				var sum float32
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					u := g.NbrList[e]
+					sum += rank[u] / float32(g.Degree(u))
+				}
+				next[v] = base + damping*sum
+				return math.Abs(float64(next[v] - rank[v]))
+			})
+			rank, next = next, rank
+			if residual < opt.PRTol {
+				break
+			}
+		}
+	default: // push, deterministic only (styles rule 5)
+		next := make([]float32, g.N)
+		for iters < opt.MaxIter {
+			iters++
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				next[i] = base
+			})
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				v := int32(i)
+				contrib := damping * rank[v] / float32(g.Degree(v))
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					atomicAddFloat32(&next[g.NbrList[e]], contrib)
+				}
+			})
+			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+				return math.Abs(float64(next[i] - rank[i]))
+			})
+			rank, next = next, rank
+			if residual < opt.PRTol {
+				break
+			}
+		}
+	}
+	return algo.Result{Rank: rank, Iterations: iters}
+}
+
+// loadFloat32 / storeFloat32 are the atomic scalar accesses the paper
+// assumes for shared data (§2.5).
+func loadFloat32(p *float32) float32 {
+	return math.Float32frombits(atomic.LoadUint32((*uint32)(unsafe.Pointer(p))))
+}
+
+func storeFloat32(p *float32, v float32) {
+	atomic.StoreUint32((*uint32)(unsafe.Pointer(p)), math.Float32bits(v))
+}
+
+// atomicAddFloat32 adds v to *p with a CAS loop over the bit pattern.
+func atomicAddFloat32(p *float32, v float32) {
+	addr := (*uint32)(unsafe.Pointer(p))
+	for {
+		old := atomic.LoadUint32(addr)
+		nv := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(addr, old, nv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package pr
+
+import (
+	"math"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpu"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+const tpb = 256
+
+// sharedResidTag identifies the block's shared residual accumulator.
+const sharedResidTag = 1
+
+// RunGPU executes the CUDA-model variant selected by cfg on device d and
+// returns the result plus the simulated cost. PR's GPU dimensions are
+// flow (push is deterministic-only), determinism, granularity,
+// persistence, and the GPU reduction style used for the per-iteration
+// residual (§2.10.1); CudaAtomic does not apply (no float support).
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	dg := gpu.Upload(d, g)
+	damping := float32(opt.PRDamping)
+	base := 1 - damping
+	n := int64(g.N)
+
+	rank := d.AllocF32(n)
+	for v := int64(0); v < n; v++ {
+		rank.HostSet(v, 1)
+	}
+	resid := d.AllocF32(1)
+
+	var total gpusim.Stats
+	var iters int32
+	needsBarrier := cfg.GPURed != styles.GlobalAdd || cfg.Gran == styles.BlockGran
+
+	switch {
+	case cfg.Flow == styles.Pull && cfg.Det == styles.NonDeterministic:
+		kern := pullKernel(dg, cfg, damping, base, rank, rank, resid)
+		grid := gpu.Grid(d, cfg, n, tpb)
+		for iters < opt.MaxIter {
+			iters++
+			resid.HostSet(0, 0)
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: needsBarrier}, kern))
+			if float64(resid.HostGet(0)) < opt.PRTol {
+				break
+			}
+		}
+	case cfg.Flow == styles.Pull: // deterministic Jacobi
+		next := d.AllocF32(n)
+		grid := gpu.Grid(d, cfg, n, tpb)
+		for iters < opt.MaxIter {
+			iters++
+			resid.HostSet(0, 0)
+			kern := pullKernel(dg, cfg, damping, base, rank, next, resid)
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: needsBarrier}, kern))
+			rank, next = next, rank
+			if float64(resid.HostGet(0)) < opt.PRTol {
+				break
+			}
+		}
+	default: // push, deterministic only
+		next := d.AllocF32(n)
+		grid := gpu.Grid(d, cfg, n, tpb)
+		residGrid := gpusim.GridSize(n, tpb)
+		for iters < opt.MaxIter {
+			iters++
+			// Pass 1: reset the accumulators to the base rank.
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: residGrid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+				gpu.ThreadItems(w, n, false, func(b int64, cnt int) {
+					var vals [gpusim.WarpSize]float32
+					for l := 0; l < cnt; l++ {
+						vals[l] = base
+					}
+					w.CoalStF32(next, b, cnt, &vals)
+				})
+			}))
+			// Pass 2: scatter contributions along edges (Listing 4a
+			// shape, with atomic float adds).
+			scatter := gpu.ItemKernel(cfg, dg, n, gpu.Identity, func(w *gpusim.Warp, v int64, iter gpu.RangeFn) {
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				deg := end - beg
+				if deg == 0 {
+					return
+				}
+				contrib := damping * w.LdF32(rank, v) / float32(deg)
+				iter(w, beg, end, func(_ int, _ int64, u int32) bool {
+					w.AtomicAddF32(next, int64(u), contrib)
+					return true
+				})
+			})
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, scatter))
+			// Pass 3: residual reduction in the configured style.
+			resid.HostSet(0, 0)
+			residKern := residualKernel(cfg, n, rank, next, resid)
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: residGrid, ThreadsPerBlock: tpb, NeedsBarrier: cfg.GPURed != styles.GlobalAdd}, residKern))
+			rank, next = next, rank
+			if float64(resid.HostGet(0)) < opt.PRTol {
+				break
+			}
+		}
+	}
+	return algo.Result{Rank: rank.HostSlice(), Iterations: iters}, total
+}
+
+// pullKernel computes nv = base + damping*sum(rank[u]/deg(u)) at the
+// configured granularity, reading rd and writing wr, and accumulates the
+// residual |nv-old| in the configured reduction style.
+func pullKernel(dg *gpu.DevGraph, cfg styles.Config, damping, baseRank float32, rd, wr *gpusim.F32, resid *gpusim.F32) gpusim.Kernel {
+	n := int64(dg.N)
+	persist := cfg.Persist == styles.Persistent
+	// contribution of neighbor u: rank[u] / deg(u).
+	contrib := func(w *gpusim.Warp, u int32) float32 {
+		ub := w.LdI64(dg.NbrIdx, int64(u))
+		ue := w.LdI64(dg.NbrIdx, int64(u)+1)
+		return w.LdF32(rd, int64(u)) / float32(ue-ub)
+	}
+	finishItem := func(w *gpusim.Warp, v int64, sum float32, acc *residAcc) {
+		nv := baseRank + damping*sum
+		old := w.LdF32(rd, v)
+		w.StF32(wr, v, nv)
+		acc.add(w, float32(math.Abs(float64(nv-old))))
+	}
+	switch cfg.Gran {
+	case styles.ThreadGran:
+		return func(w *gpusim.Warp) {
+			acc := newResidAcc(cfg, resid)
+			gpu.ThreadItems(w, n, persist, func(b int64, cnt int) {
+				beg := w.CoalLdI64(dg.NbrIdx, b, cnt)
+				end := w.CoalLdI64(dg.NbrIdx, b+1, cnt)
+				var sums [gpusim.WarpSize]float32
+				w.DivergentRanges(cnt, &beg, &end, 2, func(lane int, e int64) {
+					sums[lane] += contrib(w, w.LdI32(dg.NbrList, e))
+				})
+				for l := 0; l < cnt; l++ {
+					finishItem(w, b+int64(l), sums[l], acc)
+				}
+			})
+			acc.flush(w)
+		}
+	case styles.WarpGran:
+		return func(w *gpusim.Warp) {
+			acc := newResidAcc(cfg, resid)
+			gpu.WarpItems(w, n, persist, func(v int64) {
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				var partial [gpusim.WarpSize]float32
+				gpu.WarpRange(w, dg.NbrList, beg, end, func(lane int, _ int64, u int32) {
+					partial[lane] += contrib(w, u)
+				})
+				finishItem(w, v, w.WarpReduceAddF32(&partial), acc)
+			})
+			acc.flush(w)
+		}
+	default: // BlockGran: warps cooperate per vertex via shared memory
+		return func(w *gpusim.Warp) {
+			acc := newResidAcc(cfg, resid)
+			shared := w.SharedU32(2, 1)
+			gpu.BlockItems(w, n, persist, func(v int64) {
+				if w.WarpInBlock == 0 {
+					w.StSharedF32(shared, 0, 0)
+				}
+				w.Sync()
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				var partial [gpusim.WarpSize]float32
+				gpu.BlockRange(w, dg.NbrList, beg, end, func(lane int, _ int64, u int32) {
+					partial[lane] += contrib(w, u)
+				})
+				w.BlockAtomicAddF32(shared, 0, w.WarpReduceAddF32(&partial))
+				w.Sync()
+				if w.WarpInBlock == 0 {
+					finishItem(w, v, w.SharedLdF32(shared, 0), acc)
+				}
+			})
+			acc.flush(w)
+		}
+	}
+}
+
+// residualKernel sums |next-rank| element-wise in the configured
+// reduction style (used by the push variants' third pass).
+func residualKernel(cfg styles.Config, n int64, rank, next, resid *gpusim.F32) gpusim.Kernel {
+	return func(w *gpusim.Warp) {
+		acc := newResidAcc(cfg, resid)
+		gpu.ThreadItems(w, n, false, func(b int64, cnt int) {
+			olds := w.CoalLdF32(rank, b, cnt)
+			news := w.CoalLdF32(next, b, cnt)
+			w.Op(2)
+			for l := 0; l < cnt; l++ {
+				acc.add(w, float32(math.Abs(float64(news[l]-olds[l]))))
+			}
+		})
+		acc.flush(w)
+	}
+}
+
+// residAcc realizes the three GPU sum-reduction styles (Listing 10):
+// global atomics per contribution, block-local shared-memory atomics
+// with one global add, or register accumulation with warp reduction and
+// one global add.
+type residAcc struct {
+	style  styles.GPURed
+	resid  *gpusim.F32
+	local  float32 // reduction-add: per-warp register accumulator
+	shared []uint32
+}
+
+func newResidAcc(cfg styles.Config, resid *gpusim.F32) *residAcc {
+	return &residAcc{style: cfg.GPURed, resid: resid}
+}
+
+func (a *residAcc) add(w *gpusim.Warp, v float32) {
+	switch a.style {
+	case styles.GlobalAdd:
+		w.AtomicAddF32(a.resid, 0, v)
+	case styles.BlockAdd:
+		if a.shared == nil {
+			a.shared = w.SharedU32(sharedResidTag, 1)
+		}
+		w.BlockAtomicAddF32(a.shared, 0, v)
+	case styles.ReductionAdd:
+		w.Op(1)
+		a.local += v
+	}
+}
+
+// flush pushes block/warp-local residual into the global accumulator;
+// it must run once per warp after the item loop, and the launch must
+// set NeedsBarrier for the non-global styles.
+func (a *residAcc) flush(w *gpusim.Warp) {
+	switch a.style {
+	case styles.BlockAdd:
+		if a.shared == nil {
+			a.shared = w.SharedU32(sharedResidTag, 1)
+		}
+		w.Sync()
+		if w.WarpInBlock == 0 {
+			w.AtomicAddF32(a.resid, 0, w.SharedLdF32(a.shared, 0))
+		}
+	case styles.ReductionAdd:
+		// Warp-level reduction happened in registers; combine the warps
+		// of the block in shared memory, then one global add.
+		shared := w.SharedU32(sharedResidTag, 1)
+		w.BlockAtomicAddF32(shared, 0, a.local)
+		w.Sync()
+		if w.WarpInBlock == 0 {
+			w.AtomicAddF32(a.resid, 0, w.SharedLdF32(shared, 0))
+		}
+	}
+}

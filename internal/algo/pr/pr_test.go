@@ -1,0 +1,82 @@
+package pr
+
+import (
+	"math"
+	"testing"
+
+	"indigo/internal/graph"
+)
+
+func ring(n int32) *graph.Graph {
+	b := graph.NewBuilder("ring", n)
+	for v := int32(0); v < n; v++ {
+		b.AddEdge(v, (v+1)%n, 1)
+	}
+	return b.Build()
+}
+
+func TestSerialUniformOnRegularGraph(t *testing.T) {
+	// On a regular graph, PageRank is uniform: every rank is 1 in the
+	// unnormalized formulation.
+	rank, iters := Serial(ring(16), 0.85, 1e-7, 500)
+	if iters <= 0 {
+		t.Fatal("no iterations")
+	}
+	for v, r := range rank {
+		if math.Abs(float64(r-1)) > 1e-4 {
+			t.Errorf("rank[%d] = %v, want 1", v, r)
+		}
+	}
+}
+
+func TestSerialSumsToN(t *testing.T) {
+	// Steady-state ranks sum to the vertex count (for graphs without
+	// isolated vertices, which do not absorb their damping share).
+	b := graph.NewBuilder("mix", 5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.Build()
+	rank, _ := Serial(g, 0.85, 1e-9, 2000)
+	var sum float64
+	for _, r := range rank {
+		sum += float64(r)
+	}
+	if math.Abs(sum-float64(g.N)) > 1e-2 {
+		t.Errorf("rank sum = %v, want %d", sum, g.N)
+	}
+}
+
+func TestSerialHigherDegreeHigherRank(t *testing.T) {
+	// Star: the hub must outrank the leaves.
+	b := graph.NewBuilder("star", 6)
+	for v := int32(1); v < 6; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	rank, _ := Serial(b.Build(), 0.85, 1e-8, 1000)
+	for v := 1; v < 6; v++ {
+		if rank[0] <= rank[v] {
+			t.Errorf("hub rank %v not above leaf %d rank %v", rank[0], v, rank[v])
+		}
+	}
+}
+
+func TestSerialRespectsMaxIter(t *testing.T) {
+	_, iters := Serial(ring(8), 0.85, 0, 3) // tol 0: never converges
+	if iters != 3 {
+		t.Errorf("iters = %d, want 3", iters)
+	}
+}
+
+func TestAtomicFloat32Helpers(t *testing.T) {
+	var x float32
+	storeFloat32(&x, 1.5)
+	if got := loadFloat32(&x); got != 1.5 {
+		t.Fatalf("load = %v", got)
+	}
+	atomicAddFloat32(&x, 0.25)
+	if x != 1.75 {
+		t.Fatalf("x = %v, want 1.75", x)
+	}
+}

@@ -1,0 +1,319 @@
+// Package relax is the shared CPU engine for the three monotone
+// min-relaxation problems of the study — BFS, SSSP, and CC. All three
+// repeatedly lower per-vertex values along edges until a fixed point, so
+// every style combination (vertex/edge iteration, topology/data-driven
+// worklists with and without duplicates, push/pull flow, read-write vs
+// read-modify-write updates, deterministic double buffering, and the
+// model scheduling dimensions) is realized once here and parameterized
+// by the problem's candidate function.
+//
+// The engine is generic over the value type: the study evaluates the
+// 32-bit variants (§4.1), and the 64-bit data-type variants that ship
+// with Indigo2 run through the same code with T = int64.
+package relax
+
+import (
+	"sync/atomic"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+// Value is the vertex data type of a relaxation problem.
+type Value interface {
+	~int32 | ~int64
+}
+
+// Problem defines one min-relaxation instance over value type T.
+type Problem[T Value] struct {
+	// Inf is the "unreached" sentinel; vertices at or above it are
+	// skipped as relaxation sources.
+	Inf T
+	// Init gives vertex v's initial value (e.g. Inf, or 0 at the source).
+	Init func(v int32) T
+	// Cand computes the candidate value for the destination of directed
+	// edge e given the current value of its source endpoint. It must be
+	// monotone: a smaller input never yields a larger candidate.
+	Cand func(val T, e int64) T
+	// Seeds are the vertices whose values are "already changed" before
+	// the first iteration; the data-driven push variants start from this
+	// worklist (BFS/SSSP: the source; CC: every vertex).
+	Seeds func(g *graph.Graph) []int32
+}
+
+// syncOps abstracts the atomic operations over T so the same engine
+// serves both data types and both CPU synchronization models.
+type syncOps[T Value] interface {
+	Load(p *T) T
+	Store(p *T, v T)
+	Min(p *T, v T) T
+}
+
+type ops32 struct{ s par.Sync }
+
+func (o ops32) Load(p *int32) int32         { return o.s.Load(p) }
+func (o ops32) Store(p *int32, v int32)     { o.s.Store(p, v) }
+func (o ops32) Min(p *int32, v int32) int32 { return o.s.Min(p, v) }
+
+type ops64 struct{ s par.Sync64 }
+
+func (o ops64) Load(p *int64) int64         { return o.s.Load(p) }
+func (o ops64) Store(p *int64, v int64)     { o.s.Store(p, v) }
+func (o ops64) Min(p *int64, v int64) int64 { return o.s.Min(p, v) }
+
+// syncFor selects the model's synchronization for value type T.
+func syncFor[T Value](cfg styles.Config) syncOps[T] {
+	var zero T
+	switch any(zero).(type) {
+	case int32:
+		return any(ops32{algo.SyncOf(cfg)}).(syncOps[T])
+	default:
+		return any(ops64{algo.Sync64Of(cfg)}).(syncOps[T])
+	}
+}
+
+// Run executes the 32-bit variant selected by cfg on g and returns the
+// final values and iteration count. cfg must be a valid CPU
+// configuration.
+func Run(g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[int32]) ([]int32, int32) {
+	if p.Inf == 0 {
+		p.Inf = graph.Inf
+	}
+	return RunT(g, cfg, opt, p)
+}
+
+// Inf64 is the 64-bit "unreached" sentinel.
+const Inf64 int64 = int64(graph.Inf) << 24
+
+// RunT is Run for any supported value type (the 64-bit data-type
+// variants pass Problem[int64]).
+func RunT[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T]) ([]T, int32) {
+	opt = opt.Defaults(g.N)
+	val := make([]T, g.N)
+	for v := int32(0); v < g.N; v++ {
+		val[v] = p.Init(v)
+	}
+	if cfg.Drive.IsDataDriven() {
+		return val, runData(g, cfg, opt, p, val)
+	}
+	if cfg.Det == styles.Deterministic {
+		return val, runTopoDet(g, cfg, opt, p, val)
+	}
+	return val, runTopoNonDet(g, cfg, opt, p, val)
+}
+
+// relaxMin lowers *addr to nd using the configured update style and
+// reports whether the location improved (Listing 5).
+func relaxMin[T Value](s syncOps[T], up styles.Update, addr *T, nd T, changed *atomic.Int32) bool {
+	if up == styles.ReadWrite {
+		// Read-write: racy load + conditional store. Safe here because
+		// updates are monotone, and only topology-driven variants use it
+		// (the full re-sweep self-heals lost updates, §2.5).
+		old := s.Load(addr)
+		if nd < old {
+			s.Store(addr, nd)
+			changed.Store(1)
+			return true
+		}
+		return false
+	}
+	old := s.Min(addr, nd)
+	if nd < old {
+		changed.Store(1)
+		return true
+	}
+	return false
+}
+
+// runTopoNonDet is the topology-driven, in-place family (Listing 2a/6a).
+func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
+	s := syncFor[T](cfg)
+	sched := algo.SchedOf(cfg)
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		var changed atomic.Int32
+		if cfg.Iterate == styles.EdgeBased {
+			par.For(opt.Threads, g.M(), sched, func(e int64) {
+				dv := s.Load(&val[g.Src[e]])
+				if dv >= p.Inf {
+					return
+				}
+				relaxMin(s, cfg.Update, &val[g.Dst[e]], p.Cand(dv, e), &changed)
+			})
+		} else if cfg.Flow == styles.Push {
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				v := int32(i)
+				dv := s.Load(&val[v])
+				if dv >= p.Inf {
+					return
+				}
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					relaxMin(s, cfg.Update, &val[g.NbrList[e]], p.Cand(dv, e), &changed)
+				}
+			})
+		} else { // vertex pull
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				v := int32(i)
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					du := s.Load(&val[g.NbrList[e]])
+					if du >= p.Inf {
+						continue
+					}
+					relaxMin(s, cfg.Update, &val[v], p.Cand(du, e), &changed)
+				}
+			})
+		}
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+// runTopoDet is the deterministic double-buffered family (Listing 6b):
+// each iteration reads only the previous iteration's values.
+func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
+	s := syncFor[T](cfg)
+	sched := algo.SchedOf(cfg)
+	next := make([]T, g.N)
+	var iters int32
+	for iters < opt.MaxIter {
+		iters++
+		copy(next, val)
+		var changed atomic.Int32
+		if cfg.Iterate == styles.EdgeBased {
+			par.For(opt.Threads, g.M(), sched, func(e int64) {
+				dv := val[g.Src[e]]
+				if dv >= p.Inf {
+					return
+				}
+				relaxMin(s, cfg.Update, &next[g.Dst[e]], p.Cand(dv, e), &changed)
+			})
+		} else if cfg.Flow == styles.Push {
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				v := int32(i)
+				dv := val[v]
+				if dv >= p.Inf {
+					return
+				}
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					relaxMin(s, cfg.Update, &next[g.NbrList[e]], p.Cand(dv, e), &changed)
+				}
+			})
+		} else {
+			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+				v := int32(i)
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					du := val[g.NbrList[e]]
+					if du >= p.Inf {
+						continue
+					}
+					relaxMin(s, cfg.Update, &next[v], p.Cand(du, e), &changed)
+				}
+			})
+		}
+		copy(val, next)
+		if changed.Load() == 0 {
+			break
+		}
+	}
+	return iters
+}
+
+// runData is the worklist-driven family (Listing 2b/3), with or without
+// duplicates, in push or pull flow. Data-driven variants are vertex-based
+// and internally non-deterministic (styles.Valid rules 2 and 3).
+func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
+	s := syncFor[T](cfg)
+	stampSync := algo.SyncOf(cfg) // iteration stamps stay 32-bit
+	sched := algo.SchedOf(cfg)
+	noDup := cfg.Drive == styles.DataDrivenNoDup
+	capacity := int64(g.N) + 64
+	if !noDup {
+		// With duplicates allowed, one processed item can push one entry
+		// per incident edge; total improvements are bounded in practice
+		// but we size generously.
+		capacity = 8*g.M() + int64(g.N) + 64
+	}
+	wlIn, wlOut := par.NewWorklist(capacity), par.NewWorklist(capacity)
+	var stamp []int32
+	if noDup {
+		stamp = make([]int32, g.N)
+	}
+	push := func(u int32, itr int32) {
+		if noDup {
+			wlOut.PushUnique(u, stamp, itr, stampSync)
+		} else {
+			wlOut.Push(u)
+		}
+	}
+
+	// Seed the initial worklist.
+	seeds := p.Seeds(g)
+	if cfg.Flow == styles.Push {
+		for _, v := range seeds {
+			wlIn.Push(v)
+		}
+	} else {
+		// Pull consumers are the vertices that might improve: the
+		// neighbors of the seeds, deduplicated.
+		mark := make([]bool, g.N)
+		for _, v := range seeds {
+			for _, u := range g.Neighbors(v) {
+				if !mark[u] {
+					mark[u] = true
+					wlIn.Push(u)
+				}
+			}
+		}
+	}
+
+	var iters int32
+	for iters < opt.MaxIter && wlIn.Size() > 0 {
+		iters++
+		itr := iters
+		if cfg.Flow == styles.Push {
+			par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+				v := wlIn.Get(i)
+				dv := s.Load(&val[v])
+				if dv >= p.Inf {
+					return
+				}
+				var changed atomic.Int32
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					u := g.NbrList[e]
+					if relaxMin(s, cfg.Update, &val[u], p.Cand(dv, e), &changed) {
+						push(u, itr)
+					}
+				}
+			})
+		} else {
+			par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+				v := wlIn.Get(i)
+				improved := false
+				var changed atomic.Int32
+				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+					du := s.Load(&val[g.NbrList[e]])
+					if du >= p.Inf {
+						continue
+					}
+					if relaxMin(s, cfg.Update, &val[v], p.Cand(du, e), &changed) {
+						improved = true
+					}
+				}
+				if improved {
+					// v's new value may enable its neighbors to improve.
+					for _, u := range g.Neighbors(v) {
+						push(u, itr)
+					}
+				}
+			})
+		}
+		wlIn.Reset()
+		wlIn.Swap(wlOut)
+	}
+	return iters
+}

@@ -1,0 +1,86 @@
+package relax
+
+import (
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// toyProblem is a plain min-propagation: value 0 at vertex 0 spreads
+// hop counts (a BFS in disguise), exercising the engine directly.
+func toyProblem() Problem[int32] {
+	return Problem[int32]{
+		Init: func(v int32) int32 {
+			if v == 0 {
+				return 0
+			}
+			return graph.Inf
+		},
+		Cand:  func(val int32, e int64) int32 { return val + 1 },
+		Seeds: func(g *graph.Graph) []int32 { return []int32{0} },
+	}
+}
+
+func ladder() *graph.Graph {
+	b := graph.NewBuilder("ladder", 10)
+	for v := int32(0); v+1 < 10; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	b.AddEdge(0, 9, 1) // shortcut: 9 is 1 hop away
+	return b.Build()
+}
+
+func wantLadder() []int32 {
+	return []int32{0, 1, 2, 3, 4, 5, 4, 3, 2, 1}
+}
+
+// TestEngineAllCPUStyles drives the engine through every CPU config of
+// a relaxation algorithm and checks the fixed point.
+func TestEngineAllCPUStyles(t *testing.T) {
+	g := ladder()
+	want := wantLadder()
+	for _, model := range []styles.Model{styles.OMP, styles.CPP} {
+		for _, cfg := range styles.Enumerate(styles.SSSP, model) {
+			val, iters := Run(g, cfg, algo.Options{Threads: 4}, toyProblem())
+			if iters <= 0 {
+				t.Errorf("%s: no iterations", cfg.Name())
+			}
+			for v := range want {
+				if val[v] != want[v] {
+					t.Errorf("%s: val[%d] = %d, want %d", cfg.Name(), v, val[v], want[v])
+				}
+			}
+		}
+	}
+}
+
+func TestEngineRespectsMaxIter(t *testing.T) {
+	g := ladder()
+	cfg := styles.Enumerate(styles.SSSP, styles.CPP)[0]
+	_, iters := Run(g, cfg, algo.Options{Threads: 2, MaxIter: 2}, toyProblem())
+	if iters != 2 {
+		t.Errorf("iters = %d, want capped at 2", iters)
+	}
+}
+
+func TestEngineEmptySeedsConvergesImmediately(t *testing.T) {
+	g := ladder()
+	p := toyProblem()
+	p.Init = func(v int32) int32 { return graph.Inf } // nothing to spread
+	p.Seeds = func(g *graph.Graph) []int32 { return nil }
+	cfg := styles.Config{
+		Algo: styles.SSSP, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+		Flow: styles.Push, Update: styles.ReadModifyWrite,
+	}
+	val, iters := Run(g, cfg, algo.Options{Threads: 2}, p)
+	if iters != 0 {
+		t.Errorf("iters = %d, want 0 (empty worklist)", iters)
+	}
+	for v, x := range val {
+		if x != graph.Inf {
+			t.Errorf("val[%d] = %d, want Inf", v, x)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+// Package sssp implements the Bellman-Ford single-source-shortest-path
+// family (§2), the paper's running example, in every applicable style
+// combination.
+package sssp
+
+import (
+	"container/heap"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/relax"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Serial computes shortest path lengths from src with Dijkstra's
+// algorithm; it is the verification reference (§4.1).
+func Serial(g *graph.Graph, src int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = graph.Inf
+	}
+	dist[src] = 0
+	pq := &distHeap{{src, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(distItem)
+		if item.d > dist[item.v] {
+			continue
+		}
+		beg, end := g.NbrIdx[item.v], g.NbrIdx[item.v+1]
+		for e := beg; e < end; e++ {
+			u := g.NbrList[e]
+			nd := item.d + g.Weights[e]
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, distItem{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type distItem struct {
+	v int32
+	d int32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// problem adapts SSSP to the shared min-relaxation engine: the candidate
+// distance of edge e's destination is the source's distance plus the
+// edge weight (Listing 4).
+func problem(g *graph.Graph, src int32) relax.Problem[int32] {
+	return relax.Problem[int32]{
+		Init: func(v int32) int32 {
+			if v == src {
+				return 0
+			}
+			return graph.Inf
+		},
+		Cand:  func(val int32, e int64) int32 { return val + g.Weights[e] },
+		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+	}
+}
+
+// RunCPU executes the CPU variant selected by cfg.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	opt = opt.Defaults(g.N)
+	dist, iters := relax.Run(g, cfg, opt, problem(g, opt.Source))
+	return algo.Result{Dist: dist, Iterations: iters}
+}

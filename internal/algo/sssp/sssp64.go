@@ -1,0 +1,79 @@
+package sssp
+
+import (
+	"container/heap"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/relax"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// This file is the 64-bit data-type variant family (paper §4.1: the
+// study evaluates the 32-bit programs, but the 64-bit versions ship
+// with Indigo2). Distances are int64 — required when total path weights
+// can overflow 32 bits — and run through the same generic engine, so
+// every CPU style combination is available at both widths.
+
+// Serial64 computes 64-bit shortest path lengths from src with
+// Dijkstra's algorithm; it is the 64-bit verification reference.
+func Serial64(g *graph.Graph, src int32) []int64 {
+	dist := make([]int64, g.N)
+	for i := range dist {
+		dist[i] = relax.Inf64
+	}
+	dist[src] = 0
+	pq := &dist64Heap{{src, 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(dist64Item)
+		if item.d > dist[item.v] {
+			continue
+		}
+		for e := g.NbrIdx[item.v]; e < g.NbrIdx[item.v+1]; e++ {
+			u := g.NbrList[e]
+			nd := item.d + int64(g.Weights[e])
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(pq, dist64Item{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+type dist64Item struct {
+	v int32
+	d int64
+}
+
+type dist64Heap []dist64Item
+
+func (h dist64Heap) Len() int            { return len(h) }
+func (h dist64Heap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h dist64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dist64Heap) Push(x interface{}) { *h = append(*h, x.(dist64Item)) }
+func (h *dist64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// RunCPU64 executes the 64-bit CPU variant selected by cfg.
+func RunCPU64(g *graph.Graph, cfg styles.Config, opt algo.Options) ([]int64, int32) {
+	opt = opt.Defaults(g.N)
+	src := opt.Source
+	p := relax.Problem[int64]{
+		Inf: relax.Inf64,
+		Init: func(v int32) int64 {
+			if v == src {
+				return 0
+			}
+			return relax.Inf64
+		},
+		Cand:  func(val int64, e int64) int64 { return val + int64(g.Weights[e]) },
+		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+	}
+	return relax.RunT(g, cfg, opt, p)
+}

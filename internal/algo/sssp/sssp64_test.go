@@ -1,0 +1,95 @@
+package sssp
+
+import (
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/relax"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+func diamond64() *graph.Graph {
+	b := graph.NewBuilder("diamond", 4)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 5)
+	return b.Build()
+}
+
+func TestSerial64MatchesSerial32(t *testing.T) {
+	g := diamond64()
+	d32 := Serial(g, 0)
+	d64 := Serial64(g, 0)
+	for v := range d32 {
+		if int64(d32[v]) != d64[v] {
+			t.Errorf("vertex %d: 32-bit %d vs 64-bit %d", v, d32[v], d64[v])
+		}
+	}
+}
+
+func TestSerial64Unreachable(t *testing.T) {
+	b := graph.NewBuilder("two", 3)
+	b.AddEdge(0, 1, 9)
+	d := Serial64(b.Build(), 0)
+	if d[2] != relax.Inf64 {
+		t.Errorf("dist[2] = %d, want Inf64", d[2])
+	}
+}
+
+// TestEveryCPUVariant64Verifies runs every OMP and CPP style
+// combination through the 64-bit engine and checks against Dijkstra —
+// the 64-bit counterpart of the suite-wide 32-bit verification.
+func TestEveryCPUVariant64Verifies(t *testing.T) {
+	g := diamond64()
+	big := graph.NewBuilder("chain", 40)
+	for v := int32(0); v+1 < 40; v++ {
+		big.AddEdge(v, v+1, (v%9)+1)
+	}
+	big.AddEdge(0, 39, 200)
+	graphs := []*graph.Graph{g, big.Build()}
+	for _, gr := range graphs {
+		want := Serial64(gr, 0)
+		for _, model := range []styles.Model{styles.OMP, styles.CPP} {
+			for _, cfg := range styles.Enumerate(styles.SSSP, model) {
+				got, iters := RunCPU64(gr, cfg, algo.Options{Threads: 4})
+				if iters <= 0 {
+					t.Errorf("%s: no iterations", cfg.Name())
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Errorf("%s on %s: dist64[%d] = %d, want %d",
+							cfg.Name(), gr.Name, v, got[v], want[v])
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunCPU64SurvivesWideDistances uses weights that overflow int32
+// when summed along a long path — the reason the 64-bit variants exist.
+func TestRunCPU64SurvivesWideDistances(t *testing.T) {
+	const n = 64
+	b := graph.NewBuilder("wide", n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1<<30-1) // near max int32 weight per hop
+	}
+	g := b.Build()
+	want := Serial64(g, 0)
+	if want[n-1] <= int64(1)<<31 {
+		t.Fatalf("test graph does not exceed 32-bit range: %d", want[n-1])
+	}
+	cfg := styles.Config{
+		Algo: styles.SSSP, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+		Flow: styles.Push, Update: styles.ReadModifyWrite,
+	}
+	got, _ := RunCPU64(g, cfg, algo.Options{Threads: 4})
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("dist64[%d] = %d, want %d", v, got[v], want[v])
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package sssp
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpurelax"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// RunGPU executes the CUDA-model variant selected by cfg on device d and
+// returns the result plus the simulated cost.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	src := opt.Source
+	p := gpurelax.Problem{
+		UseWeight: true,
+		Init: func(v int32) int32 {
+			if v == src {
+				return 0
+			}
+			return graph.Inf
+		},
+		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+	}
+	dist, iters, st := gpurelax.Run(d, g, cfg, opt, p)
+	return algo.Result{Dist: dist, Iterations: iters}, st
+}

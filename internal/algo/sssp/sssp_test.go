@@ -1,0 +1,93 @@
+package sssp
+
+import (
+	"container/heap"
+	"testing"
+	"testing/quick"
+
+	"indigo/internal/graph"
+)
+
+func TestSerialKnownGraph(t *testing.T) {
+	// Diamond: 0-1 (3), 0-2 (1), 1-3 (1), 2-3 (5).
+	b := graph.NewBuilder("diamond", 4)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 3, 1)
+	b.AddEdge(2, 3, 5)
+	dist := Serial(b.Build(), 0)
+	want := []int32{0, 3, 1, 4}
+	for v, w := range want {
+		if dist[v] != w {
+			t.Errorf("dist[%d] = %d, want %d", v, dist[v], w)
+		}
+	}
+}
+
+func TestSerialUnreachable(t *testing.T) {
+	b := graph.NewBuilder("two", 3)
+	b.AddEdge(0, 1, 2)
+	dist := Serial(b.Build(), 0)
+	if dist[2] != graph.Inf {
+		t.Errorf("dist[2] = %d, want Inf", dist[2])
+	}
+}
+
+// TestQuickSerialMatchesBellmanFord cross-checks Dijkstra against a
+// naive Bellman-Ford on random weighted graphs.
+func TestQuickSerialMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int32(rawN%20) + 2
+		b := graph.NewBuilder("r", n)
+		s := seed
+		for u := int32(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				if s%3 == 0 {
+					b.AddEdge(u, v, int32(uint32(s>>33)%50)+1)
+				}
+			}
+		}
+		g := b.Build()
+		got := Serial(g, 0)
+		// Bellman-Ford.
+		bf := make([]int32, n)
+		for i := range bf {
+			bf[i] = graph.Inf
+		}
+		bf[0] = 0
+		for round := int32(0); round < n; round++ {
+			for e := int64(0); e < g.M(); e++ {
+				if bf[g.Src[e]] < graph.Inf {
+					if nd := bf[g.Src[e]] + g.Weights[e]; nd < bf[g.Dst[e]] {
+						bf[g.Dst[e]] = nd
+					}
+				}
+			}
+		}
+		for v := int32(0); v < n; v++ {
+			if got[v] != bf[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistHeapOrdering(t *testing.T) {
+	h := &distHeap{}
+	for _, d := range []int32{5, 1, 9, 3, 7} {
+		heap.Push(h, distItem{v: d, d: d})
+	}
+	prev := int32(-1)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(distItem)
+		if it.d < prev {
+			t.Fatalf("heap pop out of order: %d after %d", it.d, prev)
+		}
+		prev = it.d
+	}
+}

@@ -1,0 +1,191 @@
+package tc
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/algo/gpu"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+const tpb = 256
+
+// sharedCntTag identifies the block's shared triangle counter.
+const sharedCntTag = 1
+
+// RunGPU executes the CUDA-model variant selected by cfg on device d and
+// returns the result plus the simulated cost. TC's GPU dimensions are
+// iteration space (vertex vs edge, including warp/block granularity on
+// both since the adjacency intersection is an inner loop), persistence,
+// Atomic vs CudaAtomic (only the count accumulation, which is why TC's
+// Fig. 1 ratios are small), and the GPU reduction style.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	opt = opt.Defaults(g.N)
+	dg := gpu.Upload(d, g)
+	o := gpu.OpsOf(cfg)
+	count := d.AllocI64(1)
+	n := int64(g.N)
+
+	items := n
+	if cfg.Iterate == styles.EdgeBased {
+		items = dg.M
+	}
+	needsBarrier := cfg.GPURed != styles.GlobalAdd
+
+	kern := gpusim.Kernel(func(w *gpusim.Warp) {
+		acc := newCountAcc(cfg, o, count)
+		persist := cfg.Persist == styles.Persistent
+		switch cfg.Iterate {
+		case styles.EdgeBased:
+			// One directed edge (v, u) per processor; count when v < u.
+			handleEdge := func(e int64) {
+				v := int64(w.LdI32(dg.Src, e))
+				u := int64(w.LdI32(dg.Dst, e))
+				if v < u {
+					acc.add(w, commonAboveGPU(w, dg, v, u))
+				}
+			}
+			switch cfg.Gran {
+			case styles.ThreadGran:
+				gpu.ThreadItems(w, items, persist, func(b int64, cnt int) {
+					src := w.CoalLdI32(dg.Src, b, cnt)
+					dst := w.CoalLdI32(dg.Dst, b, cnt)
+					w.Op(2)
+					for l := 0; l < cnt; l++ {
+						if v, u := int64(src[l]), int64(dst[l]); v < u {
+							acc.add(w, commonAboveGPU(w, dg, v, u))
+						}
+					}
+				})
+			case styles.WarpGran:
+				gpu.WarpItems(w, items, persist, handleEdge)
+			default:
+				gpu.BlockItems(w, items, persist, func(e int64) {
+					// Only one warp of the block does the merge; the
+					// rest idle (the paper's observation that block
+					// granularity wastes parallelism on low-work items).
+					if w.WarpInBlock == 0 {
+						handleEdge(e)
+					}
+				})
+			}
+		default: // vertex-based
+			handleVertex := func(v int64, iter gpu.RangeFn) {
+				beg := w.LdI64(dg.NbrIdx, v)
+				end := w.LdI64(dg.NbrIdx, v+1)
+				iter(w, beg, end, func(_ int, _ int64, u int32) bool {
+					if int64(u) > v {
+						acc.add(w, commonAboveGPU(w, dg, v, int64(u)))
+					}
+					return true
+				})
+			}
+			k := gpu.ItemKernel(cfg, dg, items, gpu.Identity, func(w *gpusim.Warp, v int64, iter gpu.RangeFn) {
+				handleVertex(v, iter)
+			})
+			k(w)
+		}
+		acc.flush(w)
+	})
+
+	grid := gpu.Grid(d, cfg, items, tpb)
+	st := d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: needsBarrier}, kern)
+	return algo.Result{Triangles: count.Host()[0], Iterations: 1}, st
+}
+
+// commonAboveGPU counts common neighbors w > u of v and u with a merge
+// over the two sorted adjacency lists, skipping to the first entries
+// above u with device binary searches.
+func commonAboveGPU(w *gpusim.Warp, dg *gpu.DevGraph, v, u int64) int64 {
+	ab, ae := w.LdI64(dg.NbrIdx, v), w.LdI64(dg.NbrIdx, v+1)
+	bb, be := w.LdI64(dg.NbrIdx, u), w.LdI64(dg.NbrIdx, u+1)
+	i := lowerBoundGPU(w, dg.NbrList, ab, ae, int32(u)+1)
+	j := lowerBoundGPU(w, dg.NbrList, bb, be, int32(u)+1)
+	var count int64
+	for i < ae && j < be {
+		a := w.LdI32(dg.NbrList, i)
+		b := w.LdI32(dg.NbrList, j)
+		w.Op(2)
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// lowerBoundGPU binary-searches [lo, hi) of list for the first element
+// >= x, charging its loads.
+func lowerBoundGPU(w *gpusim.Warp, list *gpusim.I32, lo, hi int64, x int32) int64 {
+	for lo < hi {
+		mid := (lo + hi) / 2
+		w.Op(2)
+		if w.LdI32(list, mid) < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// countAcc realizes the three GPU reduction styles for the triangle
+// count (Listing 10), with the single global add going through the
+// configured atomics flavor.
+type countAcc struct {
+	style  styles.GPURed
+	o      gpu.Ops
+	count  *gpusim.I64
+	local  int64
+	shared []int64
+}
+
+func newCountAcc(cfg styles.Config, o gpu.Ops, count *gpusim.I64) *countAcc {
+	return &countAcc{style: cfg.GPURed, o: o, count: count}
+}
+
+func (a *countAcc) add(w *gpusim.Warp, v int64) {
+	if v == 0 {
+		return
+	}
+	switch a.style {
+	case styles.GlobalAdd:
+		a.o.AddI64(w, a.count, 0, v)
+	case styles.BlockAdd:
+		if a.shared == nil {
+			a.shared = w.SharedI64(sharedCntTag, 1)
+		}
+		w.BlockAtomicAddI64(a.shared, 0, v)
+	case styles.ReductionAdd:
+		w.Op(1)
+		a.local += v
+	}
+}
+
+func (a *countAcc) flush(w *gpusim.Warp) {
+	switch a.style {
+	case styles.BlockAdd:
+		if a.shared == nil {
+			a.shared = w.SharedI64(sharedCntTag, 1)
+		}
+		w.Sync()
+		if w.WarpInBlock == 0 {
+			a.o.AddI64(w, a.count, 0, w.SharedLdI64(a.shared, 0))
+		}
+	case styles.ReductionAdd:
+		// Register partials were warp-reduced implicitly; combine the
+		// block's warps in shared memory, then one global add.
+		shared := w.SharedI64(sharedCntTag, 1)
+		w.BlockAtomicAddI64(shared, 0, a.local)
+		w.Sync()
+		if w.WarpInBlock == 0 {
+			a.o.AddI64(w, a.count, 0, w.SharedLdI64(shared, 0))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package tc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"indigo/internal/graph"
+)
+
+func k(n int32) *graph.Graph {
+	b := graph.NewBuilder("k", n)
+	for u := int32(0); u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+func TestSerialKnownCounts(t *testing.T) {
+	cases := []struct {
+		g    *graph.Graph
+		want int64
+	}{
+		{k(3), 1},
+		{k(4), 4},
+		{k(5), 10},
+		{k(6), 20},
+	}
+	for _, c := range cases {
+		if got := Serial(c.g); got != c.want {
+			t.Errorf("%s(n=%d): %d triangles, want %d", c.g.Name, c.g.N, got, c.want)
+		}
+	}
+	// A path has no triangles.
+	b := graph.NewBuilder("path", 10)
+	for v := int32(0); v+1 < 10; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	if got := Serial(b.Build()); got != 0 {
+		t.Errorf("path has %d triangles", got)
+	}
+	// A 4-cycle has none; adding one diagonal creates two.
+	c4 := graph.NewBuilder("c4", 4)
+	c4.AddEdge(0, 1, 1)
+	c4.AddEdge(1, 2, 1)
+	c4.AddEdge(2, 3, 1)
+	c4.AddEdge(3, 0, 1)
+	g := c4.Build()
+	if got := Serial(g); got != 0 {
+		t.Errorf("C4 has %d triangles", got)
+	}
+	c4.AddEdge(0, 2, 1)
+	if got := Serial(c4.Build()); got != 2 {
+		t.Errorf("C4+diagonal has %d triangles, want 2", got)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	s := []int32{2, 4, 4, 8, 10}
+	cases := []struct {
+		x    int32
+		want int
+	}{{1, 0}, {2, 0}, {3, 1}, {4, 1}, {5, 3}, {10, 4}, {11, 5}}
+	for _, c := range cases {
+		if got := lowerBound(s, c.x); got != c.want {
+			t.Errorf("lowerBound(%v, %d) = %d, want %d", s, c.x, got, c.want)
+		}
+	}
+	if got := lowerBound(nil, 5); got != 0 {
+		t.Errorf("lowerBound(nil) = %d", got)
+	}
+}
+
+func TestCommonAbove(t *testing.T) {
+	g := k(5)
+	// In K5, vertices 0 and 1 share neighbors {2,3,4}; those above 1 are
+	// all three.
+	if got := CommonAbove(g, 0, 1); got != 3 {
+		t.Errorf("CommonAbove(0,1) = %d, want 3", got)
+	}
+	if got := CommonAbove(g, 3, 4); got != 0 {
+		t.Errorf("CommonAbove(3,4) = %d, want 0", got)
+	}
+}
+
+// TestQuickSerialMatchesNaive cross-checks the ordered merge count
+// against a brute-force O(n^3) enumeration on random graphs.
+func TestQuickSerialMatchesNaive(t *testing.T) {
+	f := func(seed int64, rawN uint8) bool {
+		n := int32(rawN%12) + 3
+		b := graph.NewBuilder("r", n)
+		s := seed
+		for u := int32(0); u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				s = s*6364136223846793005 + 1442695040888963407
+				if s%3 == 0 {
+					b.AddEdge(u, v, 1)
+				}
+			}
+		}
+		g := b.Build()
+		var naive int64
+		for a := int32(0); a < n; a++ {
+			for bb := a + 1; bb < n; bb++ {
+				if !g.HasEdge(a, bb) {
+					continue
+				}
+				for c := bb + 1; c < n; c++ {
+					if g.HasEdge(a, c) && g.HasEdge(bb, c) {
+						naive++
+					}
+				}
+			}
+		}
+		return Serial(g) == naive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

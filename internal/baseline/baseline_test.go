@@ -1,0 +1,195 @@
+package baseline
+
+import (
+	"testing"
+
+	"indigo/internal/algo/bfs"
+	"indigo/internal/algo/cc"
+	"indigo/internal/algo/pr"
+	"indigo/internal/algo/sssp"
+	"indigo/internal/algo/tc"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+)
+
+const threads = 8
+
+func inputs() []*graph.Graph {
+	return gen.Suite(gen.Tiny)
+}
+
+func TestBFSDirOptMatchesSerial(t *testing.T) {
+	for _, g := range inputs() {
+		want := bfs.Serial(g, 0)
+		got := BFSDirOpt(g, 0, threads)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: vertex %d level %d, want %d", g.Name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestSSSPDeltaMatchesSerial(t *testing.T) {
+	for _, g := range inputs() {
+		want := sssp.Serial(g, 0)
+		for _, delta := range []int32{1, 16, 64, 1024} {
+			got := SSSPDelta(g, 0, threads, delta)
+			for v := range want {
+				if got[v] != want[v] {
+					t.Fatalf("%s delta=%d: vertex %d dist %d, want %d", g.Name, delta, v, got[v], want[v])
+				}
+			}
+		}
+		// Default delta path.
+		got := SSSPDelta(g, 0, threads, 0)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s default delta: vertex %d", g.Name, v)
+			}
+		}
+	}
+}
+
+func TestCCJumpMatchesSerial(t *testing.T) {
+	for _, g := range inputs() {
+		want := cc.Serial(g)
+		got := CCJump(g, threads)
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("%s: vertex %d label %d, want %d", g.Name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestPROptMatchesSerial(t *testing.T) {
+	for _, g := range inputs() {
+		want, _ := pr.Serial(g, 0.85, 1e-4, 200)
+		got, iters := PROpt(g, threads, 0.85, 1e-4, 200)
+		if iters <= 0 {
+			t.Fatalf("%s: no iterations", g.Name)
+		}
+		for v := range want {
+			diff := float64(got[v] - want[v])
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.02*(1+float64(want[v])) {
+				t.Fatalf("%s: vertex %d rank %g, want %g", g.Name, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestTCOrientMatchesSerial(t *testing.T) {
+	for _, g := range inputs() {
+		want := tc.Serial(g)
+		if got := TCOrient(g, threads); got != want {
+			t.Fatalf("%s: %d triangles, want %d", g.Name, got, want)
+		}
+	}
+}
+
+func TestMISLubyIsValidMIS(t *testing.T) {
+	for _, g := range inputs() {
+		inSet := MISLuby(g, threads, 42)
+		for v := int32(0); v < g.N; v++ {
+			if inSet[v] {
+				for _, u := range g.Neighbors(v) {
+					if inSet[u] {
+						t.Fatalf("%s: %d and %d adjacent and both in set", g.Name, v, u)
+					}
+				}
+				continue
+			}
+			covered := false
+			for _, u := range g.Neighbors(v) {
+				if inSet[u] {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("%s: vertex %d uncovered", g.Name, v)
+			}
+		}
+	}
+}
+
+func TestOrientHalvesEdges(t *testing.T) {
+	g := gen.Generate(gen.InputSocial, gen.Tiny)
+	o := Orient(g)
+	if int64(len(o.List)) != g.M()/2 {
+		t.Fatalf("oriented list has %d entries, want %d", len(o.List), g.M()/2)
+	}
+	for v := int32(0); v < g.N; v++ {
+		prev := int32(-1)
+		for _, u := range o.List[o.Idx[v]:o.Idx[v+1]] {
+			if u <= v {
+				t.Fatalf("oriented edge %d->%d not ascending", v, u)
+			}
+			if u <= prev {
+				t.Fatalf("oriented list of %d not sorted", v)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestGPUBaselinesMatchSerial(t *testing.T) {
+	for _, g := range inputs() {
+		d := gpusim.New(gpusim.RTXSim())
+		lv, st := GPUBFS(d, g, 0)
+		if st.Cycles <= 0 {
+			t.Errorf("%s: GPUBFS zero cycles", g.Name)
+		}
+		for v, want := range bfs.Serial(g, 0) {
+			if lv[v] != want {
+				t.Fatalf("%s: GPUBFS vertex %d = %d, want %d", g.Name, v, lv[v], want)
+			}
+		}
+		dist, _ := GPUSSSP(d, g, 0)
+		for v, want := range sssp.Serial(g, 0) {
+			if dist[v] != want {
+				t.Fatalf("%s: GPUSSSP vertex %d = %d, want %d", g.Name, v, dist[v], want)
+			}
+		}
+		label, _ := GPUCC(d, g)
+		for v, want := range cc.Serial(g) {
+			if label[v] != want {
+				t.Fatalf("%s: GPUCC vertex %d = %d, want %d", g.Name, v, label[v], want)
+			}
+		}
+		if got, _ := GPUTC(d, g); got != tc.Serial(g) {
+			t.Fatalf("%s: GPUTC = %d, want %d", g.Name, got, tc.Serial(g))
+		}
+		rank, iters, _ := GPUPR(d, g, 0.85, 1e-4, 200)
+		if iters <= 0 {
+			t.Fatalf("%s: GPUPR no iterations", g.Name)
+		}
+		want, _ := pr.Serial(g, 0.85, 1e-4, 200)
+		for v := range want {
+			diff := float64(rank[v] - want[v])
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 0.02*(1+float64(want[v])) {
+				t.Fatalf("%s: GPUPR vertex %d rank %g, want %g", g.Name, v, rank[v], want[v])
+			}
+		}
+	}
+}
+
+func TestGPUTCBeatsNaiveCost(t *testing.T) {
+	// Orientation should make the baseline cheaper than our unoptimized
+	// edge-based TC on the clique-heavy input (it does half the merges
+	// on half-length lists).
+	g := gen.Generate(gen.InputCoPaper, gen.Tiny)
+	d := gpusim.New(gpusim.RTXSim())
+	_, st := GPUTC(d, g)
+	if st.Cycles <= 0 {
+		t.Fatal("no cost")
+	}
+}

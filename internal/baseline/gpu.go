@@ -1,0 +1,344 @@
+package baseline
+
+import (
+	"indigo/internal/algo/gpu"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+)
+
+// tpb is the baselines' launch width.
+const tpb = 256
+
+// GPUBFS is the Gardenia-style worklist-free BFS: two status arrays
+// (current/next frontier flags) make the sweep as work-efficient as a
+// data-driven code without worklist-maintenance overhead (§5.17).
+func GPUBFS(d *gpusim.Device, g *graph.Graph, src int32) ([]int32, gpusim.Stats) {
+	dg := gpu.Upload(d, g)
+	n := int64(g.N)
+	level := d.AllocI32(n)
+	for i := int64(0); i < n; i++ {
+		level.Host()[i] = graph.Inf
+	}
+	level.Host()[src] = 0
+	cur := d.AllocI32(n)
+	next := d.AllocI32(n)
+	cur.Host()[src] = 1
+	changed := d.AllocI32(1)
+	var total gpusim.Stats
+	grid := gpusim.GridSize(n, tpb)
+	depth := int32(0)
+	for {
+		depth++
+		lvl := depth
+		changed.Host()[0] = 0
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+			base := w.Gidx(0)
+			if base >= n {
+				return
+			}
+			cnt := int(minI64(int64(gpusim.WarpSize), n-base))
+			flags := w.CoalLdI32(cur, base, cnt)
+			beg := w.CoalLdI64(dg.NbrIdx, base, cnt)
+			end := w.CoalLdI64(dg.NbrIdx, base+1, cnt)
+			for l := 0; l < cnt; l++ {
+				if flags[l] == 0 {
+					end[l] = beg[l]
+				}
+			}
+			w.DivergentRanges(cnt, &beg, &end, 2, func(lane int, e int64) {
+				u := w.LdI32(dg.NbrList, e)
+				if w.AtomicMinI32(level, int64(u), lvl) > lvl {
+					w.StI32(next, int64(u), 1)
+					w.StI32(changed, 0, 1)
+				}
+			})
+		}))
+		if changed.Host()[0] == 0 {
+			break
+		}
+		gpusim.SwapI32(cur, next)
+		total.Add(clearI32(d, next))
+	}
+	out := make([]int32, n)
+	copy(out, level.Host())
+	return out, total
+}
+
+// GPUSSSP is the Gardenia-style two-array Bellman-Ford: an updated-flag
+// array restricts each sweep to vertices whose distance changed,
+// matching data-driven efficiency without a worklist (§5.17).
+func GPUSSSP(d *gpusim.Device, g *graph.Graph, src int32) ([]int32, gpusim.Stats) {
+	dg := gpu.Upload(d, g)
+	n := int64(g.N)
+	dist := d.AllocI32(n)
+	for i := int64(0); i < n; i++ {
+		dist.Host()[i] = graph.Inf
+	}
+	dist.Host()[src] = 0
+	cur := d.AllocI32(n)
+	next := d.AllocI32(n)
+	cur.Host()[src] = 1
+	changed := d.AllocI32(1)
+	var total gpusim.Stats
+	grid := gpusim.GridSize(n, tpb)
+	for {
+		changed.Host()[0] = 0
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+			base := w.Gidx(0)
+			if base >= n {
+				return
+			}
+			cnt := int(minI64(int64(gpusim.WarpSize), n-base))
+			flags := w.CoalLdI32(cur, base, cnt)
+			dv := w.CoalLdI32(dist, base, cnt)
+			beg := w.CoalLdI64(dg.NbrIdx, base, cnt)
+			end := w.CoalLdI64(dg.NbrIdx, base+1, cnt)
+			for l := 0; l < cnt; l++ {
+				if flags[l] == 0 || dv[l] >= graph.Inf {
+					end[l] = beg[l]
+				}
+			}
+			w.DivergentRanges(cnt, &beg, &end, 2, func(lane int, e int64) {
+				u := w.LdI32(dg.NbrList, e)
+				nd := dv[lane] + w.LdI32(dg.Weights, e)
+				if w.AtomicMinI32(dist, int64(u), nd) > nd {
+					w.StI32(next, int64(u), 1)
+					w.StI32(changed, 0, 1)
+				}
+			})
+		}))
+		if changed.Host()[0] == 0 {
+			break
+		}
+		gpusim.SwapI32(cur, next)
+		total.Add(clearI32(d, next))
+	}
+	out := make([]int32, n)
+	copy(out, dist.Host())
+	return out, total
+}
+
+// GPUCC is min-label propagation with pointer jumping, converging in
+// O(log n) rounds.
+func GPUCC(d *gpusim.Device, g *graph.Graph) ([]int32, gpusim.Stats) {
+	dg := gpu.Upload(d, g)
+	n := int64(g.N)
+	label := d.AllocI32(n)
+	for v := int64(0); v < n; v++ {
+		label.Host()[v] = int32(v)
+	}
+	changed := d.AllocI32(1)
+	var total gpusim.Stats
+	edgeGrid := gpusim.GridSize(dg.M, tpb)
+	vertGrid := gpusim.GridSize(n, tpb)
+	for {
+		changed.Host()[0] = 0
+		// Hook along edges.
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: edgeGrid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+			base := w.Gidx(0)
+			if base >= dg.M {
+				return
+			}
+			cnt := int(minI64(int64(gpusim.WarpSize), dg.M-base))
+			src := w.CoalLdI32(dg.Src, base, cnt)
+			dst := w.CoalLdI32(dg.Dst, base, cnt)
+			w.Op(2)
+			for l := 0; l < cnt; l++ {
+				lu := w.LdI32(label, int64(src[l]))
+				lv := w.LdI32(label, int64(dst[l]))
+				if lu < lv {
+					if w.AtomicMinI32(label, int64(dst[l]), lu) > lu {
+						w.StI32(changed, 0, 1)
+					}
+				}
+			}
+		}))
+		// Pointer jumping until stable.
+		for {
+			jumpFlag := d.AllocI32(1)
+			total.Add(d.Launch(gpusim.LaunchCfg{Blocks: vertGrid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+				base := w.Gidx(0)
+				if base >= n {
+					return
+				}
+				cnt := int(minI64(int64(gpusim.WarpSize), n-base))
+				ls := w.CoalLdI32(label, base, cnt)
+				w.Op(1)
+				for l := 0; l < cnt; l++ {
+					ll := w.LdI32(label, int64(ls[l]))
+					if ll < ls[l] {
+						if w.AtomicMinI32(label, base+int64(l), ll) > ll {
+							w.StI32(jumpFlag, 0, 1)
+						}
+					}
+				}
+			}))
+			if jumpFlag.Host()[0] == 0 {
+				break
+			}
+		}
+		if changed.Host()[0] == 0 {
+			break
+		}
+	}
+	out := make([]int32, n)
+	copy(out, label.Host())
+	return out, total
+}
+
+// GPUPR is optimized pull PageRank: a precomputed per-vertex
+// contribution array (Gardenia's optimization) plus a warp-reduced
+// residual.
+func GPUPR(d *gpusim.Device, g *graph.Graph, damping float32, tol float64, maxIter int32) ([]float32, int32, gpusim.Stats) {
+	dg := gpu.Upload(d, g)
+	n := int64(g.N)
+	rank := d.AllocF32(n)
+	next := d.AllocF32(n)
+	contrib := d.AllocF32(n)
+	resid := d.AllocF32(1)
+	for v := int64(0); v < n; v++ {
+		rank.HostSet(v, 1)
+	}
+	base := 1 - damping
+	grid := gpusim.GridSize(n, tpb)
+	var total gpusim.Stats
+	var iters int32
+	for iters < maxIter {
+		iters++
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+			b := w.Gidx(0)
+			if b >= n {
+				return
+			}
+			cnt := int(minI64(int64(gpusim.WarpSize), n-b))
+			rs := w.CoalLdF32(rank, b, cnt)
+			beg := w.CoalLdI64(dg.NbrIdx, b, cnt)
+			end := w.CoalLdI64(dg.NbrIdx, b+1, cnt)
+			var out [gpusim.WarpSize]float32
+			w.Op(2)
+			for l := 0; l < cnt; l++ {
+				if deg := end[l] - beg[l]; deg > 0 {
+					out[l] = rs[l] / float32(deg)
+				}
+			}
+			w.CoalStF32(contrib, b, cnt, &out)
+		}))
+		resid.HostSet(0, 0)
+		total.Add(d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: true}, func(w *gpusim.Warp) {
+			var local float32
+			b := w.Gidx(0)
+			if b < n {
+				cnt := int(minI64(int64(gpusim.WarpSize), n-b))
+				olds := w.CoalLdF32(rank, b, cnt)
+				beg := w.CoalLdI64(dg.NbrIdx, b, cnt)
+				end := w.CoalLdI64(dg.NbrIdx, b+1, cnt)
+				var sums [gpusim.WarpSize]float32
+				w.DivergentRanges(cnt, &beg, &end, 2, func(lane int, e int64) {
+					sums[lane] += w.LdF32(contrib, int64(w.LdI32(dg.NbrList, e)))
+				})
+				var news [gpusim.WarpSize]float32
+				for l := 0; l < cnt; l++ {
+					news[l] = base + damping*sums[l]
+					d := news[l] - olds[l]
+					if d < 0 {
+						d = -d
+					}
+					local += d
+				}
+				w.CoalStF32(next, b, cnt, &news)
+			}
+			// Warp-reduced residual, one shared add per warp, one global
+			// add per block.
+			shared := w.SharedU32(1, 1)
+			w.BlockAtomicAddF32(shared, 0, local)
+			w.Sync()
+			if w.WarpInBlock == 0 {
+				w.AtomicAddF32(resid, 0, w.SharedLdF32(shared, 0))
+			}
+		}))
+		rank, next = next, rank
+		if float64(resid.HostGet(0)) < tol {
+			break
+		}
+	}
+	return rank.HostSlice(), iters, total
+}
+
+// GPUTC counts triangles over the redundant-edge-removed (oriented)
+// adjacency with warp-per-vertex work distribution (coalesced list
+// loads, fine-grained balance) and a warp-reduced count — Gardenia's
+// winning combination (§5.17).
+func GPUTC(d *gpusim.Device, g *graph.Graph) (int64, gpusim.Stats) {
+	o := Orient(g)
+	idx := d.UploadI64(o.Idx)
+	list := d.UploadI32(o.List)
+	n := int64(g.N)
+	count := d.AllocI64(1)
+	grid := gpusim.GridSize(n, tpb/gpusim.WarpSize)
+	st := d.Launch(gpusim.LaunchCfg{Blocks: grid, ThreadsPerBlock: tpb, NeedsBarrier: true}, func(w *gpusim.Warp) {
+		var local int64
+		if v := w.GlobalWarp(); v < n {
+			beg := w.LdI64(idx, v)
+			end := w.LdI64(idx, v+1)
+			// Coalesced chunks of v's oriented list; one merge per entry.
+			for base := beg; base < end; base += gpusim.WarpSize {
+				cnt := int(minI64(int64(gpusim.WarpSize), end-base))
+				us := w.CoalLdI32(list, base, cnt)
+				w.Op(2)
+				for l := 0; l < cnt; l++ {
+					local += intersectGPU(w, idx, list, v, int64(us[l]))
+				}
+			}
+		}
+		shared := w.SharedI64(1, 1)
+		w.BlockAtomicAddI64(shared, 0, local)
+		w.Sync()
+		if w.WarpInBlock == 0 {
+			w.AtomicAddI64(count, 0, w.SharedLdI64(shared, 0))
+		}
+	})
+	return count.Host()[0], st
+}
+
+func intersectGPU(w *gpusim.Warp, idx *gpusim.I64, list *gpusim.I32, v, u int64) int64 {
+	i, ie := w.LdI64(idx, v), w.LdI64(idx, v+1)
+	j, je := w.LdI64(idx, u), w.LdI64(idx, u+1)
+	var count int64
+	for i < ie && j < je {
+		a := w.LdI32(list, i)
+		b := w.LdI32(list, j)
+		w.Op(2)
+		switch {
+		case a < b:
+			i++
+		case a > b:
+			j++
+		default:
+			count++
+			i++
+			j++
+		}
+	}
+	return count
+}
+
+// clearI32 zeroes a device array with a coalesced kernel.
+func clearI32(d *gpusim.Device, a *gpusim.I32) gpusim.Stats {
+	n := a.Len()
+	return d.Launch(gpusim.LaunchCfg{Blocks: gpusim.GridSize(n, tpb), ThreadsPerBlock: tpb}, func(w *gpusim.Warp) {
+		base := w.Gidx(0)
+		if base >= n {
+			return
+		}
+		cnt := int(minI64(int64(gpusim.WarpSize), n-base))
+		var zero [gpusim.WarpSize]int32
+		w.CoalStI32(a, base, cnt, &zero)
+	})
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

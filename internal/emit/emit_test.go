@@ -1,0 +1,107 @@
+package emit
+
+import (
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// TestEveryCPUSSSPVariantEmitsValidGo generates all 52 CPU SSSP
+// programs and syntax-checks each with go/parser, mirroring the suite's
+// generated-source nature.
+func TestEveryCPUSSSPVariantEmitsValidGo(t *testing.T) {
+	count := 0
+	for _, model := range []styles.Model{styles.OMP, styles.CPP} {
+		for _, cfg := range styles.Enumerate(styles.SSSP, model) {
+			src, err := Program(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", cfg.Name(), err)
+			}
+			fset := token.NewFileSet()
+			if _, err := parser.ParseFile(fset, cfg.Name()+".go", src, 0); err != nil {
+				t.Errorf("%s: generated code does not parse: %v", cfg.Name(), err)
+			}
+			if _, err := format.Source([]byte(src)); err != nil {
+				t.Errorf("%s: generated code does not format: %v", cfg.Name(), err)
+			}
+			if !strings.Contains(src, "Code generated") || !strings.Contains(src, cfg.Name()) {
+				t.Errorf("%s: missing generation header", cfg.Name())
+			}
+			count++
+		}
+	}
+	if count != 52 {
+		t.Errorf("emitted %d variants, want 52", count)
+	}
+}
+
+func TestEmitRejectsUnsupported(t *testing.T) {
+	cases := []styles.Config{
+		{Algo: styles.BFS, Model: styles.OMP},
+		{Algo: styles.SSSP, Model: styles.CUDA},
+		{Algo: styles.SSSP, Model: styles.OMP, Iterate: styles.EdgeBased, Flow: styles.Pull}, // invalid combo
+	}
+	for _, cfg := range cases {
+		if _, err := Program(cfg); err == nil {
+			t.Errorf("Program(%s) succeeded, want error", cfg.Name())
+		}
+	}
+}
+
+// TestEmittedProgramRuns compiles and executes two generated variants
+// on a real input and checks their self-verification. Skipped in -short
+// mode (it shells out to the go tool).
+func TestEmittedProgramRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run integration in -short mode")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not available")
+	}
+	dir := t.TempDir()
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	grPath := filepath.Join(dir, "road.gr")
+	f, err := os.Create(grPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteDIMACS(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	variants := []styles.Config{
+		{Algo: styles.SSSP, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+			Flow: styles.Push, Update: styles.ReadModifyWrite, CPPSched: styles.CyclicSched},
+		{Algo: styles.SSSP, Model: styles.OMP, Det: styles.Deterministic,
+			Update: styles.ReadModifyWrite, Flow: styles.Pull, OMPSched: styles.DynamicSched},
+	}
+	for i, cfg := range variants {
+		src, err := Program(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcPath := filepath.Join(dir, "sssp"+string(rune('a'+i))+".go")
+		if err := os.WriteFile(srcPath, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command("go", "run", srcPath, grPath)
+		cmd.Dir = dir
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s: go run failed: %v\n%s", cfg.Name(), err, out)
+		}
+		if !strings.Contains(string(out), "verified: ok") {
+			t.Errorf("%s: output missing verification: %s", cfg.Name(), out)
+		}
+	}
+}

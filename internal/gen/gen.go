@@ -1,0 +1,200 @@
+// Package gen produces the study's five input graphs as deterministic
+// synthetic stand-ins for the downloaded datasets of paper Table 4
+// (2d-2e20.sym, USA-road-d.NY, rmat22.sym, soc-LiveJournal1,
+// coPapersDBLP). Each generator is shaped to match the Table 5 signature
+// of its counterpart — average/maximum degree, the fraction of vertices
+// with degree >= 32 and >= 512, and the diameter class — because those
+// are the properties the paper ties performance behavior to (§5.13).
+//
+// All generators are deterministic for a given seed and scale, so every
+// experiment and benchmark is reproducible.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"indigo/internal/graph"
+)
+
+// maxWeight bounds the random edge weights (inclusive lower bound is 1).
+const maxWeight = 255
+
+// Grid2D generates a width x height 2D grid with 4-neighbor connectivity,
+// the stand-in for 2d-2e20.sym: uniform degree 4 (interior), no
+// high-degree vertices, and a very large diameter (width+height-2).
+func Grid2D(width, height int32, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := width * height
+	b := graph.NewBuilder(fmt.Sprintf("grid2d-%dx%d", width, height), n)
+	id := func(x, y int32) int32 { return y*width + x }
+	for y := int32(0); y < height; y++ {
+		for x := int32(0); x < width; x++ {
+			if x+1 < width {
+				b.AddEdge(id(x, y), id(x+1, y), weight(rng))
+			}
+			if y+1 < height {
+				b.AddEdge(id(x, y), id(x, y+1), weight(rng))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Road generates a road-network-like graph, the stand-in for
+// USA-road-d.NY: average degree ~2.8, maximum degree <= 8, and a high
+// diameter. It starts from a 2D grid, deletes a fraction of grid edges,
+// and keeps the graph connected with a random spanning tree laid over the
+// grid coordinates, mimicking the sparse, high-diameter structure of
+// urban road maps.
+func Road(width, height int32, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := width * height
+	b := graph.NewBuilder(fmt.Sprintf("road-%dx%d", width, height), n)
+	id := func(x, y int32) int32 { return y*width + x }
+	// Spanning structure: serpentine path guarantees connectivity while
+	// keeping the diameter on the order of the grid dimensions.
+	for y := int32(0); y < height; y++ {
+		for x := int32(0); x+1 < width; x++ {
+			b.AddEdge(id(x, y), id(x+1, y), weight(rng))
+		}
+		if y+1 < height {
+			x := int32(0)
+			if y%2 == 1 {
+				x = width - 1
+			}
+			b.AddEdge(id(x, y), id(x, y+1), weight(rng))
+		}
+	}
+	// Sparse vertical connectors: roughly 40% of vertical grid edges,
+	// which brings the average degree to ~2.8 like the NY road map.
+	for y := int32(0); y+1 < height; y++ {
+		for x := int32(0); x < width; x++ {
+			if rng.Float64() < 0.40 {
+				b.AddEdge(id(x, y), id(x, y+1), weight(rng))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RMAT generates a recursive-matrix graph with the canonical Graph500
+// partition probabilities (a, b, c, d) = (0.57, 0.19, 0.19, 0.05), the
+// stand-in for rmat22.sym: skewed degrees with a moderate maximum and a
+// small diameter. n must be a power of two; edgeFactor is the ratio of
+// undirected edges to vertices (the paper's rmat22 has ~15.7 directed
+// edges per vertex, i.e. edgeFactor ~8).
+func RMAT(scale uint, edgeFactor int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(1) << scale
+	b := graph.NewBuilder(fmt.Sprintf("rmat-s%d", scale), n)
+	edges := int(n) * edgeFactor
+	for i := 0; i < edges; i++ {
+		u, v := rmatEdge(rng, scale)
+		b.AddEdge(u, v, weight(rng))
+	}
+	return b.Build()
+}
+
+func rmatEdge(rng *rand.Rand, scale uint) (int32, int32) {
+	var u, v int32
+	for bit := uint(0); bit < scale; bit++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.57: // a: top-left
+		case r < 0.76: // b: top-right
+			v |= 1 << bit
+		case r < 0.95: // c: bottom-left
+			u |= 1 << bit
+		default: // d: bottom-right
+			u |= 1 << bit
+			v |= 1 << bit
+		}
+	}
+	return u, v
+}
+
+// Social generates a preferential-attachment (Barabási–Albert) graph,
+// the stand-in for soc-LiveJournal1: a power-law degree distribution
+// with a very high maximum degree, average degree ~2*m, and a small
+// diameter. Each new vertex attaches to m existing vertices chosen
+// proportionally to degree.
+func Social(n int32, m int, seed int64) *graph.Graph {
+	if int32(m)+1 > n {
+		panic(fmt.Sprintf("gen.Social: m=%d too large for n=%d", m, n))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(fmt.Sprintf("social-%d", n), n)
+	// Attachment targets are sampled from a list containing one entry per
+	// edge endpoint, which realizes degree-proportional sampling.
+	endpoints := make([]int32, 0, 2*int(n)*m)
+	// Seed clique over the first m+1 vertices.
+	for u := int32(0); u <= int32(m); u++ {
+		for v := u + 1; v <= int32(m); v++ {
+			b.AddEdge(u, v, weight(rng))
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	chosen := make(map[int32]bool, m)
+	targets := make([]int32, 0, m)
+	for v := int32(m) + 1; v < n; v++ {
+		clear(chosen)
+		targets = targets[:0]
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			if t != v && !chosen[t] {
+				chosen[t] = true
+				targets = append(targets, t)
+			}
+		}
+		for _, t := range targets {
+			b.AddEdge(v, t, weight(rng))
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// CoPaper generates a co-authorship-style graph, the stand-in for
+// coPapersDBLP: a union of author cliques (one clique per "paper") that
+// yields a high average degree (~56 directed) and a majority of vertices
+// with degree >= 32, with a small diameter. papers controls the number
+// of cliques; authors are drawn with locality so that collaboration
+// groups overlap.
+func CoPaper(n int32, papers int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(fmt.Sprintf("copaper-%d", n), n)
+	for p := 0; p < papers; p++ {
+		// Clique size 3..12, biased small (like real author lists).
+		size := 3 + rng.Intn(10)
+		// Authors cluster around a random community center.
+		center := rng.Int31n(n)
+		members := make([]int32, 0, size)
+		for len(members) < size {
+			// Offset within a community of ~200 authors.
+			a := center + rng.Int31n(200) - 100
+			if a < 0 {
+				a += n
+			}
+			if a >= n {
+				a -= n
+			}
+			members = append(members, a)
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				if members[i] != members[j] {
+					b.AddEdge(members[i], members[j], weight(rng))
+				}
+			}
+		}
+	}
+	// Connect stragglers: a sparse ring keeps the graph connected so
+	// diameter estimation and traversal cover all vertices.
+	for v := int32(0); v < n; v++ {
+		b.AddEdge(v, (v+1)%n, weight(rng))
+	}
+	return b.Build()
+}
+
+func weight(rng *rand.Rand) int32 { return rng.Int31n(maxWeight) + 1 }

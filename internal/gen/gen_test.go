@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"testing"
+
+	"indigo/internal/graph"
+)
+
+func TestGrid2DShape(t *testing.T) {
+	g := Grid2D(8, 5, 1)
+	if g.N != 40 {
+		t.Fatalf("N = %d, want 40", g.N)
+	}
+	// Undirected edges: 7*5 horizontal + 8*4 vertical = 67 -> 134 directed.
+	if g.M() != 134 {
+		t.Fatalf("M = %d, want 134", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	if s.MaxDegree != 4 {
+		t.Errorf("MaxDegree = %d, want 4", s.MaxDegree)
+	}
+	if s.Diameter != 8+5-2 {
+		t.Errorf("Diameter = %d, want %d", s.Diameter, 8+5-2)
+	}
+}
+
+func TestRoadSignature(t *testing.T) {
+	g := Road(40, 20, 7)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// USA-road-d.NY signature: avg degree ~2.8, max <= 8, no vertex with
+	// degree >= 32, large diameter.
+	if s.AvgDegree < 2.0 || s.AvgDegree > 3.6 {
+		t.Errorf("AvgDegree = %v, want ~2.8", s.AvgDegree)
+	}
+	if s.MaxDegree > 8 {
+		t.Errorf("MaxDegree = %d, want <= 8", s.MaxDegree)
+	}
+	if s.PctDeg32 != 0 {
+		t.Errorf("PctDeg32 = %v, want 0", s.PctDeg32)
+	}
+	if s.Diameter < 30 {
+		t.Errorf("Diameter = %d, want high (>= 30)", s.Diameter)
+	}
+}
+
+func TestRMATSignature(t *testing.T) {
+	g := RMAT(10, 8, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("N = %d, want 1024", g.N)
+	}
+	s := graph.ComputeStats(g)
+	// Skewed degrees: some vertices well above average, small diameter.
+	if s.MaxDegree < 4*int64(s.AvgDegree) {
+		t.Errorf("MaxDegree = %d not skewed vs avg %v", s.MaxDegree, s.AvgDegree)
+	}
+	if s.Diameter > 20 {
+		t.Errorf("Diameter = %d, want small", s.Diameter)
+	}
+}
+
+func TestSocialSignature(t *testing.T) {
+	g := Social(2000, 9, 5)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// Power law: very high max degree, avg near 2*m = 18, tiny diameter.
+	if s.AvgDegree < 14 || s.AvgDegree > 22 {
+		t.Errorf("AvgDegree = %v, want ~18", s.AvgDegree)
+	}
+	if s.MaxDegree < 100 {
+		t.Errorf("MaxDegree = %d, want power-law hub (>= 100)", s.MaxDegree)
+	}
+	if s.Diameter > 10 {
+		t.Errorf("Diameter = %d, want small", s.Diameter)
+	}
+}
+
+func TestCoPaperSignature(t *testing.T) {
+	g := CoPaper(1000, 2300, 9)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := graph.ComputeStats(g)
+	// coPapersDBLP signature: high avg degree, majority of vertices with
+	// degree >= 32, small diameter.
+	if s.AvgDegree < 30 {
+		t.Errorf("AvgDegree = %v, want high (>= 30)", s.AvgDegree)
+	}
+	if s.PctDeg32 < 40 {
+		t.Errorf("PctDeg32 = %v, want >= 40", s.PctDeg32)
+	}
+	if s.Diameter > 15 {
+		t.Errorf("Diameter = %d, want small", s.Diameter)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Social(500, 5, 11)
+	b := Social(500, 5, 11)
+	if a.M() != b.M() {
+		t.Fatalf("same seed, different edge counts: %d vs %d", a.M(), b.M())
+	}
+	for i := int64(0); i < a.M(); i++ {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("same seed, edge %d differs", i)
+		}
+	}
+	c := Social(500, 5, 12)
+	same := a.M() == c.M()
+	if same {
+		for i := int64(0); i < a.M(); i++ {
+			if a.Src[i] != c.Src[i] || a.Dst[i] != c.Dst[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestSuiteTiny(t *testing.T) {
+	gs := Suite(Tiny)
+	if len(gs) != int(NumInputs) {
+		t.Fatalf("suite has %d graphs, want %d", len(gs), NumInputs)
+	}
+	for i, g := range gs {
+		if err := g.Validate(); err != nil {
+			t.Errorf("input %s: %v", Input(i), err)
+		}
+		if g.N == 0 || g.M() == 0 {
+			t.Errorf("input %s: empty graph", Input(i))
+		}
+		// Every input should be connected (diameter reachable everywhere)
+		// enough for traversal algorithms to do real work.
+		if d := graph.EstimateDiameter(g); d < 2 {
+			t.Errorf("input %s: diameter %d too small", Input(i), d)
+		}
+	}
+}
+
+func TestInputNames(t *testing.T) {
+	for in := Input(0); in < NumInputs; in++ {
+		if in.String() == "unknown" || in.PaperName() == "unknown" {
+			t.Errorf("input %d has no name", in)
+		}
+	}
+	if _, ok := ParseScale("small"); !ok {
+		t.Error("ParseScale(small) failed")
+	}
+	if _, ok := ParseScale("bogus"); ok {
+		t.Error("ParseScale(bogus) succeeded")
+	}
+	for _, s := range []Scale{Tiny, Small, Medium, Large} {
+		got, ok := ParseScale(s.String())
+		if !ok || got != s {
+			t.Errorf("ParseScale(%q) = %v,%v", s.String(), got, ok)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package gen
+
+import "indigo/internal/graph"
+
+// Scale selects how large the five study inputs are. The paper's inputs
+// have 0.26M-4.8M vertices; the scaled-down suite preserves the Table 5
+// degree/diameter signatures at laptop-friendly sizes.
+type Scale int
+
+const (
+	// Tiny is for unit tests: a few hundred vertices per input.
+	Tiny Scale = iota
+	// Small is the default experiment scale: a few thousand vertices,
+	// small enough that all figures regenerate in minutes.
+	Small
+	// Medium is for longer benchmark runs: tens of thousands of vertices.
+	Medium
+	// Large approaches the paper's smallest input sizes.
+	Large
+)
+
+func (s Scale) String() string {
+	switch s {
+	case Tiny:
+		return "tiny"
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	}
+	return "unknown"
+}
+
+// ParseScale converts a string flag value to a Scale.
+func ParseScale(s string) (Scale, bool) {
+	switch s {
+	case "tiny":
+		return Tiny, true
+	case "small":
+		return Small, true
+	case "medium":
+		return Medium, true
+	case "large":
+		return Large, true
+	}
+	return Small, false
+}
+
+// Input identifies one of the five study inputs.
+type Input int
+
+const (
+	InputGrid    Input = iota // 2d-2e20.sym stand-in
+	InputCoPaper              // coPapersDBLP stand-in
+	InputRMAT                 // rmat22.sym stand-in
+	InputSocial               // soc-LiveJournal1 stand-in
+	InputRoad                 // USA-road-d.NY stand-in
+	NumInputs
+)
+
+func (in Input) String() string {
+	switch in {
+	case InputGrid:
+		return "grid2d"
+	case InputCoPaper:
+		return "copaper"
+	case InputRMAT:
+		return "rmat"
+	case InputSocial:
+		return "social"
+	case InputRoad:
+		return "road"
+	}
+	return "unknown"
+}
+
+// PaperName returns the name of the dataset this input stands in for.
+func (in Input) PaperName() string {
+	switch in {
+	case InputGrid:
+		return "2d-2e20.sym"
+	case InputCoPaper:
+		return "coPapersDBLP"
+	case InputRMAT:
+		return "rmat22.sym"
+	case InputSocial:
+		return "soc-LiveJournal1"
+	case InputRoad:
+		return "USA-road-d.NY"
+	}
+	return "unknown"
+}
+
+// suiteSeed fixes the generator seed so the whole study is reproducible.
+const suiteSeed = 23
+
+// Generate builds the given input at the given scale.
+func Generate(in Input, s Scale) *graph.Graph {
+	switch in {
+	case InputGrid:
+		side := []int32{20, 64, 192, 512}[s]
+		return Grid2D(side, side, suiteSeed)
+	case InputCoPaper:
+		n := []int32{300, 2000, 12000, 64000}[s]
+		// ~2.3 papers per author keeps avg directed degree near 56.
+		return CoPaper(n, int(n)*23/10, suiteSeed+1)
+	case InputRMAT:
+		scale := []uint{8, 12, 15, 18}[s]
+		return RMAT(scale, 8, suiteSeed+2)
+	case InputSocial:
+		n := []int32{400, 4000, 32000, 256000}[s]
+		return Social(n, 9, suiteSeed+3)
+	case InputRoad:
+		w := []int32{24, 80, 224, 640}[s]
+		return Road(w, w/2, suiteSeed+4)
+	}
+	panic("gen.Generate: unknown input")
+}
+
+// Suite generates all five study inputs at the given scale, in the
+// fixed order of the Input constants.
+func Suite(s Scale) []*graph.Graph {
+	gs := make([]*graph.Graph, NumInputs)
+	for in := Input(0); in < NumInputs; in++ {
+		gs[in] = Generate(in, s)
+	}
+	return gs
+}

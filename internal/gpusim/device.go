@@ -1,0 +1,201 @@
+package gpusim
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Device is one simulated GPU: a profile, a fake global address space
+// for coalescing/caching, and the L2 tag store. A Device may run many
+// kernels; allocate arrays once and launch repeatedly.
+type Device struct {
+	Prof Profile
+
+	nextAddr uint64
+	l2       []atomic.Uint64 // direct-mapped segment tags; tag 0 = empty
+	l2Mask   uint64
+	// atomTable counts same-address atomic pressure per launch (hashed,
+	// collisions merge conservatively); the busiest address's count
+	// extends the kernel's critical path by AtomicSerialCost each.
+	atomTable []atomic.Int64
+}
+
+// New creates a device with the given profile.
+func New(p Profile) *Device {
+	segs := uint64(p.L2Bytes) / segBytes
+	// Round down to a power of two for cheap indexing.
+	for segs&(segs-1) != 0 {
+		segs &= segs - 1
+	}
+	if segs == 0 {
+		segs = 1
+	}
+	d := &Device{Prof: p, nextAddr: segBytes}
+	d.l2 = make([]atomic.Uint64, segs)
+	d.l2Mask = segs - 1
+	d.atomTable = make([]atomic.Int64, 1<<12)
+	return d
+}
+
+// atomHit records weight units of atomic pressure on addr (CudaAtomics
+// weigh CudaAtomicFactor because their seq_cst system-scope RMWs hold
+// the L2 atomic unit far longer).
+func (d *Device) atomHit(addr uint64, weight int64) {
+	h := addr * 0x9e3779b97f4a7c15 >> 52 // top 12 bits
+	d.atomTable[h].Add(weight)
+}
+
+// drainAtomics returns the launch's maximum same-address atomic
+// pressure and resets the table.
+func (d *Device) drainAtomics() int64 {
+	var max int64
+	for i := range d.atomTable {
+		if c := d.atomTable[i].Load(); c != 0 {
+			if c > max {
+				max = c
+			}
+			d.atomTable[i].Store(0)
+		}
+	}
+	if max > 0 {
+		max-- // the first atomic is already charged in-line
+	}
+	return max
+}
+
+// FlushL2 invalidates the cache model (used between independent runs so
+// timings do not leak across experiments).
+func (d *Device) FlushL2() {
+	for i := range d.l2 {
+		d.l2[i].Store(0)
+	}
+}
+
+// access charges one global-memory transaction for the segment holding
+// addr and returns its cycle cost. The tag store is updated with atomic
+// operations; cross-block races just perturb hit rates, as on hardware.
+func (d *Device) access(addr uint64) int64 {
+	seg := addr / segBytes
+	slot := &d.l2[seg&d.l2Mask]
+	if slot.Load() == seg {
+		return d.Prof.L2HitCost
+	}
+	slot.Store(seg)
+	return d.Prof.DRAMCost
+}
+
+// transactions charges one transaction per distinct segment among the
+// given addresses (the coalescing rule) and returns the total cost.
+// Addresses of one warp access are contiguous in our vector ops, so a
+// tiny fixed-size scan suffices.
+func (d *Device) transactions(lo, hi uint64) int64 {
+	var cost int64
+	for seg := lo / segBytes; seg <= (hi-1)/segBytes; seg++ {
+		cost += d.access(seg * segBytes)
+	}
+	return cost
+}
+
+func (d *Device) alloc(bytes int64) uint64 {
+	base := d.nextAddr
+	d.nextAddr += uint64((bytes + segBytes - 1) / segBytes * segBytes)
+	return base
+}
+
+// I32 is a device array of int32.
+type I32 struct {
+	base uint64
+	data []int32
+}
+
+// AllocI32 allocates a zeroed device int32 array.
+func (d *Device) AllocI32(n int64) *I32 {
+	return &I32{base: d.alloc(n * 4), data: make([]int32, n)}
+}
+
+// Len returns the element count.
+func (a *I32) Len() int64 { return int64(len(a.data)) }
+
+// Host returns the backing storage for host-side initialization and
+// result readback (the cudaMemcpy analog). Host access during a running
+// kernel is undefined, as on hardware.
+func (a *I32) Host() []int32 { return a.data }
+
+func (a *I32) addr(i int64) uint64 { return a.base + uint64(i)*4 }
+
+// SwapI32 exchanges two device arrays (the host-side pointer swap used
+// by double-buffered kernels).
+func SwapI32(a, b *I32) {
+	a.base, b.base = b.base, a.base
+	a.data, b.data = b.data, a.data
+}
+
+// UploadI32 allocates a device array holding a copy of src.
+func (d *Device) UploadI32(src []int32) *I32 {
+	a := d.AllocI32(int64(len(src)))
+	copy(a.data, src)
+	return a
+}
+
+// I64 is a device array of int64 (used for CSR row offsets and count
+// accumulators).
+type I64 struct {
+	base uint64
+	data []int64
+}
+
+// AllocI64 allocates a zeroed device int64 array.
+func (d *Device) AllocI64(n int64) *I64 {
+	return &I64{base: d.alloc(n * 8), data: make([]int64, n)}
+}
+
+// Len returns the element count.
+func (a *I64) Len() int64 { return int64(len(a.data)) }
+
+// Host returns the backing storage (see I32.Host).
+func (a *I64) Host() []int64 { return a.data }
+
+func (a *I64) addr(i int64) uint64 { return a.base + uint64(i)*8 }
+
+// UploadI64 allocates a device array holding a copy of src.
+func (d *Device) UploadI64(src []int64) *I64 {
+	a := d.AllocI64(int64(len(src)))
+	copy(a.data, src)
+	return a
+}
+
+// F32 is a device array of float32, stored as bits so all accesses can
+// be atomic.
+type F32 struct {
+	base uint64
+	data []uint32
+}
+
+// AllocF32 allocates a zeroed device float32 array.
+func (d *Device) AllocF32(n int64) *F32 {
+	return &F32{base: d.alloc(n * 4), data: make([]uint32, n)}
+}
+
+// Len returns the element count.
+func (a *F32) Len() int64 { return int64(len(a.data)) }
+
+// HostGet / HostSet access one element from the host.
+func (a *F32) HostGet(i int64) float32    { return math.Float32frombits(a.data[i]) }
+func (a *F32) HostSet(i int64, v float32) { a.data[i] = math.Float32bits(v) }
+
+// HostSlice copies the array to a new host slice.
+func (a *F32) HostSlice() []float32 {
+	out := make([]float32, len(a.data))
+	for i := range a.data {
+		out[i] = math.Float32frombits(a.data[i])
+	}
+	return out
+}
+
+func (a *F32) addr(i int64) uint64 { return a.base + uint64(i)*4 }
+
+// String identifies the device in reports.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%d SMs, %.2f GHz)", d.Prof.Name, d.Prof.SMs, d.Prof.ClockGHz)
+}

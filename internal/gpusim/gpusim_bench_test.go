@@ -1,0 +1,56 @@
+package gpusim
+
+import "testing"
+
+func BenchmarkCoalescedLoadKernel(b *testing.B) {
+	d := New(RTXSim())
+	n := int64(1 << 18)
+	a := d.AllocI32(n)
+	cfg := LaunchCfg{Blocks: GridSize(n, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(cfg, func(w *Warp) {
+			base := w.Gidx(0)
+			if base >= n {
+				return
+			}
+			cnt := int(min64(32, n-base))
+			w.CoalLdI32(a, base, cnt)
+		})
+	}
+}
+
+func BenchmarkScatteredAtomicKernel(b *testing.B) {
+	d := New(RTXSim())
+	n := int64(1 << 16)
+	a := d.AllocI32(n)
+	cfg := LaunchCfg{Blocks: GridSize(n, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(cfg, func(w *Warp) {
+			for l := 0; l < WarpSize; l++ {
+				if idx := w.Gidx(l); idx < n {
+					w.AtomicMinI32(a, (idx*2654435761)%n, int32(idx))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBarrierKernel(b *testing.B) {
+	d := New(RTXSim())
+	n := int64(1 << 16)
+	out := d.AllocI64(1)
+	cfg := LaunchCfg{Blocks: GridSize(n, 256), NeedsBarrier: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Launch(cfg, func(w *Warp) {
+			s := w.SharedI64(0, 1)
+			w.BlockAtomicAddI64(s, 0, 1)
+			w.Sync()
+			if w.WarpInBlock == 0 {
+				w.AtomicAddI64(out, 0, w.SharedLdI64(s, 0))
+			}
+		})
+	}
+}

@@ -1,0 +1,285 @@
+package gpusim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Kernel is a device kernel, written per warp: the function is invoked
+// once for every warp of the grid and iterates its lanes explicitly.
+type Kernel func(w *Warp)
+
+// LaunchCfg shapes one kernel launch.
+type LaunchCfg struct {
+	// Blocks is the grid size.
+	Blocks int64
+	// ThreadsPerBlock must be a multiple of 32; 0 means 256.
+	ThreadsPerBlock int
+	// NeedsBarrier must be set when the kernel calls Warp.Sync. Barrier
+	// kernels run their block's warps concurrently; others run them
+	// sequentially (cheaper to simulate).
+	NeedsBarrier bool
+}
+
+// Stats reports one launch's simulated cost and event counts.
+type Stats struct {
+	// Cycles is the kernel's duration: the busiest SM's cycle count
+	// plus launch overhead.
+	Cycles int64
+	// Instructions counts issued warp instructions.
+	Instructions int64
+	// Transactions counts global-memory transactions.
+	Transactions int64
+	// L2Hits / L2Misses classify the transactions.
+	L2Hits   int64
+	L2Misses int64
+	// Atomics counts atomic operations (classic and CudaAtomic).
+	Atomics int64
+	// AtomicSerial is the cycles added to the critical path by
+	// same-address atomic serialization.
+	AtomicSerial int64
+}
+
+// Add accumulates other into s (for multi-launch algorithms).
+func (s *Stats) Add(other Stats) {
+	s.Cycles += other.Cycles
+	s.Instructions += other.Instructions
+	s.Transactions += other.Transactions
+	s.L2Hits += other.L2Hits
+	s.L2Misses += other.L2Misses
+	s.Atomics += other.Atomics
+	s.AtomicSerial += other.AtomicSerial
+}
+
+// Seconds converts the simulated cycles to seconds on profile p.
+func (s Stats) Seconds(p Profile) float64 {
+	return float64(s.Cycles) / (p.ClockGHz * 1e9)
+}
+
+// Launch executes the kernel over the grid and returns its simulated
+// cost. Execution is functional: all global-memory operations use host
+// atomics, so results are exact; host parallelism only affects wall
+// time, not simulated time beyond cache-model perturbation.
+func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
+	if cfg.ThreadsPerBlock == 0 {
+		cfg.ThreadsPerBlock = 256
+	}
+	if cfg.ThreadsPerBlock%WarpSize != 0 || cfg.ThreadsPerBlock <= 0 || cfg.ThreadsPerBlock > 1024 {
+		panic(fmt.Sprintf("gpusim.Launch: bad ThreadsPerBlock %d", cfg.ThreadsPerBlock))
+	}
+	if cfg.Blocks <= 0 {
+		panic(fmt.Sprintf("gpusim.Launch: bad grid size %d", cfg.Blocks))
+	}
+	warpsPerBlock := cfg.ThreadsPerBlock / WarpSize
+
+	smCycles := make([]int64, d.Prof.SMs)
+	var smMu sync.Mutex
+	var total Stats
+
+	var nextBlock atomic.Int64
+	var panicked atomic.Value
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > cfg.Blocks {
+		workers = int(cfg.Blocks)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer wg.Done()
+			// Kernel panics surface on the launching goroutine, like a
+			// CUDA error on the host thread.
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+					nextBlock.Store(cfg.Blocks) // stop other workers
+				}
+			}()
+			var local Stats
+			localSM := make([]int64, d.Prof.SMs)
+			for {
+				bi := nextBlock.Add(1) - 1
+				if bi >= cfg.Blocks {
+					break
+				}
+				blockCycles := d.runBlock(cfg, k, bi, warpsPerBlock, &local)
+				localSM[bi%int64(d.Prof.SMs)] += blockCycles + d.Prof.BlockOverhead
+			}
+			smMu.Lock()
+			total.Add(local)
+			for i, c := range localSM {
+				smCycles[i] += c
+			}
+			smMu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+
+	var maxSM int64
+	for _, c := range smCycles {
+		if c > maxSM {
+			maxSM = c
+		}
+	}
+	// Same-address atomics serialize at the L2 atomic unit: the busiest
+	// address's queue is a lower bound on the kernel's duration no
+	// matter how many SMs are working.
+	serial := d.drainAtomics() * d.Prof.AtomicSerialCost
+	total.AtomicSerial = serial
+	total.Cycles = maxSM + serial + d.Prof.LaunchOverhead
+	return total
+}
+
+// runBlock executes one block's warps and returns the block's cycle
+// count (the slowest warp).
+func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock int, agg *Stats) int64 {
+	blk := &block{shared: make(map[int]any)}
+	warps := make([]*Warp, warpsPerBlock)
+	for wi := range warps {
+		warps[wi] = &Warp{
+			d:           d,
+			blk:         blk,
+			WarpInBlock: wi,
+			BlockIdx:    blockIdx,
+			BlockDim:    cfg.ThreadsPerBlock,
+			GridDim:     cfg.Blocks,
+		}
+	}
+	if !cfg.NeedsBarrier {
+		var maxCycles int64
+		for _, w := range warps {
+			k(w)
+			agg.Add(w.stats)
+			if w.cycles > maxCycles {
+				maxCycles = w.cycles
+			}
+		}
+		return maxCycles + blk.sharedSerial(d)
+	}
+	// Barrier kernels: warps run concurrently and rendezvous in Sync.
+	blk.barrier = newBarrier(warpsPerBlock)
+	var wg sync.WaitGroup
+	wg.Add(warpsPerBlock)
+	var mu sync.Mutex
+	var maxCycles int64
+	var panicked atomic.Value
+	for _, w := range warps {
+		go func(w *Warp) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, r)
+					blk.barrier.abort()
+				}
+			}()
+			k(w)
+			mu.Lock()
+			agg.Add(w.stats)
+			if w.cycles > maxCycles {
+				maxCycles = w.cycles
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+	return maxCycles + blk.sharedSerial(d)
+}
+
+// sharedSerial is the block-critical-path cost of its shared atomics.
+func (b *block) sharedSerial(d *Device) int64 {
+	n := b.sharedAtomics.Load()
+	if n <= 1 {
+		return 0
+	}
+	return (n - 1) * d.Prof.SharedSerialCost
+}
+
+// block is the per-block state: shared memory and the barrier.
+type block struct {
+	mu      sync.Mutex
+	shared  map[int]any
+	barrier *barrier
+	// sharedAtomics counts the block's shared-memory atomic operations;
+	// they serialize on the block's critical path (SharedSerialCost).
+	sharedAtomics atomic.Int64
+}
+
+// barrier synchronizes a block's warps and aligns their cycle counters
+// to the slowest participant, like __syncthreads.
+type barrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	maxCyc int64
+	broken bool
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive and returns the maximum
+// cycle count among them.
+func (b *barrier) wait(cycles int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic("gpusim: barrier aborted by a panicking warp")
+	}
+	if cycles > b.maxCyc {
+		b.maxCyc = cycles
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.maxCyc
+	}
+	gen := b.gen
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic("gpusim: barrier aborted by a panicking warp")
+	}
+	return b.maxCyc
+}
+
+// abort releases all waiters after a warp panicked, so the block does
+// not deadlock; released waiters panic in turn.
+func (b *barrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// GridSize returns the block count needed for n items with the given
+// items-per-block coverage: itemsPerBlock is ThreadsPerBlock for
+// thread-granularity kernels, warps-per-block for warp granularity, and
+// 1 for block granularity.
+func GridSize(n int64, itemsPerBlock int64) int64 {
+	if n <= 0 {
+		return 1
+	}
+	return (n + itemsPerBlock - 1) / itemsPerBlock
+}
+
+// PersistentGrid returns the grid size of the persistent style: enough
+// blocks to fill every SM at the profile's residency (§2.7).
+func (d *Device) PersistentGrid() int64 {
+	return int64(d.Prof.SMs * d.Prof.ResidentBlocks)
+}

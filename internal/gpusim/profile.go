@@ -1,0 +1,130 @@
+// Package gpusim is the CUDA substitute of the reproduction: a
+// functional SIMT GPU simulator. Kernels execute for real (results are
+// bit-accurate and verified against the serial references) while the
+// simulator accounts cycles for the mechanisms the paper's GPU findings
+// hinge on:
+//
+//   - warps of 32 lanes with lockstep divergence cost (§2.8),
+//   - global-memory coalescing (128-byte transactions per warp access),
+//   - an L2 cache model,
+//   - software-managed shared memory per block (§2.8/§2.10.1),
+//   - atomics, with the default libcu++ CudaAtomic paying system-scope
+//     seq_cst costs (§2.9) — including its load()/store() operations,
+//   - block barriers and warp reduction primitives (§2.10.1),
+//   - per-kernel launch overhead and block scheduling over SMs (§2.7).
+//
+// Two device profiles mirror the paper's RTX 3090 / Titan V pairing.
+package gpusim
+
+// WarpSize is the number of lanes per warp, as in CUDA.
+const WarpSize = 32
+
+// segBytes is the global-memory transaction (and L2 line) size.
+const segBytes = 128
+
+// Profile describes one simulated device: its shape and cycle costs.
+// Costs are in core cycles; they encode relative magnitudes (ALU vs L2
+// vs DRAM vs atomic RMW vs fenced system atomics), not any particular
+// silicon's latencies.
+type Profile struct {
+	Name string
+	// SMs is the number of streaming multiprocessors; blocks are
+	// assigned round-robin and SMs run their blocks sequentially.
+	SMs int
+	// ResidentBlocks is how many blocks per SM the persistent style
+	// launches (§2.7).
+	ResidentBlocks int
+	// ClockGHz converts cycles to seconds for throughput reporting.
+	ClockGHz float64
+	// L2Bytes is the capacity of the direct-mapped L2 cache model.
+	L2Bytes int64
+
+	// Issue is the cost of issuing one warp instruction.
+	Issue int64
+	// SharedCost is a shared-memory access (fast, on-chip).
+	SharedCost int64
+	// SharedAtomicCost is an atomicAdd_block on shared memory: pricier
+	// than a plain shared access (bank arbitration + RMW), which is why
+	// the block-add style cannot offset the global adds it saves
+	// (§5.9's finding that block-add tends to be slowest).
+	SharedAtomicCost int64
+	// SharedSerialCost extends a block's critical path per shared-memory
+	// atomic beyond the first: same-slot shared atomics from the block's
+	// warps serialize at the bank, no matter how many warps run.
+	SharedSerialCost int64
+	// L2HitCost / DRAMCost are per-transaction global memory costs.
+	L2HitCost int64
+	DRAMCost  int64
+	// AtomicCost is a classic device-scope relaxed atomic RMW.
+	AtomicCost int64
+	// AtomicSerialCost models L2 atomic-unit serialization: concurrent
+	// atomics to the same address cannot overlap, so the kernel's
+	// critical path grows by this many cycles per same-address atomic
+	// beyond the first (the mechanism that separates global-add from
+	// the block-add and reduction-add styles, §2.10.1).
+	AtomicSerialCost int64
+	// CudaAtomicFactor scales AtomicCost (and fenced load/store costs)
+	// for default libcu++ atomics: seq_cst ordering at system scope.
+	// The paper measured this gap at ~10x on the RTX 3090 and ~100x on
+	// the Titan V (Fig. 1), which is exactly what these factors encode.
+	CudaAtomicFactor int64
+	// SyncCost is a __syncthreads() block barrier.
+	SyncCost int64
+	// BlockOverhead is charged per block for scheduling it onto an SM.
+	BlockOverhead int64
+	// LaunchOverhead is charged once per kernel launch (plus host-side
+	// readback of the termination flag between iterations).
+	LaunchOverhead int64
+}
+
+// RTXSim mirrors the RTX 3090 (System 2): more SMs, a faster clock, a
+// bigger L2, and a modest CudaAtomic penalty.
+func RTXSim() Profile {
+	return Profile{
+		Name:             "rtx-sim",
+		SMs:              82,
+		ResidentBlocks:   6,
+		ClockGHz:         1.74,
+		L2Bytes:          6 << 20,
+		Issue:            4,
+		SharedCost:       8,
+		SharedAtomicCost: 28,
+		SharedSerialCost: 16,
+		L2HitCost:        40,
+		DRAMCost:         220,
+		AtomicCost:       60,
+		AtomicSerialCost: 8,
+		CudaAtomicFactor: 10,
+		SyncCost:         30,
+		BlockOverhead:    300,
+		LaunchOverhead:   9000,
+	}
+}
+
+// TitanSim mirrors the Titan V (System 1): slightly fewer SMs, a slower
+// clock, a smaller L2, and the order-of-magnitude-worse default
+// CudaAtomic behavior the paper observed on that part.
+func TitanSim() Profile {
+	return Profile{
+		Name:             "titan-sim",
+		SMs:              80,
+		ResidentBlocks:   6,
+		ClockGHz:         1.2,
+		L2Bytes:          9 << 19, // 4.5 MB
+		Issue:            4,
+		SharedCost:       8,
+		SharedAtomicCost: 30,
+		SharedSerialCost: 18,
+		L2HitCost:        44,
+		DRAMCost:         260,
+		AtomicCost:       66,
+		AtomicSerialCost: 10,
+		CudaAtomicFactor: 100,
+		SyncCost:         30,
+		BlockOverhead:    300,
+		LaunchOverhead:   8000,
+	}
+}
+
+// Profiles returns the two study devices in report order.
+func Profiles() []Profile { return []Profile{RTXSim(), TitanSim()} }

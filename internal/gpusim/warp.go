@@ -1,0 +1,448 @@
+package gpusim
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Warp is the execution context handed to kernels: one 32-lane warp,
+// with its position in the block and grid, its cycle counter, and the
+// device operation set. All global-memory operations are performed with
+// host atomics, so concurrently executing blocks are race-free.
+type Warp struct {
+	d           *Device
+	blk         *block
+	WarpInBlock int
+	BlockIdx    int64
+	BlockDim    int
+	GridDim     int64
+
+	cycles int64
+	stats  Stats
+}
+
+// Gidx returns the global thread index of the given lane, the paper's
+// "gidx" (threadIdx.x + blockIdx.x * blockDim.x).
+func (w *Warp) Gidx(lane int) int64 {
+	return w.BlockIdx*int64(w.BlockDim) + int64(w.WarpInBlock*WarpSize+lane)
+}
+
+// GlobalWarp returns this warp's index within the grid.
+func (w *Warp) GlobalWarp() int64 {
+	return w.BlockIdx*int64(w.BlockDim/WarpSize) + int64(w.WarpInBlock)
+}
+
+// TotalThreads returns the grid's thread count (for grid-stride loops).
+func (w *Warp) TotalThreads() int64 { return w.GridDim * int64(w.BlockDim) }
+
+// TotalWarps returns the grid's warp count.
+func (w *Warp) TotalWarps() int64 { return w.GridDim * int64(w.BlockDim/WarpSize) }
+
+// Cycles returns the warp's current cycle count (for tests).
+func (w *Warp) Cycles() int64 { return w.cycles }
+
+// Op charges n warp instructions of plain ALU work.
+func (w *Warp) Op(n int64) {
+	w.cycles += n * w.d.Prof.Issue
+	w.stats.Instructions += n
+}
+
+// charge accounts one memory transaction cost returned by the device.
+func (w *Warp) charge(cost int64) {
+	w.cycles += cost
+	w.stats.Transactions++
+	if cost >= w.d.Prof.DRAMCost {
+		w.stats.L2Misses++
+	} else {
+		w.stats.L2Hits++
+	}
+}
+
+// --- Scalar (single-lane, uncoalesced) global memory operations. ---
+
+// LdI32 loads a[i] as one lane's uncoalesced access: a full transaction.
+func (w *Warp) LdI32(a *I32, i int64) int32 {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.LoadInt32(&a.data[i])
+}
+
+// StI32 stores a[i] = v as one lane's uncoalesced access.
+func (w *Warp) StI32(a *I32, i int64, v int32) {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	atomic.StoreInt32(&a.data[i], v)
+}
+
+// LdI64 loads a[i] (uncoalesced).
+func (w *Warp) LdI64(a *I64, i int64) int64 {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.LoadInt64(&a.data[i])
+}
+
+// StI64 stores a[i] = v (uncoalesced).
+func (w *Warp) StI64(a *I64, i int64, v int64) {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	atomic.StoreInt64(&a.data[i], v)
+}
+
+// LdF32 loads a[i] (uncoalesced).
+func (w *Warp) LdF32(a *F32, i int64) float32 {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	return math.Float32frombits(atomic.LoadUint32(&a.data[i]))
+}
+
+// StF32 stores a[i] = v (uncoalesced).
+func (w *Warp) StF32(a *F32, i int64, v float32) {
+	w.Op(1)
+	w.charge(w.d.access(a.addr(i)))
+	atomic.StoreUint32(&a.data[i], math.Float32bits(v))
+}
+
+// --- Coalesced vector operations: the warp's lanes access the
+// contiguous range [base, base+count), which coalesces into
+// ceil(count*elemsize/128) transactions. ---
+
+// coalCharge charges the transactions of a contiguous byte range.
+func (w *Warp) coalCharge(lo, hi uint64) {
+	w.Op(1)
+	for seg := lo / segBytes; seg <= (hi-1)/segBytes; seg++ {
+		w.charge(w.d.access(seg * segBytes))
+	}
+}
+
+// CoalLdI32 loads a[base+lane] for lanes [0, count) in one coalesced
+// access.
+func (w *Warp) CoalLdI32(a *I32, base int64, count int) [WarpSize]int32 {
+	var out [WarpSize]int32
+	if count <= 0 {
+		return out
+	}
+	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	for l := 0; l < count; l++ {
+		out[l] = atomic.LoadInt32(&a.data[base+int64(l)])
+	}
+	return out
+}
+
+// CoalStI32 stores a[base+lane] = vals[lane] for lanes [0, count).
+func (w *Warp) CoalStI32(a *I32, base int64, count int, vals *[WarpSize]int32) {
+	if count <= 0 {
+		return
+	}
+	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	for l := 0; l < count; l++ {
+		atomic.StoreInt32(&a.data[base+int64(l)], vals[l])
+	}
+}
+
+// CoalLdI64 loads a[base+lane] for lanes [0, count) in one coalesced
+// access (two transactions per 32 lanes at 8 bytes each).
+func (w *Warp) CoalLdI64(a *I64, base int64, count int) [WarpSize]int64 {
+	var out [WarpSize]int64
+	if count <= 0 {
+		return out
+	}
+	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	for l := 0; l < count; l++ {
+		out[l] = atomic.LoadInt64(&a.data[base+int64(l)])
+	}
+	return out
+}
+
+// CoalLdF32 loads a[base+lane] for lanes [0, count).
+func (w *Warp) CoalLdF32(a *F32, base int64, count int) [WarpSize]float32 {
+	var out [WarpSize]float32
+	if count <= 0 {
+		return out
+	}
+	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	for l := 0; l < count; l++ {
+		out[l] = math.Float32frombits(atomic.LoadUint32(&a.data[base+int64(l)]))
+	}
+	return out
+}
+
+// CoalStF32 stores a[base+lane] = vals[lane] for lanes [0, count).
+func (w *Warp) CoalStF32(a *F32, base int64, count int, vals *[WarpSize]float32) {
+	if count <= 0 {
+		return
+	}
+	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	for l := 0; l < count; l++ {
+		atomic.StoreUint32(&a.data[base+int64(l)], math.Float32bits(vals[l]))
+	}
+}
+
+// --- Classic atomics: device scope, relaxed ordering (§2.9). ---
+
+func (w *Warp) atomCharge(addr uint64) {
+	w.Op(1)
+	w.cycles += w.d.Prof.AtomicCost
+	w.stats.Atomics++
+	w.d.atomHit(addr, 1)
+}
+
+// AtomicMinI32 atomically lowers a[i] to v and returns the old value.
+func (w *Warp) AtomicMinI32(a *I32, i int64, v int32) int32 {
+	w.atomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return casMinI32(&a.data[i], v)
+}
+
+// AtomicMaxI32 atomically raises a[i] to v and returns the old value.
+func (w *Warp) AtomicMaxI32(a *I32, i int64, v int32) int32 {
+	w.atomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return casMaxI32(&a.data[i], v)
+}
+
+// AtomicAddI32 atomically adds v to a[i] and returns the old value.
+func (w *Warp) AtomicAddI32(a *I32, i int64, v int32) int32 {
+	w.atomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.AddInt32(&a.data[i], v) - v
+}
+
+// AtomicAddI64 atomically adds v to a[i] and returns the old value.
+func (w *Warp) AtomicAddI64(a *I64, i int64, v int64) int64 {
+	w.atomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.AddInt64(&a.data[i], v) - v
+}
+
+// AtomicAddF32 atomically adds v to a[i].
+func (w *Warp) AtomicAddF32(a *F32, i int64, v float32) {
+	w.atomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	casAddF32(&a.data[i], v)
+}
+
+// --- Default libcu++ CudaAtomics: system scope, seq_cst (§2.9). The
+// factor-scaled cost applies to the RMW operations and to load()/
+// store(), which is why codes that read and write shared data through
+// cuda::atomic slow down so much more than ones that only atomicAdd. ---
+
+func (w *Warp) cudaAtomCharge(addr uint64) {
+	w.Op(1)
+	w.cycles += w.d.Prof.AtomicCost * w.d.Prof.CudaAtomicFactor
+	w.stats.Atomics++
+	w.d.atomHit(addr, w.d.Prof.CudaAtomicFactor)
+}
+
+// CudaAtomicMinI32 is AtomicMinI32 through a default cuda::atomic.
+func (w *Warp) CudaAtomicMinI32(a *I32, i int64, v int32) int32 {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return casMinI32(&a.data[i], v)
+}
+
+// CudaAtomicMaxI32 is AtomicMaxI32 through a default cuda::atomic.
+func (w *Warp) CudaAtomicMaxI32(a *I32, i int64, v int32) int32 {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return casMaxI32(&a.data[i], v)
+}
+
+// CudaAtomicAddI32 is AtomicAddI32 through a default cuda::atomic.
+func (w *Warp) CudaAtomicAddI32(a *I32, i int64, v int32) int32 {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.AddInt32(&a.data[i], v) - v
+}
+
+// CudaAtomicAddI64 is AtomicAddI64 through a default cuda::atomic.
+func (w *Warp) CudaAtomicAddI64(a *I64, i int64, v int64) int64 {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.AddInt64(&a.data[i], v) - v
+}
+
+// CudaLdI32 is a cuda::atomic load() with default (seq_cst) ordering.
+func (w *Warp) CudaLdI32(a *I32, i int64) int32 {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	return atomic.LoadInt32(&a.data[i])
+}
+
+// CudaStI32 is a cuda::atomic store() with default (seq_cst) ordering.
+func (w *Warp) CudaStI32(a *I32, i int64, v int32) {
+	w.cudaAtomCharge(a.addr(i))
+	w.charge(w.d.access(a.addr(i)))
+	atomic.StoreInt32(&a.data[i], v)
+}
+
+// --- Warp primitives. ---
+
+// shuffleSteps is the log2(WarpSize) butterfly depth of a warp
+// reduction.
+const shuffleSteps = 5
+
+// WarpReduceAddI64 sums the lanes' values with shuffle operations.
+func (w *Warp) WarpReduceAddI64(vals *[WarpSize]int64) int64 {
+	w.Op(shuffleSteps)
+	var sum int64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// WarpReduceAddF32 sums the lanes' values with shuffle operations.
+func (w *Warp) WarpReduceAddF32(vals *[WarpSize]float32) float32 {
+	w.Op(shuffleSteps)
+	var sum float32
+	for _, v := range vals {
+		sum += v
+	}
+	return sum
+}
+
+// WarpReduceMinI64 returns the lanes' minimum with shuffle operations.
+func (w *Warp) WarpReduceMinI64(vals *[WarpSize]int64) int64 {
+	w.Op(shuffleSteps)
+	min := vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// DivergentRanges charges the lockstep cost of the thread-granularity
+// inner loop: lanes own ranges [beg[l], end[l]) and the warp executes
+// max-length steps (§2.8), then runs body per lane and element. Memory
+// operations inside body charge themselves.
+func (w *Warp) DivergentRanges(count int, beg, end *[WarpSize]int64, opsPerStep int64, body func(lane int, e int64)) {
+	var maxLen int64
+	for l := 0; l < count; l++ {
+		if n := end[l] - beg[l]; n > maxLen {
+			maxLen = n
+		}
+	}
+	w.Op(maxLen * opsPerStep)
+	for l := 0; l < count; l++ {
+		for e := beg[l]; e < end[l]; e++ {
+			body(l, e)
+		}
+	}
+}
+
+// --- Shared memory and block-scope operations. ---
+
+// SharedI64 returns the block's shared int64 array registered under
+// tag, allocating it on first use. Access costs are charged per call
+// site by the block atomic helpers.
+func (w *Warp) SharedI64(tag int, n int) []int64 {
+	w.blk.mu.Lock()
+	defer w.blk.mu.Unlock()
+	if s, ok := w.blk.shared[tag]; ok {
+		return s.([]int64)
+	}
+	s := make([]int64, n)
+	w.blk.shared[tag] = s
+	return s
+}
+
+// SharedU32 returns the block's shared uint32 array (float bits or
+// plain words) registered under tag.
+func (w *Warp) SharedU32(tag int, n int) []uint32 {
+	w.blk.mu.Lock()
+	defer w.blk.mu.Unlock()
+	if s, ok := w.blk.shared[tag]; ok {
+		return s.([]uint32)
+	}
+	s := make([]uint32, n)
+	w.blk.shared[tag] = s
+	return s
+}
+
+// BlockAtomicAddI64 is an atomicAdd_block on shared memory: block
+// scope, but an arbitrated RMW rather than a plain access (§2.10.1,
+// Listing 10b).
+func (w *Warp) BlockAtomicAddI64(s []int64, i int, v int64) int64 {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedAtomicCost
+	w.blk.sharedAtomics.Add(1)
+	return atomic.AddInt64(&s[i], v) - v
+}
+
+// BlockAtomicAddF32 is an atomicAdd_block on shared float32 bits.
+func (w *Warp) BlockAtomicAddF32(s []uint32, i int, v float32) {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedAtomicCost
+	w.blk.sharedAtomics.Add(1)
+	casAddF32(&s[i], v)
+}
+
+// SharedLdI64 reads shared memory (cheap, on-chip).
+func (w *Warp) SharedLdI64(s []int64, i int) int64 {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedCost
+	return atomic.LoadInt64(&s[i])
+}
+
+// SharedLdF32 reads shared float32 bits.
+func (w *Warp) SharedLdF32(s []uint32, i int) float32 {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedCost
+	return math.Float32frombits(atomic.LoadUint32(&s[i]))
+}
+
+// StSharedF32 writes shared float32 bits.
+func (w *Warp) StSharedF32(s []uint32, i int, v float32) {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedCost
+	atomic.StoreUint32(&s[i], math.Float32bits(v))
+}
+
+// StSharedI64 writes shared memory.
+func (w *Warp) StSharedI64(s []int64, i int, v int64) {
+	w.Op(1)
+	w.cycles += w.d.Prof.SharedCost
+	atomic.StoreInt64(&s[i], v)
+}
+
+// Sync is __syncthreads(): all warps of the block rendezvous and their
+// cycle counters align to the slowest. The launch must set NeedsBarrier.
+func (w *Warp) Sync() {
+	if w.blk.barrier == nil {
+		panic("gpusim: Sync called in a launch without NeedsBarrier")
+	}
+	w.cycles += w.d.Prof.SyncCost
+	w.cycles = w.blk.barrier.wait(w.cycles)
+}
+
+// --- CAS helpers over the raw storage. ---
+
+func casMinI32(p *int32, v int32) int32 {
+	for {
+		old := atomic.LoadInt32(p)
+		if old <= v || atomic.CompareAndSwapInt32(p, old, v) {
+			return old
+		}
+	}
+}
+
+func casMaxI32(p *int32, v int32) int32 {
+	for {
+		old := atomic.LoadInt32(p)
+		if old >= v || atomic.CompareAndSwapInt32(p, old, v) {
+			return old
+		}
+	}
+}
+
+func casAddF32(p *uint32, v float32) {
+	for {
+		old := atomic.LoadUint32(p)
+		nv := math.Float32bits(math.Float32frombits(old) + v)
+		if atomic.CompareAndSwapUint32(p, old, nv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected weighted edges and produces a Graph.
+// Duplicate edges are collapsed (keeping the smallest weight) and
+// self-loops are dropped, matching the conventions of the paper's input
+// preparation: each undirected edge becomes two directed edges.
+type Builder struct {
+	name string
+	n    int32
+	src  []int32
+	dst  []int32
+	w    []int32
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(name string, n int32) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("graph.NewBuilder: negative vertex count %d", n))
+	}
+	return &Builder{name: name, n: n}
+}
+
+// AddEdge records the undirected edge {u, v} with the given weight.
+// Self-loops are ignored. Vertices must be in range.
+func (b *Builder) AddEdge(u, v, weight int32) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph.Builder.AddEdge: edge {%d,%d} out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.src = append(b.src, u)
+	b.dst = append(b.dst, v)
+	b.w = append(b.w, weight)
+}
+
+// NumEdgesAdded returns the number of AddEdge calls retained so far
+// (before dedup).
+func (b *Builder) NumEdgesAdded() int { return len(b.src) }
+
+// Build produces the CSR+COO graph. The builder may be reused afterwards.
+func (b *Builder) Build() *Graph {
+	type dedge struct {
+		u, v, w int32
+	}
+	// Symmetrize: both directions of every undirected edge.
+	edges := make([]dedge, 0, 2*len(b.src))
+	for i := range b.src {
+		edges = append(edges,
+			dedge{b.src[i], b.dst[i], b.w[i]},
+			dedge{b.dst[i], b.src[i], b.w[i]})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].u != edges[j].u {
+			return edges[i].u < edges[j].u
+		}
+		if edges[i].v != edges[j].v {
+			return edges[i].v < edges[j].v
+		}
+		return edges[i].w < edges[j].w
+	})
+	// Dedup, keeping the smallest weight per directed edge.
+	out := edges[:0]
+	for _, e := range edges {
+		if len(out) > 0 && out[len(out)-1].u == e.u && out[len(out)-1].v == e.v {
+			continue
+		}
+		out = append(out, e)
+	}
+	edges = out
+
+	m := int64(len(edges))
+	g := &Graph{
+		Name:    b.name,
+		N:       b.n,
+		NbrIdx:  make([]int64, b.n+1),
+		NbrList: make([]int32, m),
+		Weights: make([]int32, m),
+		Src:     make([]int32, m),
+		Dst:     make([]int32, m),
+	}
+	for i, e := range edges {
+		g.NbrIdx[e.u+1]++
+		g.NbrList[i] = e.v
+		g.Weights[i] = e.w
+		g.Src[i] = e.u
+		g.Dst[i] = e.v
+	}
+	for v := int32(0); v < b.n; v++ {
+		g.NbrIdx[v+1] += g.NbrIdx[v]
+	}
+	return g
+}
+
+// FromEdges is a convenience constructor: it builds a graph from parallel
+// u/v/weight slices.
+func FromEdges(name string, n int32, u, v, w []int32) *Graph {
+	if len(u) != len(v) || len(u) != len(w) {
+		panic("graph.FromEdges: slice lengths disagree")
+	}
+	b := NewBuilder(name, n)
+	for i := range u {
+		b.AddEdge(u[i], v[i], w[i])
+	}
+	return b.Build()
+}

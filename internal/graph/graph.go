@@ -1,0 +1,150 @@
+// Package graph provides the input substrate of the study: compressed
+// sparse row (CSR) and coordinate (COO) representations of undirected
+// weighted graphs, exactly as used by the paper's vertex-based and
+// edge-based code variants (§4.2). Every undirected edge is stored as two
+// directed edges in both formats.
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected weighted graph stored simultaneously in CSR form
+// (for vertex-based variants) and COO form (for edge-based variants).
+// Directed edge i is the same edge in both forms: COO Src[i]/Dst[i]
+// corresponds to CSR slot i, so Weights is shared.
+//
+// Vertex ids are int32 and weights are int32, matching the 32-bit data
+// type configuration the paper evaluates (§4.1).
+type Graph struct {
+	// Name identifies the input (e.g. "road-ny-sim") in reports.
+	Name string
+
+	// N is the number of vertices.
+	N int32
+
+	// CSR: the neighbors of vertex v are NbrList[NbrIdx[v]:NbrIdx[v+1]],
+	// sorted ascending, with parallel edge weights in Weights.
+	NbrIdx  []int64
+	NbrList []int32
+	Weights []int32
+
+	// COO: directed edge i is Src[i] -> Dst[i] with weight Weights[i].
+	Src []int32
+	Dst []int32
+}
+
+// M returns the number of directed edges (twice the undirected edge count).
+func (g *Graph) M() int64 { return int64(len(g.NbrList)) }
+
+// Degree returns the out-degree of vertex v.
+func (g *Graph) Degree(v int32) int64 { return g.NbrIdx[v+1] - g.NbrIdx[v] }
+
+// Neighbors returns the sorted neighbor slice of v. The slice aliases the
+// graph's storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.NbrList[g.NbrIdx[v]:g.NbrIdx[v+1]]
+}
+
+// EdgeWeights returns the weights parallel to Neighbors(v). The slice
+// aliases the graph's storage and must not be modified.
+func (g *Graph) EdgeWeights(v int32) []int32 {
+	return g.Weights[g.NbrIdx[v]:g.NbrIdx[v+1]]
+}
+
+// HasEdge reports whether the directed edge u->v exists, by binary search
+// over u's sorted neighbor list.
+func (g *Graph) HasEdge(u, v int32) bool {
+	lo, hi := g.NbrIdx[u], g.NbrIdx[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.NbrList[mid] < v:
+			lo = mid + 1
+		case g.NbrList[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// SizeMB estimates the in-memory footprint of the CSR+COO representation
+// in megabytes, mirroring the "Size (MB)" column of paper Table 4.
+func (g *Graph) SizeMB() float64 {
+	bytes := int64(len(g.NbrIdx))*8 +
+		int64(len(g.NbrList)+len(g.Weights)+len(g.Src)+len(g.Dst))*4
+	return float64(bytes) / (1024 * 1024)
+}
+
+// String summarizes the graph for reports.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d m=%d}", g.Name, g.N, g.M())
+}
+
+// Validate checks structural invariants of both representations and the
+// undirected-symmetry property. It is used by tests and the builder.
+func (g *Graph) Validate() error {
+	if int64(len(g.NbrIdx)) != int64(g.N)+1 {
+		return fmt.Errorf("graph %s: len(NbrIdx)=%d, want %d", g.Name, len(g.NbrIdx), g.N+1)
+	}
+	m := g.M()
+	if g.NbrIdx[0] != 0 || g.NbrIdx[g.N] != m {
+		return fmt.Errorf("graph %s: NbrIdx bounds [%d,%d], want [0,%d]", g.Name, g.NbrIdx[0], g.NbrIdx[g.N], m)
+	}
+	if int64(len(g.Weights)) != m || int64(len(g.Src)) != m || int64(len(g.Dst)) != m {
+		return fmt.Errorf("graph %s: parallel array lengths disagree with m=%d", g.Name, m)
+	}
+	for v := int32(0); v < g.N; v++ {
+		beg, end := g.NbrIdx[v], g.NbrIdx[v+1]
+		if beg > end {
+			return fmt.Errorf("graph %s: NbrIdx not monotone at v=%d", g.Name, v)
+		}
+		for i := beg; i < end; i++ {
+			u := g.NbrList[i]
+			if u < 0 || u >= g.N {
+				return fmt.Errorf("graph %s: neighbor %d of %d out of range", g.Name, u, v)
+			}
+			if i > beg && g.NbrList[i-1] >= u {
+				return fmt.Errorf("graph %s: neighbors of %d not strictly sorted", g.Name, v)
+			}
+			if g.Src[i] != v || g.Dst[i] != u {
+				return fmt.Errorf("graph %s: COO edge %d is %d->%d, CSR says %d->%d", g.Name, i, g.Src[i], g.Dst[i], v, u)
+			}
+		}
+	}
+	// Symmetry: every directed edge has a reverse with the same weight.
+	for i := int64(0); i < m; i++ {
+		u, v := g.Src[i], g.Dst[i]
+		if w, ok := g.weight(v, u); !ok {
+			return fmt.Errorf("graph %s: edge %d->%d has no reverse", g.Name, u, v)
+		} else if w != g.Weights[i] {
+			return fmt.Errorf("graph %s: edge %d->%d weight %d, reverse %d", g.Name, u, v, g.Weights[i], w)
+		}
+	}
+	return nil
+}
+
+// weight returns the weight of directed edge u->v if it exists.
+func (g *Graph) weight(u, v int32) (int32, bool) {
+	lo, hi := g.NbrIdx[u], g.NbrIdx[u+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case g.NbrList[mid] < v:
+			lo = mid + 1
+		case g.NbrList[mid] > v:
+			hi = mid
+		default:
+			return g.Weights[mid], true
+		}
+	}
+	return 0, false
+}
+
+// Inf is the "unreached" distance value used by BFS and SSSP variants.
+// It is far below math.MaxInt32 so that Inf+weight cannot overflow int32
+// for any weight the generators produce.
+const Inf int32 = math.MaxInt32 / 2

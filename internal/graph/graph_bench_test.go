@@ -1,0 +1,63 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchGraph(b *testing.B) *Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(7))
+	bu := NewBuilder("bench", 1<<14)
+	for i := 0; i < 1<<17; i++ {
+		bu.AddEdge(rng.Int31n(1<<14), rng.Int31n(1<<14), rng.Int31n(255)+1)
+	}
+	return bu.Build()
+}
+
+func BenchmarkBuilderBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	type e struct{ u, v, w int32 }
+	edges := make([]e, 1<<16)
+	for i := range edges {
+		edges[i] = e{rng.Int31n(1 << 13), rng.Int31n(1 << 13), 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bu := NewBuilder("b", 1<<13)
+		for _, ed := range edges {
+			bu.AddEdge(ed.u, ed.v, ed.w)
+		}
+		bu.Build()
+	}
+}
+
+func BenchmarkNeighborScan(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		for v := int32(0); v < g.N; v++ {
+			for _, u := range g.Neighbors(v) {
+				sink += int64(u)
+			}
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkEstimateDiameter(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateDiameter(g)
+	}
+}
+
+func BenchmarkHasEdge(b *testing.B) {
+	g := benchGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.HasEdge(int32(i)%g.N, int32(i*7)%g.N)
+	}
+}

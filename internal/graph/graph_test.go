@@ -1,0 +1,299 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// path builds the path graph 0-1-2-...-(n-1) with unit weights.
+func path(n int32) *Graph {
+	b := NewBuilder("path", n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	return b.Build()
+}
+
+// k4 builds the complete graph on 4 vertices with weight u+v+1.
+func k4() *Graph {
+	b := NewBuilder("k4", 4)
+	for u := int32(0); u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			b.AddEdge(u, v, u+v+1)
+		}
+	}
+	return b.Build()
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := k4()
+	if g.N != 4 {
+		t.Fatalf("N = %d, want 4", g.N)
+	}
+	if g.M() != 12 {
+		t.Fatalf("M = %d, want 12 (6 undirected edges doubled)", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 4; v++ {
+		if d := g.Degree(v); d != 3 {
+			t.Errorf("Degree(%d) = %d, want 3", v, d)
+		}
+	}
+}
+
+func TestBuilderDropsSelfLoops(t *testing.T) {
+	b := NewBuilder("loops", 3)
+	b.AddEdge(0, 0, 5)
+	b.AddEdge(1, 1, 5)
+	b.AddEdge(0, 1, 2)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderDedupKeepsMinWeight(t *testing.T) {
+	b := NewBuilder("dup", 2)
+	b.AddEdge(0, 1, 7)
+	b.AddEdge(1, 0, 3)
+	b.AddEdge(0, 1, 9)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	if w, ok := g.weight(0, 1); !ok || w != 3 {
+		t.Fatalf("weight(0,1) = %d,%v, want 3,true", w, ok)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderEmptyGraph(t *testing.T) {
+	g := NewBuilder("empty", 5).Build()
+	if g.N != 5 || g.M() != 0 {
+		t.Fatalf("got n=%d m=%d, want 5, 0", g.N, g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddEdge out of range did not panic")
+		}
+	}()
+	NewBuilder("bad", 2).AddEdge(0, 2, 1)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := path(5)
+	cases := []struct {
+		u, v int32
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {0, 2, false},
+		{3, 4, true}, {4, 3, true}, {0, 4, false}, {2, 2, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCOOMatchesCSR(t *testing.T) {
+	g := k4()
+	for v := int32(0); v < g.N; v++ {
+		for i := g.NbrIdx[v]; i < g.NbrIdx[v+1]; i++ {
+			if g.Src[i] != v || g.Dst[i] != g.NbrList[i] {
+				t.Fatalf("COO edge %d mismatch", i)
+			}
+		}
+	}
+}
+
+// randomGraph builds a deterministic pseudo-random graph for property tests.
+func randomGraph(seed int64, n int32, edges int) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("rand", n)
+	for i := 0; i < edges; i++ {
+		b.AddEdge(rng.Int31n(n), rng.Int31n(n), rng.Int31n(100)+1)
+	}
+	return b.Build()
+}
+
+func TestQuickBuilderInvariants(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawE uint8) bool {
+		n := int32(rawN%40) + 2
+		g := randomGraph(seed, n, int(rawE))
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDegreeSumEqualsM(t *testing.T) {
+	f := func(seed int64, rawN uint8, rawE uint8) bool {
+		n := int32(rawN%40) + 2
+		g := randomGraph(seed, n, int(rawE))
+		var sum int64
+		for v := int32(0); v < g.N; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsPath(t *testing.T) {
+	g := path(10)
+	s := ComputeStats(g)
+	if s.Vertices != 10 || s.Edges != 18 {
+		t.Fatalf("got n=%d m=%d, want 10, 18", s.Vertices, s.Edges)
+	}
+	if s.MaxDegree != 2 {
+		t.Errorf("MaxDegree = %d, want 2", s.MaxDegree)
+	}
+	if s.Diameter != 9 {
+		t.Errorf("Diameter = %d, want 9", s.Diameter)
+	}
+	if s.PctDeg32 != 0 || s.PctDeg512 != 0 {
+		t.Errorf("degree percentages nonzero: %v %v", s.PctDeg32, s.PctDeg512)
+	}
+	wantAvg := 1.8
+	if s.AvgDegree != wantAvg {
+		t.Errorf("AvgDegree = %v, want %v", s.AvgDegree, wantAvg)
+	}
+}
+
+func TestEstimateDiameterStar(t *testing.T) {
+	// Star graph: diameter 2.
+	b := NewBuilder("star", 33)
+	for v := int32(1); v < 33; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	g := b.Build()
+	if d := EstimateDiameter(g); d != 2 {
+		t.Fatalf("diameter = %d, want 2", d)
+	}
+	s := ComputeStats(g)
+	if s.MaxDegree != 32 {
+		t.Fatalf("MaxDegree = %d, want 32", s.MaxDegree)
+	}
+	// Exactly one of 33 vertices has degree >= 32.
+	if got, want := s.PctDeg32, 100.0/33.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("PctDeg32 = %v, want %v", got, want)
+	}
+}
+
+func TestEstimateDiameterDisconnected(t *testing.T) {
+	// Two components; the larger one is a path of 6 vertices (diameter 5).
+	b := NewBuilder("two", 9)
+	for v := int32(0); v < 5; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	b.AddEdge(6, 7, 1)
+	b.AddEdge(7, 8, 1)
+	g := b.Build()
+	if d := EstimateDiameter(g); d != 5 {
+		t.Fatalf("diameter = %d, want 5", d)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := path(4) // degrees 1,2,2,1
+	hist := DegreeHistogram(g)
+	want := []int64{2, 2}
+	if !reflect.DeepEqual(hist, want) {
+		t.Fatalf("hist = %v, want %v", hist, want)
+	}
+}
+
+func TestDIMACSRoundTrip(t *testing.T) {
+	g := k4()
+	var buf bytes.Buffer
+	if err := WriteDIMACS(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDIMACS(&buf, "k4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, got)
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := randomGraph(42, 20, 50)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf, "rand")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The round trip can shrink N if the top vertex ids are isolated, so
+	// compare edge structure only when N matches.
+	if got.N == g.N {
+		assertSameGraph(t, g, got)
+	}
+}
+
+func TestEdgeListDefaultWeight(t *testing.T) {
+	in := "# comment\n0 1\n1 2\n"
+	g, err := ReadEdgeList(bytes.NewBufferString(in), "el")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 || g.M() != 4 {
+		t.Fatalf("n=%d m=%d, want 3, 4", g.N, g.M())
+	}
+	for _, w := range g.Weights {
+		if w != 1 {
+			t.Fatalf("weight = %d, want 1", w)
+		}
+	}
+}
+
+func TestReadDIMACSErrors(t *testing.T) {
+	cases := []string{
+		"a 1 2 3\n",           // arc before problem line
+		"p xx 3 2\n",          // wrong problem type
+		"p sp 3\n",            // short problem line
+		"p sp 3 2\nz 1 2\n",   // unknown record
+		"p sp 3 2\na 1 2\n",   // short arc
+		"p sp 3 2\na x y z\n", // non-numeric
+		"",                    // no problem line
+	}
+	for _, in := range cases {
+		if _, err := ReadDIMACS(bytes.NewBufferString(in), "bad"); err == nil {
+			t.Errorf("ReadDIMACS(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func assertSameGraph(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if got.N != want.N || got.M() != want.M() {
+		t.Fatalf("graph shape n=%d m=%d, want n=%d m=%d", got.N, got.M(), want.N, want.M())
+	}
+	if !reflect.DeepEqual(got.NbrIdx, want.NbrIdx) ||
+		!reflect.DeepEqual(got.NbrList, want.NbrList) ||
+		!reflect.DeepEqual(got.Weights, want.Weights) {
+		t.Fatal("CSR structures differ after round trip")
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+// Stats summarizes the degree and distance structure of an input graph.
+// The fields mirror paper Tables 4 and 5: vertex/edge counts, size,
+// average and maximum degree, the fraction of vertices with degree >= 32
+// and >= 512, and an estimated diameter.
+type Stats struct {
+	Name      string
+	Vertices  int32
+	Edges     int64 // directed edges (2x undirected)
+	SizeMB    float64
+	AvgDegree float64
+	MaxDegree int64
+	PctDeg32  float64 // percent of vertices with degree >= 32
+	PctDeg512 float64 // percent of vertices with degree >= 512
+	Diameter  int32   // lower-bound estimate via double-sweep BFS
+}
+
+// ComputeStats derives the Table 4/5 summary of g.
+func ComputeStats(g *Graph) Stats {
+	s := Stats{
+		Name:     g.Name,
+		Vertices: g.N,
+		Edges:    g.M(),
+		SizeMB:   g.SizeMB(),
+	}
+	if g.N == 0 {
+		return s
+	}
+	var ge32, ge512 int64
+	for v := int32(0); v < g.N; v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d >= 32 {
+			ge32++
+		}
+		if d >= 512 {
+			ge512++
+		}
+	}
+	s.AvgDegree = float64(g.M()) / float64(g.N)
+	s.PctDeg32 = 100 * float64(ge32) / float64(g.N)
+	s.PctDeg512 = 100 * float64(ge512) / float64(g.N)
+	s.Diameter = EstimateDiameter(g)
+	return s
+}
+
+// EstimateDiameter returns a lower bound on the diameter of the largest
+// connected component using the classic double-sweep heuristic: BFS from
+// an arbitrary vertex, then BFS again from the farthest vertex found.
+// For the paper's graph classes (grids, roads, scale-free) the double
+// sweep is within a small factor of the true diameter.
+func EstimateDiameter(g *Graph) int32 {
+	if g.N == 0 {
+		return 0
+	}
+	// Start from the highest-degree vertex so we land in the largest
+	// component of disconnected inputs.
+	start := int32(0)
+	for v := int32(1); v < g.N; v++ {
+		if g.Degree(v) > g.Degree(start) {
+			start = v
+		}
+	}
+	far, _ := bfsFarthest(g, start)
+	_, ecc := bfsFarthest(g, far)
+	return ecc
+}
+
+// bfsFarthest runs a serial BFS from src and returns the farthest reached
+// vertex and its hop distance.
+func bfsFarthest(g *Graph, src int32) (far int32, dist int32) {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int32{src}
+	far, dist = src, 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if level[u] < 0 {
+				level[u] = level[v] + 1
+				if level[u] > dist {
+					far, dist = u, level[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+	return far, dist
+}
+
+// DegreeHistogram returns counts of vertices whose degree falls in
+// power-of-two buckets: bucket k counts degrees in [2^k, 2^(k+1)), with
+// bucket 0 counting degrees 0 and 1. Used by reports and generator tests.
+func DegreeHistogram(g *Graph) []int64 {
+	var hist []int64
+	for v := int32(0); v < g.N; v++ {
+		d := g.Degree(v)
+		k := 0
+		for d > 1 {
+			d >>= 1
+			k++
+		}
+		for len(hist) <= k {
+			hist = append(hist, 0)
+		}
+		hist[k]++
+	}
+	return hist
+}

@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/runner"
+	"indigo/internal/stats"
+	"indigo/internal/styles"
+)
+
+// Spread regenerates the paper's headline claim (§1, §6): the cost of
+// choosing the wrong style — the best/worst throughput ratio per
+// algorithm and model over all inputs, and the overall worst case
+// ("the worst combinations of styles can cost 6 orders of magnitude").
+func (s *Session) Spread() *Report {
+	s.Collect(AllAlgorithms(), []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: "spread", Title: "best/worst style spread per algorithm and model (§1)"}
+	r.Add("model\talgo\tmax spread (best tput / worst tput, worst input case)")
+	overall := 1.0
+	for _, model := range []styles.Model{styles.CUDA, styles.OMP, styles.CPP} {
+		for _, a := range AllAlgorithms() {
+			type key struct {
+				in  gen.Input
+				dev string
+			}
+			best := make(map[key]float64)
+			worst := make(map[key]float64)
+			for _, m := range s.Select(and(byModel(model), byAlgos(a))) {
+				k := key{m.Input, m.Device}
+				if m.Tput <= 0 {
+					continue
+				}
+				if b, ok := best[k]; !ok || m.Tput > b {
+					best[k] = m.Tput
+				}
+				if w, ok := worst[k]; !ok || m.Tput < w {
+					worst[k] = m.Tput
+				}
+			}
+			maxSpread := 0.0
+			for k, b := range best {
+				if w := worst[k]; w > 0 && b/w > maxSpread {
+					maxSpread = b / w
+				}
+			}
+			if maxSpread == 0 {
+				continue
+			}
+			if maxSpread > overall {
+				overall = maxSpread
+			}
+			r.Add("%s\t%s\t%s", model, a, ftoa(maxSpread))
+		}
+	}
+	r.Add("overall worst-case spread\t\t%s", ftoa(overall))
+	return r
+}
+
+// Ablation sweeps the simulator's CudaAtomicFactor knob and reports the
+// resulting Fig. 1 median (SSSP, one input), demonstrating that the
+// simulated Atomic-vs-CudaAtomic gap is driven by the modeled seq_cst
+// system-scope penalty and scales with it — the design choice DESIGN.md
+// calls out for the two device profiles.
+func (s *Session) Ablation() *Report {
+	r := &Report{ID: "ablation", Title: "cost-model ablation: Fig.1 median vs CudaAtomicFactor (SSSP on rmat)"}
+	g := s.Graphs[gen.InputRMAT]
+	dim := styles.DimByKey("atomics")
+	for _, factor := range []int64{1, 3, 10, 30, 100} {
+		prof := gpusim.RTXSim()
+		prof.CudaAtomicFactor = factor
+		var ms []Meas
+		for _, cfg := range styles.Enumerate(styles.SSSP, styles.CUDA) {
+			d := gpusim.New(prof)
+			_, tput := runner.TimeGPU(d, g, cfg, algo.Options{Threads: s.Opt.Threads})
+			ms = append(ms, Meas{cfg, gen.InputRMAT, prof.Name, tput})
+		}
+		ratios := Ratios(ms, dim, int(styles.ClassicAtomic), int(styles.CudaAtomic))
+		r.Add("factor=%-4d median atomic/cudaatomic = %s (n=%d)",
+			factor, ftoa(stats.Median(ratios[styles.SSSP])), len(ratios[styles.SSSP]))
+	}
+	return r
+}

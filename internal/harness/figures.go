@@ -1,0 +1,255 @@
+package harness
+
+import (
+	"sort"
+
+	"indigo/internal/gen"
+	"indigo/internal/stats"
+	"indigo/internal/styles"
+)
+
+// classicOnly excludes the default-CudaAtomic variants, as the paper
+// does for every result after §5.1 ("As the CudaAtomic codes are so
+// slow, we exclude them from the following subsections").
+func classicOnly(m Meas) bool { return m.Cfg.Atomics == styles.ClassicAtomic }
+
+// and combines filters.
+func and(fs ...func(Meas) bool) func(Meas) bool {
+	return func(m Meas) bool {
+		for _, f := range fs {
+			if f != nil && !f(m) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func byModel(model styles.Model) func(Meas) bool {
+	return func(m Meas) bool { return m.Cfg.Model == model }
+}
+
+func byAlgos(algos ...styles.Algorithm) func(Meas) bool {
+	return func(m Meas) bool {
+		for _, a := range algos {
+			if m.Cfg.Algo == a {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func byDevice(name string) func(Meas) bool {
+	return func(m Meas) bool { return m.Device == name }
+}
+
+// ratioSection appends one "algo: boxen" line per algorithm with data.
+func ratioSection(r *Report, label string, ratios map[styles.Algorithm][]float64) {
+	r.Add("%s:", label)
+	for _, a := range AllAlgorithms() {
+		if xs, ok := ratios[a]; ok && len(xs) > 0 {
+			r.Add("  %-4s %s", a.String(), stats.NewBoxen(xs).String())
+		}
+	}
+}
+
+// RatiosByAlgo is the figure primitive: pairwise ratios of dimension
+// dim (value aIdx over bIdx) over the session's measurements matching
+// the filter.
+func (s *Session) RatiosByAlgo(dimKey string, aIdx, bIdx int, f func(Meas) bool) map[styles.Algorithm][]float64 {
+	return Ratios(s.Select(f), styles.DimByKey(dimKey), aIdx, bIdx)
+}
+
+// Fig1 regenerates Figure 1: throughput ratios of Atomic over
+// CudaAtomic per GPU. PR is absent (no float CudaAtomic).
+func (s *Session) Fig1() *Report {
+	algos := []styles.Algorithm{styles.CC, styles.MIS, styles.TC, styles.BFS, styles.SSSP}
+	s.Collect(algos, []styles.Model{styles.CUDA})
+	r := &Report{ID: "fig1", Title: "Atomic over CudaAtomic throughput ratios (per GPU)"}
+	for _, dev := range []string{"rtx-sim", "titan-sim"} {
+		ratios := s.RatiosByAlgo("atomics", int(styles.ClassicAtomic), int(styles.CudaAtomic),
+			and(byModel(styles.CUDA), byDevice(dev), byAlgos(algos...)))
+		ratioSection(r, dev, ratios)
+	}
+	return r
+}
+
+// Fig2 regenerates Figure 2: vertex- over edge-based ratios for (a)
+// CUDA, (b) the CPU models, and (c) the thread-granularity TC subset.
+func (s *Session) Fig2() *Report {
+	algos := AllAlgorithms()
+	s.Collect(algos, []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: "fig2", Title: "vertex-based over edge-based throughput ratios"}
+	ratioSection(r, "CUDA", s.RatiosByAlgo("iterate", int(styles.VertexBased), int(styles.EdgeBased),
+		and(classicOnly, byModel(styles.CUDA))))
+	cpu := func(m Meas) bool { return m.Cfg.Model != styles.CUDA }
+	ratioSection(r, "OpenMP+C++", s.RatiosByAlgo("iterate", int(styles.VertexBased), int(styles.EdgeBased), cpu))
+	threadTC := func(m Meas) bool {
+		return m.Cfg.Model == styles.CUDA && m.Cfg.Algo == styles.TC &&
+			m.Cfg.Gran == styles.ThreadGran && classicOnly(m)
+	}
+	ratioSection(r, "thread-gran TC (CUDA)", s.RatiosByAlgo("iterate", int(styles.VertexBased), int(styles.EdgeBased), threadTC))
+	return r
+}
+
+// driveFig is the shared driver of Figures 3 and 4: topology-driven
+// over data-driven (with or without duplicates), per model.
+func (s *Session) driveFig(id, title string, dataIdx int, algos []styles.Algorithm) *Report {
+	s.Collect(algos, []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: id, Title: title}
+	for _, model := range []styles.Model{styles.CUDA, styles.OMP, styles.CPP} {
+		ratios := s.RatiosByAlgo("drive", int(styles.TopologyDriven), dataIdx,
+			and(classicOnly, byModel(model), byAlgos(algos...)))
+		ratioSection(r, model.String(), ratios)
+	}
+	return r
+}
+
+// Fig3 regenerates Figure 3: topology-driven over data-driven with
+// duplicates (CC, BFS, SSSP).
+func (s *Session) Fig3() *Report {
+	return s.driveFig("fig3", "topology-driven over data-driven (dup worklist)",
+		int(styles.DataDrivenDup), []styles.Algorithm{styles.CC, styles.BFS, styles.SSSP})
+}
+
+// Fig4 regenerates Figure 4: topology-driven over data-driven without
+// duplicates (CC, MIS, BFS, SSSP).
+func (s *Session) Fig4() *Report {
+	return s.driveFig("fig4", "topology-driven over data-driven (no-dup worklist)",
+		int(styles.DataDrivenNoDup), []styles.Algorithm{styles.CC, styles.MIS, styles.BFS, styles.SSSP})
+}
+
+// Fig5 regenerates Figure 5: push over pull (CC, MIS, PR, BFS, SSSP).
+func (s *Session) Fig5() *Report {
+	algos := []styles.Algorithm{styles.CC, styles.MIS, styles.PR, styles.BFS, styles.SSSP}
+	s.Collect(algos, []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: "fig5", Title: "push over pull throughput ratios"}
+	for _, model := range []styles.Model{styles.CUDA, styles.OMP, styles.CPP} {
+		ratios := s.RatiosByAlgo("flow", int(styles.Push), int(styles.Pull),
+			and(classicOnly, byModel(model), byAlgos(algos...)))
+		ratioSection(r, model.String(), ratios)
+	}
+	return r
+}
+
+// Fig6 regenerates Figure 6: read-write over read-modify-write (CC,
+// BFS, SSSP).
+func (s *Session) Fig6() *Report {
+	algos := []styles.Algorithm{styles.CC, styles.BFS, styles.SSSP}
+	s.Collect(algos, []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: "fig6", Title: "read-write over read-modify-write throughput ratios"}
+	for _, model := range []styles.Model{styles.CUDA, styles.OMP, styles.CPP} {
+		ratios := s.RatiosByAlgo("update", int(styles.ReadWrite), int(styles.ReadModifyWrite),
+			and(classicOnly, byModel(model), byAlgos(algos...)))
+		ratioSection(r, model.String(), ratios)
+	}
+	return r
+}
+
+// Fig7 regenerates Figure 7: deterministic over non-deterministic (CC,
+// MIS, PR, BFS, SSSP).
+func (s *Session) Fig7() *Report {
+	algos := []styles.Algorithm{styles.CC, styles.MIS, styles.PR, styles.BFS, styles.SSSP}
+	s.Collect(algos, []styles.Model{styles.CUDA, styles.OMP, styles.CPP})
+	r := &Report{ID: "fig7", Title: "deterministic over non-deterministic throughput ratios"}
+	for _, model := range []styles.Model{styles.CUDA, styles.OMP, styles.CPP} {
+		ratios := s.RatiosByAlgo("det", int(styles.Deterministic), int(styles.NonDeterministic),
+			and(classicOnly, byModel(model), byAlgos(algos...)))
+		ratioSection(r, model.String(), ratios)
+	}
+	return r
+}
+
+// Fig8 regenerates Figure 8: persistent over non-persistent (CUDA).
+func (s *Session) Fig8() *Report {
+	s.Collect(AllAlgorithms(), []styles.Model{styles.CUDA})
+	r := &Report{ID: "fig8", Title: "persistent over non-persistent throughput ratios (CUDA)"}
+	ratios := s.RatiosByAlgo("persist", int(styles.Persistent), int(styles.NonPersistent),
+		and(classicOnly, byModel(styles.CUDA)))
+	ratioSection(r, "CUDA", ratios)
+	return r
+}
+
+// Fig12 regenerates Figure 12: default over dynamic scheduling (OMP).
+func (s *Session) Fig12() *Report {
+	s.Collect(AllAlgorithms(), []styles.Model{styles.OMP})
+	r := &Report{ID: "fig12", Title: "default over dynamic scheduling throughput ratios (OpenMP)"}
+	ratios := s.RatiosByAlgo("ompsched", int(styles.DefaultSched), int(styles.DynamicSched), byModel(styles.OMP))
+	ratioSection(r, "OMP", ratios)
+	return r
+}
+
+// Fig13 regenerates Figure 13: blocked over cyclic scheduling (C++).
+func (s *Session) Fig13() *Report {
+	s.Collect(AllAlgorithms(), []styles.Model{styles.CPP})
+	r := &Report{ID: "fig13", Title: "blocked over cyclic scheduling throughput ratios (C++)"}
+	ratios := s.RatiosByAlgo("cppsched", int(styles.BlockedSched), int(styles.CyclicSched), byModel(styles.CPP))
+	ratioSection(r, "CPP", ratios)
+	return r
+}
+
+// tputSection renders a three-way style's throughput medians per
+// algorithm.
+func tputSection(r *Report, label string, dim *styles.Dim, byAlgo map[styles.Algorithm]map[int][]float64, cfgFor func(int) string) {
+	r.Add("%s:", label)
+	algos := make([]styles.Algorithm, 0, len(byAlgo))
+	for a := range byAlgo {
+		algos = append(algos, a)
+	}
+	sort.Slice(algos, func(i, j int) bool { return algos[i] < algos[j] })
+	for _, a := range algos {
+		for i := 0; i < dim.NumValues; i++ {
+			if xs := byAlgo[a][i]; len(xs) > 0 {
+				r.Add("  %-4s %-14s %s", a.String(), cfgFor(i), stats.NewBoxen(xs).String())
+			}
+		}
+	}
+}
+
+// Fig9 regenerates Figure 9: thread/warp/block throughputs (GE/s) on
+// the road map and social network inputs (RTX profile).
+func (s *Session) Fig9() *Report {
+	s.Collect(AllAlgorithms(), []styles.Model{styles.CUDA})
+	r := &Report{ID: "fig9", Title: "thread/warp/block throughputs on road and social inputs (rtx-sim)"}
+	dim := styles.DimByKey("gran")
+	for _, in := range []gen.Input{gen.InputRoad, gen.InputSocial} {
+		ms := s.Select(and(classicOnly, byModel(styles.CUDA), byDevice("rtx-sim"),
+			func(m Meas) bool { return m.Input == in }))
+		tputSection(r, in.String(), dim, Throughputs(ms, dim), func(i int) string { return styles.Gran(i).String() })
+	}
+	return r
+}
+
+// Fig10 regenerates Figure 10: global-add/block-add/reduction-add
+// throughputs on the GPUs (TC and PR), plus the pairwise ratios the
+// pooled dots imply.
+func (s *Session) Fig10() *Report {
+	algos := []styles.Algorithm{styles.TC, styles.PR}
+	s.Collect(algos, []styles.Model{styles.CUDA})
+	r := &Report{ID: "fig10", Title: "GPU reduction-style throughputs (TC, PR)"}
+	dim := styles.DimByKey("gpured")
+	ms := s.Select(and(classicOnly, byModel(styles.CUDA), byAlgos(algos...)))
+	tputSection(r, "CUDA (both GPUs)", dim, Throughputs(ms, dim), func(i int) string { return styles.GPURed(i).String() })
+	ratioSection(r, "reduction-add over global-add (pairwise)",
+		Ratios(ms, dim, int(styles.ReductionAdd), int(styles.GlobalAdd)))
+	ratioSection(r, "reduction-add over block-add (pairwise)",
+		Ratios(ms, dim, int(styles.ReductionAdd), int(styles.BlockAdd)))
+	return r
+}
+
+// Fig11 regenerates Figure 11: atomic/critical/clause reduction
+// throughputs on the CPUs (TC and PR), plus pairwise ratios.
+func (s *Session) Fig11() *Report {
+	algos := []styles.Algorithm{styles.TC, styles.PR}
+	s.Collect(algos, []styles.Model{styles.OMP, styles.CPP})
+	r := &Report{ID: "fig11", Title: "CPU reduction-style throughputs (TC, PR)"}
+	dim := styles.DimByKey("cpured")
+	ms := s.Select(byAlgos(algos...))
+	tputSection(r, "OMP+CPP", dim, Throughputs(ms, dim), func(i int) string { return styles.CPURed(i).String() })
+	ratioSection(r, "clause-red over critical-red (pairwise)",
+		Ratios(ms, dim, int(styles.ClauseRed), int(styles.CriticalRed)))
+	ratioSection(r, "atomic-red over critical-red (pairwise)",
+		Ratios(ms, dim, int(styles.AtomicRed), int(styles.CriticalRed)))
+	return r
+}

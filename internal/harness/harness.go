@@ -1,0 +1,179 @@
+// Package harness drives the paper's evaluation (§4, §5): it runs the
+// variant suite over the five study inputs on the two simulated GPUs
+// and the CPU execution models, computes the pairwise throughput ratios
+// "keeping the other styles fixed", and regenerates every table and
+// figure of the paper as a text report.
+package harness
+
+import (
+	"fmt"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+)
+
+// Meas is one measurement: a variant run on one input (and, for CUDA
+// variants, one device), with its throughput in giga-edges per second.
+type Meas struct {
+	Cfg    styles.Config
+	Input  gen.Input
+	Device string // profile name for CUDA; "cpu" for OMP/CPP
+	Tput   float64
+}
+
+// Session holds the generated inputs and the measurements collected so
+// far; figure drivers collect lazily so a single session can serve any
+// subset of the experiments without redundant runs.
+type Session struct {
+	Scale  gen.Scale
+	Opt    algo.Options
+	Graphs []*graph.Graph
+	GStats []graph.Stats
+
+	meas      []Meas
+	collected map[collKey]bool
+	baseCache map[baseKey]float64
+	// Verbose, when set, prints progress during collection.
+	Verbose bool
+}
+
+type collKey struct {
+	a styles.Algorithm
+	m styles.Model
+}
+
+// NewSession generates the five study inputs at the given scale.
+// threads <= 0 selects the machine's parallelism.
+func NewSession(scale gen.Scale, threads int) *Session {
+	s := &Session{
+		Scale:     scale,
+		Opt:       algo.Options{Threads: threads},
+		Graphs:    gen.Suite(scale),
+		collected: make(map[collKey]bool),
+	}
+	for _, g := range s.Graphs {
+		s.GStats = append(s.GStats, graph.ComputeStats(g))
+	}
+	return s
+}
+
+// Collect ensures measurements exist for every (algorithm, model) pair
+// requested: each variant runs once per input, and CUDA variants run on
+// both device profiles (§4.3).
+func (s *Session) Collect(algos []styles.Algorithm, models []styles.Model) {
+	for _, m := range models {
+		for _, a := range algos {
+			key := collKey{a, m}
+			if s.collected[key] {
+				continue
+			}
+			s.collected[key] = true
+			cfgs := styles.Enumerate(a, m)
+			if s.Verbose {
+				fmt.Printf("collecting %s/%s: %d variants x %d inputs\n", a, m, len(cfgs), len(s.Graphs))
+			}
+			for in := gen.Input(0); in < gen.NumInputs; in++ {
+				g := s.Graphs[in]
+				if m == styles.CUDA {
+					for _, prof := range gpusim.Profiles() {
+						for _, cfg := range cfgs {
+							d := gpusim.New(prof)
+							_, tput := runner.TimeGPU(d, g, cfg, s.Opt)
+							s.meas = append(s.meas, Meas{cfg, in, prof.Name, tput})
+						}
+					}
+				} else {
+					for _, cfg := range cfgs {
+						_, tput := runner.TimeCPU(g, cfg, s.Opt)
+						s.meas = append(s.meas, Meas{cfg, in, "cpu", tput})
+					}
+				}
+			}
+		}
+	}
+}
+
+// Select returns the collected measurements matching the filter.
+func (s *Session) Select(f func(Meas) bool) []Meas {
+	var out []Meas
+	for _, m := range s.meas {
+		if f == nil || f(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// AllAlgorithms lists the six problems in paper order.
+func AllAlgorithms() []styles.Algorithm {
+	return []styles.Algorithm{styles.CC, styles.MIS, styles.PR, styles.TC, styles.BFS, styles.SSSP}
+}
+
+// valueIndex returns which alternative of dim the config holds.
+func valueIndex(dim *styles.Dim, cfg styles.Config) int {
+	for i := 0; i < dim.NumValues; i++ {
+		if dim.Set(cfg, i) == cfg {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ratios pairs measurements that differ only in the given dimension and
+// returns tput[aIdx]/tput[bIdx] per algorithm — the paper's ratio
+// methodology (§5: "while keeping the other styles fixed").
+func Ratios(ms []Meas, dim *styles.Dim, aIdx, bIdx int) map[styles.Algorithm][]float64 {
+	type pairKey struct {
+		key    string
+		input  gen.Input
+		device string
+	}
+	groups := make(map[pairKey]map[int]float64)
+	algoOf := make(map[pairKey]styles.Algorithm)
+	for _, m := range ms {
+		if !dim.Applies(m.Cfg) {
+			continue
+		}
+		pk := pairKey{m.Cfg.KeyWithout(dim), m.Input, m.Device}
+		g := groups[pk]
+		if g == nil {
+			g = make(map[int]float64)
+			groups[pk] = g
+			algoOf[pk] = m.Cfg.Algo
+		}
+		g[valueIndex(dim, m.Cfg)] = m.Tput
+	}
+	out := make(map[styles.Algorithm][]float64)
+	for pk, g := range groups {
+		a, okA := g[aIdx]
+		b, okB := g[bIdx]
+		if okA && okB && a > 0 && b > 0 {
+			out[algoOf[pk]] = append(out[algoOf[pk]], a/b)
+		}
+	}
+	return out
+}
+
+// Throughputs groups measured throughputs by the value of dim, per
+// algorithm: used by the figures that plot raw throughputs of
+// three-way styles (Figs. 9-11).
+func Throughputs(ms []Meas, dim *styles.Dim) map[styles.Algorithm]map[int][]float64 {
+	out := make(map[styles.Algorithm]map[int][]float64)
+	for _, m := range ms {
+		if !dim.Applies(m.Cfg) {
+			continue
+		}
+		byVal := out[m.Cfg.Algo]
+		if byVal == nil {
+			byVal = make(map[int][]float64)
+			out[m.Cfg.Algo] = byVal
+		}
+		i := valueIndex(dim, m.Cfg)
+		byVal[i] = append(byVal[i], m.Tput)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one regenerated table or figure as text.
+type Report struct {
+	ID    string
+	Title string
+	Lines []string
+}
+
+// Add appends a formatted line.
+func (r *Report) Add(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Find returns the first line containing substr, or "".
+func (r *Report) Find(substr string) string {
+	for _, l := range r.Lines {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
+}

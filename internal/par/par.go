@@ -1,0 +1,186 @@
+// Package par is the CPU execution substrate of the study. It reproduces
+// the distinguishing features of the paper's two CPU programming models:
+//
+//   - the OpenMP model ("OMP"): a `parallel for` fork/join loop with
+//     default (static) or dynamic scheduling (paper §2.11) and atomic,
+//     critical, or clause reductions (§2.10.2). OpenMP (pre-5.1) has no
+//     atomic min/max, so the OMP model's read-modify-write operations go
+//     through a critical section (a single global mutex), which is the
+//     mechanism behind the paper's Fig. 3/5/6 OpenMP-vs-C++ divergences.
+//
+//   - the C++ std::thread model ("CPP"): explicit per-thread loops with
+//     blocked or cyclic iteration assignment (§2.12) and CAS-based
+//     atomic min/max.
+//
+// Both models run on goroutines pinned to a fixed worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Sched selects how loop iterations are assigned to threads.
+type Sched int
+
+const (
+	// Static is OpenMP's default schedule: each thread receives one
+	// contiguous chunk of iterations.
+	Static Sched = iota
+	// Dynamic assigns chunks of iterations at runtime from a shared
+	// counter (OpenMP `schedule(dynamic)`).
+	Dynamic
+	// Blocked is the C++ model's contiguous-range assignment; it is
+	// computationally identical to Static but named separately because
+	// the paper treats the two model/schedule pairs as distinct styles.
+	Blocked
+	// Cyclic assigns iterations round-robin with stride = thread count.
+	Cyclic
+)
+
+func (s Sched) String() string {
+	switch s {
+	case Static:
+		return "default"
+	case Dynamic:
+		return "dynamic"
+	case Blocked:
+		return "blocked"
+	case Cyclic:
+		return "cyclic"
+	}
+	return "unknown"
+}
+
+// dynChunk is the grain of the dynamic schedule. OpenMP's default dynamic
+// chunk is 1; a chunk of 1 reproduces the paper's observation that the
+// dynamic schedule's runtime overhead usually outweighs its load-balance
+// benefit on these inputs (§5.11).
+const dynChunk = 1
+
+// Threads returns the worker count used by default: the machine's
+// parallelism, matching the paper's one-thread-per-core setup (§4.3).
+func Threads() int { return runtime.GOMAXPROCS(0) }
+
+// For executes body(i) for every i in [0, n) on t goroutines using the
+// given schedule, and returns when all iterations are complete.
+func For(t int, n int64, s Sched, body func(i int64)) {
+	if n <= 0 {
+		return
+	}
+	if t < 1 {
+		t = 1
+	}
+	if int64(t) > n {
+		t = int(n)
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	switch s {
+	case Static, Blocked:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int64) {
+				defer wg.Done()
+				beg := tid * n / int64(t)
+				end := (tid + 1) * n / int64(t)
+				for i := beg; i < end; i++ {
+					body(i)
+				}
+			}(int64(tid))
+		}
+	case Cyclic:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int64) {
+				defer wg.Done()
+				for i := tid; i < n; i += int64(t) {
+					body(i)
+				}
+			}(int64(tid))
+		}
+	case Dynamic:
+		var next atomic.Int64
+		for tid := 0; tid < t; tid++ {
+			go func() {
+				defer wg.Done()
+				for {
+					beg := next.Add(dynChunk) - dynChunk
+					if beg >= n {
+						return
+					}
+					end := beg + dynChunk
+					if end > n {
+						end = n
+					}
+					for i := beg; i < end; i++ {
+						body(i)
+					}
+				}
+			}()
+		}
+	default:
+		panic("par.For: unknown schedule")
+	}
+	wg.Wait()
+}
+
+// ForTID is like For but also passes the worker id (0..t-1) to the body,
+// which clause-style reductions and per-thread scratch buffers need.
+func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
+	if n <= 0 {
+		return
+	}
+	if t < 1 {
+		t = 1
+	}
+	if int64(t) > n {
+		t = int(n)
+	}
+	var wg sync.WaitGroup
+	wg.Add(t)
+	switch s {
+	case Static, Blocked:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				beg := int64(tid) * n / int64(t)
+				end := int64(tid+1) * n / int64(t)
+				for i := beg; i < end; i++ {
+					body(tid, i)
+				}
+			}(tid)
+		}
+	case Cyclic:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				for i := int64(tid); i < n; i += int64(t) {
+					body(tid, i)
+				}
+			}(tid)
+		}
+	case Dynamic:
+		var next atomic.Int64
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				for {
+					beg := next.Add(dynChunk) - dynChunk
+					if beg >= n {
+						return
+					}
+					end := beg + dynChunk
+					if end > n {
+						end = n
+					}
+					for i := beg; i < end; i++ {
+						body(tid, i)
+					}
+				}
+			}(tid)
+		}
+	default:
+		panic("par.ForTID: unknown schedule")
+	}
+	wg.Wait()
+}

@@ -1,0 +1,63 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+const benchN = 1 << 16
+
+func BenchmarkForSchedules(b *testing.B) {
+	for _, s := range []Sched{Static, Dynamic, Blocked, Cyclic} {
+		b.Run(s.String(), func(b *testing.B) {
+			var sink atomic.Int64
+			for i := 0; i < b.N; i++ {
+				For(0, benchN, s, func(j int64) {
+					if j == benchN-1 {
+						sink.Add(1)
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkSyncMin(b *testing.B) {
+	impls := []Sync{CAS{}, &Critical{}}
+	for _, s := range impls {
+		b.Run(s.Name(), func(b *testing.B) {
+			xs := make([]int32, 1024)
+			b.RunParallel(func(pb *testing.PB) {
+				i := int32(0)
+				for pb.Next() {
+					s.Min(&xs[i&1023], i)
+					i++
+				}
+			})
+		})
+	}
+}
+
+func BenchmarkReduceStyles(b *testing.B) {
+	for _, style := range []RedStyle{RedAtomic, RedCritical, RedClause} {
+		b.Run(style.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ReduceInt64(0, benchN, Static, style, func(j int64) int64 { return j & 1 })
+			}
+		})
+	}
+}
+
+func BenchmarkWorklistPush(b *testing.B) {
+	w := NewWorklist(benchN + 64)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if w.Size() >= benchN {
+				// Not thread-safe in general, but adequate pressure relief
+				// for a benchmark loop.
+				w.Reset()
+			}
+			w.Push(1)
+		}
+	})
+}

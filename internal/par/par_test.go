@@ -1,0 +1,231 @@
+package par
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+var allScheds = []Sched{Static, Dynamic, Blocked, Cyclic}
+
+func TestForCoversAllIterations(t *testing.T) {
+	for _, s := range allScheds {
+		for _, threads := range []int{1, 2, 7, 16} {
+			for _, n := range []int64{0, 1, 3, 100, 1001} {
+				hits := make([]atomic.Int32, max64(n, 1))
+				For(threads, n, s, func(i int64) {
+					hits[i].Add(1)
+				})
+				for i := int64(0); i < n; i++ {
+					if got := hits[i].Load(); got != 1 {
+						t.Fatalf("sched %v t=%d n=%d: iteration %d ran %d times", s, threads, n, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForTIDCoversAllIterationsWithValidTIDs(t *testing.T) {
+	for _, s := range allScheds {
+		threads := 4
+		n := int64(257)
+		hits := make([]atomic.Int32, n)
+		var badTID atomic.Int32
+		ForTID(threads, n, s, func(tid int, i int64) {
+			if tid < 0 || tid >= threads {
+				badTID.Store(1)
+			}
+			hits[i].Add(1)
+		})
+		if badTID.Load() != 0 {
+			t.Fatalf("sched %v: tid out of range", s)
+		}
+		for i := int64(0); i < n; i++ {
+			if hits[i].Load() != 1 {
+				t.Fatalf("sched %v: iteration %d not covered exactly once", s, i)
+			}
+		}
+	}
+}
+
+func TestForMoreThreadsThanIterations(t *testing.T) {
+	var count atomic.Int64
+	For(64, 3, Static, func(i int64) { count.Add(1) })
+	if count.Load() != 3 {
+		t.Fatalf("ran %d iterations, want 3", count.Load())
+	}
+}
+
+func TestSyncImplementations(t *testing.T) {
+	impls := []Sync{CAS{}, &Critical{}}
+	for _, s := range impls {
+		t.Run(s.Name(), func(t *testing.T) {
+			var x int32 = 10
+			if old := s.Min(&x, 5); old != 10 || x != 5 {
+				t.Errorf("Min: old=%d x=%d, want 10, 5", old, x)
+			}
+			if old := s.Min(&x, 7); old != 5 || x != 5 {
+				t.Errorf("Min no-op: old=%d x=%d, want 5, 5", old, x)
+			}
+			if old := s.Max(&x, 9); old != 5 || x != 9 {
+				t.Errorf("Max: old=%d x=%d, want 5, 9", old, x)
+			}
+			if old := s.Max(&x, 2); old != 9 || x != 9 {
+				t.Errorf("Max no-op: old=%d x=%d, want 9, 9", old, x)
+			}
+			if nv := s.Add(&x, 3); nv != 12 || x != 12 {
+				t.Errorf("Add: new=%d x=%d, want 12, 12", nv, x)
+			}
+			if old := s.Or(&x, 16); old != 12 || x != 28 {
+				t.Errorf("Or: old=%d x=%d, want 12, 28", old, x)
+			}
+			s.Store(&x, 42)
+			if got := s.Load(&x); got != 42 {
+				t.Errorf("Load after Store = %d, want 42", got)
+			}
+		})
+	}
+}
+
+func TestSyncMinConcurrent(t *testing.T) {
+	impls := []Sync{CAS{}, &Critical{}}
+	for _, s := range impls {
+		t.Run(s.Name(), func(t *testing.T) {
+			var x int32 = 1 << 30
+			For(8, 10000, Cyclic, func(i int64) {
+				s.Min(&x, int32(10000-i))
+			})
+			if x != 1 {
+				t.Fatalf("concurrent Min result = %d, want 1", x)
+			}
+		})
+	}
+}
+
+func TestQuickCASMinMatchesSerial(t *testing.T) {
+	f := func(vals []int32) bool {
+		var cas CAS
+		var x int32 = 1<<31 - 1
+		want := x
+		for _, v := range vals {
+			cas.Min(&x, v)
+			if v < want {
+				want = v
+			}
+		}
+		return x == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInt64AllStyles(t *testing.T) {
+	n := int64(5000)
+	want := n * (n - 1) / 2
+	for _, style := range []RedStyle{RedAtomic, RedCritical, RedClause} {
+		for _, sched := range allScheds {
+			got := ReduceInt64(8, n, sched, style, func(i int64) int64 { return i })
+			if got != want {
+				t.Errorf("style %v sched %v: sum = %d, want %d", style, sched, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceFloat64AllStyles(t *testing.T) {
+	n := int64(4096)
+	want := float64(n)
+	for _, style := range []RedStyle{RedAtomic, RedCritical, RedClause} {
+		got := ReduceFloat64(8, n, Static, style, func(i int64) float64 { return 1.0 })
+		if got != want {
+			t.Errorf("style %v: sum = %v, want %v", style, got, want)
+		}
+	}
+}
+
+func TestAddFloat64Concurrent(t *testing.T) {
+	var bits uint64
+	For(8, 100000, Cyclic, func(i int64) {
+		AddFloat64(&bits, 0.5)
+	})
+	if sum := math.Float64frombits(bits); sum != 50000 {
+		t.Fatalf("sum = %v, want 50000", sum)
+	}
+}
+
+func TestWorklistPushAndReset(t *testing.T) {
+	w := NewWorklist(100)
+	For(4, 50, Cyclic, func(i int64) { w.Push(int32(i)) })
+	if w.Size() != 50 {
+		t.Fatalf("Size = %d, want 50", w.Size())
+	}
+	seen := make([]bool, 50)
+	for i := int64(0); i < w.Size(); i++ {
+		v := w.Get(i)
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("item %d = %d invalid or duplicate", i, v)
+		}
+		seen[v] = true
+	}
+	w.Reset()
+	if w.Size() != 0 {
+		t.Fatalf("Size after Reset = %d", w.Size())
+	}
+}
+
+func TestWorklistOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overflow did not panic")
+		}
+	}()
+	w := NewWorklist(1)
+	w.Push(0)
+	w.Push(1)
+}
+
+func TestWorklistPushUnique(t *testing.T) {
+	for _, s := range []Sync{CAS{}, &Critical{}} {
+		w := NewWorklist(200)
+		stamp := make([]int32, 10)
+		// 8 threads all try to push the same 10 vertices in iteration 1.
+		For(8, 80, Cyclic, func(i int64) {
+			w.PushUnique(int32(i%10), stamp, 1, s)
+		})
+		if w.Size() != 10 {
+			t.Fatalf("sync %s: Size = %d, want 10 unique", s.Name(), w.Size())
+		}
+		// Iteration 2 allows each vertex again, exactly once.
+		w.Reset()
+		For(8, 80, Cyclic, func(i int64) {
+			w.PushUnique(int32(i%10), stamp, 2, s)
+		})
+		if w.Size() != 10 {
+			t.Fatalf("sync %s: iteration 2 Size = %d, want 10", s.Name(), w.Size())
+		}
+	}
+}
+
+func TestWorklistSwap(t *testing.T) {
+	a, b := NewWorklist(10), NewWorklist(10)
+	a.Push(1)
+	a.Push(2)
+	b.Push(9)
+	a.Swap(b)
+	if a.Size() != 1 || a.Get(0) != 9 {
+		t.Fatalf("a after swap: size=%d", a.Size())
+	}
+	if b.Size() != 2 || b.Get(0) != 1 || b.Get(1) != 2 {
+		t.Fatalf("b after swap: size=%d", b.Size())
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// RedStyle selects the CPU reduction style (paper §2.10.2).
+type RedStyle int
+
+const (
+	// RedAtomic updates the shared accumulator with an atomic operation
+	// per contribution (Listing 11a).
+	RedAtomic RedStyle = iota
+	// RedCritical updates the shared accumulator inside a critical
+	// section per contribution (Listing 11b).
+	RedCritical
+	// RedClause accumulates into per-thread partials combined at loop
+	// exit, the OpenMP `reduction(+:sum)` clause analog (Listing 11c).
+	RedClause
+)
+
+func (r RedStyle) String() string {
+	switch r {
+	case RedAtomic:
+		return "atomic-red"
+	case RedCritical:
+		return "critical-red"
+	case RedClause:
+		return "clause-red"
+	}
+	return "unknown"
+}
+
+// pad keeps per-thread partials on distinct cache lines so the clause
+// reduction does not suffer false sharing.
+type paddedInt64 struct {
+	v int64
+	_ [56]byte
+}
+
+type paddedFloat64 struct {
+	v float64
+	_ [56]byte
+}
+
+// ReduceInt64 runs body(i) for i in [0, n) on t threads with the given
+// schedule and sums the returned contributions using the selected
+// reduction style.
+func ReduceInt64(t int, n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
+	if t < 1 {
+		t = 1
+	}
+	switch style {
+	case RedAtomic:
+		var sum atomic.Int64
+		For(t, n, s, func(i int64) {
+			if v := body(i); v != 0 {
+				sum.Add(v)
+			}
+		})
+		return sum.Load()
+	case RedCritical:
+		var mu sync.Mutex
+		var sum int64
+		For(t, n, s, func(i int64) {
+			v := body(i)
+			mu.Lock()
+			sum += v
+			mu.Unlock()
+		})
+		return sum
+	case RedClause:
+		partials := make([]paddedInt64, t)
+		ForTID(t, n, s, func(tid int, i int64) {
+			partials[tid].v += body(i)
+		})
+		var sum int64
+		for i := range partials {
+			sum += partials[i].v
+		}
+		return sum
+	}
+	panic("par.ReduceInt64: unknown reduction style")
+}
+
+// ReduceFloat64 is ReduceInt64 for float64 contributions (PageRank sums).
+func ReduceFloat64(t int, n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
+	if t < 1 {
+		t = 1
+	}
+	switch style {
+	case RedAtomic:
+		bits := uint64(math.Float64bits(0))
+		For(t, n, s, func(i int64) {
+			AddFloat64(&bits, body(i))
+		})
+		return math.Float64frombits(atomic.LoadUint64(&bits))
+	case RedCritical:
+		var mu sync.Mutex
+		var sum float64
+		For(t, n, s, func(i int64) {
+			v := body(i)
+			mu.Lock()
+			sum += v
+			mu.Unlock()
+		})
+		return sum
+	case RedClause:
+		partials := make([]paddedFloat64, t)
+		ForTID(t, n, s, func(tid int, i int64) {
+			partials[tid].v += body(i)
+		})
+		var sum float64
+		for i := range partials {
+			sum += partials[i].v
+		}
+		return sum
+	}
+	panic("par.ReduceFloat64: unknown reduction style")
+}

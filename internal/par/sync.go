@@ -1,0 +1,139 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Sync abstracts the shared-memory update operations the style variants
+// use, so the same algorithm code can run with CAS-based atomics (the
+// C++ model) or critical-section read-modify-writes (the OpenMP model,
+// which pre-5.1 has no atomic min/max — paper §5.3).
+//
+// Load and Store are plain atomic accesses in both models: the paper
+// assumes scalar loads and stores are atomic (§2.5), and OpenMP's
+// `atomic read`/`atomic write` provide them cheaply.
+type Sync interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// Load atomically reads *p.
+	Load(p *int32) int32
+	// Store atomically writes v to *p.
+	Store(p *int32, v int32)
+	// Min atomically sets *p = min(*p, v) and returns the previous value.
+	Min(p *int32, v int32) int32
+	// Max atomically sets *p = max(*p, v) and returns the previous value.
+	Max(p *int32, v int32) int32
+	// Add atomically adds v to *p and returns the new value.
+	Add(p *int32, v int32) int32
+	// Or atomically ORs v into *p and returns the previous value.
+	Or(p *int32, v int32) int32
+}
+
+// CAS implements Sync with compare-and-swap loops, the C++ std::atomic
+// realization of read-modify-write operations.
+type CAS struct{}
+
+// Name implements Sync.
+func (CAS) Name() string { return "cas" }
+
+// Load implements Sync.
+func (CAS) Load(p *int32) int32 { return atomic.LoadInt32(p) }
+
+// Store implements Sync.
+func (CAS) Store(p *int32, v int32) { atomic.StoreInt32(p, v) }
+
+// Min implements Sync.
+func (CAS) Min(p *int32, v int32) int32 {
+	for {
+		old := atomic.LoadInt32(p)
+		if old <= v || atomic.CompareAndSwapInt32(p, old, v) {
+			return old
+		}
+	}
+}
+
+// Max implements Sync.
+func (CAS) Max(p *int32, v int32) int32 {
+	for {
+		old := atomic.LoadInt32(p)
+		if old >= v || atomic.CompareAndSwapInt32(p, old, v) {
+			return old
+		}
+	}
+}
+
+// Add implements Sync.
+func (CAS) Add(p *int32, v int32) int32 { return atomic.AddInt32(p, v) }
+
+// Or implements Sync.
+func (CAS) Or(p *int32, v int32) int32 { return atomic.OrInt32(p, v) }
+
+// Critical implements Sync with a single global mutex guarding every
+// read-modify-write, the OpenMP `#pragma omp critical` realization. A
+// Critical value must not be copied after first use.
+type Critical struct {
+	mu sync.Mutex
+}
+
+// Name implements Sync.
+func (*Critical) Name() string { return "critical" }
+
+// Load implements Sync.
+func (*Critical) Load(p *int32) int32 { return atomic.LoadInt32(p) }
+
+// Store implements Sync.
+func (*Critical) Store(p *int32, v int32) { atomic.StoreInt32(p, v) }
+
+// Min implements Sync.
+func (c *Critical) Min(p *int32, v int32) int32 {
+	c.mu.Lock()
+	old := atomic.LoadInt32(p)
+	if v < old {
+		atomic.StoreInt32(p, v)
+	}
+	c.mu.Unlock()
+	return old
+}
+
+// Max implements Sync.
+func (c *Critical) Max(p *int32, v int32) int32 {
+	c.mu.Lock()
+	old := atomic.LoadInt32(p)
+	if v > old {
+		atomic.StoreInt32(p, v)
+	}
+	c.mu.Unlock()
+	return old
+}
+
+// Add implements Sync.
+func (c *Critical) Add(p *int32, v int32) int32 {
+	c.mu.Lock()
+	nv := atomic.LoadInt32(p) + v
+	atomic.StoreInt32(p, nv)
+	c.mu.Unlock()
+	return nv
+}
+
+// Or implements Sync.
+func (c *Critical) Or(p *int32, v int32) int32 {
+	c.mu.Lock()
+	old := atomic.LoadInt32(p)
+	atomic.StoreInt32(p, old|v)
+	c.mu.Unlock()
+	return old
+}
+
+// AddFloat64 atomically adds v to *p with a CAS loop over the bit
+// pattern. It backs the atomic-reduction style for PageRank sums.
+func AddFloat64(p *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(p, old, nv) {
+			return
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sync64 is Sync for int64 shared data, backing the suite's 64-bit
+// data-type variants (paper §4.1: the 64-bit versions ship with Indigo2
+// even though the study evaluates the 32-bit ones).
+type Sync64 interface {
+	// Name identifies the implementation in reports.
+	Name() string
+	// Load atomically reads *p.
+	Load(p *int64) int64
+	// Store atomically writes v to *p.
+	Store(p *int64, v int64)
+	// Min atomically sets *p = min(*p, v) and returns the previous value.
+	Min(p *int64, v int64) int64
+	// Max atomically sets *p = max(*p, v) and returns the previous value.
+	Max(p *int64, v int64) int64
+	// Add atomically adds v to *p and returns the new value.
+	Add(p *int64, v int64) int64
+}
+
+// CAS64 implements Sync64 with compare-and-swap loops (the C++ model).
+type CAS64 struct{}
+
+// Name implements Sync64.
+func (CAS64) Name() string { return "cas64" }
+
+// Load implements Sync64.
+func (CAS64) Load(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// Store implements Sync64.
+func (CAS64) Store(p *int64, v int64) { atomic.StoreInt64(p, v) }
+
+// Min implements Sync64.
+func (CAS64) Min(p *int64, v int64) int64 {
+	for {
+		old := atomic.LoadInt64(p)
+		if old <= v || atomic.CompareAndSwapInt64(p, old, v) {
+			return old
+		}
+	}
+}
+
+// Max implements Sync64.
+func (CAS64) Max(p *int64, v int64) int64 {
+	for {
+		old := atomic.LoadInt64(p)
+		if old >= v || atomic.CompareAndSwapInt64(p, old, v) {
+			return old
+		}
+	}
+}
+
+// Add implements Sync64.
+func (CAS64) Add(p *int64, v int64) int64 { return atomic.AddInt64(p, v) }
+
+// Critical64 implements Sync64 with a global mutex (the OpenMP model's
+// critical section). Must not be copied after first use.
+type Critical64 struct {
+	mu sync.Mutex
+}
+
+// Name implements Sync64.
+func (*Critical64) Name() string { return "critical64" }
+
+// Load implements Sync64.
+func (*Critical64) Load(p *int64) int64 { return atomic.LoadInt64(p) }
+
+// Store implements Sync64.
+func (*Critical64) Store(p *int64, v int64) { atomic.StoreInt64(p, v) }
+
+// Min implements Sync64.
+func (c *Critical64) Min(p *int64, v int64) int64 {
+	c.mu.Lock()
+	old := atomic.LoadInt64(p)
+	if v < old {
+		atomic.StoreInt64(p, v)
+	}
+	c.mu.Unlock()
+	return old
+}
+
+// Max implements Sync64.
+func (c *Critical64) Max(p *int64, v int64) int64 {
+	c.mu.Lock()
+	old := atomic.LoadInt64(p)
+	if v > old {
+		atomic.StoreInt64(p, v)
+	}
+	c.mu.Unlock()
+	return old
+}
+
+// Add implements Sync64.
+func (c *Critical64) Add(p *int64, v int64) int64 {
+	c.mu.Lock()
+	nv := atomic.LoadInt64(p) + v
+	atomic.StoreInt64(p, nv)
+	c.mu.Unlock()
+	return nv
+}

@@ -1,0 +1,64 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Worklist is the shared vertex worklist of the data-driven style
+// (paper §2.2/§2.3): a fixed-capacity array with an atomically bumped
+// size, exactly the atomicAdd-indexed array of Listing 3.
+//
+// Capacity is fixed because the paper's codes pre-allocate: with
+// duplicates allowed, one iteration can push at most one item per
+// directed edge, so callers size the list at m (or n for no-dup lists).
+type Worklist struct {
+	items []int32
+	size  atomic.Int64
+}
+
+// NewWorklist creates an empty worklist with the given capacity.
+func NewWorklist(capacity int64) *Worklist {
+	return &Worklist{items: make([]int32, capacity)}
+}
+
+// Push appends v, allowing duplicates (Listing 3a).
+func (w *Worklist) Push(v int32) {
+	idx := w.size.Add(1) - 1
+	if idx >= int64(len(w.items)) {
+		panic(fmt.Sprintf("par.Worklist: overflow (cap %d)", len(w.items)))
+	}
+	w.items[idx] = v
+}
+
+// PushUnique appends v only if v has not been pushed during iteration
+// itr, tracked by the caller-owned stamp array via an atomic max
+// (Listing 3b). It reports whether the item was pushed. The stamp array
+// must start below any iteration number used (e.g. all zero with
+// iterations starting at 1).
+func (w *Worklist) PushUnique(v int32, stamp []int32, itr int32, s Sync) bool {
+	if s.Max(&stamp[v], itr) == itr {
+		return false
+	}
+	w.Push(v)
+	return true
+}
+
+// Size returns the number of items currently on the list.
+func (w *Worklist) Size() int64 { return w.size.Load() }
+
+// Get returns item i. It must only be called with i < Size() and no
+// concurrent pushes past i.
+func (w *Worklist) Get(i int64) int32 { return w.items[i] }
+
+// Reset empties the list for the next iteration.
+func (w *Worklist) Reset() { w.size.Store(0) }
+
+// Swap exchanges the contents of two worklists (the classic in/out
+// worklist double buffer) without copying.
+func (w *Worklist) Swap(o *Worklist) {
+	w.items, o.items = o.items, w.items
+	ws, os := w.size.Load(), o.size.Load()
+	w.size.Store(os)
+	o.size.Store(ws)
+}

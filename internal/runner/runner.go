@@ -1,0 +1,58 @@
+// Package runner dispatches a style configuration to the algorithm
+// family that implements it, and times runs for throughput reporting.
+package runner
+
+import (
+	"fmt"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/bfs"
+	"indigo/internal/algo/cc"
+	"indigo/internal/algo/mis"
+	"indigo/internal/algo/pr"
+	"indigo/internal/algo/sssp"
+	"indigo/internal/algo/tc"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// RunCPU executes a CPU (OMP or CPP model) variant.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	if cfg.Model == styles.CUDA {
+		panic(fmt.Sprintf("runner.RunCPU: %s is a GPU variant", cfg.Name()))
+	}
+	switch cfg.Algo {
+	case styles.BFS:
+		return bfs.RunCPU(g, cfg, opt)
+	case styles.SSSP:
+		return sssp.RunCPU(g, cfg, opt)
+	case styles.CC:
+		return cc.RunCPU(g, cfg, opt)
+	case styles.MIS:
+		return mis.RunCPU(g, cfg, opt)
+	case styles.PR:
+		return pr.RunCPU(g, cfg, opt)
+	case styles.TC:
+		return tc.RunCPU(g, cfg, opt)
+	}
+	panic(fmt.Sprintf("runner.RunCPU: unknown algorithm in %s", cfg.Name()))
+}
+
+// TimeCPU runs the variant and returns the result and the throughput in
+// giga-edges per second (the paper's metric, §4.5: input edges divided
+// by runtime).
+func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
+	start := time.Now()
+	res := RunCPU(g, cfg, opt)
+	elapsed := time.Since(start).Seconds()
+	return res, Throughput(g, elapsed)
+}
+
+// Throughput converts a runtime in seconds to giga-edges per second.
+func Throughput(g *graph.Graph, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(g.M()) / seconds / 1e9
+}

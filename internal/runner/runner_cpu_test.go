@@ -1,0 +1,119 @@
+package runner
+
+import (
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+	"indigo/internal/verify"
+)
+
+// testGraphs builds a small set of structurally diverse inputs: a tiny
+// version of each study input plus a path (worst case for iterative
+// convergence) and a clique (maximum contention).
+func testGraphs(t *testing.T) []*graph.Graph {
+	t.Helper()
+	gs := gen.Suite(gen.Tiny)
+	b := graph.NewBuilder("path32", 32)
+	for v := int32(0); v+1 < 32; v++ {
+		b.AddEdge(v, v+1, int32(v%7)+1)
+	}
+	gs = append(gs, b.Build())
+	k := graph.NewBuilder("k12", 12)
+	for u := int32(0); u < 12; u++ {
+		for v := u + 1; v < 12; v++ {
+			k.AddEdge(u, v, u+2*v+1)
+		}
+	}
+	gs = append(gs, k.Build())
+	return gs
+}
+
+// TestEveryCPUVariantVerifies is the reproduction of the paper's
+// verification methodology (§4.1): every enumerated OMP and CPP variant
+// of every algorithm must produce the serial solution on every test
+// input.
+func TestEveryCPUVariantVerifies(t *testing.T) {
+	graphs := testGraphs(t)
+	opt := algo.Options{Threads: 8}
+	for _, g := range graphs {
+		ref := verify.NewReference(g, opt)
+		for _, model := range []styles.Model{styles.OMP, styles.CPP} {
+			for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+				for _, cfg := range styles.Enumerate(a, model) {
+					res := RunCPU(g, cfg, opt)
+					if err := ref.Check(cfg, res); err != nil {
+						t.Errorf("graph %s: %v", g.Name, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCPUVariantsSingleThread exercises the degenerate one-worker case
+// across a sample of variants.
+func TestCPUVariantsSingleThread(t *testing.T) {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	opt := algo.Options{Threads: 1}
+	ref := verify.NewReference(g, opt)
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		cfgs := styles.Enumerate(a, styles.CPP)
+		for _, cfg := range cfgs[:min(4, len(cfgs))] {
+			if err := ref.Check(cfg, RunCPU(g, cfg, opt)); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+// TestCPUVariantsNonDefaultSource verifies BFS/SSSP from a non-zero
+// source vertex.
+func TestCPUVariantsNonDefaultSource(t *testing.T) {
+	g := gen.Generate(gen.InputGrid, gen.Tiny)
+	opt := algo.Options{Threads: 4, Source: g.N / 2}
+	ref := verify.NewReference(g, opt)
+	for _, a := range []styles.Algorithm{styles.BFS, styles.SSSP} {
+		for _, cfg := range styles.Enumerate(a, styles.OMP) {
+			if err := ref.Check(cfg, RunCPU(g, cfg, opt)); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	if got := Throughput(g, 0); got != 0 {
+		t.Errorf("Throughput(0s) = %v, want 0", got)
+	}
+	want := float64(g.M()) / 1e9
+	if got := Throughput(g, 1.0); got != want {
+		t.Errorf("Throughput(1s) = %v, want %v", got, want)
+	}
+}
+
+func TestTimeCPUVerifies(t *testing.T) {
+	g := gen.Generate(gen.InputSocial, gen.Tiny)
+	cfg := styles.Enumerate(styles.BFS, styles.CPP)[0]
+	opt := algo.Options{Threads: 4}
+	res, tput := TimeCPU(g, cfg, opt)
+	if tput <= 0 {
+		t.Errorf("throughput = %v, want > 0", tput)
+	}
+	if err := verify.NewReference(g, opt).Check(cfg, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunCPURejectsGPUConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunCPU with CUDA config did not panic")
+		}
+	}()
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	RunCPU(g, styles.Config{Algo: styles.BFS, Model: styles.CUDA}, algo.Options{})
+}

@@ -1,0 +1,65 @@
+package runner
+
+import (
+	"fmt"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/bfs"
+	"indigo/internal/algo/cc"
+	"indigo/internal/algo/mis"
+	"indigo/internal/algo/pr"
+	"indigo/internal/algo/sssp"
+	"indigo/internal/algo/tc"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// RunGPU executes a CUDA-model variant on the given simulated device and
+// returns the result and the simulated cost.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+	if cfg.Model != styles.CUDA {
+		panic(fmt.Sprintf("runner.RunGPU: %s is not a CUDA variant", cfg.Name()))
+	}
+	switch cfg.Algo {
+	case styles.BFS:
+		return bfs.RunGPU(d, g, cfg, opt)
+	case styles.SSSP:
+		return sssp.RunGPU(d, g, cfg, opt)
+	case styles.CC:
+		return cc.RunGPU(d, g, cfg, opt)
+	case styles.MIS:
+		return mis.RunGPU(d, g, cfg, opt)
+	case styles.PR:
+		return pr.RunGPU(d, g, cfg, opt)
+	case styles.TC:
+		return tc.RunGPU(d, g, cfg, opt)
+	}
+	panic(fmt.Sprintf("runner.RunGPU: unknown algorithm in %s", cfg.Name()))
+}
+
+// TimeGPU runs the variant and returns the result and the simulated
+// throughput in giga-edges per second.
+func TimeGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
+	res, st := RunGPU(d, g, cfg, opt)
+	return res, Throughput(g, st.Seconds(d.Prof))
+}
+
+// Run dispatches to RunCPU or RunGPU by model; d may be nil for CPU
+// variants.
+func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+	if cfg.Model == styles.CUDA {
+		res, _ := RunGPU(d, g, cfg, opt)
+		return res
+	}
+	return RunCPU(g, cfg, opt)
+}
+
+// Time dispatches to TimeCPU or TimeGPU by model; d may be nil for CPU
+// variants.
+func Time(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
+	if cfg.Model == styles.CUDA {
+		return TimeGPU(d, g, cfg, opt)
+	}
+	return TimeCPU(g, cfg, opt)
+}

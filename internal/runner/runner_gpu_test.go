@@ -1,0 +1,95 @@
+package runner
+
+import (
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/styles"
+	"indigo/internal/verify"
+)
+
+// TestEveryGPUVariantVerifies runs all 518 CUDA-model variants on the
+// tiny study inputs and checks every result against the serial
+// references, mirroring §4.1 for the simulated GPUs.
+func TestEveryGPUVariantVerifies(t *testing.T) {
+	graphs := testGraphs(t)
+	opt := algo.Options{Threads: 4}
+	for _, g := range graphs {
+		ref := verify.NewReference(g, opt)
+		d := gpusim.New(gpusim.RTXSim())
+		for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+			for _, cfg := range styles.Enumerate(a, styles.CUDA) {
+				res, st := RunGPU(d, g, cfg, opt)
+				if err := ref.Check(cfg, res); err != nil {
+					t.Errorf("graph %s: %v", g.Name, err)
+				}
+				if st.Cycles <= 0 {
+					t.Errorf("graph %s: %s reported %d cycles", g.Name, cfg.Name(), st.Cycles)
+				}
+			}
+		}
+	}
+}
+
+// TestGPUVariantsOnTitanProfile spot-checks the second device profile.
+func TestGPUVariantsOnTitanProfile(t *testing.T) {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	opt := algo.Options{}
+	ref := verify.NewReference(g, opt)
+	d := gpusim.New(gpusim.TitanSim())
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		cfgs := styles.Enumerate(a, styles.CUDA)
+		for _, cfg := range cfgs[:min(6, len(cfgs))] {
+			res, _ := RunGPU(d, g, cfg, opt)
+			if err := ref.Check(cfg, res); err != nil {
+				t.Error(err)
+			}
+		}
+	}
+}
+
+func TestTimeGPUPositiveThroughput(t *testing.T) {
+	g := gen.Generate(gen.InputSocial, gen.Tiny)
+	d := gpusim.New(gpusim.RTXSim())
+	cfg := styles.Enumerate(styles.BFS, styles.CUDA)[0]
+	res, tput := TimeGPU(d, g, cfg, algo.Options{})
+	if tput <= 0 {
+		t.Errorf("throughput = %v", tput)
+	}
+	if err := verify.NewReference(g, algo.Options{}).Check(cfg, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	d := gpusim.New(gpusim.RTXSim())
+	opt := algo.Options{}
+	ref := verify.NewReference(g, opt)
+	gpuCfg := styles.Enumerate(styles.CC, styles.CUDA)[0]
+	cpuCfg := styles.Enumerate(styles.CC, styles.OMP)[0]
+	if err := ref.Check(gpuCfg, Run(d, g, gpuCfg, opt)); err != nil {
+		t.Error(err)
+	}
+	if err := ref.Check(cpuCfg, Run(nil, g, cpuCfg, opt)); err != nil {
+		t.Error(err)
+	}
+	if _, tput := Time(d, g, gpuCfg, opt); tput <= 0 {
+		t.Error("Time GPU dispatch returned 0 throughput")
+	}
+	if _, tput := Time(nil, g, cpuCfg, opt); tput <= 0 {
+		t.Error("Time CPU dispatch returned 0 throughput")
+	}
+}
+
+func TestRunGPURejectsCPUConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunGPU with OMP config did not panic")
+		}
+	}()
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	RunGPU(gpusim.New(gpusim.RTXSim()), g, styles.Config{Algo: styles.BFS, Model: styles.OMP}, algo.Options{})
+}

@@ -1,0 +1,155 @@
+// Package stats provides the summary statistics of the paper's result
+// presentation (§4.5): letter-value ("boxen") distribution summaries of
+// throughput ratios, medians, geometric means, and Pearson correlation
+// for the graph-property analysis (§5.13).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Median returns the median of xs (not necessarily sorted); NaN if
+// empty.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, 0.5)
+}
+
+// Quantile returns the q-quantile (0..1) of xs with linear
+// interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+func quantileSorted(s []float64, q float64) float64 {
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Geomean returns the geometric mean of xs; NaN if empty or any value
+// is non-positive.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Pearson returns the correlation coefficient of the paired samples;
+// NaN when undefined (fewer than 2 points or zero variance).
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) < 2 {
+		return math.NaN()
+	}
+	n := float64(len(x))
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Boxen is a letter-value summary: the median plus successively halved
+// tail quantiles (quartiles, eighths, sixteenths, ...), the text analog
+// of the paper's boxen plots.
+type Boxen struct {
+	N      int
+	Median float64
+	Min    float64
+	Max    float64
+	// Levels[i] is the (lo, hi) pair of the (1/2^(i+2))-tail letter
+	// values: Levels[0] is [q25, q75], Levels[1] is [q12.5, q87.5], ...
+	Levels [][2]float64
+}
+
+// NewBoxen summarizes xs; levels deepen while each tail still holds at
+// least 4 points.
+func NewBoxen(xs []float64) Boxen {
+	b := Boxen{N: len(xs)}
+	if len(xs) == 0 {
+		b.Median, b.Min, b.Max = math.NaN(), math.NaN(), math.NaN()
+		return b
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	b.Median = quantileSorted(s, 0.5)
+	b.Min, b.Max = s[0], s[len(s)-1]
+	tail := 0.25
+	for float64(len(s))*tail >= 4 {
+		b.Levels = append(b.Levels, [2]float64{quantileSorted(s, tail), quantileSorted(s, 1-tail)})
+		tail /= 2
+	}
+	return b
+}
+
+// String renders the summary on one line, e.g.
+// "n=24 med=9.8 [2.1,33] [0.9,81] min=0.4 max=120".
+func (b Boxen) String() string {
+	if b.N == 0 {
+		return "n=0"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "n=%d med=%s", b.N, fnum(b.Median))
+	for _, lv := range b.Levels {
+		fmt.Fprintf(&sb, " [%s,%s]", fnum(lv[0]), fnum(lv[1]))
+	}
+	fmt.Fprintf(&sb, " min=%s max=%s", fnum(b.Min), fnum(b.Max))
+	return sb.String()
+}
+
+// fnum formats with 3 significant digits over a wide magnitude range.
+func fnum(x float64) string {
+	switch {
+	case math.IsNaN(x):
+		return "nan"
+	case x == 0:
+		return "0"
+	case math.Abs(x) >= 1e5 || math.Abs(x) < 1e-3:
+		return fmt.Sprintf("%.2e", x)
+	default:
+		return fmt.Sprintf("%.3g", x)
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{3}, 3},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 5, 5}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Error("Median(nil) not NaN")
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 30 {
+		t.Errorf("q.5 = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 20 {
+		t.Errorf("q.25 = %v", got)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, qa, qb uint8) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		a := float64(qa%101) / 100
+		b := float64(qb%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{1, 100}); math.Abs(got-10) > 1e-9 {
+		t.Errorf("Geomean(1,100) = %v, want 10", got)
+	}
+	if got := Geomean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("Geomean(2,2,2) = %v", got)
+	}
+	if !math.IsNaN(Geomean(nil)) || !math.IsNaN(Geomean([]float64{1, 0})) {
+		t.Error("Geomean degenerate cases not NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	up := []float64{2, 4, 6, 8, 10}
+	down := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(x, up); math.Abs(got-1) > 1e-9 {
+		t.Errorf("perfect positive = %v", got)
+	}
+	if got := Pearson(x, down); math.Abs(got+1) > 1e-9 {
+		t.Errorf("perfect negative = %v", got)
+	}
+	if !math.IsNaN(Pearson(x, []float64{1, 1, 1, 1, 1})) {
+		t.Error("zero variance not NaN")
+	}
+	if !math.IsNaN(Pearson(x, x[:3])) {
+		t.Error("length mismatch not NaN")
+	}
+}
+
+func TestBoxenStructure(t *testing.T) {
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	b := NewBoxen(xs)
+	if b.N != 64 || b.Min != 1 || b.Max != 64 {
+		t.Fatalf("boxen basics wrong: %+v", b)
+	}
+	if math.Abs(b.Median-32.5) > 1e-9 {
+		t.Errorf("median = %v", b.Median)
+	}
+	// 64 points: tails 1/4 (16 pts), 1/8 (8), 1/16 (4) are deep enough.
+	if len(b.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(b.Levels))
+	}
+	for i := 1; i < len(b.Levels); i++ {
+		if b.Levels[i][0] > b.Levels[i-1][0] || b.Levels[i][1] < b.Levels[i-1][1] {
+			t.Errorf("level %d not nested: %v inside %v", i, b.Levels[i-1], b.Levels[i])
+		}
+	}
+	if !strings.Contains(b.String(), "med=") {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestBoxenEmpty(t *testing.T) {
+	b := NewBoxen(nil)
+	if b.N != 0 || !math.IsNaN(b.Median) {
+		t.Errorf("empty boxen: %+v", b)
+	}
+	if b.String() != "n=0" {
+		t.Errorf("String() = %q", b.String())
+	}
+}
+
+func TestQuickBoxenMedianInRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		b := NewBoxen(xs)
+		s := append([]float64(nil), xs...)
+		sort.Float64s(s)
+		return b.Min == s[0] && b.Max == s[len(s)-1] &&
+			b.Median >= b.Min && b.Median <= b.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFnum(t *testing.T) {
+	cases := map[float64]string{
+		0: "0",
+	}
+	for in, want := range cases {
+		if got := fnum(in); got != want {
+			t.Errorf("fnum(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := fnum(1234567); !strings.Contains(got, "e") {
+		t.Errorf("fnum(large) = %q, want scientific", got)
+	}
+	if got := fnum(math.NaN()); got != "nan" {
+		t.Errorf("fnum(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+package styles
+
+// Dim describes one style dimension generically, so the harness can name
+// variants, group paired configurations, and sweep alternatives without
+// knowing each dimension's concrete type.
+type Dim struct {
+	// Key is the dimension's short name (used in reports).
+	Key string
+	// Applies reports whether the dimension is free (has more than one
+	// legal value) for the given config's algorithm and model.
+	Applies func(Config) bool
+	// Value renders the config's setting of this dimension.
+	Value func(Config) string
+	// Set returns a copy of the config with this dimension set to
+	// alternative i (0-based); NumValues gives the alternative count.
+	Set func(Config, int) Config
+	// NumValues is the number of alternatives of this dimension.
+	NumValues int
+}
+
+// Dims lists every style dimension in presentation order (§2.1–§2.12).
+// The Drive and Duplicates dimensions of the paper are folded into the
+// single three-valued Drive dimension; DimDup below re-exposes the pair
+// views the paper's Figures 3 and 4 need.
+var Dims = []*Dim{
+	{
+		Key:       "iterate",
+		Applies:   func(c Config) bool { return true },
+		Value:     func(c Config) string { return c.Iterate.String() },
+		Set:       func(c Config, i int) Config { c.Iterate = Iterate(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "drive",
+		Applies:   func(c Config) bool { return true },
+		Value:     func(c Config) string { return c.Drive.String() },
+		Set:       func(c Config, i int) Config { c.Drive = Drive(i); return c },
+		NumValues: 3,
+	},
+	{
+		Key:       "flow",
+		Applies:   func(c Config) bool { return true },
+		Value:     func(c Config) string { return c.Flow.String() },
+		Set:       func(c Config, i int) Config { c.Flow = Flow(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "update",
+		Applies:   func(c Config) bool { return true },
+		Value:     func(c Config) string { return c.Update.String() },
+		Set:       func(c Config, i int) Config { c.Update = Update(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "det",
+		Applies:   func(c Config) bool { return true },
+		Value:     func(c Config) string { return c.Det.String() },
+		Set:       func(c Config, i int) Config { c.Det = Det(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "gran",
+		Applies:   func(c Config) bool { return c.Model == CUDA },
+		Value:     func(c Config) string { return c.Gran.String() },
+		Set:       func(c Config, i int) Config { c.Gran = Gran(i); return c },
+		NumValues: 3,
+	},
+	{
+		Key:       "persist",
+		Applies:   func(c Config) bool { return c.Model == CUDA },
+		Value:     func(c Config) string { return c.Persist.String() },
+		Set:       func(c Config, i int) Config { c.Persist = Persist(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "atomics",
+		Applies:   func(c Config) bool { return c.Model == CUDA },
+		Value:     func(c Config) string { return c.Atomics.String() },
+		Set:       func(c Config, i int) Config { c.Atomics = Atomics(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "gpured",
+		Applies:   func(c Config) bool { return c.Model == CUDA && hasReduction(c.Algo) },
+		Value:     func(c Config) string { return c.GPURed.String() },
+		Set:       func(c Config, i int) Config { c.GPURed = GPURed(i); return c },
+		NumValues: 3,
+	},
+	{
+		Key:       "cpured",
+		Applies:   func(c Config) bool { return c.Model != CUDA && hasReduction(c.Algo) },
+		Value:     func(c Config) string { return c.CPURed.String() },
+		Set:       func(c Config, i int) Config { c.CPURed = CPURed(i); return c },
+		NumValues: 3,
+	},
+	{
+		Key:       "ompsched",
+		Applies:   func(c Config) bool { return c.Model == OMP },
+		Value:     func(c Config) string { return c.OMPSched.String() },
+		Set:       func(c Config, i int) Config { c.OMPSched = OMPSched(i); return c },
+		NumValues: 2,
+	},
+	{
+		Key:       "cppsched",
+		Applies:   func(c Config) bool { return c.Model == CPP },
+		Value:     func(c Config) string { return c.CPPSched.String() },
+		Set:       func(c Config, i int) Config { c.CPPSched = CPPSched(i); return c },
+		NumValues: 2,
+	},
+}
+
+// DimByKey returns the dimension with the given key, or nil.
+func DimByKey(key string) *Dim {
+	for _, d := range Dims {
+		if d.Key == key {
+			return d
+		}
+	}
+	return nil
+}
+
+// KeyWithout renders the config's name with the given dimension's value
+// masked out. Two configs share a KeyWithout exactly when they differ
+// only in that dimension — the pairing the paper's ratio figures use
+// ("keeping the other styles fixed", §5).
+func (c Config) KeyWithout(d *Dim) string {
+	name := c.Algo.String() + "/" + c.Model.String()
+	for _, dim := range Dims {
+		if !dim.Applies(c) {
+			continue
+		}
+		if dim == d {
+			name += "/*"
+		} else {
+			name += "/" + dim.Value(c)
+		}
+	}
+	return name
+}

@@ -1,0 +1,224 @@
+package styles
+
+// caps encodes paper Table 2: which styles are included per algorithm.
+// A false field means the dimension is pinned to its canonical value for
+// that algorithm (the "+" column of the pair in Table 2).
+type caps struct {
+	edgeBased   bool // vertex-based is always available
+	dataDriven  bool // topology-driven is always available
+	dupWorklist bool // duplicates-in-worklist (requires dataDriven)
+	pull        bool // push is always available (except PR, see pinnedFlow)
+	readWrite   bool // read-modify-write is always available
+	nonDet      bool // deterministic is always available
+	cudaAtomic  bool // classic atomics are always available
+	reduction   bool // has the sum-reduction style dimensions (TC, PR)
+}
+
+// capsOf mirrors paper Table 2 row-by-row.
+var capsOf = map[Algorithm]caps{
+	CC:   {edgeBased: true, dataDriven: true, dupWorklist: true, pull: true, readWrite: true, nonDet: true, cudaAtomic: true},
+	MIS:  {edgeBased: true, dataDriven: true, dupWorklist: false, pull: true, readWrite: false, nonDet: true, cudaAtomic: true},
+	PR:   {edgeBased: false, dataDriven: false, dupWorklist: false, pull: true, readWrite: false, nonDet: true, cudaAtomic: false, reduction: true},
+	TC:   {edgeBased: true, dataDriven: false, dupWorklist: false, pull: false, readWrite: false, nonDet: false, cudaAtomic: true, reduction: true},
+	BFS:  {edgeBased: true, dataDriven: true, dupWorklist: true, pull: true, readWrite: true, nonDet: true, cudaAtomic: true},
+	SSSP: {edgeBased: true, dataDriven: true, dupWorklist: true, pull: true, readWrite: true, nonDet: true, cudaAtomic: true},
+}
+
+func hasReduction(a Algorithm) bool { return capsOf[a].reduction }
+
+// Valid reports whether c is a meaningful style combination: the
+// algorithm supports every selected style (Table 2) and the combination
+// pruning rules below hold. The rules and their rationale:
+//
+//  1. Edge-based codes are push-only: both directions of every edge are
+//     stored (§4.2), so an edge-based pull sweep is the mirror image of
+//     the push sweep over the reversed COO entries.
+//  2. Edge-based codes are topology-driven: the worklists hold vertices.
+//  3. Data-driven codes are vertex-based (rule 2's contrapositive) and
+//     internally non-deterministic: the worklist exists to consume
+//     same-iteration updates.
+//  4. Deterministic codes use read-modify-write: the read-write trick
+//     only differs from RMW for racy in-place updates (§2.5/§2.6).
+//  5. PR push-style codes are deterministic-only (§5.4, §5.6).
+//  6. TC is a single topology-driven deterministic push sweep; only its
+//     iteration order and reduction style vary (Table 2).
+//  7. Warp/block granularity requires a per-item inner loop: vertex-based
+//     codes always have one (the neighbor loop); among edge-based codes
+//     only TC does (the adjacency intersection), so other edge-based
+//     codes are thread-granularity only.
+//  8. PR's CudaAtomic variant does not exist (no float support, §5.1).
+//  9. Model-specific dimensions must be zero for other models.
+func Valid(c Config) bool {
+	cp, ok := capsOf[c.Algo]
+	if !ok {
+		return false
+	}
+	// Table 2 applicability.
+	if c.Iterate == EdgeBased && !cp.edgeBased {
+		return false
+	}
+	if c.Drive.IsDataDriven() && !cp.dataDriven {
+		return false
+	}
+	if c.Drive == DataDrivenDup && !cp.dupWorklist {
+		return false
+	}
+	if c.Flow == Pull && !cp.pull {
+		return false
+	}
+	if c.Update == ReadWrite && !cp.readWrite {
+		return false
+	}
+	if c.Det == NonDeterministic && !cp.nonDet {
+		return false
+	}
+	if c.Atomics == CudaAtomic && (!cp.cudaAtomic || c.Model != CUDA) {
+		return false
+	}
+	// Rule 1, 2: edge-based is push-only and topology-driven.
+	if c.Iterate == EdgeBased && (c.Flow == Pull || c.Drive.IsDataDriven()) {
+		return false
+	}
+	// Rule 3: data-driven is non-deterministic.
+	if c.Drive.IsDataDriven() && c.Det == Deterministic {
+		return false
+	}
+	// Rule 4: deterministic implies read-modify-write.
+	if c.Det == Deterministic && c.Update == ReadWrite {
+		return false
+	}
+	// Rule 4b: read-write requires topology-driven. The racy
+	// load-then-store can lose a concurrent smaller update; a
+	// topology-driven full sweep re-relaxes every edge next iteration
+	// and self-heals (the "resilient to temporary priority inversions"
+	// condition of §2.5), but a data-driven worklist never re-relaxes
+	// the losing edge, so the final result would be wrong.
+	if c.Update == ReadWrite && c.Drive.IsDataDriven() {
+		return false
+	}
+	// Rule 5: PR push is deterministic-only.
+	if c.Algo == PR && c.Flow == Push && c.Det == NonDeterministic {
+		return false
+	}
+	// Rule 7: warp/block granularity needs an inner loop.
+	if c.Model == CUDA && c.Gran != ThreadGran && c.Iterate == EdgeBased && c.Algo != TC {
+		return false
+	}
+	// Rule 9: dimensions of other models must be unset.
+	if c.Model != CUDA && (c.Persist != NonPersistent || c.Gran != ThreadGran ||
+		c.Atomics != ClassicAtomic || c.GPURed != GlobalAdd) {
+		return false
+	}
+	if (c.Model == CUDA || !cp.reduction) && c.CPURed != AtomicRed {
+		return false
+	}
+	if c.Model == CUDA && cp.reduction {
+		// fine: GPURed free
+	} else if c.GPURed != GlobalAdd {
+		return false
+	}
+	if c.Model != OMP && c.OMPSched != DefaultSched {
+		return false
+	}
+	if c.Model != CPP && c.CPPSched != BlockedSched {
+		return false
+	}
+	return true
+}
+
+// Enumerate returns every valid style combination for the given
+// algorithm and model, in a deterministic order. The result is the
+// Go analog of the generated program set behind paper Table 3.
+func Enumerate(a Algorithm, m Model) []Config {
+	var out []Config
+	base := Config{Algo: a, Model: m}
+	grans := 1
+	persists := 1
+	atomics := 1
+	gpureds := 1
+	cpureds := 1
+	ompscheds := 1
+	cppscheds := 1
+	switch m {
+	case CUDA:
+		grans, persists, atomics = 3, 2, 2
+		if hasReduction(a) {
+			gpureds = 3
+		}
+	case OMP:
+		ompscheds = 2
+		if hasReduction(a) {
+			cpureds = 3
+		}
+	case CPP:
+		cppscheds = 2
+		if hasReduction(a) {
+			cpureds = 3
+		}
+	}
+	for it := 0; it < 2; it++ {
+		for dr := 0; dr < 3; dr++ {
+			for fl := 0; fl < 2; fl++ {
+				for up := 0; up < 2; up++ {
+					for de := 0; de < 2; de++ {
+						for gr := 0; gr < grans; gr++ {
+							for pe := 0; pe < persists; pe++ {
+								for at := 0; at < atomics; at++ {
+									for gre := 0; gre < gpureds; gre++ {
+										for cre := 0; cre < cpureds; cre++ {
+											for os := 0; os < ompscheds; os++ {
+												for cs := 0; cs < cppscheds; cs++ {
+													c := base
+													c.Iterate = Iterate(it)
+													c.Drive = Drive(dr)
+													c.Flow = Flow(fl)
+													c.Update = Update(up)
+													c.Det = Det(de)
+													c.Gran = Gran(gr)
+													c.Persist = Persist(pe)
+													c.Atomics = Atomics(at)
+													c.GPURed = GPURed(gre)
+													c.CPURed = CPURed(cre)
+													c.OMPSched = OMPSched(os)
+													c.CPPSched = CPPSched(cs)
+													if Valid(c) {
+														out = append(out, c)
+													}
+												}
+											}
+										}
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateAll returns the full suite: every valid config of every
+// algorithm under every model.
+func EnumerateAll() []Config {
+	var out []Config
+	for m := Model(0); m < NumModels; m++ {
+		for a := Algorithm(0); a < NumAlgorithms; a++ {
+			out = append(out, Enumerate(a, m)...)
+		}
+	}
+	return out
+}
+
+// CountTable returns the Table 3 analog: per-model, per-algorithm
+// variant counts, indexed [model][algorithm].
+func CountTable() [NumModels][NumAlgorithms]int {
+	var t [NumModels][NumAlgorithms]int
+	for m := Model(0); m < NumModels; m++ {
+		for a := Algorithm(0); a < NumAlgorithms; a++ {
+			t[m][a] = len(Enumerate(a, m))
+		}
+	}
+	return t
+}

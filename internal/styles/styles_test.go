@@ -1,0 +1,224 @@
+package styles
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnumerateCountsMatchPaperScale(t *testing.T) {
+	// Our enumeration realizes 850 variants vs. the paper's 1106
+	// (Table 3); PR and TC counts match the paper exactly, and the
+	// others land in the same range (see DESIGN.md "Divergences").
+	want := map[Model]map[Algorithm]int{
+		CUDA: {CC: 132, MIS: 80, PR: 54, TC: 72, BFS: 132, SSSP: 132},
+		OMP:  {CC: 26, MIS: 16, PR: 18, TC: 12, BFS: 26, SSSP: 26},
+		CPP:  {CC: 26, MIS: 16, PR: 18, TC: 12, BFS: 26, SSSP: 26},
+	}
+	table := CountTable()
+	total := 0
+	for m, algos := range want {
+		for a, n := range algos {
+			if got := table[m][a]; got != n {
+				t.Errorf("%v/%v: %d variants, want %d", a, m, got, n)
+			}
+			total += table[m][a]
+		}
+	}
+	if total != 850 {
+		t.Errorf("total variants = %d, want 850", total)
+	}
+	// Paper-exact anchors.
+	if table[CUDA][PR] != 54 || table[CUDA][TC] != 72 {
+		t.Error("PR/TC CUDA counts should match the paper exactly (54, 72)")
+	}
+	if table[OMP][PR] != 18 || table[OMP][TC] != 12 {
+		t.Error("PR/TC OMP counts should match the paper exactly (18, 12)")
+	}
+}
+
+func TestEnumerateAllValidAndUnique(t *testing.T) {
+	all := EnumerateAll()
+	seen := make(map[string]bool, len(all))
+	for _, c := range all {
+		if !Valid(c) {
+			t.Fatalf("enumerated config %s is not Valid", c.Name())
+		}
+		name := c.Name()
+		if seen[name] {
+			t.Fatalf("duplicate variant name %s", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestEnumerateDeterministic(t *testing.T) {
+	a := EnumerateAll()
+	b := EnumerateAll()
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic enumeration length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enumeration differs at %d", i)
+		}
+	}
+}
+
+func TestValidRejectsTable2Violations(t *testing.T) {
+	base := func(a Algorithm, m Model) Config {
+		c := Config{Algo: a, Model: m, Det: Deterministic, Update: ReadModifyWrite}
+		if a == TC {
+			// TC canonical: push, topo, det, rmw.
+			return c
+		}
+		return c
+	}
+	cases := []struct {
+		name string
+		c    Config
+	}{
+		{"PR edge-based", func() Config { c := base(PR, OMP); c.Iterate = EdgeBased; return c }()},
+		{"PR data-driven", func() Config { c := base(PR, OMP); c.Drive = DataDrivenNoDup; c.Det = NonDeterministic; return c }()},
+		{"TC pull", func() Config { c := base(TC, OMP); c.Flow = Pull; return c }()},
+		{"TC non-deterministic", func() Config { c := base(TC, OMP); c.Det = NonDeterministic; return c }()},
+		{"MIS read-write", func() Config { c := base(MIS, CPP); c.Update = ReadWrite; return c }()},
+		{"MIS dup worklist", func() Config {
+			c := base(MIS, CPP)
+			c.Drive = DataDrivenDup
+			c.Det = NonDeterministic
+			return c
+		}()},
+		{"PR CudaAtomic", func() Config { c := base(PR, CUDA); c.Atomics = CudaAtomic; return c }()},
+		{"CudaAtomic on CPU", func() Config { c := base(CC, OMP); c.Atomics = CudaAtomic; return c }()},
+		{"edge-based pull", func() Config { c := base(CC, OMP); c.Iterate = EdgeBased; c.Flow = Pull; return c }()},
+		{"edge-based data-driven", func() Config {
+			c := base(CC, OMP)
+			c.Iterate = EdgeBased
+			c.Drive = DataDrivenDup
+			c.Det = NonDeterministic
+			return c
+		}()},
+		{"deterministic data-driven", func() Config { c := base(SSSP, CPP); c.Drive = DataDrivenDup; return c }()},
+		{"deterministic read-write", func() Config { c := base(SSSP, CPP); c.Update = ReadWrite; return c }()},
+		{"PR push non-deterministic", func() Config {
+			c := base(PR, OMP)
+			c.Flow = Push
+			c.Det = NonDeterministic
+			return c
+		}()},
+		{"edge warp non-TC", func() Config { c := base(SSSP, CUDA); c.Iterate = EdgeBased; c.Gran = WarpGran; return c }()},
+		{"OMP sched on CPP", func() Config { c := base(CC, CPP); c.OMPSched = DynamicSched; return c }()},
+		{"CPP sched on OMP", func() Config { c := base(CC, OMP); c.CPPSched = CyclicSched; return c }()},
+		{"gran on CPU", func() Config { c := base(CC, OMP); c.Gran = WarpGran; return c }()},
+		{"GPU reduction on CC", func() Config { c := base(CC, CUDA); c.GPURed = BlockAdd; return c }()},
+		{"CPU reduction on BFS", func() Config { c := base(BFS, OMP); c.CPURed = ClauseRed; return c }()},
+	}
+	for _, tc := range cases {
+		if Valid(tc.c) {
+			t.Errorf("%s: Valid(%s) = true, want false", tc.name, tc.c.Name())
+		}
+	}
+}
+
+func TestValidAcceptsCanonicalConfigs(t *testing.T) {
+	cases := []Config{
+		{Algo: SSSP, Model: CUDA, Gran: WarpGran, Persist: Persistent, Atomics: CudaAtomic},
+		{Algo: BFS, Model: OMP, Drive: DataDrivenNoDup, Update: ReadModifyWrite, OMPSched: DynamicSched},
+		{Algo: TC, Model: CPP, Iterate: EdgeBased, Det: Deterministic, Update: ReadModifyWrite, CPURed: ClauseRed, CPPSched: CyclicSched},
+		{Algo: PR, Model: CUDA, Flow: Pull, Update: ReadModifyWrite, GPURed: ReductionAdd},
+		{Algo: MIS, Model: CPP, Update: ReadModifyWrite, Det: Deterministic},
+		{Algo: TC, Model: CUDA, Iterate: EdgeBased, Gran: BlockGran, Det: Deterministic, Update: ReadModifyWrite, GPURed: ReductionAdd},
+	}
+	for _, c := range cases {
+		if !Valid(c) {
+			t.Errorf("Valid(%s) = false, want true", c.Name())
+		}
+	}
+}
+
+func TestNameContainsOnlyApplicableDims(t *testing.T) {
+	c := Config{Algo: CC, Model: OMP}
+	name := c.Name()
+	for _, frag := range []string{"thread", "npers", "atomic-red", "global-add", "blocked"} {
+		if strings.Contains(name, frag) {
+			t.Errorf("CPU CC name %q contains inapplicable dim %q", name, frag)
+		}
+	}
+	if !strings.Contains(name, "default") {
+		t.Errorf("OMP name %q missing schedule", name)
+	}
+	g := Config{Algo: TC, Model: CUDA, Det: Deterministic, Update: ReadModifyWrite}
+	gname := g.Name()
+	for _, frag := range []string{"thread", "npers", "global-add", "atomic"} {
+		if !strings.Contains(gname, frag) {
+			t.Errorf("CUDA TC name %q missing %q", gname, frag)
+		}
+	}
+}
+
+func TestKeyWithoutGroupsPairs(t *testing.T) {
+	flow := DimByKey("flow")
+	if flow == nil {
+		t.Fatal("no flow dim")
+	}
+	push := Config{Algo: SSSP, Model: CPP, Flow: Push, Det: NonDeterministic}
+	pull := push
+	pull.Flow = Pull
+	if push.KeyWithout(flow) != pull.KeyWithout(flow) {
+		t.Errorf("push/pull pair keys differ:\n%s\n%s",
+			push.KeyWithout(flow), pull.KeyWithout(flow))
+	}
+	other := push
+	other.Det = Deterministic
+	other.Update = ReadModifyWrite
+	if push.KeyWithout(flow) == other.KeyWithout(flow) {
+		t.Error("configs differing in det share a pair key")
+	}
+}
+
+func TestDimSetRoundTrip(t *testing.T) {
+	for _, d := range Dims {
+		c := Config{Algo: SSSP, Model: CUDA}
+		for i := 0; i < d.NumValues; i++ {
+			got := d.Set(c, i)
+			// Setting and reading back must be consistent: set twice is
+			// idempotent.
+			if d.Set(got, i) != got {
+				t.Errorf("dim %s: Set not idempotent at %d", d.Key, i)
+			}
+		}
+	}
+	if DimByKey("nope") != nil {
+		t.Error("DimByKey(nope) != nil")
+	}
+}
+
+func TestStringersTotal(t *testing.T) {
+	for a := Algorithm(0); a < NumAlgorithms; a++ {
+		if a.String() == "unknown" {
+			t.Errorf("algorithm %d has no name", a)
+		}
+	}
+	for m := Model(0); m < NumModels; m++ {
+		if m.String() == "unknown" {
+			t.Errorf("model %d has no name", m)
+		}
+	}
+	for _, s := range []string{
+		VertexBased.String(), EdgeBased.String(),
+		TopologyDriven.String(), DataDrivenDup.String(), DataDrivenNoDup.String(),
+		Push.String(), Pull.String(), ReadWrite.String(), ReadModifyWrite.String(),
+		NonDeterministic.String(), Deterministic.String(),
+		NonPersistent.String(), Persistent.String(),
+		ThreadGran.String(), WarpGran.String(), BlockGran.String(),
+		ClassicAtomic.String(), CudaAtomic.String(),
+		GlobalAdd.String(), BlockAdd.String(), ReductionAdd.String(),
+		AtomicRed.String(), CriticalRed.String(), ClauseRed.String(),
+		DefaultSched.String(), DynamicSched.String(),
+		BlockedSched.String(), CyclicSched.String(),
+	} {
+		if s == "unknown" || s == "" {
+			t.Errorf("a style value has no name")
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package verify checks variant results against the serial references,
+// reproducing the paper's methodology: "each code verifies its computed
+// solution by comparing it to the solution of a simple serial
+// algorithm" (§4.1).
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/bfs"
+	"indigo/internal/algo/cc"
+	"indigo/internal/algo/mis"
+	"indigo/internal/algo/pr"
+	"indigo/internal/algo/sssp"
+	"indigo/internal/algo/tc"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Reference lazily computes and caches the serial solutions for one
+// graph, so verifying many variants of the same input is cheap.
+type Reference struct {
+	g   *graph.Graph
+	opt algo.Options
+
+	bfsDist   []int32
+	ssspDist  []int32
+	label     []int32
+	inSet     []bool
+	rank      []float32
+	triangles int64
+	tcDone    bool
+}
+
+// NewReference creates a reference checker for g with the given options
+// (source vertex, PageRank parameters).
+func NewReference(g *graph.Graph, opt algo.Options) *Reference {
+	return &Reference{g: g, opt: opt.Defaults(g.N)}
+}
+
+// Check validates res, produced by the variant cfg, against the serial
+// solution of cfg.Algo. It returns nil when the result is correct.
+func (r *Reference) Check(cfg styles.Config, res algo.Result) error {
+	switch cfg.Algo {
+	case styles.BFS:
+		if r.bfsDist == nil {
+			r.bfsDist = bfs.Serial(r.g, r.opt.Source)
+		}
+		return checkInt32s(cfg, "level", res.Dist, r.bfsDist)
+	case styles.SSSP:
+		if r.ssspDist == nil {
+			r.ssspDist = sssp.Serial(r.g, r.opt.Source)
+		}
+		return checkInt32s(cfg, "distance", res.Dist, r.ssspDist)
+	case styles.CC:
+		if r.label == nil {
+			r.label = cc.Serial(r.g)
+		}
+		return checkInt32s(cfg, "label", res.Label, r.label)
+	case styles.MIS:
+		if r.inSet == nil {
+			r.inSet = mis.Serial(r.g)
+		}
+		return r.checkMIS(cfg, res.InSet)
+	case styles.PR:
+		if r.rank == nil {
+			r.rank, _ = pr.Serial(r.g, float32(r.opt.PRDamping), r.opt.PRTol, r.opt.MaxIter)
+		}
+		return r.checkPR(cfg, res.Rank)
+	case styles.TC:
+		if !r.tcDone {
+			r.triangles = tc.Serial(r.g)
+			r.tcDone = true
+		}
+		if res.Triangles != r.triangles {
+			return fmt.Errorf("%s: %d triangles, want %d", cfg.Name(), res.Triangles, r.triangles)
+		}
+		return nil
+	}
+	return fmt.Errorf("verify: unknown algorithm %v", cfg.Algo)
+}
+
+func checkInt32s(cfg styles.Config, what string, got, want []int32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: %d %ss, want %d", cfg.Name(), len(got), what, len(want))
+	}
+	for v := range got {
+		if got[v] != want[v] {
+			return fmt.Errorf("%s: vertex %d %s = %d, want %d", cfg.Name(), v, what, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+// checkMIS verifies both exact agreement with the unique
+// greedy-by-priority set and the independence/maximality properties.
+func (r *Reference) checkMIS(cfg styles.Config, got []bool) error {
+	g := r.g
+	if int32(len(got)) != g.N {
+		return fmt.Errorf("%s: result has %d vertices, want %d", cfg.Name(), len(got), g.N)
+	}
+	for v := int32(0); v < g.N; v++ {
+		if got[v] != r.inSet[v] {
+			return fmt.Errorf("%s: vertex %d membership %v, want %v", cfg.Name(), v, got[v], r.inSet[v])
+		}
+	}
+	for v := int32(0); v < g.N; v++ {
+		if got[v] {
+			for _, u := range g.Neighbors(v) {
+				if got[u] {
+					return fmt.Errorf("%s: not independent: %d and %d both in set", cfg.Name(), v, u)
+				}
+			}
+			continue
+		}
+		covered := false
+		for _, u := range g.Neighbors(v) {
+			if got[u] {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return fmt.Errorf("%s: not maximal: vertex %d has no in-set neighbor", cfg.Name(), v)
+		}
+	}
+	return nil
+}
+
+// prTolerance is the per-vertex acceptance band for PageRank: variants
+// converge along different trajectories (Jacobi vs in-place) in float32,
+// so ranks agree to within a small absolute+relative band rather than
+// exactly.
+const prTolerance = 0.02
+
+func (r *Reference) checkPR(cfg styles.Config, got []float32) error {
+	if int32(len(got)) != r.g.N {
+		return fmt.Errorf("%s: result has %d ranks, want %d", cfg.Name(), len(got), r.g.N)
+	}
+	for v := range got {
+		diff := math.Abs(float64(got[v] - r.rank[v]))
+		if diff > prTolerance*(1+math.Abs(float64(r.rank[v]))) {
+			return fmt.Errorf("%s: vertex %d rank %g, want %g (±%g)", cfg.Name(), v, got[v], r.rank[v], prTolerance)
+		}
+	}
+	return nil
+}

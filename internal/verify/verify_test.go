@@ -1,0 +1,140 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/algo/bfs"
+	"indigo/internal/algo/cc"
+	"indigo/internal/algo/mis"
+	"indigo/internal/algo/pr"
+	"indigo/internal/algo/sssp"
+	"indigo/internal/algo/tc"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder("t", 6)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 0, 2)
+	b.AddEdge(2, 3, 4)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(5, 3, 1)
+	return b.Build()
+}
+
+func cfgFor(a styles.Algorithm) styles.Config {
+	return styles.Config{Algo: a, Model: styles.CPP}
+}
+
+// TestCheckAcceptsCorrectResults feeds the serial solutions back in.
+func TestCheckAcceptsCorrectResults(t *testing.T) {
+	g := testGraph()
+	opt := algo.Options{}
+	ref := NewReference(g, opt)
+	rank, _ := pr.Serial(g, 0.85, 1e-4, 100)
+	oks := []struct {
+		cfg styles.Config
+		res algo.Result
+	}{
+		{cfgFor(styles.BFS), algo.Result{Dist: bfs.Serial(g, 0)}},
+		{cfgFor(styles.SSSP), algo.Result{Dist: sssp.Serial(g, 0)}},
+		{cfgFor(styles.CC), algo.Result{Label: cc.Serial(g)}},
+		{cfgFor(styles.MIS), algo.Result{InSet: mis.Serial(g)}},
+		{cfgFor(styles.PR), algo.Result{Rank: rank}},
+		{cfgFor(styles.TC), algo.Result{Triangles: tc.Serial(g)}},
+	}
+	for _, c := range oks {
+		if err := ref.Check(c.cfg, c.res); err != nil {
+			t.Errorf("%v rejected correct result: %v", c.cfg.Algo, err)
+		}
+	}
+}
+
+// TestCheckRejectsWrongResults is the negative side: corrupted outputs
+// must be caught, or the suite-wide verification tests prove nothing.
+func TestCheckRejectsWrongResults(t *testing.T) {
+	g := testGraph()
+	opt := algo.Options{}
+	ref := NewReference(g, opt)
+
+	dist := bfs.Serial(g, 0)
+	dist[3]++
+	if err := ref.Check(cfgFor(styles.BFS), algo.Result{Dist: dist}); err == nil {
+		t.Error("corrupted BFS accepted")
+	}
+
+	sd := sssp.Serial(g, 0)
+	sd[5] = 0
+	if err := ref.Check(cfgFor(styles.SSSP), algo.Result{Dist: sd}); err == nil {
+		t.Error("corrupted SSSP accepted")
+	}
+
+	label := cc.Serial(g)
+	label[4] = 4
+	if err := ref.Check(cfgFor(styles.CC), algo.Result{Label: label}); err == nil {
+		t.Error("corrupted CC accepted")
+	}
+
+	inSet := mis.Serial(g)
+	inSet[0] = !inSet[0]
+	if err := ref.Check(cfgFor(styles.MIS), algo.Result{InSet: inSet}); err == nil {
+		t.Error("corrupted MIS accepted")
+	}
+
+	rank, _ := pr.Serial(g, 0.85, 1e-4, 100)
+	rank[2] *= 2
+	if err := ref.Check(cfgFor(styles.PR), algo.Result{Rank: rank}); err == nil {
+		t.Error("corrupted PR accepted")
+	}
+
+	if err := ref.Check(cfgFor(styles.TC), algo.Result{Triangles: tc.Serial(g) + 1}); err == nil {
+		t.Error("corrupted TC accepted")
+	}
+}
+
+func TestCheckRejectsWrongLengths(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g, algo.Options{})
+	if err := ref.Check(cfgFor(styles.BFS), algo.Result{Dist: []int32{0}}); err == nil {
+		t.Error("short BFS result accepted")
+	}
+	if err := ref.Check(cfgFor(styles.MIS), algo.Result{InSet: []bool{true}}); err == nil {
+		t.Error("short MIS result accepted")
+	}
+	if err := ref.Check(cfgFor(styles.PR), algo.Result{Rank: []float32{1}}); err == nil {
+		t.Error("short PR result accepted")
+	}
+}
+
+// TestCheckMISRejectsNonGreedySet feeds a valid MIS that is not the
+// greedy-by-priority set: the checker demands exact agreement because
+// the fixed-priority rule has a unique fixed point.
+func TestCheckMISRejectsNonGreedySet(t *testing.T) {
+	// Path 0-1-2: both {0,2} and {1} are valid MIS; only one is greedy.
+	b := graph.NewBuilder("p3", 3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.Build()
+	ref := NewReference(g, algo.Options{})
+	want := mis.Serial(g)
+	other := []bool{!want[0], !want[1], !want[2]}
+	if err := ref.Check(cfgFor(styles.MIS), algo.Result{InSet: other}); err == nil {
+		t.Error("non-greedy MIS accepted")
+	}
+}
+
+func TestCheckErrorMentionsVariant(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g, algo.Options{})
+	dist := bfs.Serial(g, 0)
+	dist[1] = 42
+	err := ref.Check(cfgFor(styles.BFS), algo.Result{Dist: dist})
+	if err == nil || !strings.Contains(err.Error(), "bfs/cpp") {
+		t.Errorf("error does not identify the variant: %v", err)
+	}
+}
