@@ -301,7 +301,7 @@ func BenchmarkVariantSSSPDataDrivenCPP(b *testing.B) {
 	opt := algo.Options{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runner.RunCPU(g, cfg, opt)
+		runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
 	}
 }
 
@@ -315,6 +315,6 @@ func BenchmarkVariantBFSWarpGPU(b *testing.B) {
 	opt := algo.Options{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runner.RunGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
+		runner.RunGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt) //nolint:errcheck // benchmark body
 	}
 }

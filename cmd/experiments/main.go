@@ -4,8 +4,16 @@
 //
 //	experiments -scale tiny -exp all
 //	experiments -exp fig1,fig5,table3
+//	experiments -scale small -journal sweep.jsonl        # journaled sweep
+//	experiments -scale small -journal sweep.jsonl -resume # continue it
 //
 // Experiment ids: table2 table3 table4 fig1..fig16 correlation all.
+//
+// Collection runs through the sweep supervisor: every variant run has a
+// deadline (-timeout, scale-aware default), panics and wrong answers
+// are recorded as failures instead of aborting, and with -journal each
+// measurement is appended to a JSONL file so -resume re-runs only the
+// variants the journal is missing.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 
 	"indigo/internal/gen"
 	"indigo/internal/harness"
+	"indigo/internal/sweep"
 )
 
 func main() {
@@ -23,6 +32,9 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids (table2, table3, table4, fig1..fig16, correlation, all)")
 	threads := flag.Int("threads", 0, "CPU worker count (0 = all cores)")
 	verbose := flag.Bool("v", false, "print collection progress")
+	timeout := flag.Duration("timeout", 0, "per-variant deadline (0 = scale-aware default)")
+	journal := flag.String("journal", "", "JSONL measurement journal to append to")
+	resume := flag.Bool("resume", false, "skip variants already recorded in -journal")
 	flag.Parse()
 
 	scale, ok := gen.ParseScale(*scaleName)
@@ -32,6 +44,17 @@ func main() {
 	}
 	s := harness.NewSession(scale, *threads)
 	s.Verbose = *verbose
+	if *timeout > 0 {
+		s.Sweep.Timeout = *timeout
+	}
+	s.Sweep.Journal = *journal
+	s.Sweep.Resume = *resume
+	s.Sweep.Progress = progress(*verbose)
+	if err := s.InitSweep(); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.CloseSweep()
 
 	drivers := map[string]func() *harness.Report{
 		"table2": s.Table2, "table3": s.Table3, "table4": s.Table45,
@@ -46,6 +69,7 @@ func main() {
 		for _, r := range s.All() {
 			fmt.Println(r)
 		}
+		summarize(s)
 		return
 	}
 	for _, id := range strings.Split(*exp, ",") {
@@ -57,4 +81,39 @@ func main() {
 		}
 		fmt.Println(d())
 	}
+	summarize(s)
+}
+
+// progress reports supervised-sweep progress on stderr: failures always,
+// plus a heartbeat every 200 tasks when verbose.
+func progress(verbose bool) func(done, total int, o sweep.Outcome) {
+	return func(done, total int, o sweep.Outcome) {
+		if o.Kind != sweep.OK && o.Kind != sweep.Quarantined {
+			fmt.Fprintf(os.Stderr, "  FAIL %s [%d/%d]: %s on %s (%s): %s\n",
+				o.Kind, done, total, o.Cfg.Name(), o.Input, o.Device, o.Err)
+			return
+		}
+		if verbose && (done%200 == 0 || done == total) {
+			fmt.Fprintf(os.Stderr, "  progress: %d/%d runs\n", done, total)
+		}
+	}
+}
+
+// summarize prints the failure tally of the whole session, if any.
+func summarize(s *harness.Session) {
+	fails := s.Failures()
+	if len(fails) == 0 {
+		return
+	}
+	counts := make(map[sweep.Kind]int)
+	for _, f := range fails {
+		counts[f.Kind]++
+	}
+	fmt.Fprintf(os.Stderr, "experiments: %d runs failed:", len(fails))
+	for k := sweep.Timeout; k <= sweep.Quarantined; k++ {
+		if counts[k] > 0 {
+			fmt.Fprintf(os.Stderr, " %d %s", counts[k], k)
+		}
+	}
+	fmt.Fprintln(os.Stderr)
 }

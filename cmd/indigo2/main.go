@@ -5,6 +5,7 @@
 //
 //	indigo2 list [-algo bfs] [-model cuda]
 //	indigo2 run -variant <name> [-input road] [-scale small] [-device rtx-sim] [-source 0]
+//	            [-timeout 2m] [-journal runs.jsonl [-resume]]
 //	indigo2 verify [-algo bfs] [-model omp] [-scale tiny]
 package main
 
@@ -21,6 +22,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/runner"
 	"indigo/internal/styles"
+	"indigo/internal/sweep"
 	"indigo/internal/verify"
 )
 
@@ -138,16 +140,23 @@ func findVariant(name string) (styles.Config, error) {
 }
 
 func loadInput(inputName string, scaleName string) (*graph.Graph, error) {
+	g, _, err := loadInputIndexed(inputName, scaleName)
+	return g, err
+}
+
+// loadInputIndexed also returns the gen.Input index, which the sweep
+// supervisor needs for its journal identity.
+func loadInputIndexed(inputName string, scaleName string) (*graph.Graph, gen.Input, error) {
 	scale, ok := gen.ParseScale(scaleName)
 	if !ok {
-		return nil, fmt.Errorf("unknown scale %q", scaleName)
+		return nil, 0, fmt.Errorf("unknown scale %q", scaleName)
 	}
 	for in := gen.Input(0); in < gen.NumInputs; in++ {
 		if in.String() == inputName {
-			return gen.Generate(in, scale), nil
+			return gen.Generate(in, scale), in, nil
 		}
 	}
-	return nil, fmt.Errorf("unknown input %q (grid2d, copaper, rmat, social, road)", inputName)
+	return nil, 0, fmt.Errorf("unknown input %q (grid2d, copaper, rmat, social, road)", inputName)
 }
 
 func cmdRun(args []string) error {
@@ -158,6 +167,9 @@ func cmdRun(args []string) error {
 	device := fs.String("device", "rtx-sim", "GPU profile for cuda variants (rtx-sim, titan-sim)")
 	source := fs.Int("source", 0, "source vertex for bfs/sssp")
 	threads := fs.Int("threads", 0, "CPU worker count (0 = all cores)")
+	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = scale-aware default)")
+	journal := fs.String("journal", "", "JSONL measurement journal to append to")
+	resume := fs.Bool("resume", false, "skip the run if the journal already records it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,29 +180,45 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
-	g, err := loadInput(*input, *scale)
+	g, in, err := loadInputIndexed(*input, *scale)
 	if err != nil {
 		return err
 	}
-	opt := algo.Options{Threads: *threads, Source: int32(*source)}
-	var res algo.Result
-	var tput float64
+	dev := sweep.DeviceCPU
 	if cfg.Model == styles.CUDA {
 		prof, err := profileByName(*device)
 		if err != nil {
 			return err
 		}
-		res, tput = runner.TimeGPU(gpusim.New(prof), g, cfg, opt)
-	} else {
-		res, tput = runner.TimeCPU(g, cfg, opt)
+		dev = prof.Name
 	}
+	if *timeout == 0 {
+		sc, _ := gen.ParseScale(*scale)
+		*timeout = sweep.DefaultTimeout(sc)
+	}
+	sup, err := sweep.New(sweep.Options{
+		Timeout: *timeout,
+		Verify:  true,
+		Journal: *journal,
+		Resume:  *resume,
+	})
+	if err != nil {
+		return err
+	}
+	defer sup.Close()
+	graphs := make([]*graph.Graph, gen.NumInputs)
+	graphs[in] = g
+	opt := algo.Options{Threads: *threads, Source: int32(*source)}
+	o := sup.Run(graphs, opt, []sweep.Task{{Cfg: cfg, Input: in, Device: dev}})[0]
 	fmt.Printf("variant:    %s\n", cfg.Name())
 	fmt.Printf("input:      %s (n=%d, m=%d)\n", g.Name, g.N, g.M())
-	fmt.Printf("throughput: %.4f GE/s\n", tput)
-	fmt.Printf("iterations: %d\n", res.Iterations)
-	if err := verify.NewReference(g, opt).Check(cfg, res); err != nil {
-		return fmt.Errorf("verification FAILED: %v", err)
+	if o.Resumed {
+		fmt.Println("resumed:    from journal (not re-run)")
 	}
+	if o.Kind != sweep.OK {
+		return fmt.Errorf("run FAILED (%s): %s", o.Kind, o.Err)
+	}
+	fmt.Printf("throughput: %.4f GE/s\n", o.Tput)
 	fmt.Println("verified:   ok (matches serial reference)")
 	return nil
 }
@@ -235,12 +263,16 @@ func cmdVerify(args []string) error {
 				for _, cfg := range styles.Enumerate(a, m) {
 					total++
 					var res algo.Result
+					var err error
 					if m == styles.CUDA {
-						res, _ = runner.RunGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
+						res, _, err = runner.RunGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
 					} else {
-						res = runner.RunCPU(g, cfg, opt)
+						res, err = runner.RunCPU(g, cfg, opt)
 					}
-					if err := ref.Check(cfg, res); err != nil {
+					if err == nil {
+						err = ref.Check(cfg, res)
+					}
+					if err != nil {
 						failures++
 						fmt.Printf("FAIL %s on %s: %v\n", cfg.Name(), g.Name, err)
 					}

@@ -49,7 +49,10 @@ func main() {
 
 	// 3. Run it and check the answer.
 	opt := algo.Options{Source: 0}
-	res, tput := runner.TimeCPU(road, cfg, opt)
+	res, tput, err := runner.TimeCPU(road, cfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("%s\n  throughput %.4f GE/s, %d iterations\n", cfg.Name(), tput, res.Iterations)
 	if err := verify.NewReference(road, opt).Check(cfg, res); err != nil {
 		log.Fatal(err)
@@ -64,7 +67,10 @@ func main() {
 	gcfg.Gran = styles.WarpGran
 	gcfg.Persist = styles.Persistent
 	dev := gpusim.New(gpusim.RTXSim())
-	gres, gtput := runner.TimeGPU(dev, road, gcfg, opt)
+	gres, gtput, err := runner.TimeGPU(dev, road, gcfg, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\n%s on %v\n  simulated throughput %.4f GE/s, %d iterations\n",
 		gcfg.Name(), dev, gtput, gres.Iterations)
 	if err := verify.NewReference(road, opt).Check(gcfg, gres); err != nil {

@@ -33,8 +33,12 @@ func main() {
 	data := topo
 	data.Drive = styles.DataDrivenNoDup
 
-	resTopo, tputTopo := runner.TimeCPU(g, topo, opt)
-	resData, tputData := runner.TimeCPU(g, data, opt)
+	resTopo, tputTopo, errTopo := runner.TimeCPU(g, topo, opt)
+	resData, tputData, errData := runner.TimeCPU(g, data, opt)
+	if errTopo != nil || errData != nil {
+		fmt.Println("dispatch failed:", errTopo, errData)
+		return
+	}
 	start := time.Now()
 	distDelta := baseline.SSSPDelta(g, 0, 0, 0)
 	tputDelta := runner.Throughput(g, time.Since(start).Seconds())

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"sort"
 
 	"indigo/internal/algo"
@@ -31,7 +32,7 @@ func main() {
 		Update: styles.ReadModifyWrite, Det: styles.Deterministic,
 		CPURed: styles.ClauseRed,
 	}
-	pr := runner.RunCPU(g, prCfg, opt)
+	pr := mustRun(runner.RunCPU(g, prCfg, opt))
 	type ranked struct {
 		v int32
 		r float32
@@ -51,7 +52,7 @@ func main() {
 		Algo: styles.CC, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
 		Flow: styles.Push, Update: styles.ReadModifyWrite,
 	}
-	cc := runner.RunCPU(g, ccCfg, opt)
+	cc := mustRun(runner.RunCPU(g, ccCfg, opt))
 	comps := make(map[int32]int)
 	for _, l := range cc.Label {
 		comps[l]++
@@ -64,7 +65,7 @@ func main() {
 		Det: styles.Deterministic, Update: styles.ReadModifyWrite,
 		CPURed: styles.ClauseRed, CPPSched: styles.CyclicSched,
 	}
-	tc := runner.RunCPU(g, tcCfg, opt)
+	tc := mustRun(runner.RunCPU(g, tcCfg, opt))
 	fmt.Printf("triangles: %d\n", tc.Triangles)
 
 	// Seeds: maximal independent set.
@@ -72,7 +73,7 @@ func main() {
 		Algo: styles.MIS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
 		Flow: styles.Push, Update: styles.ReadModifyWrite,
 	}
-	mis := runner.RunCPU(g, misCfg, opt)
+	mis := mustRun(runner.RunCPU(g, misCfg, opt))
 	seeds := 0
 	for _, in := range mis.InSet {
 		if in {
@@ -90,11 +91,23 @@ func main() {
 	warp := base
 	warp.Gran = styles.WarpGran
 	dev := gpusim.New(gpusim.RTXSim())
-	_, tputThread := runner.TimeGPU(dev, g, base, opt)
-	_, tputWarp := runner.TimeGPU(gpusim.New(gpusim.RTXSim()), g, warp, opt)
+	_, tputThread, errT := runner.TimeGPU(dev, g, base, opt)
+	_, tputWarp, errW := runner.TimeGPU(gpusim.New(gpusim.RTXSim()), g, warp, opt)
+	if errT != nil || errW != nil {
+		log.Fatal(errT, errW)
+	}
 	fmt.Printf("GPU BFS thread-granularity: %8.4f GE/s\n", tputThread)
 	fmt.Printf("GPU BFS warp-granularity:   %8.4f GE/s\n", tputWarp)
 	if tputThread > 0 {
 		fmt.Printf("warp/thread on a scale-free graph: %.2fx (§5.8)\n", tputWarp/tputThread)
 	}
+}
+
+// mustRun aborts on dispatch errors, which hand-checked configs never
+// produce.
+func mustRun(res algo.Result, err error) algo.Result {
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
 }

@@ -63,10 +63,14 @@ func main() {
 	opt := algo.Options{}
 	for _, cfg := range styles.Enumerate(a, m) {
 		var tput float64
+		var err error
 		if m == styles.CUDA {
-			_, tput = runner.TimeGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
+			_, tput, err = runner.TimeGPU(gpusim.New(gpusim.RTXSim()), g, cfg, opt)
 		} else {
-			_, tput = runner.TimeCPU(g, cfg, opt)
+			_, tput, err = runner.TimeCPU(g, cfg, opt)
+		}
+		if err != nil {
+			continue // enumeration never yields mismatched variants
 		}
 		results = append(results, scored{cfg, tput})
 	}

@@ -28,7 +28,9 @@ func (s *Session) Spread() *Report {
 			worst := make(map[key]float64)
 			for _, m := range s.Select(and(byModel(model), byAlgos(a))) {
 				k := key{m.Input, m.Device}
-				if m.Tput <= 0 {
+				// The negated form also drops NaN (a filtered non-measurement),
+				// which would otherwise pass a <= comparison.
+				if !(m.Tput > 0) {
 					continue
 				}
 				if b, ok := best[k]; !ok || m.Tput > b {
@@ -54,7 +56,7 @@ func (s *Session) Spread() *Report {
 		}
 	}
 	r.Add("overall worst-case spread\t\t%s", ftoa(overall))
-	return r
+	return s.annotate(r)
 }
 
 // Ablation sweeps the simulator's CudaAtomicFactor knob and reports the
@@ -72,12 +74,15 @@ func (s *Session) Ablation() *Report {
 		var ms []Meas
 		for _, cfg := range styles.Enumerate(styles.SSSP, styles.CUDA) {
 			d := gpusim.New(prof)
-			_, tput := runner.TimeGPU(d, g, cfg, algo.Options{Threads: s.Opt.Threads})
+			_, tput, err := runner.TimeGPU(d, g, cfg, algo.Options{Threads: s.Opt.Threads})
+			if err != nil {
+				continue
+			}
 			ms = append(ms, Meas{cfg, gen.InputRMAT, prof.Name, tput})
 		}
 		ratios := Ratios(ms, dim, int(styles.ClassicAtomic), int(styles.CudaAtomic))
 		r.Add("factor=%-4d median atomic/cudaatomic = %s (n=%d)",
 			factor, ftoa(stats.Median(ratios[styles.SSSP])), len(ratios[styles.SSSP]))
 	}
-	return r
+	return s.annotate(r)
 }

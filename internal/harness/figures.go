@@ -72,7 +72,7 @@ func (s *Session) Fig1() *Report {
 			and(byModel(styles.CUDA), byDevice(dev), byAlgos(algos...)))
 		ratioSection(r, dev, ratios)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig2 regenerates Figure 2: vertex- over edge-based ratios for (a)
@@ -90,7 +90,7 @@ func (s *Session) Fig2() *Report {
 			m.Cfg.Gran == styles.ThreadGran && classicOnly(m)
 	}
 	ratioSection(r, "thread-gran TC (CUDA)", s.RatiosByAlgo("iterate", int(styles.VertexBased), int(styles.EdgeBased), threadTC))
-	return r
+	return s.annotate(r)
 }
 
 // driveFig is the shared driver of Figures 3 and 4: topology-driven
@@ -103,7 +103,7 @@ func (s *Session) driveFig(id, title string, dataIdx int, algos []styles.Algorit
 			and(classicOnly, byModel(model), byAlgos(algos...)))
 		ratioSection(r, model.String(), ratios)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig3 regenerates Figure 3: topology-driven over data-driven with
@@ -130,7 +130,7 @@ func (s *Session) Fig5() *Report {
 			and(classicOnly, byModel(model), byAlgos(algos...)))
 		ratioSection(r, model.String(), ratios)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig6 regenerates Figure 6: read-write over read-modify-write (CC,
@@ -144,7 +144,7 @@ func (s *Session) Fig6() *Report {
 			and(classicOnly, byModel(model), byAlgos(algos...)))
 		ratioSection(r, model.String(), ratios)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig7 regenerates Figure 7: deterministic over non-deterministic (CC,
@@ -158,7 +158,7 @@ func (s *Session) Fig7() *Report {
 			and(classicOnly, byModel(model), byAlgos(algos...)))
 		ratioSection(r, model.String(), ratios)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig8 regenerates Figure 8: persistent over non-persistent (CUDA).
@@ -168,7 +168,7 @@ func (s *Session) Fig8() *Report {
 	ratios := s.RatiosByAlgo("persist", int(styles.Persistent), int(styles.NonPersistent),
 		and(classicOnly, byModel(styles.CUDA)))
 	ratioSection(r, "CUDA", ratios)
-	return r
+	return s.annotate(r)
 }
 
 // Fig12 regenerates Figure 12: default over dynamic scheduling (OMP).
@@ -177,7 +177,7 @@ func (s *Session) Fig12() *Report {
 	r := &Report{ID: "fig12", Title: "default over dynamic scheduling throughput ratios (OpenMP)"}
 	ratios := s.RatiosByAlgo("ompsched", int(styles.DefaultSched), int(styles.DynamicSched), byModel(styles.OMP))
 	ratioSection(r, "OMP", ratios)
-	return r
+	return s.annotate(r)
 }
 
 // Fig13 regenerates Figure 13: blocked over cyclic scheduling (C++).
@@ -186,7 +186,7 @@ func (s *Session) Fig13() *Report {
 	r := &Report{ID: "fig13", Title: "blocked over cyclic scheduling throughput ratios (C++)"}
 	ratios := s.RatiosByAlgo("cppsched", int(styles.BlockedSched), int(styles.CyclicSched), byModel(styles.CPP))
 	ratioSection(r, "CPP", ratios)
-	return r
+	return s.annotate(r)
 }
 
 // tputSection renders a three-way style's throughput medians per
@@ -218,7 +218,7 @@ func (s *Session) Fig9() *Report {
 			func(m Meas) bool { return m.Input == in }))
 		tputSection(r, in.String(), dim, Throughputs(ms, dim), func(i int) string { return styles.Gran(i).String() })
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig10 regenerates Figure 10: global-add/block-add/reduction-add
@@ -235,7 +235,7 @@ func (s *Session) Fig10() *Report {
 		Ratios(ms, dim, int(styles.ReductionAdd), int(styles.GlobalAdd)))
 	ratioSection(r, "reduction-add over block-add (pairwise)",
 		Ratios(ms, dim, int(styles.ReductionAdd), int(styles.BlockAdd)))
-	return r
+	return s.annotate(r)
 }
 
 // Fig11 regenerates Figure 11: atomic/critical/clause reduction
@@ -251,5 +251,5 @@ func (s *Session) Fig11() *Report {
 		Ratios(ms, dim, int(styles.ClauseRed), int(styles.CriticalRed)))
 	ratioSection(r, "atomic-red over critical-red (pairwise)",
 		Ratios(ms, dim, int(styles.AtomicRed), int(styles.CriticalRed)))
-	return r
+	return s.annotate(r)
 }

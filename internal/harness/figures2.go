@@ -70,7 +70,7 @@ func (s *Session) Table2() *Report {
 		}
 		r.Add("%s", line)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Table3 regenerates Table 3: variant counts per model and algorithm.
@@ -94,7 +94,7 @@ func (s *Session) Table3() *Report {
 		grand += total
 	}
 	r.Add("grand total\t%d (paper: 1106; see DESIGN.md divergences)", grand)
-	return r
+	return s.annotate(r)
 }
 
 // Table45 regenerates Tables 4 and 5: the generated inputs' shape
@@ -108,7 +108,7 @@ func (s *Session) Table45() *Report {
 			st.Name, in.PaperName(), st.Vertices, st.Edges, st.SizeMB,
 			st.AvgDegree, st.MaxDegree, st.PctDeg32, st.PctDeg512, st.Diameter)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Correlation regenerates §5.13: Pearson correlation of throughput with
@@ -146,7 +146,7 @@ func (s *Session) Correlation() *Report {
 		}
 	}
 	r.Add("warp-granularity vs avg-degree r=%+.2f", stats.Pearson(xs, ys))
-	return r
+	return s.annotate(r)
 }
 
 type stats0 = graphStats
@@ -195,7 +195,7 @@ func (s *Session) Fig14() *Report {
 		r.Add("%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f", model,
 			pct(vertex, n), pct(topo, n), pct(dup, data), pct(push, n), pct(rw, n), pct(nondet, n))
 	}
-	return r
+	return s.annotate(r)
 }
 
 // bestConfigs returns the highest-throughput config per (algorithm,
@@ -279,7 +279,7 @@ func (s *Session) Fig15() *Report {
 		}
 		r.Add("%s", line)
 	}
-	return r
+	return s.annotate(r)
 }
 
 // Fig16 regenerates Figure 16 and Table 6: speedups of the
@@ -323,7 +323,7 @@ func (s *Session) Fig16() *Report {
 			r.Add("%s\tALL\tgeomean of geomeans\t%s", model, ftoa(stats.Geomean(modelGeos)))
 		}
 	}
-	return r
+	return s.annotate(r)
 }
 
 // bestAverageConfig returns the config with the highest geomean

@@ -3,17 +3,25 @@
 // and the CPU execution models, computes the pairwise throughput ratios
 // "keeping the other styles fixed", and regenerates every table and
 // figure of the paper as a text report.
+//
+// Collection goes through the internal/sweep supervisor: every run has
+// a deadline, panics are recovered, results are verified against the
+// serial references, and failures are recorded instead of aborting the
+// sweep. Reports built over partial data carry a missing-cells footnote
+// (see annotate) rather than silently computing ratios as if the sweep
+// were complete.
 package harness
 
 import (
 	"fmt"
+	"os"
 
 	"indigo/internal/algo"
 	"indigo/internal/gen"
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
-	"indigo/internal/runner"
 	"indigo/internal/styles"
+	"indigo/internal/sweep"
 )
 
 // Meas is one measurement: a variant run on one input (and, for CUDA
@@ -34,7 +42,15 @@ type Session struct {
 	Graphs []*graph.Graph
 	GStats []graph.Stats
 
+	// Sweep configures the supervised execution layer. NewSession fills
+	// scale-aware defaults (deadline, verification); override fields
+	// before the first Collect — or call InitSweep to surface journal
+	// errors eagerly.
+	Sweep sweep.Options
+
 	meas      []Meas
+	failures  []sweep.Failure
+	super     *sweep.Supervisor
 	collected map[collKey]bool
 	baseCache map[baseKey]float64
 	// Verbose, when set, prints progress during collection.
@@ -50,8 +66,12 @@ type collKey struct {
 // threads <= 0 selects the machine's parallelism.
 func NewSession(scale gen.Scale, threads int) *Session {
 	s := &Session{
-		Scale:     scale,
-		Opt:       algo.Options{Threads: threads},
+		Scale: scale,
+		Opt:   algo.Options{Threads: threads},
+		Sweep: sweep.Options{
+			Timeout: sweep.DefaultTimeout(scale),
+			Verify:  true,
+		},
 		Graphs:    gen.Suite(scale),
 		collected: make(map[collKey]bool),
 	}
@@ -61,10 +81,48 @@ func NewSession(scale gen.Scale, threads int) *Session {
 	return s
 }
 
+// InitSweep creates the supervisor from s.Sweep. Callers configuring a
+// journal should call it before the first Collect so open/parse errors
+// surface as errors; otherwise Collect initializes it on demand.
+func (s *Session) InitSweep() error {
+	if s.super != nil {
+		return fmt.Errorf("harness: sweep already initialized")
+	}
+	sup, err := sweep.New(s.Sweep)
+	if err != nil {
+		return err
+	}
+	s.super = sup
+	return nil
+}
+
+// CloseSweep flushes and closes the supervisor's journal, if any.
+func (s *Session) CloseSweep() error {
+	if s.super == nil {
+		return nil
+	}
+	return s.super.Close()
+}
+
+// supervisor returns the lazily initialized supervisor. Without a
+// journal, sweep.New cannot fail; with one, use InitSweep first to
+// handle errors instead of panicking here.
+func (s *Session) supervisor() *sweep.Supervisor {
+	if s.super == nil {
+		if err := s.InitSweep(); err != nil {
+			panic(fmt.Sprintf("harness: sweep init: %v (call InitSweep to handle this)", err))
+		}
+	}
+	return s.super
+}
+
 // Collect ensures measurements exist for every (algorithm, model) pair
 // requested: each variant runs once per input, and CUDA variants run on
-// both device profiles (§4.3).
+// both device profiles (§4.3). Runs go through the sweep supervisor;
+// failed runs contribute a Failure record instead of a measurement and
+// never abort the collection.
 func (s *Session) Collect(algos []styles.Algorithm, models []styles.Model) {
+	var tasks []sweep.Task
 	for _, m := range models {
 		for _, a := range algos {
 			key := collKey{a, m}
@@ -77,24 +135,56 @@ func (s *Session) Collect(algos []styles.Algorithm, models []styles.Model) {
 				fmt.Printf("collecting %s/%s: %d variants x %d inputs\n", a, m, len(cfgs), len(s.Graphs))
 			}
 			for in := gen.Input(0); in < gen.NumInputs; in++ {
-				g := s.Graphs[in]
 				if m == styles.CUDA {
 					for _, prof := range gpusim.Profiles() {
 						for _, cfg := range cfgs {
-							d := gpusim.New(prof)
-							_, tput := runner.TimeGPU(d, g, cfg, s.Opt)
-							s.meas = append(s.meas, Meas{cfg, in, prof.Name, tput})
+							tasks = append(tasks, sweep.Task{Cfg: cfg, Input: in, Device: prof.Name})
 						}
 					}
 				} else {
 					for _, cfg := range cfgs {
-						_, tput := runner.TimeCPU(g, cfg, s.Opt)
-						s.meas = append(s.meas, Meas{cfg, in, "cpu", tput})
+						tasks = append(tasks, sweep.Task{Cfg: cfg, Input: in, Device: sweep.DeviceCPU})
 					}
 				}
 			}
 		}
 	}
+	if len(tasks) == 0 {
+		return
+	}
+	for _, o := range s.supervisor().Run(s.Graphs, s.Opt, tasks) {
+		if o.Kind == sweep.OK {
+			s.meas = append(s.meas, Meas{o.Cfg, o.Input, o.Device, o.Tput})
+		} else {
+			s.failures = append(s.failures, o.Failure())
+			if s.Verbose {
+				fmt.Fprintf(os.Stderr, "  FAIL %s: %s on %s (%s): %s\n",
+					o.Kind, o.Cfg.Name(), o.Input, o.Device, o.Err)
+			}
+		}
+	}
+}
+
+// Failures returns the classified failures of every collection so far.
+func (s *Session) Failures() []sweep.Failure {
+	return s.failures
+}
+
+// annotate appends a missing-cells footnote when any supervised run
+// failed, so no report presents ratios over partial data as complete.
+// Every figure/table driver returns through it.
+func (s *Session) annotate(r *Report) *Report {
+	if len(s.failures) == 0 {
+		return r
+	}
+	counts := make(map[sweep.Kind]int)
+	for _, f := range s.failures {
+		counts[f.Kind]++
+	}
+	r.Add("missing cells: %d runs failed (%d timeout, %d panic, %d wrong-answer, %d error, %d quarantined)",
+		len(s.failures), counts[sweep.Timeout], counts[sweep.Panic],
+		counts[sweep.WrongAnswer], counts[sweep.Error], counts[sweep.Quarantined])
+	return r
 }
 
 // Select returns the collected measurements matching the filter.
@@ -125,7 +215,8 @@ func valueIndex(dim *styles.Dim, cfg styles.Config) int {
 
 // Ratios pairs measurements that differ only in the given dimension and
 // returns tput[aIdx]/tput[bIdx] per algorithm — the paper's ratio
-// methodology (§5: "while keeping the other styles fixed").
+// methodology (§5: "while keeping the other styles fixed"). Pairs with
+// a missing or non-positive side (failed or filtered runs) drop out.
 func Ratios(ms []Meas, dim *styles.Dim, aIdx, bIdx int) map[styles.Algorithm][]float64 {
 	type pairKey struct {
 		key    string
@@ -160,11 +251,11 @@ func Ratios(ms []Meas, dim *styles.Dim, aIdx, bIdx int) map[styles.Algorithm][]f
 
 // Throughputs groups measured throughputs by the value of dim, per
 // algorithm: used by the figures that plot raw throughputs of
-// three-way styles (Figs. 9-11).
+// three-way styles (Figs. 9-11). Non-finite throughputs are filtered.
 func Throughputs(ms []Meas, dim *styles.Dim) map[styles.Algorithm]map[int][]float64 {
 	out := make(map[styles.Algorithm]map[int][]float64)
 	for _, m := range ms {
-		if !dim.Applies(m.Cfg) {
+		if !dim.Applies(m.Cfg) || !(m.Tput > 0) {
 			continue
 		}
 		byVal := out[m.Cfg.Algo]

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Chaos injects faults into the par substrate so the sweep supervisor's
+// failure handling (internal/sweep) can be exercised deterministically:
+// a stalled worker manufactures a hang, a panicking worker exercises
+// panic recovery, and dropped updates corrupt results without crashing,
+// manufacturing wrong answers. It is a test-only facility — production
+// code never installs one, and the only cost while disabled is a nil
+// atomic-pointer load at worker start and in the Sync min/max paths.
+type Chaos struct {
+	// Delay stalls each worker for the duration at loop entry, turning
+	// fast variants into slow ones for timeout tuning.
+	Delay time.Duration
+	// Stall, when non-nil, blocks every worker until the channel is
+	// closed: a deterministic non-terminating run.
+	Stall <-chan struct{}
+	// PanicMsg, when non-empty, makes worker 0 panic at loop entry.
+	PanicMsg string
+	// DropUpdates makes the Sync min/max operations lose their writes,
+	// so relaxation-based variants silently compute wrong answers.
+	DropUpdates bool
+}
+
+var chaos atomic.Pointer[Chaos]
+
+// SetChaos installs c for subsequent parallel loops; nil restores
+// normal operation. Only tests may call this.
+func SetChaos(c *Chaos) { chaos.Store(c) }
+
+// chaosEnter applies the installed worker faults. It runs on each
+// worker goroutine at loop entry, inside the panic trap, so an injected
+// panic propagates to the fork/join caller like any variant panic.
+func chaosEnter(tid int) {
+	c := chaos.Load()
+	if c == nil {
+		return
+	}
+	if c.Delay > 0 {
+		time.Sleep(c.Delay)
+	}
+	if c.Stall != nil {
+		<-c.Stall
+	}
+	if c.PanicMsg != "" && tid == 0 {
+		panic(c.PanicMsg)
+	}
+}
+
+// chaosDropsUpdates reports whether Sync min/max writes should be lost.
+func chaosDropsUpdates() bool {
+	c := chaos.Load()
+	return c != nil && c.DropUpdates
+}
+
+// trap collects the first panic raised by any worker goroutine so the
+// fork/join caller can re-raise it on its own goroutine. A panic in a
+// spawned goroutine cannot be recovered by the caller and would kill
+// the whole process; re-raising after the join point makes variant
+// panics (worklist overflow, injected faults) recoverable by the sweep
+// supervisor, mirroring how gpusim surfaces kernel panics on the
+// launching goroutine.
+type trap struct {
+	mu  sync.Mutex
+	val any
+	set bool
+}
+
+// capture must be deferred directly by each worker goroutine.
+func (tr *trap) capture() {
+	if p := recover(); p != nil {
+		tr.mu.Lock()
+		if !tr.set {
+			tr.val, tr.set = p, true
+		}
+		tr.mu.Unlock()
+	}
+}
+
+// rethrow re-raises the first captured panic, if any, on the caller.
+func (tr *trap) rethrow() {
+	if tr.set {
+		panic(tr.val)
+	}
+}

@@ -1,0 +1,129 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWorkerPanicReachesCaller: a panic inside a loop body must surface
+// on the goroutine that called For/ForTID — a panic confined to a worker
+// goroutine would kill the whole process, which the sweep supervisor
+// could never recover from.
+func TestWorkerPanicReachesCaller(t *testing.T) {
+	for _, s := range []Sched{Static, Dynamic, Blocked, Cyclic} {
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					t.Errorf("%v: body panic did not reach the caller", s)
+					return
+				}
+				if msg, ok := p.(string); !ok || !strings.Contains(msg, "bad iteration") {
+					t.Errorf("%v: panic value %v, want the body's", s, p)
+				}
+			}()
+			For(4, 100, s, func(i int64) {
+				if i == 37 {
+					panic("bad iteration 37")
+				}
+			})
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v: ForTID body panic did not reach the caller", s)
+				}
+			}()
+			ForTID(4, 100, s, func(tid int, i int64) {
+				if i == 37 {
+					panic("bad iteration 37")
+				}
+			})
+		}()
+	}
+}
+
+func TestChaosPanicInjection(t *testing.T) {
+	defer SetChaos(nil)
+	SetChaos(&Chaos{PanicMsg: "chaos strike"})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("injected panic did not reach the caller")
+		}
+		if msg, ok := p.(string); !ok || msg != "chaos strike" {
+			t.Errorf("panic value %v, want the injected message", p)
+		}
+	}()
+	For(4, 100, Static, func(i int64) {})
+}
+
+func TestChaosDelay(t *testing.T) {
+	defer SetChaos(nil)
+	SetChaos(&Chaos{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	For(2, 10, Static, func(i int64) {})
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Errorf("delayed loop finished in %v, want >= 20ms", el)
+	}
+}
+
+// TestChaosStall: a stalled loop must not complete until the stall
+// channel is closed — the deterministic hang the supervisor's timeout
+// tests rely on.
+func TestChaosStall(t *testing.T) {
+	defer SetChaos(nil)
+	stall := make(chan struct{})
+	SetChaos(&Chaos{Stall: stall})
+	done := make(chan struct{})
+	go func() {
+		For(2, 10, Static, func(i int64) {})
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("stalled loop completed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(stall)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("loop did not complete after the stall was released")
+	}
+}
+
+// TestChaosDropUpdates: both Sync realizations must lose their min/max
+// writes while the fault is installed, and recover when it is removed.
+func TestChaosDropUpdates(t *testing.T) {
+	defer SetChaos(nil)
+	SetChaos(&Chaos{DropUpdates: true})
+	var crit Critical
+	for _, s := range []Sync{CAS{}, &crit} {
+		x := int32(100)
+		if old := s.Min(&x, 5); old != 100 || x != 100 {
+			t.Errorf("%s.Min under drops: old=%d x=%d, want update lost", s.Name(), old, x)
+		}
+		if old := s.Max(&x, 500); old != 100 || x != 100 {
+			t.Errorf("%s.Max under drops: old=%d x=%d, want update lost", s.Name(), old, x)
+		}
+	}
+	SetChaos(nil)
+	x := int32(100)
+	if (CAS{}).Min(&x, 5); x != 5 {
+		t.Errorf("Min after chaos removed: x=%d, want 5", x)
+	}
+}
+
+// TestChaosDisabledLoopsRunNormally guards the zero-fault fast path:
+// with no chaos installed every iteration still runs exactly once.
+func TestChaosDisabledLoopsRunNormally(t *testing.T) {
+	SetChaos(nil)
+	var n atomic.Int64
+	For(4, 1000, Dynamic, func(i int64) { n.Add(1) })
+	if n.Load() != 1000 {
+		t.Errorf("ran %d iterations, want 1000", n.Load())
+	}
+}

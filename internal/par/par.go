@@ -64,7 +64,9 @@ const dynChunk = 1
 func Threads() int { return runtime.GOMAXPROCS(0) }
 
 // For executes body(i) for every i in [0, n) on t goroutines using the
-// given schedule, and returns when all iterations are complete.
+// given schedule, and returns when all iterations are complete. A panic
+// in any worker is re-raised on the calling goroutine after the join,
+// so callers (and the sweep supervisor above them) can recover it.
 func For(t int, n int64, s Sched, body func(i int64)) {
 	if n <= 0 {
 		return
@@ -76,12 +78,15 @@ func For(t int, n int64, s Sched, body func(i int64)) {
 		t = int(n)
 	}
 	var wg sync.WaitGroup
+	var tr trap
 	wg.Add(t)
 	switch s {
 	case Static, Blocked:
 		for tid := 0; tid < t; tid++ {
 			go func(tid int64) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(int(tid))
 				beg := tid * n / int64(t)
 				end := (tid + 1) * n / int64(t)
 				for i := beg; i < end; i++ {
@@ -93,6 +98,8 @@ func For(t int, n int64, s Sched, body func(i int64)) {
 		for tid := 0; tid < t; tid++ {
 			go func(tid int64) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(int(tid))
 				for i := tid; i < n; i += int64(t) {
 					body(i)
 				}
@@ -101,8 +108,10 @@ func For(t int, n int64, s Sched, body func(i int64)) {
 	case Dynamic:
 		var next atomic.Int64
 		for tid := 0; tid < t; tid++ {
-			go func() {
+			go func(tid int) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
 				for {
 					beg := next.Add(dynChunk) - dynChunk
 					if beg >= n {
@@ -116,16 +125,18 @@ func For(t int, n int64, s Sched, body func(i int64)) {
 						body(i)
 					}
 				}
-			}()
+			}(tid)
 		}
 	default:
 		panic("par.For: unknown schedule")
 	}
 	wg.Wait()
+	tr.rethrow()
 }
 
 // ForTID is like For but also passes the worker id (0..t-1) to the body,
 // which clause-style reductions and per-thread scratch buffers need.
+// Like For, it re-raises worker panics on the calling goroutine.
 func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 	if n <= 0 {
 		return
@@ -137,12 +148,15 @@ func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 		t = int(n)
 	}
 	var wg sync.WaitGroup
+	var tr trap
 	wg.Add(t)
 	switch s {
 	case Static, Blocked:
 		for tid := 0; tid < t; tid++ {
 			go func(tid int) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
 				beg := int64(tid) * n / int64(t)
 				end := int64(tid+1) * n / int64(t)
 				for i := beg; i < end; i++ {
@@ -154,6 +168,8 @@ func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 		for tid := 0; tid < t; tid++ {
 			go func(tid int) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
 				for i := int64(tid); i < n; i += int64(t) {
 					body(tid, i)
 				}
@@ -164,6 +180,8 @@ func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 		for tid := 0; tid < t; tid++ {
 			go func(tid int) {
 				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
 				for {
 					beg := next.Add(dynChunk) - dynChunk
 					if beg >= n {
@@ -183,4 +201,5 @@ func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 		panic("par.ForTID: unknown schedule")
 	}
 	wg.Wait()
+	tr.rethrow()
 }

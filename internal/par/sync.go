@@ -46,6 +46,9 @@ func (CAS) Store(p *int32, v int32) { atomic.StoreInt32(p, v) }
 
 // Min implements Sync.
 func (CAS) Min(p *int32, v int32) int32 {
+	if chaosDropsUpdates() {
+		return atomic.LoadInt32(p)
+	}
 	for {
 		old := atomic.LoadInt32(p)
 		if old <= v || atomic.CompareAndSwapInt32(p, old, v) {
@@ -56,6 +59,9 @@ func (CAS) Min(p *int32, v int32) int32 {
 
 // Max implements Sync.
 func (CAS) Max(p *int32, v int32) int32 {
+	if chaosDropsUpdates() {
+		return atomic.LoadInt32(p)
+	}
 	for {
 		old := atomic.LoadInt32(p)
 		if old >= v || atomic.CompareAndSwapInt32(p, old, v) {
@@ -90,7 +96,7 @@ func (*Critical) Store(p *int32, v int32) { atomic.StoreInt32(p, v) }
 func (c *Critical) Min(p *int32, v int32) int32 {
 	c.mu.Lock()
 	old := atomic.LoadInt32(p)
-	if v < old {
+	if v < old && !chaosDropsUpdates() {
 		atomic.StoreInt32(p, v)
 	}
 	c.mu.Unlock()
@@ -101,7 +107,7 @@ func (c *Critical) Min(p *int32, v int32) int32 {
 func (c *Critical) Max(p *int32, v int32) int32 {
 	c.mu.Lock()
 	old := atomic.LoadInt32(p)
-	if v > old {
+	if v > old && !chaosDropsUpdates() {
 		atomic.StoreInt32(p, v)
 	}
 	c.mu.Unlock()

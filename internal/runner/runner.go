@@ -4,6 +4,7 @@ package runner
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"indigo/internal/algo"
@@ -17,42 +18,50 @@ import (
 	"indigo/internal/styles"
 )
 
-// RunCPU executes a CPU (OMP or CPP model) variant.
-func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+// RunCPU executes a CPU (OMP or CPP model) variant. Dispatching a
+// configuration that has no CPU implementation (a CUDA variant) is a
+// recoverable caller mistake and returns an error; only enum values
+// outside the styles space, which no enumeration can produce, panic.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, error) {
 	if cfg.Model == styles.CUDA {
-		panic(fmt.Sprintf("runner.RunCPU: %s is a GPU variant", cfg.Name()))
+		return algo.Result{}, fmt.Errorf("runner.RunCPU: %s is a GPU variant", cfg.Name())
 	}
 	switch cfg.Algo {
 	case styles.BFS:
-		return bfs.RunCPU(g, cfg, opt)
+		return bfs.RunCPU(g, cfg, opt), nil
 	case styles.SSSP:
-		return sssp.RunCPU(g, cfg, opt)
+		return sssp.RunCPU(g, cfg, opt), nil
 	case styles.CC:
-		return cc.RunCPU(g, cfg, opt)
+		return cc.RunCPU(g, cfg, opt), nil
 	case styles.MIS:
-		return mis.RunCPU(g, cfg, opt)
+		return mis.RunCPU(g, cfg, opt), nil
 	case styles.PR:
-		return pr.RunCPU(g, cfg, opt)
+		return pr.RunCPU(g, cfg, opt), nil
 	case styles.TC:
-		return tc.RunCPU(g, cfg, opt)
+		return tc.RunCPU(g, cfg, opt), nil
 	}
-	panic(fmt.Sprintf("runner.RunCPU: unknown algorithm in %s", cfg.Name()))
+	panic(fmt.Sprintf("runner.RunCPU: impossible algorithm enum %d", cfg.Algo))
 }
 
 // TimeCPU runs the variant and returns the result and the throughput in
 // giga-edges per second (the paper's metric, §4.5: input edges divided
 // by runtime).
-func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
+func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
 	start := time.Now()
-	res := RunCPU(g, cfg, opt)
-	elapsed := time.Since(start).Seconds()
-	return res, Throughput(g, elapsed)
+	res, err := RunCPU(g, cfg, opt)
+	if err != nil {
+		return algo.Result{}, math.NaN(), err
+	}
+	return res, Throughput(g, time.Since(start).Seconds()), nil
 }
 
 // Throughput converts a runtime in seconds to giga-edges per second.
+// A zero or negative elapsed time is not a measurement: it yields NaN
+// so collectors filter it instead of treating it as a (worst-case) zero
+// throughput.
 func Throughput(g *graph.Graph, seconds float64) float64 {
 	if seconds <= 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(g.M()) / seconds / 1e9
 }

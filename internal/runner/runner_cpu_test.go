@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"indigo/internal/algo"
@@ -43,8 +45,11 @@ func TestEveryCPUVariantVerifies(t *testing.T) {
 		for _, model := range []styles.Model{styles.OMP, styles.CPP} {
 			for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
 				for _, cfg := range styles.Enumerate(a, model) {
-					res := RunCPU(g, cfg, opt)
-					if err := ref.Check(cfg, res); err != nil {
+					res, err := RunCPU(g, cfg, opt)
+					if err == nil {
+						err = ref.Check(cfg, res)
+					}
+					if err != nil {
 						t.Errorf("graph %s: %v", g.Name, err)
 					}
 				}
@@ -62,7 +67,11 @@ func TestCPUVariantsSingleThread(t *testing.T) {
 	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
 		cfgs := styles.Enumerate(a, styles.CPP)
 		for _, cfg := range cfgs[:min(4, len(cfgs))] {
-			if err := ref.Check(cfg, RunCPU(g, cfg, opt)); err != nil {
+			res, err := RunCPU(g, cfg, opt)
+			if err == nil {
+				err = ref.Check(cfg, res)
+			}
+			if err != nil {
 				t.Error(err)
 			}
 		}
@@ -77,17 +86,27 @@ func TestCPUVariantsNonDefaultSource(t *testing.T) {
 	ref := verify.NewReference(g, opt)
 	for _, a := range []styles.Algorithm{styles.BFS, styles.SSSP} {
 		for _, cfg := range styles.Enumerate(a, styles.OMP) {
-			if err := ref.Check(cfg, RunCPU(g, cfg, opt)); err != nil {
+			res, err := RunCPU(g, cfg, opt)
+			if err == nil {
+				err = ref.Check(cfg, res)
+			}
+			if err != nil {
 				t.Error(err)
 			}
 		}
 	}
 }
 
+// TestThroughput is the regression test for the zero-elapsed case: a
+// non-measurement must be NaN (filtered by collectors), never a 0 that
+// the harness would rank as the worst style (see Session.Spread).
 func TestThroughput(t *testing.T) {
 	g := gen.Generate(gen.InputRoad, gen.Tiny)
-	if got := Throughput(g, 0); got != 0 {
-		t.Errorf("Throughput(0s) = %v, want 0", got)
+	if got := Throughput(g, 0); !math.IsNaN(got) {
+		t.Errorf("Throughput(0s) = %v, want NaN", got)
+	}
+	if got := Throughput(g, -1); !math.IsNaN(got) {
+		t.Errorf("Throughput(-1s) = %v, want NaN", got)
 	}
 	want := float64(g.M()) / 1e9
 	if got := Throughput(g, 1.0); got != want {
@@ -99,7 +118,10 @@ func TestTimeCPUVerifies(t *testing.T) {
 	g := gen.Generate(gen.InputSocial, gen.Tiny)
 	cfg := styles.Enumerate(styles.BFS, styles.CPP)[0]
 	opt := algo.Options{Threads: 4}
-	res, tput := TimeCPU(g, cfg, opt)
+	res, tput, err := TimeCPU(g, cfg, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tput <= 0 {
 		t.Errorf("throughput = %v, want > 0", tput)
 	}
@@ -108,12 +130,19 @@ func TestTimeCPUVerifies(t *testing.T) {
 	}
 }
 
+// TestRunCPURejectsGPUConfig: model mismatches are recoverable caller
+// errors, not panics, so supervised and unsupervised callers alike can
+// handle them.
 func TestRunCPURejectsGPUConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RunCPU with CUDA config did not panic")
-		}
-	}()
 	g := gen.Generate(gen.InputRoad, gen.Tiny)
-	RunCPU(g, styles.Config{Algo: styles.BFS, Model: styles.CUDA}, algo.Options{})
+	_, err := RunCPU(g, styles.Config{Algo: styles.BFS, Model: styles.CUDA}, algo.Options{})
+	if err == nil {
+		t.Fatal("RunCPU with CUDA config did not return an error")
+	}
+	if !strings.Contains(err.Error(), "GPU variant") {
+		t.Errorf("undescriptive error: %v", err)
+	}
+	if _, _, err := TimeCPU(g, styles.Config{Algo: styles.BFS, Model: styles.CUDA}, algo.Options{}); err == nil {
+		t.Fatal("TimeCPU with CUDA config did not return an error")
+	}
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"fmt"
+	"math"
 
 	"indigo/internal/algo"
 	"indigo/internal/algo/bfs"
@@ -16,48 +17,61 @@ import (
 )
 
 // RunGPU executes a CUDA-model variant on the given simulated device and
-// returns the result and the simulated cost.
-func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats) {
+// returns the result and the simulated cost. Non-CUDA configurations
+// and a nil device are recoverable caller mistakes and return an error.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats, error) {
 	if cfg.Model != styles.CUDA {
-		panic(fmt.Sprintf("runner.RunGPU: %s is not a CUDA variant", cfg.Name()))
+		return algo.Result{}, gpusim.Stats{}, fmt.Errorf("runner.RunGPU: %s is not a CUDA variant", cfg.Name())
+	}
+	if d == nil {
+		return algo.Result{}, gpusim.Stats{}, fmt.Errorf("runner.RunGPU: nil device for %s", cfg.Name())
 	}
 	switch cfg.Algo {
 	case styles.BFS:
-		return bfs.RunGPU(d, g, cfg, opt)
+		res, st := bfs.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	case styles.SSSP:
-		return sssp.RunGPU(d, g, cfg, opt)
+		res, st := sssp.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	case styles.CC:
-		return cc.RunGPU(d, g, cfg, opt)
+		res, st := cc.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	case styles.MIS:
-		return mis.RunGPU(d, g, cfg, opt)
+		res, st := mis.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	case styles.PR:
-		return pr.RunGPU(d, g, cfg, opt)
+		res, st := pr.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	case styles.TC:
-		return tc.RunGPU(d, g, cfg, opt)
+		res, st := tc.RunGPU(d, g, cfg, opt)
+		return res, st, nil
 	}
-	panic(fmt.Sprintf("runner.RunGPU: unknown algorithm in %s", cfg.Name()))
+	panic(fmt.Sprintf("runner.RunGPU: impossible algorithm enum %d", cfg.Algo))
 }
 
 // TimeGPU runs the variant and returns the result and the simulated
 // throughput in giga-edges per second.
-func TimeGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
-	res, st := RunGPU(d, g, cfg, opt)
-	return res, Throughput(g, st.Seconds(d.Prof))
+func TimeGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
+	res, st, err := RunGPU(d, g, cfg, opt)
+	if err != nil {
+		return algo.Result{}, math.NaN(), err
+	}
+	return res, Throughput(g, st.Seconds(d.Prof)), nil
 }
 
 // Run dispatches to RunCPU or RunGPU by model; d may be nil for CPU
 // variants.
-func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
+func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, error) {
 	if cfg.Model == styles.CUDA {
-		res, _ := RunGPU(d, g, cfg, opt)
-		return res
+		res, _, err := RunGPU(d, g, cfg, opt)
+		return res, err
 	}
 	return RunCPU(g, cfg, opt)
 }
 
 // Time dispatches to TimeCPU or TimeGPU by model; d may be nil for CPU
 // variants.
-func Time(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64) {
+func Time(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
 	if cfg.Model == styles.CUDA {
 		return TimeGPU(d, g, cfg, opt)
 	}

@@ -21,8 +21,11 @@ func TestEveryGPUVariantVerifies(t *testing.T) {
 		d := gpusim.New(gpusim.RTXSim())
 		for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
 			for _, cfg := range styles.Enumerate(a, styles.CUDA) {
-				res, st := RunGPU(d, g, cfg, opt)
-				if err := ref.Check(cfg, res); err != nil {
+				res, st, err := RunGPU(d, g, cfg, opt)
+				if err == nil {
+					err = ref.Check(cfg, res)
+				}
+				if err != nil {
 					t.Errorf("graph %s: %v", g.Name, err)
 				}
 				if st.Cycles <= 0 {
@@ -42,8 +45,11 @@ func TestGPUVariantsOnTitanProfile(t *testing.T) {
 	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
 		cfgs := styles.Enumerate(a, styles.CUDA)
 		for _, cfg := range cfgs[:min(6, len(cfgs))] {
-			res, _ := RunGPU(d, g, cfg, opt)
-			if err := ref.Check(cfg, res); err != nil {
+			res, _, err := RunGPU(d, g, cfg, opt)
+			if err == nil {
+				err = ref.Check(cfg, res)
+			}
+			if err != nil {
 				t.Error(err)
 			}
 		}
@@ -54,7 +60,10 @@ func TestTimeGPUPositiveThroughput(t *testing.T) {
 	g := gen.Generate(gen.InputSocial, gen.Tiny)
 	d := gpusim.New(gpusim.RTXSim())
 	cfg := styles.Enumerate(styles.BFS, styles.CUDA)[0]
-	res, tput := TimeGPU(d, g, cfg, algo.Options{})
+	res, tput, err := TimeGPU(d, g, cfg, algo.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tput <= 0 {
 		t.Errorf("throughput = %v", tput)
 	}
@@ -70,26 +79,38 @@ func TestRunDispatch(t *testing.T) {
 	ref := verify.NewReference(g, opt)
 	gpuCfg := styles.Enumerate(styles.CC, styles.CUDA)[0]
 	cpuCfg := styles.Enumerate(styles.CC, styles.OMP)[0]
-	if err := ref.Check(gpuCfg, Run(d, g, gpuCfg, opt)); err != nil {
+	gres, err := Run(d, g, gpuCfg, opt)
+	if err == nil {
+		err = ref.Check(gpuCfg, gres)
+	}
+	if err != nil {
 		t.Error(err)
 	}
-	if err := ref.Check(cpuCfg, Run(nil, g, cpuCfg, opt)); err != nil {
+	cres, err := Run(nil, g, cpuCfg, opt)
+	if err == nil {
+		err = ref.Check(cpuCfg, cres)
+	}
+	if err != nil {
 		t.Error(err)
 	}
-	if _, tput := Time(d, g, gpuCfg, opt); tput <= 0 {
-		t.Error("Time GPU dispatch returned 0 throughput")
+	if _, tput, err := Time(d, g, gpuCfg, opt); err != nil || tput <= 0 {
+		t.Errorf("Time GPU dispatch: tput=%v err=%v", tput, err)
 	}
-	if _, tput := Time(nil, g, cpuCfg, opt); tput <= 0 {
-		t.Error("Time CPU dispatch returned 0 throughput")
+	if _, tput, err := Time(nil, g, cpuCfg, opt); err != nil || tput <= 0 {
+		t.Errorf("Time CPU dispatch: tput=%v err=%v", tput, err)
 	}
 }
 
+// TestRunGPURejectsCPUConfig: dispatch mismatches and a nil device are
+// recoverable caller errors, not panics.
 func TestRunGPURejectsCPUConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("RunGPU with OMP config did not panic")
-		}
-	}()
 	g := gen.Generate(gen.InputRoad, gen.Tiny)
-	RunGPU(gpusim.New(gpusim.RTXSim()), g, styles.Config{Algo: styles.BFS, Model: styles.OMP}, algo.Options{})
+	ompCfg := styles.Config{Algo: styles.BFS, Model: styles.OMP}
+	if _, _, err := RunGPU(gpusim.New(gpusim.RTXSim()), g, ompCfg, algo.Options{}); err == nil {
+		t.Fatal("RunGPU with OMP config did not return an error")
+	}
+	cudaCfg := styles.Config{Algo: styles.BFS, Model: styles.CUDA}
+	if _, _, err := RunGPU(nil, g, cudaCfg, algo.Options{}); err == nil {
+		t.Fatal("RunGPU with nil device did not return an error")
+	}
 }

@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"indigo/internal/gen"
+	"indigo/internal/styles"
+)
+
+// Record is the JSONL journal form of one supervised run. Throughput is
+// recorded only for successful runs (failed runs have no measurement,
+// and NaN is not representable in JSON).
+type Record struct {
+	Variant   string  `json:"variant"`
+	Input     string  `json:"input"`
+	Device    string  `json:"device"`
+	Kind      string  `json:"kind"`
+	Tput      float64 `json:"tput,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	Attempts  int     `json:"attempts"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// journal appends one Record per completed run to a JSONL file. Appends
+// are line-atomic from the supervisor's point of view (guarded by mu),
+// so a sweep killed mid-write corrupts at most the final line — which
+// ReadJournal tolerates.
+type journal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: open journal: %w", err)
+	}
+	// A sweep killed mid-write leaves a torn final line. Appending right
+	// after it would corrupt the next record too, so terminate the torn
+	// line first: it then costs one skipped line on read, nothing more.
+	if st, err := f.Stat(); err == nil && st.Size() > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, st.Size()-1); err == nil && last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("sweep: open journal: %w", err)
+			}
+		}
+	}
+	return &journal{f: f}, nil
+}
+
+func (j *journal) append(o Outcome) error {
+	rec := Record{
+		Variant:   o.Cfg.Name(),
+		Input:     o.Input.String(),
+		Device:    o.Device,
+		Kind:      o.Kind.String(),
+		Err:       o.Err,
+		Attempts:  o.Attempts,
+		ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+	}
+	if o.Kind == OK {
+		rec.Tput = o.Tput
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.f.Write(append(line, '\n'))
+	return err
+}
+
+func (j *journal) close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// ReadJournal loads the outcomes recorded in a JSONL journal, keyed for
+// resume. Malformed lines (e.g. the torn final line of a killed sweep)
+// and records naming unknown variants or inputs are skipped rather than
+// failing the whole resume. A missing file is an empty journal.
+func ReadJournal(path string) (map[string]Outcome, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]Outcome{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read journal: %w", err)
+	}
+	defer f.Close()
+
+	byName := make(map[string]styles.Config)
+	for _, cfg := range styles.EnumerateAll() {
+		byName[cfg.Name()] = cfg
+	}
+	inputs := make(map[string]gen.Input)
+	for in := gen.Input(0); in < gen.NumInputs; in++ {
+		inputs[in.String()] = in
+	}
+
+	out := make(map[string]Outcome)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		var rec Record
+		if json.Unmarshal(sc.Bytes(), &rec) != nil {
+			continue
+		}
+		cfg, okV := byName[rec.Variant]
+		in, okI := inputs[rec.Input]
+		kind, okK := parseKind(rec.Kind)
+		if !okV || !okI || !okK {
+			continue
+		}
+		o := Outcome{
+			Task:     Task{Cfg: cfg, Input: in, Device: rec.Device},
+			Kind:     kind,
+			Tput:     rec.Tput,
+			Err:      rec.Err,
+			Attempts: rec.Attempts,
+			Elapsed:  time.Duration(rec.ElapsedMS * float64(time.Millisecond)),
+		}
+		out[o.Key()] = o
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sweep: read journal: %w", err)
+	}
+	return out, nil
+}

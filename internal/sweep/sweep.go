@@ -1,0 +1,425 @@
+// Package sweep is the fault-tolerant supervisor for large variant
+// sweeps. The paper's methodology stands on running every meaningful
+// style combination to completion and verifying each result against a
+// serial reference (§4.1, §4.5) — which makes a 1106-variant study only
+// as robust as its most broken variant family. The supervisor wraps the
+// runner behind a worker pool with per-run deadlines, panic isolation,
+// bounded retry with backoff, quarantine of repeat offenders, result
+// verification, and a JSONL journal that lets an interrupted sweep
+// resume where it left off instead of starting over.
+//
+// Failure taxonomy (see DESIGN.md): a run either produces a verified
+// measurement (OK) or a structured Failure classified as Timeout (no
+// result within the deadline), Panic (the variant crashed and was
+// recovered), WrongAnswer (the result disagrees with the serial
+// reference), Error (the runner returned a dispatch error), or
+// Quarantined (skipped because the variant already failed repeatedly).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+	"indigo/internal/verify"
+)
+
+// DeviceCPU is the Task.Device value for OMP/CPP variants; CUDA tasks
+// name a gpusim profile instead.
+const DeviceCPU = "cpu"
+
+// Kind classifies how a supervised run ended.
+type Kind int
+
+const (
+	// OK: the run completed (and verified, when enabled) in time.
+	OK Kind = iota
+	// Timeout: no result within the per-run deadline; the run's
+	// goroutine is abandoned (the algorithm kernels take no context).
+	Timeout
+	// Panic: the variant panicked and the supervisor recovered it.
+	Panic
+	// WrongAnswer: the result failed the serial-reference check.
+	WrongAnswer
+	// Error: the runner returned an error (e.g. a dispatch mismatch).
+	Error
+	// Quarantined: skipped without running because the variant already
+	// exhausted its failure budget on earlier tasks.
+	Quarantined
+)
+
+func (k Kind) String() string {
+	switch k {
+	case OK:
+		return "ok"
+	case Timeout:
+		return "timeout"
+	case Panic:
+		return "panic"
+	case WrongAnswer:
+		return "wrong-answer"
+	case Error:
+		return "error"
+	case Quarantined:
+		return "quarantined"
+	}
+	return "unknown"
+}
+
+func parseKind(s string) (Kind, bool) {
+	for k := OK; k <= Quarantined; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return OK, false
+}
+
+// Task identifies one supervised run: a variant on one input, on one
+// device ("cpu" or a gpusim profile name).
+type Task struct {
+	Cfg    styles.Config
+	Input  gen.Input
+	Device string
+}
+
+// Key is the task's stable journal identity.
+func (t Task) Key() string {
+	return t.Cfg.Name() + "|" + t.Input.String() + "|" + t.Device
+}
+
+// Outcome is the supervisor's record of one task: either a measurement
+// (Kind == OK) or a classified failure.
+type Outcome struct {
+	Task
+	Kind     Kind
+	Tput     float64 // giga-edges per second; valid only when Kind == OK
+	Err      string
+	Attempts int
+	Elapsed  time.Duration
+	// Resumed marks outcomes replayed from the journal rather than run.
+	Resumed bool
+}
+
+// Failure is the failure view of an outcome, the record figure drivers
+// aggregate when annotating reports built over partial data.
+type Failure struct {
+	Cfg    styles.Config
+	Input  gen.Input
+	Device string
+	Kind   Kind
+	Err    string
+}
+
+// Failure converts a non-OK outcome.
+func (o Outcome) Failure() Failure {
+	return Failure{Cfg: o.Cfg, Input: o.Input, Device: o.Device, Kind: o.Kind, Err: o.Err}
+}
+
+// Options configures a Supervisor.
+type Options struct {
+	// Timeout is the per-run deadline; 0 disables deadlines. Use
+	// DefaultTimeout for a scale-aware default.
+	Timeout time.Duration
+	// Workers sizes the pool. The default (<= 1) runs tasks one at a
+	// time: variants are internally parallel, and concurrent runs
+	// perturb each other's timing. Raise it for verification sweeps
+	// where only correctness matters.
+	Workers int
+	// Retries is how many times a transiently failed run (timeout,
+	// panic, wrong answer) is re-attempted before its failure is
+	// recorded. Dispatch errors are deterministic and never retried.
+	Retries int
+	// Backoff is the pause before the first retry; it doubles per
+	// subsequent attempt.
+	Backoff time.Duration
+	// QuarantineAfter quarantines a variant once this many of its tasks
+	// have failed (post-retry): later tasks for that variant are skipped
+	// as Quarantined instead of run. 0 means 2; negative disables.
+	QuarantineAfter int
+	// Verify checks every result against the cached serial reference
+	// and classifies disagreements as WrongAnswer (§4.1).
+	Verify bool
+	// Journal is a JSONL path appended to after every completed task;
+	// empty disables journaling.
+	Journal string
+	// Resume replays tasks already recorded in Journal instead of
+	// re-running them, so an interrupted sweep continues where it died.
+	Resume bool
+	// Progress, when set, is called after every task (including resumed
+	// and quarantined ones) with the running completion count.
+	Progress func(done, total int, o Outcome)
+}
+
+// DefaultTimeout is the scale-aware per-run deadline: generous enough
+// that no healthy variant at that scale comes near it, tight enough
+// that a hung sweep fails in minutes rather than silently forever.
+func DefaultTimeout(s gen.Scale) time.Duration {
+	switch s {
+	case gen.Tiny:
+		return 30 * time.Second
+	case gen.Small:
+		return 2 * time.Minute
+	case gen.Medium:
+		return 10 * time.Minute
+	}
+	return 30 * time.Minute
+}
+
+// Supervisor executes tasks under the configured failure policy. It is
+// safe for use from one Run call at a time; the worker pool inside a
+// Run call is concurrent.
+type Supervisor struct {
+	opt   Options
+	jrnl  *journal
+	prior map[string]Outcome // journaled outcomes, for resume
+
+	mu          sync.Mutex
+	failCount   map[string]int // exhausted-task failures per variant name
+	quarantined map[string]bool
+	done        int
+
+	refMu sync.Mutex
+	refs  map[*graph.Graph]*refEntry
+}
+
+type refEntry struct {
+	mu  sync.Mutex
+	ref *verify.Reference
+}
+
+// New creates a Supervisor, opening the journal (and loading it, when
+// resuming) if one is configured.
+func New(opt Options) (*Supervisor, error) {
+	if opt.QuarantineAfter == 0 {
+		opt.QuarantineAfter = 2
+	}
+	s := &Supervisor{
+		opt:         opt,
+		prior:       map[string]Outcome{},
+		failCount:   map[string]int{},
+		quarantined: map[string]bool{},
+		refs:        map[*graph.Graph]*refEntry{},
+	}
+	if opt.Journal != "" {
+		if opt.Resume {
+			prior, err := ReadJournal(opt.Journal)
+			if err != nil {
+				return nil, err
+			}
+			s.prior = prior
+		}
+		j, err := openJournal(opt.Journal)
+		if err != nil {
+			return nil, err
+		}
+		s.jrnl = j
+	}
+	return s, nil
+}
+
+// Close flushes and closes the journal, if any.
+func (s *Supervisor) Close() error {
+	if s.jrnl == nil {
+		return nil
+	}
+	return s.jrnl.close()
+}
+
+// Failures filters the non-OK outcomes.
+func Failures(outcomes []Outcome) []Failure {
+	var fs []Failure
+	for _, o := range outcomes {
+		if o.Kind != OK {
+			fs = append(fs, o.Failure())
+		}
+	}
+	return fs
+}
+
+// Run executes every task and returns an outcome per task, in task
+// order. graphs must be indexed by gen.Input (entries for inputs no
+// task names may be nil). The sweep never aborts: failures are
+// classified, journaled, and returned alongside the measurements.
+func (s *Supervisor) Run(graphs []*graph.Graph, ropt algo.Options, tasks []Task) []Outcome {
+	out := make([]Outcome, len(tasks))
+	workers := s.opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = s.runTask(graphs, ropt, tasks[i])
+				s.finish(out[i], len(tasks))
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// finish journals the outcome and reports progress.
+func (s *Supervisor) finish(o Outcome, total int) {
+	if s.jrnl != nil && !o.Resumed {
+		if err := s.jrnl.append(o); err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: journal append failed: %v\n", err)
+		}
+	}
+	s.mu.Lock()
+	s.done++
+	done := s.done
+	s.mu.Unlock()
+	if s.opt.Progress != nil {
+		s.opt.Progress(done, total, o)
+	}
+}
+
+// runTask resolves resume and quarantine, then drives the retry loop.
+func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task) Outcome {
+	if prior, ok := s.prior[t.Key()]; ok {
+		prior.Resumed = true
+		return prior
+	}
+	name := t.Cfg.Name()
+	s.mu.Lock()
+	skip := s.quarantined[name]
+	s.mu.Unlock()
+	if skip {
+		return Outcome{Task: t, Kind: Quarantined,
+			Err: "variant quarantined after repeated failures"}
+	}
+
+	start := time.Now()
+	var o Outcome
+	for attempt := 1; ; attempt++ {
+		kind, tput, msg := s.attempt(graphs, ropt, t)
+		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt}
+		if kind == OK || kind == Error || attempt > s.opt.Retries {
+			break
+		}
+		if s.opt.Backoff > 0 {
+			time.Sleep(s.opt.Backoff << (attempt - 1))
+		}
+	}
+	o.Elapsed = time.Since(start)
+	if o.Kind != OK && s.opt.QuarantineAfter > 0 {
+		s.mu.Lock()
+		s.failCount[name]++
+		if s.failCount[name] >= s.opt.QuarantineAfter {
+			s.quarantined[name] = true
+		}
+		s.mu.Unlock()
+	}
+	return o
+}
+
+// reply carries one attempt's result out of the run goroutine.
+type reply struct {
+	res      algo.Result
+	tput     float64
+	err      error
+	panicked any
+}
+
+// attempt executes the task once under deadline and panic isolation.
+func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task) (Kind, float64, string) {
+	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
+		return Error, math.NaN(), fmt.Sprintf("no graph for input %q", t.Input)
+	}
+	g := graphs[t.Input]
+
+	ctx := context.Background()
+	if s.opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
+		defer cancel()
+	}
+
+	// The algorithm kernels take no context, so the deadline is enforced
+	// from outside: the run proceeds on its own goroutine and a run that
+	// misses the deadline is abandoned (it parks harmlessly on the
+	// buffered channel when — if ever — it finishes).
+	ch := make(chan reply, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- reply{panicked: p}
+			}
+		}()
+		var r reply
+		if t.Device == DeviceCPU {
+			r.res, r.tput, r.err = runner.TimeCPU(g, t.Cfg, ropt)
+		} else if prof, ok := profileByName(t.Device); ok {
+			r.res, r.tput, r.err = runner.TimeGPU(gpusim.New(prof), g, t.Cfg, ropt)
+		} else {
+			r.err = fmt.Errorf("unknown device %q", t.Device)
+		}
+		ch <- r
+	}()
+
+	select {
+	case <-ctx.Done():
+		return Timeout, math.NaN(), fmt.Sprintf("no result within %v", s.opt.Timeout)
+	case r := <-ch:
+		switch {
+		case r.panicked != nil:
+			return Panic, math.NaN(), fmt.Sprint(r.panicked)
+		case r.err != nil:
+			return Error, math.NaN(), r.err.Error()
+		case !(r.tput > 0): // catches NaN from zero/negative elapsed
+			return Error, math.NaN(), fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput)
+		}
+		if s.opt.Verify {
+			if err := s.check(g, ropt, t.Cfg, r.res); err != nil {
+				return WrongAnswer, math.NaN(), err.Error()
+			}
+		}
+		return OK, r.tput, ""
+	}
+}
+
+// check verifies res against the per-graph serial reference. References
+// compute their serial solutions lazily and are not safe for concurrent
+// use, so each is guarded by its own mutex.
+func (s *Supervisor) check(g *graph.Graph, ropt algo.Options, cfg styles.Config, res algo.Result) error {
+	s.refMu.Lock()
+	e := s.refs[g]
+	if e == nil {
+		e = &refEntry{ref: verify.NewReference(g, ropt)}
+		s.refs[g] = e
+	}
+	s.refMu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ref.Check(cfg, res)
+}
+
+func profileByName(name string) (gpusim.Profile, bool) {
+	for _, p := range gpusim.Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return gpusim.Profile{}, false
+}

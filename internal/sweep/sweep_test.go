@@ -1,0 +1,300 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/par"
+	"indigo/internal/styles"
+)
+
+// testGraph is a small ring with a tail: connected, diameter well under
+// the MaxIter default, cheap enough to sweep in microseconds.
+func testGraph() *graph.Graph {
+	b := graph.NewBuilder("ring", 24)
+	for v := int32(0); v < 16; v++ {
+		b.AddEdge(v, (v+1)%16, 1)
+	}
+	for v := int32(16); v < 24; v++ {
+		b.AddEdge(v-1, v, 1)
+	}
+	return b.Build()
+}
+
+func testGraphs() []*graph.Graph {
+	gs := make([]*graph.Graph, gen.NumInputs)
+	gs[0] = testGraph()
+	return gs
+}
+
+// pickVariant finds a BFS/CPP variant satisfying pred; enumerated
+// configs are always valid style combinations.
+func pickVariant(t *testing.T, pred func(styles.Config) bool) styles.Config {
+	t.Helper()
+	for _, cfg := range styles.Enumerate(styles.BFS, styles.CPP) {
+		if pred(cfg) {
+			return cfg
+		}
+	}
+	t.Fatal("no bfs/cpp variant matches the predicate")
+	return styles.Config{}
+}
+
+// rmwVariant is a topology-driven read-modify-write variant: its min
+// updates go through par.Sync, so chaos DropUpdates corrupts its result.
+func rmwVariant(t *testing.T) styles.Config {
+	return pickVariant(t, func(c styles.Config) bool {
+		return c.Drive == styles.TopologyDriven &&
+			c.Update == styles.ReadModifyWrite &&
+			c.Det == styles.NonDeterministic
+	})
+}
+
+// TestSupervisorFaultInjection is the acceptance test for the failure
+// taxonomy: one supervisor sees a hang (classified Timeout), a panic
+// (recovered, classified Panic), a corrupted result (classified
+// WrongAnswer by verification), quarantines the offending variant, and
+// still completes a healthy run — the sweep never aborts.
+func TestSupervisorFaultInjection(t *testing.T) {
+	defer par.SetChaos(nil)
+	gs := testGraphs()
+	opt := algo.Options{Threads: 2}
+	cfg := rmwVariant(t)
+	task := Task{Cfg: cfg, Input: 0, Device: DeviceCPU}
+
+	sup, err := New(Options{Timeout: 50 * time.Millisecond, QuarantineAfter: 3, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []Outcome
+
+	// 1. Hung workers: no result within the deadline.
+	stall := make(chan struct{})
+	defer close(stall) // release the abandoned run's workers
+	par.SetChaos(&par.Chaos{Stall: stall})
+	o := sup.Run(gs, opt, []Task{task})[0]
+	all = append(all, o)
+	if o.Kind != Timeout {
+		t.Fatalf("stalled run classified %s (%s), want timeout", o.Kind, o.Err)
+	}
+	if !strings.Contains(o.Err, "within") {
+		t.Errorf("timeout error %q does not mention the deadline", o.Err)
+	}
+
+	// 2. A panicking worker: recovered and classified, not a crash.
+	par.SetChaos(&par.Chaos{PanicMsg: "injected fault"})
+	o = sup.Run(gs, opt, []Task{task})[0]
+	all = append(all, o)
+	if o.Kind != Panic {
+		t.Fatalf("panicking run classified %s (%s), want panic", o.Kind, o.Err)
+	}
+	if !strings.Contains(o.Err, "injected fault") {
+		t.Errorf("panic error %q does not carry the panic value", o.Err)
+	}
+
+	// 3. Dropped updates: the run completes but the result is wrong, and
+	// verification catches it.
+	par.SetChaos(&par.Chaos{DropUpdates: true})
+	o = sup.Run(gs, opt, []Task{task})[0]
+	all = append(all, o)
+	if o.Kind != WrongAnswer {
+		t.Fatalf("corrupted run classified %s (%s), want wrong-answer", o.Kind, o.Err)
+	}
+	if !strings.Contains(o.Err, "level") {
+		t.Errorf("wrong-answer error %q does not describe the disagreement", o.Err)
+	}
+
+	// 4. Three failures hit QuarantineAfter: the variant is now skipped,
+	// while a healthy variant still runs and verifies.
+	par.SetChaos(nil)
+	healthy := pickVariant(t, func(c styles.Config) bool { return c.Name() != cfg.Name() })
+	out := sup.Run(gs, opt, []Task{task, {Cfg: healthy, Input: 0, Device: DeviceCPU}})
+	all = append(all, out...)
+	if out[0].Kind != Quarantined {
+		t.Errorf("4th run of failing variant classified %s, want quarantined", out[0].Kind)
+	}
+	if out[1].Kind != OK || !(out[1].Tput > 0) {
+		t.Errorf("healthy run after faults: kind %s tput %v err %q, want ok",
+			out[1].Kind, out[1].Tput, out[1].Err)
+	}
+
+	fails := Failures(all)
+	if len(fails) != 4 {
+		t.Errorf("Failures() = %d records, want 4 (timeout, panic, wrong-answer, quarantined)", len(fails))
+	}
+}
+
+// TestVerifyOffMissesCorruption is the control for the WrongAnswer
+// classification: without verification the corrupted run passes as OK,
+// which is exactly why the supervisor verifies by default.
+func TestVerifyOffMissesCorruption(t *testing.T) {
+	defer par.SetChaos(nil)
+	sup, err := New(Options{Verify: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetChaos(&par.Chaos{DropUpdates: true})
+	o := sup.Run(testGraphs(), algo.Options{Threads: 2},
+		[]Task{{Cfg: rmwVariant(t), Input: 0, Device: DeviceCPU}})[0]
+	if o.Kind != OK {
+		t.Fatalf("unverified corrupted run classified %s (%s)", o.Kind, o.Err)
+	}
+}
+
+// TestRetryPolicy: transient failures are re-attempted Retries times;
+// deterministic dispatch errors are not retried at all.
+func TestRetryPolicy(t *testing.T) {
+	defer par.SetChaos(nil)
+	gs := testGraphs()
+	opt := algo.Options{Threads: 2}
+
+	sup, err := New(Options{Retries: 2, Backoff: time.Millisecond, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par.SetChaos(&par.Chaos{PanicMsg: "still broken"})
+	o := sup.Run(gs, opt, []Task{{Cfg: rmwVariant(t), Input: 0, Device: DeviceCPU}})[0]
+	if o.Kind != Panic || o.Attempts != 3 {
+		t.Errorf("panicking run: kind %s after %d attempts, want panic after 3", o.Kind, o.Attempts)
+	}
+
+	par.SetChaos(nil)
+	o = sup.Run(gs, opt, []Task{{Cfg: rmwVariant(t), Input: 0, Device: "no-such-device"}})[0]
+	if o.Kind != Error || o.Attempts != 1 {
+		t.Errorf("dispatch error: kind %s after %d attempts, want error after 1", o.Kind, o.Attempts)
+	}
+	if !strings.Contains(o.Err, "no-such-device") {
+		t.Errorf("dispatch error %q does not name the device", o.Err)
+	}
+}
+
+// TestMissingGraphIsError: a task naming an input with no graph is a
+// classified failure, not a crash.
+func TestMissingGraphIsError(t *testing.T) {
+	sup, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sup.Run(testGraphs(), algo.Options{},
+		[]Task{{Cfg: rmwVariant(t), Input: gen.NumInputs - 1, Device: DeviceCPU}})[0]
+	if o.Kind != Error || !strings.Contains(o.Err, "no graph") {
+		t.Errorf("missing-graph task: kind %s err %q", o.Kind, o.Err)
+	}
+}
+
+// TestJournalResume kills a sweep after two of three tasks (simulated by
+// closing the supervisor, plus a torn final line as left by a real
+// kill), then resumes: the two recorded tasks — including the failed
+// one — are replayed from the journal, and only the missing task runs.
+func TestJournalResume(t *testing.T) {
+	gs := testGraphs()
+	opt := algo.Options{Threads: 2}
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	cfgs := styles.Enumerate(styles.BFS, styles.CPP)
+	if len(cfgs) < 3 {
+		t.Fatal("need at least 3 variants")
+	}
+	tasks := []Task{
+		{Cfg: cfgs[0], Input: 0, Device: DeviceCPU},
+		{Cfg: cfgs[1], Input: 0, Device: "no-such-device"}, // journaled failure
+		{Cfg: cfgs[2], Input: 0, Device: DeviceCPU},
+	}
+
+	sup1, err := New(Options{Journal: path, Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := sup1.Run(gs, opt, tasks[:2])
+	if first[0].Kind != OK || first[1].Kind != Error {
+		t.Fatalf("first sweep: kinds %s, %s", first[0].Kind, first[1].Kind)
+	}
+	if err := sup1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A sweep killed mid-write leaves a torn final line; resume must
+	// tolerate it.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"variant":"torn-mid-wri`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reran := 0
+	sup2, err := New(Options{Journal: path, Resume: true, Verify: true,
+		Progress: func(done, total int, o Outcome) {
+			if !o.Resumed {
+				reran++
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sup2.Run(gs, opt, tasks)
+	if err := sup2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !out[0].Resumed || out[0].Kind != OK || !(out[0].Tput > 0) {
+		t.Errorf("task 0: resumed=%v kind=%s tput=%v, want replayed ok measurement",
+			out[0].Resumed, out[0].Kind, out[0].Tput)
+	}
+	if !out[1].Resumed || out[1].Kind != Error {
+		t.Errorf("task 1: resumed=%v kind=%s, want replayed failure", out[1].Resumed, out[1].Kind)
+	}
+	if out[2].Resumed || out[2].Kind != OK {
+		t.Errorf("task 2: resumed=%v kind=%s, want fresh ok run", out[2].Resumed, out[2].Kind)
+	}
+	if reran != 1 {
+		t.Errorf("resume re-ran %d tasks, want exactly the 1 missing one", reran)
+	}
+
+	// The resumed sweep journaled its fresh run: all three now recorded.
+	prior, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prior) != 3 {
+		t.Errorf("journal records %d outcomes after resume, want 3", len(prior))
+	}
+}
+
+func TestReadJournalMissingFile(t *testing.T) {
+	prior, err := ReadJournal(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if err != nil || len(prior) != 0 {
+		t.Errorf("missing journal: %v, %d entries; want empty, no error", err, len(prior))
+	}
+}
+
+func TestDefaultTimeoutGrowsWithScale(t *testing.T) {
+	prev := time.Duration(0)
+	for _, sc := range []gen.Scale{gen.Tiny, gen.Small, gen.Medium, gen.Large} {
+		d := DefaultTimeout(sc)
+		if d <= prev {
+			t.Errorf("DefaultTimeout(%v) = %v, not above %v", sc, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestKindStringsRoundTrip(t *testing.T) {
+	for k := OK; k <= Quarantined; k++ {
+		got, ok := parseKind(k.String())
+		if !ok || got != k {
+			t.Errorf("parseKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := parseKind("nonsense"); ok {
+		t.Error("parseKind accepted nonsense")
+	}
+}

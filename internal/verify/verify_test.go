@@ -128,6 +128,91 @@ func TestCheckMISRejectsNonGreedySet(t *testing.T) {
 	}
 }
 
+// TestCheckErrorsDescribeDefect: verification failures become
+// WrongAnswer records in the sweep journal, so the error text is the
+// only diagnostic a failed run leaves behind — it must name the variant
+// and pinpoint the disagreement for every algorithm.
+func TestCheckErrorsDescribeDefect(t *testing.T) {
+	g := testGraph()
+	ref := NewReference(g, algo.Options{})
+
+	check := func(a styles.Algorithm, res algo.Result, wants ...string) {
+		t.Helper()
+		err := ref.Check(cfgFor(a), res)
+		if err == nil {
+			t.Errorf("%v: corrupted result accepted", a)
+			return
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, a.String()+"/cpp") {
+			t.Errorf("%v error does not name the variant: %q", a, msg)
+		}
+		for _, w := range wants {
+			if !strings.Contains(msg, w) {
+				t.Errorf("%v error does not mention %q: %q", a, w, msg)
+			}
+		}
+	}
+
+	// BFS: off-by-one hop count at vertex 3.
+	dist := bfs.Serial(g, 0)
+	dist[3]++
+	check(styles.BFS, algo.Result{Dist: dist}, "vertex 3", "level")
+
+	// SSSP: distance zeroed at vertex 5.
+	sd := sssp.Serial(g, 0)
+	sd[5] = 0
+	check(styles.SSSP, algo.Result{Dist: sd}, "vertex 5", "distance", "= 0")
+
+	// CC: wrong component label.
+	label := cc.Serial(g)
+	label[4] = 99
+	check(styles.CC, algo.Result{Label: label}, "vertex 4", "label", "99")
+
+	// MIS: adjacent vertices both in the set — an independence violation
+	// on a set that differs from the greedy fixed point.
+	inSet := make([]bool, g.N)
+	for v := range inSet {
+		inSet[v] = true
+	}
+	check(styles.MIS, algo.Result{InSet: inSet}, "membership")
+
+	// PR: one rank perturbed beyond the tolerance band.
+	rank, _ := pr.Serial(g, 0.85, 1e-4, 100)
+	rank[2] *= 3
+	check(styles.PR, algo.Result{Rank: rank}, "vertex 2", "rank")
+
+	// TC: wrong global triangle count.
+	check(styles.TC, algo.Result{Triangles: tc.Serial(g) + 7}, "triangles", "want")
+}
+
+// TestCheckMISIndependenceViolation exercises the structural MIS checks
+// on a set that matches lengths but breaks independence/maximality.
+func TestCheckMISIndependenceViolation(t *testing.T) {
+	// Path 0-1-2-3: greedy set from mis.Serial, then force 0 and 1 both
+	// in (not independent) and separately an empty set (not maximal).
+	b := graph.NewBuilder("p4", 4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build()
+	ref := NewReference(g, algo.Options{})
+	if err := ref.Check(cfgFor(styles.MIS), algo.Result{InSet: []bool{true, true, false, true}}); err == nil {
+		t.Error("non-independent set accepted")
+	}
+	if err := ref.Check(cfgFor(styles.MIS), algo.Result{InSet: make([]bool, 4)}); err == nil {
+		t.Error("empty (non-maximal) set accepted")
+	}
+}
+
+func TestCheckUnknownAlgorithmRejected(t *testing.T) {
+	ref := NewReference(testGraph(), algo.Options{})
+	err := ref.Check(styles.Config{Algo: styles.NumAlgorithms}, algo.Result{})
+	if err == nil || !strings.Contains(err.Error(), "unknown algorithm") {
+		t.Errorf("out-of-range algorithm: %v", err)
+	}
+}
+
 func TestCheckErrorMentionsVariant(t *testing.T) {
 	g := testGraph()
 	ref := NewReference(g, algo.Options{})
