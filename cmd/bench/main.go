@@ -1,0 +1,195 @@
+// Command bench measures the worker-pool runtime against the legacy
+// spawn-per-region path and emits the results as JSON. It is the source
+// of the committed BENCH_pool.json: dispatch latency at small region
+// sizes (where road-network frontiers live), worklist push styles, and
+// an end-to-end road-graph BFS.
+//
+// Usage:
+//
+//	bench                  # full measurement, prints JSON to stdout
+//	bench -quick           # short benchtime for CI smoke runs
+//	bench -out pool.json   # write the JSON to a file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/par"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+)
+
+// Comparison is one pooled-vs-spawn measurement pair.
+type Comparison struct {
+	Name    string  `json:"name"`
+	PoolNs  float64 `json:"pool_ns_per_op"`
+	SpawnNs float64 `json:"spawn_ns_per_op"`
+	// Speedup is SpawnNs / PoolNs: >1 means the pool runtime wins.
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Quick       bool         `json:"quick"`
+	Comparisons []Comparison `json:"comparisons"`
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "short benchtime (CI smoke runs)")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	bt := 500 * time.Millisecond
+	if *quick {
+		bt = 20 * time.Millisecond
+	}
+
+	rep := Report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+	rep.Comparisons = append(rep.Comparisons,
+		dispatch(bt, 4, 8),
+		dispatch(bt, 4, 64),
+		dispatch(bt, 8, 8),
+		worklist(bt, 4),
+		roadBFS(bt, 4),
+	)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func init() {
+	// testing.Benchmark honors the -test.benchtime flag; register the
+	// testing flags so measure can set it programmatically.
+	testing.Init()
+}
+
+// measure runs body under the testing benchmark driver at benchtime bt
+// and returns nanoseconds per operation.
+func measure(bt time.Duration, body func(b *testing.B)) float64 {
+	if err := flag.Set("test.benchtime", bt.String()); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: set benchtime:", err)
+		os.Exit(1)
+	}
+	r := testing.Benchmark(body)
+	return float64(r.T.Nanoseconds()) / float64(r.N)
+}
+
+// dispatch measures per-region fork/join cost at t workers and n
+// iterations with an empty body: pure runtime overhead.
+func dispatch(bt time.Duration, t int, n int64) Comparison {
+	poolNs := measure(bt, func(b *testing.B) {
+		p := par.NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.For(n, par.Static, func(int64) {})
+		}
+	})
+	spawnNs := measure(bt, func(b *testing.B) {
+		defer par.SetPooling(true)
+		par.SetPooling(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			par.For(t, n, par.Static, func(int64) {})
+		}
+	})
+	return Comparison{
+		Name:    fmt.Sprintf("dispatch/t%d/n%d", t, n),
+		PoolNs:  poolNs,
+		SpawnNs: spawnNs,
+		Speedup: spawnNs / poolNs,
+	}
+}
+
+// worklist measures a full region of pushes: the shared size counter
+// against the per-worker reservation buffers.
+func worklist(bt time.Duration, t int) Comparison {
+	const n = 1 << 16
+	spawnNs := measure(bt, func(b *testing.B) {
+		w := par.NewWorklist(n + 64)
+		p := par.NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			p.ForTID(n, par.Static, func(tid int, j int64) { w.Push(int32(j)) })
+		}
+	})
+	poolNs := measure(bt, func(b *testing.B) {
+		w := par.NewWorklistTID(n+64, t)
+		p := par.NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			p.ForTID(n, par.Static, func(tid int, j int64) { w.PushTID(tid, int32(j)) })
+			w.Flush()
+		}
+	})
+	return Comparison{
+		Name:    fmt.Sprintf("worklist-push/t%d/n%d", t, n),
+		PoolNs:  poolNs,
+		SpawnNs: spawnNs,
+		Speedup: spawnNs / poolNs,
+	}
+}
+
+// roadBFS measures an end-to-end data-driven BFS on the road input:
+// hundreds of small-frontier rounds, the case the pool runtime targets.
+func roadBFS(bt time.Duration, threads int) Comparison {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	cfg := styles.Config{
+		Algo: styles.BFS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+		Flow: styles.Push, Update: styles.ReadModifyWrite,
+	}
+	poolNs := measure(bt, func(b *testing.B) {
+		p := par.NewPool(threads)
+		defer p.Close()
+		opt := algo.Options{Threads: threads, Pool: p}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
+		}
+	})
+	spawnNs := measure(bt, func(b *testing.B) {
+		defer par.SetPooling(true)
+		par.SetPooling(false)
+		opt := algo.Options{Threads: threads}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
+		}
+	})
+	return Comparison{
+		Name:    fmt.Sprintf("bfs-road/t%d", threads),
+		PoolNs:  poolNs,
+		SpawnNs: spawnNs,
+		Speedup: spawnNs / poolNs,
+	}
+}

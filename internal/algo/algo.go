@@ -12,6 +12,14 @@ import (
 type Options struct {
 	// Threads is the CPU worker count; 0 means par.Threads().
 	Threads int
+	// Pool, when non-nil, pins every parallel region of the run to one
+	// persistent worker pool instead of acquiring pools per region from
+	// the process-wide free list. Supervisors set it to reuse workers
+	// across the variants of a sweep (and replace it when they abandon a
+	// timed-out run). It is honored only when its width matches the
+	// resolved Threads count, since clause reductions and worklist
+	// buffers size per-thread state by that count.
+	Pool *par.Pool
 	// Source is the root vertex for BFS and SSSP.
 	Source int32
 	// MaxIter caps outer iterations of iterative algorithms as a safety
@@ -41,6 +49,17 @@ func (o Options) Defaults(n int32) Options {
 		o.PRDamping = 0.85
 	}
 	return o
+}
+
+// Exec returns the executor a variant's parallel regions should run on:
+// the pinned Pool when one is set and its width matches Threads, else
+// the default free-list-pooled executor for Threads workers. Call it
+// after Defaults has resolved Threads.
+func (o Options) Exec() par.Executor {
+	if o.Pool != nil && o.Pool.Width() == o.Threads && !o.Pool.Closed() {
+		return o.Pool
+	}
+	return par.Fixed(o.Threads)
 }
 
 // Result carries the output of one variant run. Only the fields relevant

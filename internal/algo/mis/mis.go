@@ -104,6 +104,7 @@ func localMax(g *graph.Graph, v int32, read func(u int32) int32) bool {
 func runTopoNonDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
 	s := algo.SyncOf(cfg)
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
 	read := func(u int32) int32 { return s.Load(&status[u]) }
 	var iters int32
 	for iters < opt.MaxIter {
@@ -140,9 +141,9 @@ func runTopoNonDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status [
 		if cfg.Iterate == styles.EdgeBased {
 			// Edge-based: examine each edge's source endpoint; the extra
 			// re-examinations are redundant but harmless (idempotent).
-			par.For(opt.Threads, g.M(), sched, func(e int64) { decide(g.Src[e]) })
+			ex.For(g.M(), sched, func(e int64) { decide(g.Src[e]) })
 		} else {
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) { decide(int32(i)) })
+			ex.For(int64(g.N), sched, func(i int64) { decide(int32(i)) })
 		}
 		if changed.Load() == 0 {
 			break
@@ -156,6 +157,7 @@ func runTopoNonDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status [
 func runTopoDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
 	s := algo.SyncOf(cfg)
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
 	next := make([]int32, g.N)
 	read := func(u int32) int32 { return status[u] }
 	var iters int32
@@ -192,9 +194,9 @@ func runTopoDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []in
 			}
 		}
 		if cfg.Iterate == styles.EdgeBased {
-			par.For(opt.Threads, g.M(), sched, func(e int64) { decide(g.Src[e]) })
+			ex.For(g.M(), sched, func(e int64) { decide(g.Src[e]) })
 		} else {
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) { decide(int32(i)) })
+			ex.For(int64(g.N), sched, func(i int64) { decide(int32(i)) })
 		}
 		copy(status, next)
 		if changed.Load() == 0 {
@@ -210,8 +212,11 @@ func runTopoDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []in
 func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
 	s := algo.SyncOf(cfg)
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
+	// The out-list is pushed to from inside parallel regions, so it gets
+	// per-worker reservation buffers; the in-list is only read there.
 	wlIn := par.NewWorklist(int64(g.N) + 64)
-	wlOut := par.NewWorklist(int64(g.N) + 64)
+	wlOut := par.NewWorklistTID(int64(g.N)+64, ex.Width())
 	stamp := make([]int32, g.N)
 	for v := int32(0); v < g.N; v++ {
 		wlIn.Push(v)
@@ -221,14 +226,14 @@ func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32
 	for iters < opt.MaxIter && wlIn.Size() > 0 {
 		iters++
 		itr := iters
-		pushNbrs := func(u int32) {
+		pushNbrs := func(tid int, u int32) {
 			for _, w := range g.Neighbors(u) {
 				if s.Load(&status[w]) == undecided {
-					wlOut.PushUnique(w, stamp, itr, s)
+					wlOut.PushUniqueTID(tid, w, stamp, itr, s)
 				}
 			}
 		}
-		par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+		ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
 			v := wlIn.Get(i)
 			if s.Load(&status[v]) != undecided {
 				return
@@ -237,13 +242,13 @@ func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32
 				for _, u := range g.Neighbors(v) {
 					if s.Load(&status[u]) == in {
 						s.Store(&status[v], out)
-						pushNbrs(v)
+						pushNbrs(tid, v)
 						return
 					}
 				}
 				if localMax(g, v, read) {
 					s.Store(&status[v], in)
-					pushNbrs(v)
+					pushNbrs(tid, v)
 				}
 			} else {
 				if localMax(g, v, read) {
@@ -252,12 +257,13 @@ func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32
 						if s.Max(&status[u], out) == undecided {
 							// u just went Out: its undecided neighbors
 							// may have become local maxima.
-							pushNbrs(u)
+							pushNbrs(tid, u)
 						}
 					}
 				}
 			}
 		})
+		wlOut.Flush()
 		wlIn.Reset()
 		wlIn.Swap(wlOut)
 	}

@@ -55,6 +55,7 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	base := 1 - damping
 	sched := algo.SchedOf(cfg)
 	red := algo.RedOf(cfg)
+	ex := opt.Exec()
 	rank := make([]float32, g.N)
 	for v := range rank {
 		rank[v] = 1
@@ -68,7 +69,7 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 		// dependent (§2.6).
 		for iters < opt.MaxIter {
 			iters++
-			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
 				v := int32(i)
 				var sum float32
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
@@ -88,7 +89,7 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 		next := make([]float32, g.N)
 		for iters < opt.MaxIter {
 			iters++
-			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
 				v := int32(i)
 				var sum float32
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
@@ -107,17 +108,17 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 		next := make([]float32, g.N)
 		for iters < opt.MaxIter {
 			iters++
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				next[i] = base
 			})
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				v := int32(i)
 				contrib := damping * rank[v] / float32(g.Degree(v))
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
 					atomicAddFloat32(&next[g.NbrList[e]], contrib)
 				}
 			})
-			residual := par.ReduceFloat64(opt.Threads, int64(g.N), sched, red, func(i int64) float64 {
+			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
 				return math.Abs(float64(next[i] - rank[i]))
 			})
 			rank, next = next, rank

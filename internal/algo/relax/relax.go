@@ -131,12 +131,13 @@ func relaxMin[T Value](s syncOps[T], up styles.Update, addr *T, nd T, changed *a
 func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
 	s := syncFor[T](cfg)
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
 	var iters int32
 	for iters < opt.MaxIter {
 		iters++
 		var changed atomic.Int32
 		if cfg.Iterate == styles.EdgeBased {
-			par.For(opt.Threads, g.M(), sched, func(e int64) {
+			ex.For(g.M(), sched, func(e int64) {
 				dv := s.Load(&val[g.Src[e]])
 				if dv >= p.Inf {
 					return
@@ -144,7 +145,7 @@ func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options,
 				relaxMin(s, cfg.Update, &val[g.Dst[e]], p.Cand(dv, e), &changed)
 			})
 		} else if cfg.Flow == styles.Push {
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				v := int32(i)
 				dv := s.Load(&val[v])
 				if dv >= p.Inf {
@@ -155,7 +156,7 @@ func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options,
 				}
 			})
 		} else { // vertex pull
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				v := int32(i)
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
 					du := s.Load(&val[g.NbrList[e]])
@@ -178,6 +179,7 @@ func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options,
 func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
 	s := syncFor[T](cfg)
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
 	next := make([]T, g.N)
 	var iters int32
 	for iters < opt.MaxIter {
@@ -185,7 +187,7 @@ func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p 
 		copy(next, val)
 		var changed atomic.Int32
 		if cfg.Iterate == styles.EdgeBased {
-			par.For(opt.Threads, g.M(), sched, func(e int64) {
+			ex.For(g.M(), sched, func(e int64) {
 				dv := val[g.Src[e]]
 				if dv >= p.Inf {
 					return
@@ -193,7 +195,7 @@ func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p 
 				relaxMin(s, cfg.Update, &next[g.Dst[e]], p.Cand(dv, e), &changed)
 			})
 		} else if cfg.Flow == styles.Push {
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				v := int32(i)
 				dv := val[v]
 				if dv >= p.Inf {
@@ -204,7 +206,7 @@ func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p 
 				}
 			})
 		} else {
-			par.For(opt.Threads, int64(g.N), sched, func(i int64) {
+			ex.For(int64(g.N), sched, func(i int64) {
 				v := int32(i)
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
 					du := val[g.NbrList[e]]
@@ -230,6 +232,7 @@ func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Pro
 	s := syncFor[T](cfg)
 	stampSync := algo.SyncOf(cfg) // iteration stamps stay 32-bit
 	sched := algo.SchedOf(cfg)
+	ex := opt.Exec()
 	noDup := cfg.Drive == styles.DataDrivenNoDup
 	capacity := int64(g.N) + 64
 	if !noDup {
@@ -238,16 +241,18 @@ func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Pro
 		// but we size generously.
 		capacity = 8*g.M() + int64(g.N) + 64
 	}
-	wlIn, wlOut := par.NewWorklist(capacity), par.NewWorklist(capacity)
+	// The out-list takes pushes from inside parallel regions, so it gets
+	// per-worker reservation buffers; the in-list is only read there.
+	wlIn, wlOut := par.NewWorklist(capacity), par.NewWorklistTID(capacity, ex.Width())
 	var stamp []int32
 	if noDup {
 		stamp = make([]int32, g.N)
 	}
-	push := func(u int32, itr int32) {
+	push := func(tid int, u int32, itr int32) {
 		if noDup {
-			wlOut.PushUnique(u, stamp, itr, stampSync)
+			wlOut.PushUniqueTID(tid, u, stamp, itr, stampSync)
 		} else {
-			wlOut.Push(u)
+			wlOut.PushTID(tid, u)
 		}
 	}
 
@@ -276,7 +281,7 @@ func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Pro
 		iters++
 		itr := iters
 		if cfg.Flow == styles.Push {
-			par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+			ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
 				v := wlIn.Get(i)
 				dv := s.Load(&val[v])
 				if dv >= p.Inf {
@@ -286,12 +291,12 @@ func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Pro
 				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
 					u := g.NbrList[e]
 					if relaxMin(s, cfg.Update, &val[u], p.Cand(dv, e), &changed) {
-						push(u, itr)
+						push(tid, u, itr)
 					}
 				}
 			})
 		} else {
-			par.For(opt.Threads, wlIn.Size(), sched, func(i int64) {
+			ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
 				v := wlIn.Get(i)
 				improved := false
 				var changed atomic.Int32
@@ -307,11 +312,12 @@ func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Pro
 				if improved {
 					// v's new value may enable its neighbors to improve.
 					for _, u := range g.Neighbors(v) {
-						push(u, itr)
+						push(tid, u, itr)
 					}
 				}
 			})
 		}
+		wlOut.Flush()
 		wlIn.Reset()
 		wlIn.Swap(wlOut)
 	}

@@ -71,9 +71,10 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
 	sched := algo.SchedOf(cfg)
 	red := algo.RedOf(cfg)
+	ex := opt.Exec()
 	var count int64
 	if cfg.Iterate == styles.EdgeBased {
-		count = par.ReduceInt64(opt.Threads, g.M(), sched, red, func(e int64) int64 {
+		count = par.ReduceInt64On(ex, g.M(), sched, red, func(e int64) int64 {
 			v, u := g.Src[e], g.Dst[e]
 			if u <= v {
 				return 0
@@ -81,7 +82,7 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 			return CommonAbove(g, v, u)
 		})
 	} else {
-		count = par.ReduceInt64(opt.Threads, int64(g.N), sched, red, func(i int64) int64 {
+		count = par.ReduceInt64On(ex, int64(g.N), sched, red, func(i int64) int64 {
 			v := int32(i)
 			var c int64
 			for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {

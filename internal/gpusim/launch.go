@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"indigo/internal/par"
 )
 
 // Kernel is a device kernel, written per warp: the function is invoked
@@ -84,38 +86,34 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	if int64(workers) > cfg.Blocks {
 		workers = int(cfg.Blocks)
 	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for wk := 0; wk < workers; wk++ {
-		go func() {
-			defer wg.Done()
-			// Kernel panics surface on the launching goroutine, like a
-			// CUDA error on the host thread.
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, r)
-					nextBlock.Store(cfg.Blocks) // stop other workers
-				}
-			}()
-			var local Stats
-			localSM := make([]int64, d.Prof.SMs)
-			for {
-				bi := nextBlock.Add(1) - 1
-				if bi >= cfg.Blocks {
-					break
-				}
-				blockCycles := d.runBlock(cfg, k, bi, warpsPerBlock, &local)
-				localSM[bi%int64(d.Prof.SMs)] += blockCycles + d.Prof.BlockOverhead
+	// One Static iteration per host worker: the fan-out rides the par
+	// worker-pool runtime instead of spawning goroutines per launch.
+	par.ForTID(workers, int64(workers), par.Static, func(_ int, _ int64) {
+		// Kernel panics surface on the launching goroutine, like a
+		// CUDA error on the host thread.
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, r)
+				nextBlock.Store(cfg.Blocks) // stop other workers
 			}
-			smMu.Lock()
-			total.Add(local)
-			for i, c := range localSM {
-				smCycles[i] += c
-			}
-			smMu.Unlock()
 		}()
-	}
-	wg.Wait()
+		var local Stats
+		localSM := make([]int64, d.Prof.SMs)
+		for {
+			bi := nextBlock.Add(1) - 1
+			if bi >= cfg.Blocks {
+				break
+			}
+			blockCycles := d.runBlock(cfg, k, bi, warpsPerBlock, &local)
+			localSM[bi%int64(d.Prof.SMs)] += blockCycles + d.Prof.BlockOverhead
+		}
+		smMu.Lock()
+		total.Add(local)
+		for i, c := range localSM {
+			smCycles[i] += c
+		}
+		smMu.Unlock()
+	})
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}
@@ -161,32 +159,30 @@ func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock
 		}
 		return maxCycles + blk.sharedSerial(d)
 	}
-	// Barrier kernels: warps run concurrently and rendezvous in Sync.
+	// Barrier kernels: warps run concurrently and rendezvous in Sync, so
+	// each needs its own concurrently scheduled worker — ForConcurrent
+	// guarantees that; an elastic For could run two warps on one
+	// goroutine and deadlock at the barrier.
 	blk.barrier = newBarrier(warpsPerBlock)
-	var wg sync.WaitGroup
-	wg.Add(warpsPerBlock)
 	var mu sync.Mutex
 	var maxCycles int64
 	var panicked atomic.Value
-	for _, w := range warps {
-		go func(w *Warp) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, r)
-					blk.barrier.abort()
-				}
-			}()
-			k(w)
-			mu.Lock()
-			agg.Add(w.stats)
-			if w.cycles > maxCycles {
-				maxCycles = w.cycles
+	par.ForConcurrent(warpsPerBlock, func(tid int) {
+		w := warps[tid]
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, r)
+				blk.barrier.abort()
 			}
-			mu.Unlock()
-		}(w)
-	}
-	wg.Wait()
+		}()
+		k(w)
+		mu.Lock()
+		agg.Add(w.stats)
+		if w.cycles > maxCycles {
+			maxCycles = w.cycles
+		}
+		mu.Unlock()
+	})
 	if r := panicked.Load(); r != nil {
 		panic(r)
 	}

@@ -56,19 +56,8 @@ func (g *Graph) EdgeWeights(v int32) []int32 {
 // HasEdge reports whether the directed edge u->v exists, by binary search
 // over u's sorted neighbor list.
 func (g *Graph) HasEdge(u, v int32) bool {
-	lo, hi := g.NbrIdx[u], g.NbrIdx[u+1]
-	for lo < hi {
-		mid := (lo + hi) / 2
-		switch {
-		case g.NbrList[mid] < v:
-			lo = mid + 1
-		case g.NbrList[mid] > v:
-			hi = mid
-		default:
-			return true
-		}
-	}
-	return false
+	_, ok := g.weight(u, v)
+	return ok
 }
 
 // SizeMB estimates the in-memory footprint of the CSR+COO representation

@@ -12,13 +12,15 @@
 //     blocked or cyclic iteration assignment (§2.12) and CAS-based
 //     atomic min/max.
 //
-// Both models run on goroutines pinned to a fixed worker count.
+// Both models run on a fixed worker count. Parallel regions execute on
+// persistent worker pools (see pool.go) so that per-region dispatch cost
+// — goroutine creation and join — is amortized across the hundreds of
+// rounds a single measurement runs; the iteration→worker assignment of
+// every schedule is identical to spawning fresh goroutines per region.
 package par
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // Sched selects how loop iterations are assigned to threads.
@@ -63,143 +65,45 @@ const dynChunk = 1
 // parallelism, matching the paper's one-thread-per-core setup (§4.3).
 func Threads() int { return runtime.GOMAXPROCS(0) }
 
-// For executes body(i) for every i in [0, n) on t goroutines using the
-// given schedule, and returns when all iterations are complete. A panic
-// in any worker is re-raised on the calling goroutine after the join,
-// so callers (and the sweep supervisor above them) can recover it.
+// For executes body(i) for every i in [0, n) on t logical threads using
+// the given schedule, and returns when all iterations are complete. A
+// panic in any worker is re-raised on the calling goroutine after the
+// join, so callers (and the sweep supervisor above them) can recover it.
+//
+// Execution runs on a pooled worker set acquired per region from a
+// process-wide free list; pass an explicit *Pool (algo.Options.Pool) to
+// pin one pool across regions instead.
 func For(t int, n int64, s Sched, body func(i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.For: unknown schedule")
+	}
 	if n <= 0 {
 		return
 	}
-	if t < 1 {
-		t = 1
+	if !pooling.Load() {
+		forSpawn(t, n, s, body, nil)
+		return
 	}
-	if int64(t) > n {
-		t = int(n)
-	}
-	var wg sync.WaitGroup
-	var tr trap
-	wg.Add(t)
-	switch s {
-	case Static, Blocked:
-		for tid := 0; tid < t; tid++ {
-			go func(tid int64) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(int(tid))
-				beg := tid * n / int64(t)
-				end := (tid + 1) * n / int64(t)
-				for i := beg; i < end; i++ {
-					body(i)
-				}
-			}(int64(tid))
-		}
-	case Cyclic:
-		for tid := 0; tid < t; tid++ {
-			go func(tid int64) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(int(tid))
-				for i := tid; i < n; i += int64(t) {
-					body(i)
-				}
-			}(int64(tid))
-		}
-	case Dynamic:
-		var next atomic.Int64
-		for tid := 0; tid < t; tid++ {
-			go func(tid int) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(tid)
-				for {
-					beg := next.Add(dynChunk) - dynChunk
-					if beg >= n {
-						return
-					}
-					end := beg + dynChunk
-					if end > n {
-						end = n
-					}
-					for i := beg; i < end; i++ {
-						body(i)
-					}
-				}
-			}(tid)
-		}
-	default:
-		panic("par.For: unknown schedule")
-	}
-	wg.Wait()
-	tr.rethrow()
+	p := AcquirePool(t)
+	defer ReleasePool(p)
+	p.run(n, s, body, nil)
 }
 
 // ForTID is like For but also passes the worker id (0..t-1) to the body,
 // which clause-style reductions and per-thread scratch buffers need.
 // Like For, it re-raises worker panics on the calling goroutine.
 func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.ForTID: unknown schedule")
+	}
 	if n <= 0 {
 		return
 	}
-	if t < 1 {
-		t = 1
+	if !pooling.Load() {
+		forSpawn(t, n, s, nil, body)
+		return
 	}
-	if int64(t) > n {
-		t = int(n)
-	}
-	var wg sync.WaitGroup
-	var tr trap
-	wg.Add(t)
-	switch s {
-	case Static, Blocked:
-		for tid := 0; tid < t; tid++ {
-			go func(tid int) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(tid)
-				beg := int64(tid) * n / int64(t)
-				end := int64(tid+1) * n / int64(t)
-				for i := beg; i < end; i++ {
-					body(tid, i)
-				}
-			}(tid)
-		}
-	case Cyclic:
-		for tid := 0; tid < t; tid++ {
-			go func(tid int) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(tid)
-				for i := int64(tid); i < n; i += int64(t) {
-					body(tid, i)
-				}
-			}(tid)
-		}
-	case Dynamic:
-		var next atomic.Int64
-		for tid := 0; tid < t; tid++ {
-			go func(tid int) {
-				defer wg.Done()
-				defer tr.capture()
-				chaosEnter(tid)
-				for {
-					beg := next.Add(dynChunk) - dynChunk
-					if beg >= n {
-						return
-					}
-					end := beg + dynChunk
-					if end > n {
-						end = n
-					}
-					for i := beg; i < end; i++ {
-						body(tid, i)
-					}
-				}
-			}(tid)
-		}
-	default:
-		panic("par.ForTID: unknown schedule")
-	}
-	wg.Wait()
-	tr.rethrow()
+	p := AcquirePool(t)
+	defer ReleasePool(p)
+	p.run(n, s, nil, body)
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -46,6 +47,61 @@ func BenchmarkReduceStyles(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDispatch measures per-region fork/join overhead — the cost
+// the pool runtime exists to amortize — at small region sizes, where
+// road-network frontiers live. "pooled" dispatches on one persistent
+// Pool; "spawn" is the legacy spawn-per-region path. cmd/bench turns the
+// pooled/spawn ratio into BENCH_pool.json.
+func BenchmarkDispatch(b *testing.B) {
+	for _, t := range []int{4, 8} {
+		for _, n := range []int64{8, 64} {
+			b.Run(fmt.Sprintf("pooled/t%d/n%d", t, n), func(b *testing.B) {
+				p := NewPool(t)
+				defer p.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.For(n, Static, func(int64) {})
+				}
+			})
+			b.Run(fmt.Sprintf("spawn/t%d/n%d", t, n), func(b *testing.B) {
+				defer SetPooling(true)
+				SetPooling(false)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					For(t, n, Static, func(int64) {})
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWorklistPushStyles compares a full region of pushes through
+// the shared size counter against the per-worker reservation buffers.
+func BenchmarkWorklistPushStyles(b *testing.B) {
+	const t, n = 4, benchN
+	b.Run("shared-counter", func(b *testing.B) {
+		w := NewWorklist(n + 64)
+		p := NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			p.ForTID(n, Static, func(tid int, j int64) { w.Push(int32(j)) })
+		}
+	})
+	b.Run("reserved-blocks", func(b *testing.B) {
+		w := NewWorklistTID(n+64, t)
+		p := NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			p.ForTID(n, Static, func(tid int, j int64) { w.PushTID(tid, int32(j)) })
+			w.Flush()
+		}
+	})
 }
 
 func BenchmarkWorklistPush(b *testing.B) {

@@ -1,0 +1,603 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the persistent worker-pool runtime behind the package's
+// fork/join loops. The paper's throughput numbers come from tight
+// per-round `parallel for` regions — road-network inputs run hundreds of
+// small-frontier rounds per measurement — so spawning t fresh goroutines
+// per region makes dispatch overhead, not the style under study,
+// dominate exactly the measurements the reproduction exists to compare.
+// A Pool keeps t-1 long-lived workers (the region's caller doubles as
+// worker 0) and dispatches regions through a spin-then-park barrier:
+// publishing a new region pointer is the epoch tick, spinning workers
+// pick it up with two atomic loads, and parked workers are woken through
+// a per-worker one-token channel, Go's closest analog to a futex wake.
+//
+// Regions are elastic: the t logical worker shares are tid slots claimed
+// from a per-region counter by whichever goroutines arrive first — the
+// caller claims remaining slots instead of idling at the join, so on a
+// machine with fewer cores than t (the extreme being one core) a small
+// region often completes entirely on the caller with zero context
+// switches. Bodies that rendezvous across tids (the GPU simulator's
+// barrier kernels) need one goroutine per tid and use ForConcurrent,
+// which pins slot tid to worker goroutine tid.
+//
+// What the pool deliberately does NOT change: the iteration→worker
+// assignment of every schedule is bit-identical to the spawn-per-region
+// implementation (verified by TestPoolScheduleEquivalence), the dynamic
+// schedule still takes every chunk from one shared atomic counter at
+// dynChunk grain (that contention is the modeled phenomenon of §5.11),
+// panics still surface on the region's caller, and the chaos hook still
+// runs once per logical worker per region.
+
+// Executor runs parallel regions with a fixed logical thread count. Both
+// a *Pool and the package-level spawn-or-pooled front end (Fixed)
+// implement it, so algorithm kernels can be handed either.
+type Executor interface {
+	// Width is the logical thread count t: ForTID passes tids in
+	// [0, Width()) and clause reductions size their partials by it.
+	Width() int
+	// For executes body(i) for every i in [0, n) under schedule s.
+	For(n int64, s Sched, body func(i int64))
+	// ForTID is For with the worker id passed to the body.
+	ForTID(n int64, s Sched, body func(tid int, i int64))
+}
+
+// region is one dispatched parallel region: the loop bounds, schedule,
+// body, and the join state. A fresh region is allocated per dispatch so
+// that a worker still reading a stale region (one it skipped because its
+// tid was beyond the region's width) can never race with the next
+// region's initialization.
+type region struct {
+	t       int
+	n       int64
+	sched   Sched
+	body    func(i int64)
+	bodyTID func(tid int, i int64)
+	// elastic regions let any goroutine claim any tid slot; non-elastic
+	// regions (ForConcurrent) pin slot tid to worker goroutine tid, which
+	// rendezvousing bodies require.
+	elastic bool
+	// claim is the next unclaimed tid slot of an elastic region. It
+	// starts at 1: the caller always runs slot 0.
+	claim atomic.Int32
+	// next is the dynamic schedule's shared chunk counter. It is shared
+	// by design: OpenMP's dynamic runtime cost is one of the styles the
+	// study measures (§5.11), so it must stay contended.
+	next atomic.Int64
+	// pending counts tid slots (including the caller's) not yet finished.
+	pending atomic.Int32
+	// join is the caller's parking state (cstSpinning/cstParked/cstDone),
+	// the Dekker flag that decides whether the region's last finisher owes
+	// the caller a wake token on the pool's done channel.
+	join atomic.Int32
+	tr   trap
+}
+
+// Caller join states.
+const (
+	cstSpinning int32 = iota // caller is polling pending
+	cstParked                // caller committed to blocking on done
+	cstDone                  // last worker finished while the caller spun
+)
+
+// finish retires one completed tid slot. The goroutine that retires the
+// last slot resolves the Dekker handshake with the (possibly parked)
+// caller; see Pool.join.
+func (r *region) finish(p *Pool) {
+	if r.pending.Add(-1) == 0 {
+		if !r.join.CompareAndSwap(cstSpinning, cstDone) {
+			p.done <- struct{}{} // the caller parked first: it awaits a token
+		}
+	}
+}
+
+// exec runs worker tid's share of the region, trapping panics and
+// applying the chaos hook exactly like a spawned worker would.
+func (r *region) exec(tid int) {
+	defer r.tr.capture()
+	chaosEnter(tid)
+	t := int64(r.t)
+	switch r.sched {
+	case Static, Blocked:
+		beg := int64(tid) * r.n / t
+		end := int64(tid+1) * r.n / t
+		if r.body != nil {
+			for i := beg; i < end; i++ {
+				r.body(i)
+			}
+		} else {
+			for i := beg; i < end; i++ {
+				r.bodyTID(tid, i)
+			}
+		}
+	case Cyclic:
+		if r.body != nil {
+			for i := int64(tid); i < r.n; i += t {
+				r.body(i)
+			}
+		} else {
+			for i := int64(tid); i < r.n; i += t {
+				r.bodyTID(tid, i)
+			}
+		}
+	case Dynamic:
+		for {
+			beg := r.next.Add(dynChunk) - dynChunk
+			if beg >= r.n {
+				return
+			}
+			end := beg + dynChunk
+			if end > r.n {
+				end = r.n
+			}
+			if r.body != nil {
+				for i := beg; i < end; i++ {
+					r.body(i)
+				}
+			} else {
+				for i := beg; i < end; i++ {
+					r.bodyTID(tid, i)
+				}
+			}
+		}
+	}
+}
+
+// Worker parking states.
+const (
+	wActive int32 = iota // running a region or spinning on the epoch
+	wParked              // blocked (or about to block) on the wake channel
+)
+
+// poolWorker is one long-lived worker's parking slot, padded so that the
+// state flags of adjacent workers do not share a cache line.
+type poolWorker struct {
+	state atomic.Int32
+	wake  chan struct{} // buffered(1); CAS on state gates the single token
+	_     [56]byte
+}
+
+// Pool is a persistent fork/join executor: t-1 long-lived worker
+// goroutines plus the dispatching caller, which participates as worker 0.
+// Regions are serialized — For/ForTID must not be called concurrently on
+// one Pool (nested or concurrent regions each take their own Pool).
+// Close may be called at any time, including by a supervisor that has
+// abandoned a timed-out run still using the Pool: workers drain their
+// current region and exit, and any later dispatch on the closed Pool
+// transparently falls back to spawn-per-region execution.
+type Pool struct {
+	t       int
+	cur     atomic.Pointer[region]
+	done    chan struct{} // buffered(1); the region's last worker signals
+	mu      sync.Mutex    // serializes dispatch state against Close
+	closed  atomic.Bool
+	spin    int
+	workers []poolWorker
+}
+
+// spinRounds is how many epoch checks a worker makes after finishing a
+// region before parking. Back-to-back rounds of an algorithm re-dispatch
+// within this window, so steady-state regions need no scheduler trip at
+// all. The spin is cooperative (Gosched every few checks), so it stays
+// productive even on a single-CPU machine — there the yield is what lets
+// the dispatcher and the other workers interleave, and the window is
+// shortened since every check round-trips through the scheduler.
+const spinRounds = 4096
+
+// NewPool creates a pool of t logical workers (t-1 goroutines; the
+// caller of For/ForTID is worker 0). t < 1 is treated as 1.
+func NewPool(t int) *Pool {
+	if t < 1 {
+		t = 1
+	}
+	p := &Pool{
+		t:    t,
+		done: make(chan struct{}, 1),
+		spin: spinRounds,
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		p.spin = spinRounds / 8
+	}
+	if raceEnabled {
+		// The detector instruments every spin-loop load; parking through
+		// the (cheaper per-event) channels keeps race-mode test time close
+		// to the spawn path's. Latency fidelity is irrelevant under -race.
+		p.spin = 8
+	}
+	p.workers = make([]poolWorker, t)
+	for tid := 1; tid < t; tid++ {
+		p.workers[tid].wake = make(chan struct{}, 1)
+		go p.work(tid)
+	}
+	return p
+}
+
+// Width implements Executor.
+func (p *Pool) Width() int { return p.t }
+
+// For implements Executor.
+func (p *Pool) For(n int64, s Sched, body func(i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.For: unknown schedule")
+	}
+	p.run(n, s, body, nil)
+}
+
+// ForTID implements Executor.
+func (p *Pool) ForTID(n int64, s Sched, body func(tid int, i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.ForTID: unknown schedule")
+	}
+	p.run(n, s, nil, body)
+}
+
+// ForConcurrent runs body(tid) once for every tid in [0, t), with every
+// tid guaranteed its own concurrently scheduled worker goroutine. For and
+// ForTID do not give that guarantee (elastic regions may run several tid
+// slots on one goroutine), so bodies that rendezvous across tids — the
+// GPU simulator's barrier kernels — must use this entry point.
+func ForConcurrent(t int, body func(tid int)) {
+	if t < 1 {
+		t = 1
+	}
+	wrapped := func(tid int, _ int64) { body(tid) }
+	if !pooling.Load() {
+		forSpawn(t, int64(t), Static, nil, wrapped)
+		return
+	}
+	p := AcquirePool(t)
+	defer ReleasePool(p)
+	p.dispatch(int64(t), Static, nil, wrapped, false)
+}
+
+// ReduceInt64 runs a pooled reduction (see par.ReduceInt64).
+func (p *Pool) ReduceInt64(n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
+	return reduceInt64(p, n, s, style, body)
+}
+
+// ReduceFloat64 runs a pooled reduction (see par.ReduceFloat64).
+func (p *Pool) ReduceFloat64(n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
+	return reduceFloat64(p, n, s, style, body)
+}
+
+// run dispatches one region and joins it.
+func (p *Pool) run(n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64)) {
+	p.dispatch(n, s, body, bodyTID, true)
+}
+
+// dispatch publishes one region, runs the caller's share (plus, for
+// elastic regions, any shares the pool workers have not claimed yet),
+// and joins.
+func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool) {
+	if n <= 0 {
+		return
+	}
+	t := p.t
+	if int64(t) > n {
+		t = int(n)
+	}
+	if t == 1 {
+		// Sub-width regions (e.g. a one-vertex frontier) run inline:
+		// identical assignment (everything is tid 0), zero dispatch cost.
+		r := &region{t: 1, n: n, sched: s, body: body, bodyTID: bodyTID}
+		r.exec(0)
+		r.tr.rethrow()
+		return
+	}
+	r := &region{t: t, n: n, sched: s, body: body, bodyTID: bodyTID, elastic: elastic}
+	r.claim.Store(1) // slot 0 is the caller's
+	r.pending.Store(int32(t))
+	p.mu.Lock()
+	if p.closed.Load() {
+		p.mu.Unlock()
+		forSpawn(t, n, s, body, bodyTID)
+		return
+	}
+	// Publishing the region pointer is the epoch tick; the atomic store
+	// orders the region's plain fields before any worker's atomic load.
+	p.cur.Store(r)
+	for tid := 1; tid < t; tid++ {
+		w := &p.workers[tid]
+		if w.state.CompareAndSwap(wParked, wActive) {
+			w.wake <- struct{}{}
+		}
+	}
+	p.mu.Unlock()
+	r.exec(0) // the caller is worker 0
+	r.finish(p)
+	if elastic {
+		// Run any slots the workers have not picked up — on a machine
+		// with fewer free cores than t this usually means all of them,
+		// and the region never pays a context switch.
+		for {
+			tid := int(r.claim.Add(1)) - 1
+			if tid >= t {
+				break
+			}
+			r.exec(tid)
+			r.finish(p)
+		}
+	}
+	p.join(r)
+	r.tr.rethrow()
+}
+
+// join waits for the region's pool workers. It spins briefly (back-to-back
+// regions usually finish within the window, costing zero channel trips),
+// then parks on the done channel. The region's join flag is the Dekker
+// handshake: exactly one of {caller sees pending==0, last worker sends a
+// token} wins, so the buffered channel can never hold a stale token when
+// the next region dispatches.
+func (p *Pool) join(r *region) {
+	for i := 0; i < p.spin; i++ {
+		if r.pending.Load() == 0 {
+			return
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+	if r.join.CompareAndSwap(cstSpinning, cstParked) {
+		<-p.done // the last worker's CAS failed: it owes exactly one token
+	}
+}
+
+// work is the long-lived worker loop.
+func (p *Pool) work(tid int) {
+	w := &p.workers[tid]
+	var last *region
+	for {
+		r := p.await(w, last)
+		if r == nil {
+			return
+		}
+		last = r
+		if r.elastic {
+			for {
+				slot := int(r.claim.Add(1)) - 1
+				if slot >= r.t {
+					break
+				}
+				r.exec(slot)
+				r.finish(p)
+			}
+		} else if tid < r.t {
+			r.exec(tid)
+			r.finish(p)
+		}
+	}
+}
+
+// await returns the next region, or nil once the pool is closed with no
+// newer region to run. It spins briefly on the region pointer (catching
+// back-to-back dispatches without a scheduler round trip), then parks on
+// the worker's wake channel.
+func (p *Pool) await(w *poolWorker, last *region) *region {
+	for i := 0; i < p.spin; i++ {
+		if r := p.cur.Load(); r != last {
+			return r
+		}
+		if p.closed.Load() {
+			break
+		}
+		if i&63 == 63 {
+			runtime.Gosched()
+		}
+	}
+	for {
+		w.state.Store(wParked)
+		// Re-check after publishing the parked state: a dispatcher that
+		// read the flag as active has already stored the region, and one
+		// that read it as parked owes us a token.
+		if r := p.cur.Load(); r != last {
+			if !w.state.CompareAndSwap(wParked, wActive) {
+				<-w.wake // consume the in-flight token
+			}
+			return r
+		}
+		if p.closed.Load() {
+			if !w.state.CompareAndSwap(wParked, wActive) {
+				<-w.wake
+			}
+			// A region dispatched concurrently with Close still runs:
+			// its caller is blocked on the join.
+			if r := p.cur.Load(); r != last {
+				return r
+			}
+			return nil
+		}
+		<-w.wake
+		if r := p.cur.Load(); r != last {
+			return r
+		}
+	}
+}
+
+// Close marks the pool defunct and wakes every parked worker so it can
+// exit. Workers mid-region finish it first (the region's caller is
+// waiting on the join), and later dispatches fall back to
+// spawn-per-region, so closing a pool that an abandoned run still holds
+// is safe. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed.Load() {
+		p.closed.Store(true)
+		for tid := 1; tid < p.t; tid++ {
+			w := &p.workers[tid]
+			if w.state.CompareAndSwap(wParked, wActive) {
+				w.wake <- struct{}{}
+			}
+		}
+	}
+	p.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (p *Pool) Closed() bool { return p.closed.Load() }
+
+// poolCache is the process-wide free list behind the package-level
+// For/ForTID: pools are keyed by width and reused across regions, so
+// call sites keep their fork/join signature while paying pooled dispatch
+// cost. A pool held by an abandoned (timed-out) run is simply never
+// released — the next acquire builds a fresh one.
+var poolCache = struct {
+	sync.Mutex
+	free map[int][]*Pool
+}{free: map[int][]*Pool{}}
+
+// AcquirePool returns an idle pool of width t (t < 1 means 1), creating
+// one if the free list has none. Pair with ReleasePool.
+func AcquirePool(t int) *Pool {
+	if t < 1 {
+		t = 1
+	}
+	poolCache.Lock()
+	if list := poolCache.free[t]; len(list) > 0 {
+		p := list[len(list)-1]
+		poolCache.free[t] = list[:len(list)-1]
+		poolCache.Unlock()
+		return p
+	}
+	poolCache.Unlock()
+	return NewPool(t)
+}
+
+// ReleasePool returns p to the free list. Closed pools are dropped.
+func ReleasePool(p *Pool) {
+	if p == nil || p.closed.Load() {
+		return
+	}
+	poolCache.Lock()
+	poolCache.free[p.t] = append(poolCache.free[p.t], p)
+	poolCache.Unlock()
+}
+
+// pooling gates the package-level For/ForTID between the pool runtime
+// and the legacy spawn-per-region implementation. It exists for
+// benchmarks and equivalence tests; production code leaves it on.
+var pooling atomic.Bool
+
+func init() { pooling.Store(true) }
+
+// SetPooling toggles the package-level fork/join front end between the
+// persistent pool runtime (true, the default) and spawn-per-region
+// execution (false). Only tests and benchmarks should call this.
+func SetPooling(on bool) { pooling.Store(on) }
+
+// fixedExec adapts the package-level functions to Executor.
+type fixedExec struct{ t int }
+
+func (f fixedExec) Width() int { return f.t }
+func (f fixedExec) For(n int64, s Sched, body func(i int64)) {
+	For(f.t, n, s, body)
+}
+func (f fixedExec) ForTID(n int64, s Sched, body func(tid int, i int64)) {
+	ForTID(f.t, n, s, body)
+}
+
+// Fixed returns the default executor for t logical threads: regions run
+// on free-list pools (or spawned goroutines when pooling is disabled).
+// t < 1 is treated as 1.
+func Fixed(t int) Executor {
+	if t < 1 {
+		t = 1
+	}
+	return fixedExec{t}
+}
+
+// forSpawn is the spawn-per-region reference implementation — the
+// pre-pool substrate, kept as the closed-pool fallback, the
+// SetPooling(false) path, and the baseline that schedule-equivalence
+// tests and dispatch benchmarks compare against. Exactly one of body and
+// bodyTID must be non-nil.
+func forSpawn(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64)) {
+	if n <= 0 {
+		return
+	}
+	if t < 1 {
+		t = 1
+	}
+	if int64(t) > n {
+		t = int(n)
+	}
+	var wg sync.WaitGroup
+	var tr trap
+	wg.Add(t)
+	switch s {
+	case Static, Blocked:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
+				beg := int64(tid) * n / int64(t)
+				end := int64(tid+1) * n / int64(t)
+				if body != nil {
+					for i := beg; i < end; i++ {
+						body(i)
+					}
+				} else {
+					for i := beg; i < end; i++ {
+						bodyTID(tid, i)
+					}
+				}
+			}(tid)
+		}
+	case Cyclic:
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
+				if body != nil {
+					for i := int64(tid); i < n; i += int64(t) {
+						body(i)
+					}
+				} else {
+					for i := int64(tid); i < n; i += int64(t) {
+						bodyTID(tid, i)
+					}
+				}
+			}(tid)
+		}
+	case Dynamic:
+		var next atomic.Int64
+		for tid := 0; tid < t; tid++ {
+			go func(tid int) {
+				defer wg.Done()
+				defer tr.capture()
+				chaosEnter(tid)
+				for {
+					beg := next.Add(dynChunk) - dynChunk
+					if beg >= n {
+						return
+					}
+					end := beg + dynChunk
+					if end > n {
+						end = n
+					}
+					if body != nil {
+						for i := beg; i < end; i++ {
+							body(i)
+						}
+					} else {
+						for i := beg; i < end; i++ {
+							bodyTID(tid, i)
+						}
+					}
+				}
+			}(tid)
+		}
+	default:
+		panic(fmt.Sprintf("par: unknown schedule %d", s))
+	}
+	wg.Wait()
+	tr.rethrow()
+}

