@@ -1,14 +1,18 @@
 // Command bench measures the worker-pool runtime against the legacy
-// spawn-per-region path and emits the results as JSON. It is the source
-// of the committed BENCH_pool.json: dispatch latency at small region
-// sizes (where road-network frontiers live), worklist push styles, and
-// an end-to-end road-graph BFS.
+// spawn-per-region path and the scratch-arena runs against the
+// allocate-per-run path, and emits the results as JSON. It is the source
+// of the committed BENCH_pool.json and BENCH_scratch.json: dispatch
+// latency at small region sizes (where road-network frontiers live),
+// worklist push styles, an end-to-end road-graph BFS, and a
+// multi-variant road-graph sweep with and without arenas.
 //
 // Usage:
 //
 //	bench                  # full measurement, prints JSON to stdout
 //	bench -quick           # short benchtime for CI smoke runs
 //	bench -out pool.json   # write the JSON to a file
+//	bench -alloccheck      # also assert the warmed-arena steady state
+//	                       # allocates zero times per run (exit 1 if not)
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -24,16 +29,28 @@ import (
 	"indigo/internal/gen"
 	"indigo/internal/par"
 	"indigo/internal/runner"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
-// Comparison is one pooled-vs-spawn measurement pair.
+// Comparison is one measurement pair: the optimized path ("pool": the
+// persistent pool and/or warmed arena) against the legacy path ("spawn":
+// spawn-per-region and/or allocate-per-run).
 type Comparison struct {
 	Name    string  `json:"name"`
 	PoolNs  float64 `json:"pool_ns_per_op"`
 	SpawnNs float64 `json:"spawn_ns_per_op"`
-	// Speedup is SpawnNs / PoolNs: >1 means the pool runtime wins.
+	// Speedup is SpawnNs / PoolNs: >1 means the optimized path wins.
 	Speedup float64 `json:"speedup"`
+	// Allocation profile of each side, from the benchmark driver's
+	// MemStats accounting; GC pause is the total stop-the-world pause
+	// accumulated over the whole measurement loop (not per op).
+	PoolAllocs     int64 `json:"pool_allocs_per_op"`
+	SpawnAllocs    int64 `json:"spawn_allocs_per_op"`
+	PoolBytes      int64 `json:"pool_bytes_per_op"`
+	SpawnBytes     int64 `json:"spawn_bytes_per_op"`
+	PoolGCPauseNs  int64 `json:"pool_gc_pause_total_ns"`
+	SpawnGCPauseNs int64 `json:"spawn_gc_pause_total_ns"`
 }
 
 // Report is the emitted document.
@@ -47,11 +64,20 @@ type Report struct {
 func main() {
 	quick := flag.Bool("quick", false, "short benchtime (CI smoke runs)")
 	out := flag.String("out", "", "output file (default stdout)")
+	alloccheck := flag.Bool("alloccheck", false,
+		"fail (exit 1) if a warmed-arena run allocates; pins the zero-alloc budget")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
 	if *quick {
 		bt = 20 * time.Millisecond
+	}
+
+	if *alloccheck {
+		if n := steadyStateAllocs(); n != 0 {
+			fmt.Fprintf(os.Stderr, "bench: steady-state allocation budget exceeded: %.1f allocs per warmed-arena run, want 0\n", n)
+			os.Exit(1)
+		}
 	}
 
 	rep := Report{
@@ -65,6 +91,7 @@ func main() {
 		dispatch(bt, 8, 8),
 		worklist(bt, 4),
 		roadBFS(bt, 4),
+		scratchSweep(bt, 4),
 	)
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
@@ -89,21 +116,54 @@ func init() {
 	testing.Init()
 }
 
+// metrics is one side's measurement.
+type metrics struct {
+	ns        float64
+	allocs    int64
+	bytes     int64
+	gcPauseNs int64
+}
+
 // measure runs body under the testing benchmark driver at benchtime bt
-// and returns nanoseconds per operation.
-func measure(bt time.Duration, body func(b *testing.B)) float64 {
+// and returns time and allocation per operation plus the total GC pause
+// accumulated while the loop ran.
+func measure(bt time.Duration, body func(b *testing.B)) metrics {
 	if err := flag.Set("test.benchtime", bt.String()); err != nil {
 		fmt.Fprintln(os.Stderr, "bench: set benchtime:", err)
 		os.Exit(1)
 	}
+	var before, after debug.GCStats
+	debug.ReadGCStats(&before)
 	r := testing.Benchmark(body)
-	return float64(r.T.Nanoseconds()) / float64(r.N)
+	debug.ReadGCStats(&after)
+	return metrics{
+		ns:        float64(r.T.Nanoseconds()) / float64(r.N),
+		allocs:    r.AllocsPerOp(),
+		bytes:     r.AllocedBytesPerOp(),
+		gcPauseNs: int64(after.PauseTotal - before.PauseTotal),
+	}
+}
+
+// compare assembles the JSON record from the two sides.
+func compare(name string, pool, spawn metrics) Comparison {
+	return Comparison{
+		Name:           name,
+		PoolNs:         pool.ns,
+		SpawnNs:        spawn.ns,
+		Speedup:        spawn.ns / pool.ns,
+		PoolAllocs:     pool.allocs,
+		SpawnAllocs:    spawn.allocs,
+		PoolBytes:      pool.bytes,
+		SpawnBytes:     spawn.bytes,
+		PoolGCPauseNs:  pool.gcPauseNs,
+		SpawnGCPauseNs: spawn.gcPauseNs,
+	}
 }
 
 // dispatch measures per-region fork/join cost at t workers and n
 // iterations with an empty body: pure runtime overhead.
 func dispatch(bt time.Duration, t int, n int64) Comparison {
-	poolNs := measure(bt, func(b *testing.B) {
+	pool := measure(bt, func(b *testing.B) {
 		p := par.NewPool(t)
 		defer p.Close()
 		b.ResetTimer()
@@ -111,7 +171,7 @@ func dispatch(bt time.Duration, t int, n int64) Comparison {
 			p.For(n, par.Static, func(int64) {})
 		}
 	})
-	spawnNs := measure(bt, func(b *testing.B) {
+	spawn := measure(bt, func(b *testing.B) {
 		defer par.SetPooling(true)
 		par.SetPooling(false)
 		b.ResetTimer()
@@ -119,19 +179,14 @@ func dispatch(bt time.Duration, t int, n int64) Comparison {
 			par.For(t, n, par.Static, func(int64) {})
 		}
 	})
-	return Comparison{
-		Name:    fmt.Sprintf("dispatch/t%d/n%d", t, n),
-		PoolNs:  poolNs,
-		SpawnNs: spawnNs,
-		Speedup: spawnNs / poolNs,
-	}
+	return compare(fmt.Sprintf("dispatch/t%d/n%d", t, n), pool, spawn)
 }
 
 // worklist measures a full region of pushes: the shared size counter
 // against the per-worker reservation buffers.
 func worklist(bt time.Duration, t int) Comparison {
 	const n = 1 << 16
-	spawnNs := measure(bt, func(b *testing.B) {
+	spawn := measure(bt, func(b *testing.B) {
 		w := par.NewWorklist(n + 64)
 		p := par.NewPool(t)
 		defer p.Close()
@@ -141,7 +196,7 @@ func worklist(bt time.Duration, t int) Comparison {
 			p.ForTID(n, par.Static, func(tid int, j int64) { w.Push(int32(j)) })
 		}
 	})
-	poolNs := measure(bt, func(b *testing.B) {
+	pool := measure(bt, func(b *testing.B) {
 		w := par.NewWorklistTID(n+64, t)
 		p := par.NewPool(t)
 		defer p.Close()
@@ -152,12 +207,7 @@ func worklist(bt time.Duration, t int) Comparison {
 			w.Flush()
 		}
 	})
-	return Comparison{
-		Name:    fmt.Sprintf("worklist-push/t%d/n%d", t, n),
-		PoolNs:  poolNs,
-		SpawnNs: spawnNs,
-		Speedup: spawnNs / poolNs,
-	}
+	return compare(fmt.Sprintf("worklist-push/t%d/n%d", t, n), pool, spawn)
 }
 
 // roadBFS measures an end-to-end data-driven BFS on the road input:
@@ -168,7 +218,7 @@ func roadBFS(bt time.Duration, threads int) Comparison {
 		Algo: styles.BFS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
 		Flow: styles.Push, Update: styles.ReadModifyWrite,
 	}
-	poolNs := measure(bt, func(b *testing.B) {
+	pool := measure(bt, func(b *testing.B) {
 		p := par.NewPool(threads)
 		defer p.Close()
 		opt := algo.Options{Threads: threads, Pool: p}
@@ -177,7 +227,7 @@ func roadBFS(bt time.Duration, threads int) Comparison {
 			runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
 		}
 	})
-	spawnNs := measure(bt, func(b *testing.B) {
+	spawn := measure(bt, func(b *testing.B) {
 		defer par.SetPooling(true)
 		par.SetPooling(false)
 		opt := algo.Options{Threads: threads}
@@ -186,10 +236,86 @@ func roadBFS(bt time.Duration, threads int) Comparison {
 			runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
 		}
 	})
-	return Comparison{
-		Name:    fmt.Sprintf("bfs-road/t%d", threads),
-		PoolNs:  poolNs,
-		SpawnNs: spawnNs,
-		Speedup: spawnNs / poolNs,
+	return compare(fmt.Sprintf("bfs-road/t%d", threads), pool, spawn)
+}
+
+// sweepVariants is the multi-variant road sweep measured by scratchSweep
+// and asserted by -alloccheck: one representative per family covering
+// every scratch checkout path (stamped and plain worklists, double
+// buffering, OMP criticals, clause and atomic reductions).
+func sweepVariants() []styles.Config {
+	return []styles.Config{
+		{Algo: styles.BFS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+			Flow: styles.Push, Update: styles.ReadModifyWrite},
+		{Algo: styles.SSSP, Model: styles.CPP, Drive: styles.DataDrivenDup,
+			Flow: styles.Push, Update: styles.ReadModifyWrite},
+		{Algo: styles.CC, Model: styles.CPP, Drive: styles.TopologyDriven,
+			Flow: styles.Pull, Update: styles.ReadModifyWrite, Det: styles.Deterministic},
+		{Algo: styles.MIS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+			Flow: styles.Push, Update: styles.ReadModifyWrite},
+		{Algo: styles.PR, Model: styles.OMP, Flow: styles.Pull,
+			Det: styles.Deterministic, CPURed: styles.ClauseRed},
+		{Algo: styles.TC, Model: styles.CPP, Update: styles.ReadModifyWrite,
+			Det: styles.Deterministic, CPURed: styles.AtomicRed},
 	}
+}
+
+// scratchSweep measures the arena's end-to-end effect: one op is a
+// six-variant sweep over the road input on a pinned pool, with the
+// "pool" side reusing one warmed arena (the sweep supervisor's steady
+// state) and the "spawn" side allocating per run. The tiny scale keeps
+// ops short enough for a stable iteration count and is the regime where
+// per-run fixed costs matter most; at larger scales the allocation
+// share of a run shrinks toward the noise floor (DESIGN.md §9).
+func scratchSweep(bt time.Duration, threads int) Comparison {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	cfgs := sweepVariants()
+	pool := measure(bt, func(b *testing.B) {
+		p := par.NewPool(threads)
+		defer p.Close()
+		a := scratch.New()
+		opt := algo.Options{Threads: threads, Pool: p, Scratch: a}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				a.Reset()
+				runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
+			}
+		}
+	})
+	spawn := measure(bt, func(b *testing.B) {
+		p := par.NewPool(threads)
+		defer p.Close()
+		opt := algo.Options{Threads: threads, Pool: p}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range cfgs {
+				runner.RunCPU(g, cfg, opt) //nolint:errcheck // benchmark body
+			}
+		}
+	})
+	return compare(fmt.Sprintf("sweep-scratch/t%d", threads), pool, spawn)
+}
+
+// steadyStateAllocs warms an arena over the sweep variants and returns
+// the average allocation count of one further full sweep — the pinned
+// budget is zero.
+func steadyStateAllocs() float64 {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	cfgs := sweepVariants()
+	const threads = 4
+	p := par.NewPool(threads)
+	defer p.Close()
+	a := scratch.New()
+	opt := algo.Options{Threads: threads, Pool: p, Scratch: a}
+	sweep := func() {
+		for _, cfg := range cfgs {
+			a.Reset()
+			runner.RunCPU(g, cfg, opt) //nolint:errcheck // checked by verify tests
+		}
+	}
+	for i := 0; i < 3; i++ {
+		sweep()
+	}
+	return testing.AllocsPerRun(5, sweep)
 }

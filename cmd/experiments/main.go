@@ -24,6 +24,7 @@ import (
 
 	"indigo/internal/gen"
 	"indigo/internal/harness"
+	"indigo/internal/scratch"
 	"indigo/internal/sweep"
 )
 
@@ -35,7 +36,9 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-variant deadline (0 = scale-aware default)")
 	journal := flag.String("journal", "", "JSONL measurement journal to append to")
 	resume := flag.Bool("resume", false, "skip variants already recorded in -journal")
+	useScratch := flag.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	flag.Parse()
+	scratch.SetEnabled(*useScratch)
 
 	scale, ok := gen.ParseScale(*scaleName)
 	if !ok {

@@ -21,6 +21,7 @@ import (
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
 	"indigo/internal/runner"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 	"indigo/internal/sweep"
 	"indigo/internal/verify"
@@ -170,9 +171,11 @@ func cmdRun(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = scale-aware default)")
 	journal := fs.String("journal", "", "JSONL measurement journal to append to")
 	resume := fs.Bool("resume", false, "skip the run if the journal already records it")
+	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	scratch.SetEnabled(*useScratch)
 	if *variant == "" {
 		return fmt.Errorf("missing -variant")
 	}
@@ -242,9 +245,11 @@ func cmdVerify(args []string) error {
 	modelName := fs.String("model", "", "restrict to one model")
 	scale := fs.String("scale", "tiny", "input scale")
 	threads := fs.Int("threads", 0, "CPU worker count (0 = all cores)")
+	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	scratch.SetEnabled(*useScratch)
 	algos, models, err := parseFilters(*algoName, *modelName)
 	if err != nil {
 		return err

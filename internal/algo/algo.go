@@ -5,6 +5,7 @@ package algo
 
 import (
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -20,6 +21,14 @@ type Options struct {
 	// resolved Threads count, since clause reductions and worklist
 	// buffers size per-thread state by that count.
 	Pool *par.Pool
+	// Scratch, when non-nil, supplies the run's working memory: kernels
+	// check out their per-run O(N)/O(M) state (value arrays, worklists,
+	// stamps) from it instead of allocating, and reuse cached kernel
+	// contexts across runs. nil keeps allocate-per-run behavior. The
+	// caller owns the arena lifecycle: result slices alias arena memory,
+	// so the arena must not be Reset (or handed to another run) until
+	// the Result is consumed. See DESIGN.md §9.
+	Scratch *scratch.Arena
 	// Source is the root vertex for BFS and SSSP.
 	Source int32
 	// MaxIter caps outer iterations of iterative algorithms as a safety
@@ -82,6 +91,26 @@ type Result struct {
 	Iterations int32
 }
 
+// Detach returns a copy of r whose slices no longer alias the run's
+// scratch arena, so the result can outlive the arena's next Reset.
+// Callers that consume results before resetting (the sweep supervisor
+// verifies in place) never need it.
+func (r Result) Detach() Result {
+	if r.Dist != nil {
+		r.Dist = append([]int32(nil), r.Dist...)
+	}
+	if r.Label != nil {
+		r.Label = append([]int32(nil), r.Label...)
+	}
+	if r.InSet != nil {
+		r.InSet = append([]bool(nil), r.InSet...)
+	}
+	if r.Rank != nil {
+		r.Rank = append([]float32(nil), r.Rank...)
+	}
+	return r
+}
+
 // SchedOf maps a config's model-specific scheduling style to the par
 // substrate's schedule.
 func SchedOf(c styles.Config) par.Sched {
@@ -100,13 +129,26 @@ func SchedOf(c styles.Config) par.Sched {
 	panic("algo.SchedOf: not a CPU model")
 }
 
+// critical/critical64 are the process-wide OpenMP critical sections.
+// They are singletons on purpose, and for two reasons: an unnamed OpenMP
+// `critical` is one global lock per program, so sharing one mutex across
+// a run's regions is the faithful semantics; and returning package
+// singletons keeps SyncOf allocation-free, which the zero-allocation
+// steady state of warmed-arena runs depends on. (Concurrent sweep
+// workers running OMP variants share the lock too — the supervisor runs
+// timed tasks one at a time, so measurements never contend across runs.)
+var (
+	critical   par.Critical
+	critical64 par.Critical64
+)
+
 // SyncOf returns the synchronization implementation of the config's
 // model: CAS atomics for the C++ model, critical sections for OpenMP's
 // read-modify-writes (see package par).
 func SyncOf(c styles.Config) par.Sync {
 	switch c.Model {
 	case styles.OMP:
-		return &par.Critical{}
+		return &critical
 	case styles.CPP:
 		return par.CAS{}
 	}
@@ -117,7 +159,7 @@ func SyncOf(c styles.Config) par.Sync {
 func Sync64Of(c styles.Config) par.Sync64 {
 	switch c.Model {
 	case styles.OMP:
-		return &par.Critical64{}
+		return &critical64
 	case styles.CPP:
 		return par.CAS64{}
 	}

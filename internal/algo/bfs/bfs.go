@@ -6,6 +6,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/algo/relax"
 	"indigo/internal/graph"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -32,24 +33,41 @@ func Serial(g *graph.Graph, src int32) []int32 {
 	return level
 }
 
-// problem adapts BFS to the shared min-relaxation engine: the candidate
-// level of an edge's destination is its source's level plus one.
-func problem(src int32) relax.Problem[int32] {
-	return relax.Problem[int32]{
-		Init: func(v int32) int32 {
-			if v == src {
-				return 0
-			}
-			return graph.Inf
-		},
-		Cand:  func(val int32, e int64) int32 { return val + 1 },
-		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+// cpuCtx adapts BFS to the shared min-relaxation engine: the candidate
+// level of an edge's destination is its source's level plus one. The
+// context is cached on the run's scratch arena so the problem closures
+// are built once and reused across runs — they capture only the context
+// pointer and read the run's source through it.
+type cpuCtx struct {
+	src  int32
+	seed [1]int32
+	prob relax.Problem[int32]
+}
+
+func (c *cpuCtx) problem() relax.Problem[int32] {
+	if c.prob.Cand == nil {
+		c.prob = relax.Problem[int32]{
+			Init: func(v int32) int32 {
+				if v == c.src {
+					return 0
+				}
+				return graph.Inf
+			},
+			Cand: func(val int32, e int64) int32 { return val + 1 },
+			Seeds: func(g *graph.Graph) []int32 {
+				c.seed[0] = c.src
+				return c.seed[:]
+			},
+		}
 	}
+	return c.prob
 }
 
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
-	dist, iters := relax.Run(g, cfg, opt, problem(opt.Source))
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	c.src = opt.Source
+	dist, iters := relax.Run(g, cfg, opt, c.problem())
 	return algo.Result{Dist: dist, Iterations: iters}
 }

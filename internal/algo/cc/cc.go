@@ -7,6 +7,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/algo/relax"
 	"indigo/internal/graph"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -40,25 +41,40 @@ func Serial(g *graph.Graph) []int32 {
 	return label
 }
 
-// problem adapts CC to the shared min-relaxation engine: labels start at
+// cpuCtx adapts CC to the shared min-relaxation engine: labels start at
 // the vertex id and the candidate label across any edge is the source's
-// label itself.
-var problem = relax.Problem[int32]{
-	Init: func(v int32) int32 { return v },
-	Cand: func(val int32, e int64) int32 { return val },
-	Seeds: func(g *graph.Graph) []int32 {
-		// Every vertex's label "changed" at initialization.
-		seeds := make([]int32, g.N)
-		for v := int32(0); v < g.N; v++ {
-			seeds[v] = v
+// label itself. The context is cached on the run's scratch arena; the
+// identity seeds slice grows once and is reused across runs.
+type cpuCtx struct {
+	seeds []int32
+	prob  relax.Problem[int32]
+}
+
+func (c *cpuCtx) problem() relax.Problem[int32] {
+	if c.prob.Cand == nil {
+		c.prob = relax.Problem[int32]{
+			Init: func(v int32) int32 { return v },
+			Cand: func(val int32, e int64) int32 { return val },
+			Seeds: func(g *graph.Graph) []int32 {
+				// Every vertex's label "changed" at initialization.
+				if int32(cap(c.seeds)) < g.N {
+					c.seeds = make([]int32, g.N)
+				}
+				c.seeds = c.seeds[:g.N]
+				for v := int32(0); v < g.N; v++ {
+					c.seeds[v] = v
+				}
+				return c.seeds
+			},
 		}
-		return seeds
-	},
+	}
+	return c.prob
 }
 
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
-	label, iters := relax.Run(g, cfg, opt, problem)
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	label, iters := relax.Run(g, cfg, opt, c.problem())
 	return algo.Result{Label: label, Iterations: iters}
 }

@@ -12,6 +12,7 @@ import (
 	"indigo/internal/algo/gpu"
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -37,7 +38,9 @@ func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options, 
 	opt = opt.Defaults(g.N)
 	dg := gpu.Upload(d, g)
 	o := gpu.OpsOf(cfg)
-	init := make([]int32, g.N)
+	// Host staging buffers come from the run's scratch arena when one is
+	// set; the simulated device buffers themselves still allocate.
+	init := scratch.Slice[int32](opt.Scratch, int(g.N))
 	for v := int32(0); v < g.N; v++ {
 		init[v] = p.Init(v)
 	}
@@ -52,7 +55,7 @@ func Run(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options, 
 	} else {
 		iters = runTopoNonDet(d, dg, cfg, opt, p, o, val, &total)
 	}
-	out := make([]int32, g.N)
+	out := scratch.Slice[int32](opt.Scratch, int(g.N))
 	copy(out, val.Host())
 	return out, iters, total
 }
@@ -267,7 +270,7 @@ func runData(d *gpusim.Device, dg *gpu.DevGraph, cfg styles.Config, opt algo.Opt
 	// Host-side seeding (a cudaMemcpy before the first launch).
 	seeds := p.Seeds(graphOf(dg))
 	if pull {
-		mark := make(map[int32]bool)
+		mark := scratch.Slice[bool](opt.Scratch, int(dg.N))
 		for _, v := range seeds {
 			for e := dg.NbrIdx.Host()[v]; e < dg.NbrIdx.Host()[v+1]; e++ {
 				u := dg.NbrList.Host()[e]

@@ -13,6 +13,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/graph"
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -63,28 +64,78 @@ func Serial(g *graph.Graph) []bool {
 	return inSet
 }
 
+// cpuCtx holds one MIS run's working state plus the loop bodies, built
+// once and cached on the scratch arena. The bodies capture only the
+// context pointer; everything that varies between runs (graph, config,
+// checked-out slices, current iteration) is rebound through fields, so
+// warmed-arena runs execute without heap allocation.
+type cpuCtx struct {
+	g     *graph.Graph
+	cfg   styles.Config
+	ar    *scratch.Arena
+	s     par.Sync
+	sched par.Sched
+	ex    par.Executor
+
+	status []int32
+	next   []int32
+	stamp  []int32
+	wlIn   *par.Worklist
+	wlOut  *par.Worklist
+
+	itr     int32
+	changed atomic.Int32
+
+	readND        func(u int32) int32
+	readDet       func(u int32) int32
+	decideNDVert  func(i int64)
+	decideNDEdge  func(e int64)
+	decideDetVert func(i int64)
+	decideDetEdge func(e int64)
+	dataBody      func(tid int, i int64)
+}
+
+func (c *cpuCtx) bind(g *graph.Graph, cfg styles.Config, opt algo.Options) {
+	c.g, c.cfg, c.ar = g, cfg, opt.Scratch
+	c.s = algo.SyncOf(cfg)
+	c.sched = algo.SchedOf(cfg)
+	c.ex = opt.Exec()
+	c.status = scratch.Slice[int32](opt.Scratch, int(g.N))
+	if c.readND != nil {
+		return
+	}
+	c.readND = func(u int32) int32 { return c.s.Load(&c.status[u]) }
+	c.readDet = func(u int32) int32 { return c.status[u] }
+	c.decideNDVert = func(i int64) { c.decideND(int32(i)) }
+	c.decideNDEdge = func(e int64) { c.decideND(c.g.Src[e]) }
+	c.decideDetVert = func(i int64) { c.decideDet(int32(i)) }
+	c.decideDetEdge = func(e int64) { c.decideDet(c.g.Src[e]) }
+	c.dataBody = func(tid int, i int64) { c.decideData(tid, c.wlIn.Get(i)) }
+}
+
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
-	status := make([]int32, g.N)
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	c.bind(g, cfg, opt)
 	// Isolated vertices are in every MIS; deciding them up front keeps
 	// the edge-based variants (which only visit edge endpoints) correct.
 	for v := int32(0); v < g.N; v++ {
 		if g.Degree(v) == 0 {
-			status[v] = in
+			c.status[v] = in
 		}
 	}
 	var iters int32
 	if cfg.Drive.IsDataDriven() {
-		iters = runData(g, cfg, opt, status)
+		iters = c.runData(opt)
 	} else if cfg.Det == styles.Deterministic {
-		iters = runTopoDet(g, cfg, opt, status)
+		iters = c.runTopoDet(opt)
 	} else {
-		iters = runTopoNonDet(g, cfg, opt, status)
+		iters = c.runTopoNonDet(opt)
 	}
-	inSet := make([]bool, g.N)
-	for v := range status {
-		inSet[v] = status[v] == in
+	inSet := scratch.Slice[bool](opt.Scratch, int(g.N))
+	for v := range c.status {
+		inSet[v] = c.status[v] == in
 	}
 	return algo.Result{InSet: inSet, Iterations: iters}
 }
@@ -100,172 +151,179 @@ func localMax(g *graph.Graph, v int32, read func(u int32) int32) bool {
 	return true
 }
 
+// decideND updates v's status in place (the topology-driven
+// non-deterministic rule).
+func (c *cpuCtx) decideND(v int32) {
+	g, s := c.g, c.s
+	if s.Load(&c.status[v]) != undecided {
+		return
+	}
+	if c.cfg.Flow == styles.Pull {
+		// Pull: v reads neighbors and writes only itself.
+		for _, u := range g.Neighbors(v) {
+			if s.Load(&c.status[u]) == in {
+				s.Store(&c.status[v], out)
+				c.changed.Store(1)
+				return
+			}
+		}
+		if localMax(g, v, c.readND) {
+			s.Store(&c.status[v], in)
+			c.changed.Store(1)
+		}
+	} else {
+		// Push: v enters the set and pushes Out to neighbors.
+		if localMax(g, v, c.readND) {
+			s.Store(&c.status[v], in)
+			for _, u := range g.Neighbors(v) {
+				s.Max(&c.status[u], out) // Undecided -> Out; In impossible
+			}
+			c.changed.Store(1)
+		}
+	}
+}
+
 // runTopoNonDet sweeps all vertices, updating statuses in place.
-func runTopoNonDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
-	s := algo.SyncOf(cfg)
-	sched := algo.SchedOf(cfg)
-	ex := opt.Exec()
-	read := func(u int32) int32 { return s.Load(&status[u]) }
+func (c *cpuCtx) runTopoNonDet(opt algo.Options) int32 {
+	g := c.g
 	var iters int32
 	for iters < opt.MaxIter {
 		iters++
-		var changed atomic.Int32
-		decide := func(v int32) {
-			if s.Load(&status[v]) != undecided {
-				return
-			}
-			if cfg.Flow == styles.Pull {
-				// Pull: v reads neighbors and writes only itself.
-				for _, u := range g.Neighbors(v) {
-					if s.Load(&status[u]) == in {
-						s.Store(&status[v], out)
-						changed.Store(1)
-						return
-					}
-				}
-				if localMax(g, v, read) {
-					s.Store(&status[v], in)
-					changed.Store(1)
-				}
-			} else {
-				// Push: v enters the set and pushes Out to neighbors.
-				if localMax(g, v, read) {
-					s.Store(&status[v], in)
-					for _, u := range g.Neighbors(v) {
-						s.Max(&status[u], out) // Undecided -> Out; In impossible
-					}
-					changed.Store(1)
-				}
-			}
-		}
-		if cfg.Iterate == styles.EdgeBased {
+		c.changed.Store(0)
+		if c.cfg.Iterate == styles.EdgeBased {
 			// Edge-based: examine each edge's source endpoint; the extra
 			// re-examinations are redundant but harmless (idempotent).
-			ex.For(g.M(), sched, func(e int64) { decide(g.Src[e]) })
+			c.ex.For(g.M(), c.sched, c.decideNDEdge)
 		} else {
-			ex.For(int64(g.N), sched, func(i int64) { decide(int32(i)) })
+			c.ex.For(int64(g.N), c.sched, c.decideNDVert)
 		}
-		if changed.Load() == 0 {
+		if c.changed.Load() == 0 {
 			break
 		}
 	}
 	return iters
 }
 
+// decideDet writes v's decision into the next-iteration buffer, reading
+// only previous-iteration statuses.
+func (c *cpuCtx) decideDet(v int32) {
+	g, s := c.g, c.s
+	if c.status[v] != undecided {
+		return
+	}
+	if c.cfg.Flow == styles.Pull {
+		for _, u := range g.Neighbors(v) {
+			if c.status[u] == in {
+				s.Store(&c.next[v], out)
+				c.changed.Store(1)
+				return
+			}
+		}
+		if localMax(g, v, c.readDet) {
+			s.Store(&c.next[v], in)
+			c.changed.Store(1)
+		}
+	} else {
+		if localMax(g, v, c.readDet) {
+			s.Store(&c.next[v], in)
+			for _, u := range g.Neighbors(v) {
+				if c.status[u] == undecided {
+					s.Max(&c.next[u], out)
+				}
+			}
+			c.changed.Store(1)
+		}
+	}
+}
+
 // runTopoDet is the double-buffered deterministic family: decisions in
 // iteration k read only iteration k-1 statuses.
-func runTopoDet(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
-	s := algo.SyncOf(cfg)
-	sched := algo.SchedOf(cfg)
-	ex := opt.Exec()
-	next := make([]int32, g.N)
-	read := func(u int32) int32 { return status[u] }
+func (c *cpuCtx) runTopoDet(opt algo.Options) int32 {
+	g := c.g
+	c.next = scratch.Slice[int32](c.ar, int(g.N))
 	var iters int32
 	for iters < opt.MaxIter {
 		iters++
-		copy(next, status)
-		var changed atomic.Int32
-		decide := func(v int32) {
-			if status[v] != undecided {
-				return
-			}
-			if cfg.Flow == styles.Pull {
-				for _, u := range g.Neighbors(v) {
-					if status[u] == in {
-						s.Store(&next[v], out)
-						changed.Store(1)
-						return
-					}
-				}
-				if localMax(g, v, read) {
-					s.Store(&next[v], in)
-					changed.Store(1)
-				}
-			} else {
-				if localMax(g, v, read) {
-					s.Store(&next[v], in)
-					for _, u := range g.Neighbors(v) {
-						if status[u] == undecided {
-							s.Max(&next[u], out)
-						}
-					}
-					changed.Store(1)
-				}
-			}
-		}
-		if cfg.Iterate == styles.EdgeBased {
-			ex.For(g.M(), sched, func(e int64) { decide(g.Src[e]) })
+		copy(c.next, c.status)
+		c.changed.Store(0)
+		if c.cfg.Iterate == styles.EdgeBased {
+			c.ex.For(g.M(), c.sched, c.decideDetEdge)
 		} else {
-			ex.For(int64(g.N), sched, func(i int64) { decide(int32(i)) })
+			c.ex.For(int64(g.N), c.sched, c.decideDetVert)
 		}
-		copy(status, next)
-		if changed.Load() == 0 {
+		copy(c.status, c.next)
+		if c.changed.Load() == 0 {
 			break
 		}
 	}
 	return iters
+}
+
+// pushNbrs re-enqueues u's undecided neighbors for re-examination.
+func (c *cpuCtx) pushNbrs(tid int, u int32) {
+	for _, w := range c.g.Neighbors(u) {
+		if c.s.Load(&c.status[w]) == undecided {
+			c.wlOut.PushUniqueTID(tid, w, c.stamp, c.itr, c.s)
+		}
+	}
+}
+
+// decideData processes one worklist item of the data-driven family.
+func (c *cpuCtx) decideData(tid int, v int32) {
+	g, s := c.g, c.s
+	if s.Load(&c.status[v]) != undecided {
+		return
+	}
+	if c.cfg.Flow == styles.Pull {
+		for _, u := range g.Neighbors(v) {
+			if s.Load(&c.status[u]) == in {
+				s.Store(&c.status[v], out)
+				c.pushNbrs(tid, v)
+				return
+			}
+		}
+		if localMax(g, v, c.readND) {
+			s.Store(&c.status[v], in)
+			c.pushNbrs(tid, v)
+		}
+	} else {
+		if localMax(g, v, c.readND) {
+			s.Store(&c.status[v], in)
+			for _, u := range g.Neighbors(v) {
+				if s.Max(&c.status[u], out) == undecided {
+					// u just went Out: its undecided neighbors may have
+					// become local maxima.
+					c.pushNbrs(tid, u)
+				}
+			}
+		}
+	}
 }
 
 // runData is the worklist-driven family (no-duplicates only, Table 2):
 // the worklist holds vertices to (re)examine, seeded with every vertex;
 // a decision re-enqueues the undecided neighbors it may have unblocked.
-func runData(g *graph.Graph, cfg styles.Config, opt algo.Options, status []int32) int32 {
-	s := algo.SyncOf(cfg)
-	sched := algo.SchedOf(cfg)
-	ex := opt.Exec()
+// The stamped no-duplicates push bounds every round at n items, so both
+// lists are checked out at the fixed capacity n+64 and never grow.
+func (c *cpuCtx) runData(opt algo.Options) int32 {
+	g := c.g
+	capacity := int64(g.N) + 64
 	// The out-list is pushed to from inside parallel regions, so it gets
 	// per-worker reservation buffers; the in-list is only read there.
-	wlIn := par.NewWorklist(int64(g.N) + 64)
-	wlOut := par.NewWorklistTID(int64(g.N)+64, ex.Width())
-	stamp := make([]int32, g.N)
+	c.wlIn = c.ar.Worklist(capacity, c.ex.Width())
+	c.wlOut = c.ar.Worklist(capacity, c.ex.Width())
+	c.stamp = scratch.Slice[int32](c.ar, int(g.N))
 	for v := int32(0); v < g.N; v++ {
-		wlIn.Push(v)
+		c.wlIn.Push(v)
 	}
-	read := func(u int32) int32 { return s.Load(&status[u]) }
 	var iters int32
-	for iters < opt.MaxIter && wlIn.Size() > 0 {
+	for iters < opt.MaxIter && c.wlIn.Size() > 0 {
 		iters++
-		itr := iters
-		pushNbrs := func(tid int, u int32) {
-			for _, w := range g.Neighbors(u) {
-				if s.Load(&status[w]) == undecided {
-					wlOut.PushUniqueTID(tid, w, stamp, itr, s)
-				}
-			}
-		}
-		ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
-			v := wlIn.Get(i)
-			if s.Load(&status[v]) != undecided {
-				return
-			}
-			if cfg.Flow == styles.Pull {
-				for _, u := range g.Neighbors(v) {
-					if s.Load(&status[u]) == in {
-						s.Store(&status[v], out)
-						pushNbrs(tid, v)
-						return
-					}
-				}
-				if localMax(g, v, read) {
-					s.Store(&status[v], in)
-					pushNbrs(tid, v)
-				}
-			} else {
-				if localMax(g, v, read) {
-					s.Store(&status[v], in)
-					for _, u := range g.Neighbors(v) {
-						if s.Max(&status[u], out) == undecided {
-							// u just went Out: its undecided neighbors
-							// may have become local maxima.
-							pushNbrs(tid, u)
-						}
-					}
-				}
-			}
-		})
-		wlOut.Flush()
-		wlIn.Reset()
-		wlIn.Swap(wlOut)
+		c.itr = iters
+		c.ex.ForTID(c.wlIn.Size(), c.sched, c.dataBody)
+		c.wlOut.Flush()
+		c.wlIn.Reset()
+		c.wlIn.Swap(c.wlOut)
 	}
 	return iters
 }

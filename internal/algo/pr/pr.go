@@ -15,6 +15,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/graph"
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -48,17 +49,80 @@ func Serial(g *graph.Graph, damping float32, tol float64, maxIter int32) ([]floa
 	return rank, iters
 }
 
+// cpuCtx holds one PageRank run's working state plus the loop bodies,
+// built once and cached on the scratch arena. The bodies capture only
+// the context pointer and read the current rank/next slices through it,
+// which keeps the per-iteration buffer swap visible to them without
+// rebuilding closures.
+type cpuCtx struct {
+	g             *graph.Graph
+	damping, base float32
+	rank, next    []float32
+	red           par.Reducer
+
+	gsBody    func(i int64) float64
+	jacBody   func(i int64) float64
+	resBody   func(i int64) float64
+	clearBody func(i int64)
+	pushBody  func(i int64)
+}
+
+func (c *cpuCtx) bind(g *graph.Graph, damping float32, a *scratch.Arena) {
+	c.g = g
+	c.damping, c.base = damping, 1-damping
+	c.rank = scratch.Slice[float32](a, int(g.N))
+	c.next = scratch.Slice[float32](a, int(g.N))
+	if c.gsBody != nil {
+		return
+	}
+	c.gsBody = func(i int64) float64 {
+		g := c.g
+		v := int32(i)
+		var sum float32
+		for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+			u := g.NbrList[e]
+			sum += loadFloat32(&c.rank[u]) / float32(g.Degree(u))
+		}
+		nv := c.base + c.damping*sum
+		old := loadFloat32(&c.rank[v])
+		storeFloat32(&c.rank[v], nv)
+		return math.Abs(float64(nv - old))
+	}
+	c.jacBody = func(i int64) float64 {
+		g := c.g
+		v := int32(i)
+		var sum float32
+		for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+			u := g.NbrList[e]
+			sum += c.rank[u] / float32(g.Degree(u))
+		}
+		c.next[v] = c.base + c.damping*sum
+		return math.Abs(float64(c.next[v] - c.rank[v]))
+	}
+	c.resBody = func(i int64) float64 {
+		return math.Abs(float64(c.next[i] - c.rank[i]))
+	}
+	c.clearBody = func(i int64) { c.next[i] = c.base }
+	c.pushBody = func(i int64) {
+		g := c.g
+		v := int32(i)
+		contrib := c.damping * c.rank[v] / float32(g.Degree(v))
+		for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+			atomicAddFloat32(&c.next[g.NbrList[e]], contrib)
+		}
+	}
+}
+
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
-	damping := float32(opt.PRDamping)
-	base := 1 - damping
 	sched := algo.SchedOf(cfg)
 	red := algo.RedOf(cfg)
 	ex := opt.Exec()
-	rank := make([]float32, g.N)
-	for v := range rank {
-		rank[v] = 1
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	c.bind(g, float32(opt.PRDamping), opt.Scratch)
+	for v := range c.rank {
+		c.rank[v] = 1
 	}
 
 	var iters int32
@@ -69,65 +133,33 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 		// dependent (§2.6).
 		for iters < opt.MaxIter {
 			iters++
-			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
-				v := int32(i)
-				var sum float32
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					u := g.NbrList[e]
-					sum += loadFloat32(&rank[u]) / float32(g.Degree(u))
-				}
-				nv := base + damping*sum
-				old := loadFloat32(&rank[v])
-				storeFloat32(&rank[v], nv)
-				return math.Abs(float64(nv - old))
-			})
+			residual := c.red.Float64(ex, int64(g.N), sched, red, c.gsBody)
 			if residual < opt.PRTol {
 				break
 			}
 		}
 	case cfg.Flow == styles.Pull: // deterministic Jacobi
-		next := make([]float32, g.N)
 		for iters < opt.MaxIter {
 			iters++
-			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
-				v := int32(i)
-				var sum float32
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					u := g.NbrList[e]
-					sum += rank[u] / float32(g.Degree(u))
-				}
-				next[v] = base + damping*sum
-				return math.Abs(float64(next[v] - rank[v]))
-			})
-			rank, next = next, rank
+			residual := c.red.Float64(ex, int64(g.N), sched, red, c.jacBody)
+			c.rank, c.next = c.next, c.rank
 			if residual < opt.PRTol {
 				break
 			}
 		}
 	default: // push, deterministic only (styles rule 5)
-		next := make([]float32, g.N)
 		for iters < opt.MaxIter {
 			iters++
-			ex.For(int64(g.N), sched, func(i int64) {
-				next[i] = base
-			})
-			ex.For(int64(g.N), sched, func(i int64) {
-				v := int32(i)
-				contrib := damping * rank[v] / float32(g.Degree(v))
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					atomicAddFloat32(&next[g.NbrList[e]], contrib)
-				}
-			})
-			residual := par.ReduceFloat64On(ex, int64(g.N), sched, red, func(i int64) float64 {
-				return math.Abs(float64(next[i] - rank[i]))
-			})
-			rank, next = next, rank
+			ex.For(int64(g.N), sched, c.clearBody)
+			ex.For(int64(g.N), sched, c.pushBody)
+			residual := c.red.Float64(ex, int64(g.N), sched, red, c.resBody)
+			c.rank, c.next = c.next, c.rank
 			if residual < opt.PRTol {
 				break
 			}
 		}
 	}
-	return algo.Result{Rank: rank, Iterations: iters}
+	return algo.Result{Rank: c.rank, Iterations: iters}
 }
 
 // loadFloat32 / storeFloat32 are the atomic scalar accesses the paper

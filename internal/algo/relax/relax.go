@@ -10,6 +10,14 @@
 // The engine is generic over the value type: the study evaluates the
 // 32-bit variants (§4.1), and the 64-bit data-type variants that ship
 // with Indigo2 run through the same code with T = int64.
+//
+// Memory discipline: all per-run O(N)/O(M) state — the value array, the
+// deterministic double buffer, the two worklists, stamp and seed-mark
+// arrays — is checked out from opt.Scratch when an arena is supplied,
+// and the loop-body closures live in an engine context cached on the
+// arena (rebound, not rebuilt, per run). With a warmed arena and a
+// pinned pool a steady-state run performs zero heap allocations; with a
+// nil arena the engine allocates per run exactly as before.
 package relax
 
 import (
@@ -18,6 +26,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/graph"
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -63,14 +72,38 @@ func (o ops64) Load(p *int64) int64         { return o.s.Load(p) }
 func (o ops64) Store(p *int64, v int64)     { o.s.Store(p, v) }
 func (o ops64) Min(p *int64, v int64) int64 { return o.s.Min(p, v) }
 
+// Pre-boxed syncOps singletons: constructing the interface value per run
+// would heap-allocate the wrapper struct, so the four (type × model)
+// combinations are boxed once here.
+var (
+	casOps32  syncOps[int32] = ops32{par.CAS{}}
+	critOps32 syncOps[int32]
+	casOps64  syncOps[int64] = ops64{par.CAS64{}}
+	critOps64 syncOps[int64]
+)
+
+func init() {
+	var cfg styles.Config
+	cfg.Model = styles.OMP
+	critOps32 = ops32{algo.SyncOf(cfg)}
+	critOps64 = ops64{algo.Sync64Of(cfg)}
+}
+
 // syncFor selects the model's synchronization for value type T.
 func syncFor[T Value](cfg styles.Config) syncOps[T] {
+	omp := cfg.Model == styles.OMP
 	var zero T
 	switch any(zero).(type) {
 	case int32:
-		return any(ops32{algo.SyncOf(cfg)}).(syncOps[T])
+		if omp {
+			return any(critOps32).(syncOps[T])
+		}
+		return any(casOps32).(syncOps[T])
 	default:
-		return any(ops64{algo.Sync64Of(cfg)}).(syncOps[T])
+		if omp {
+			return any(critOps64).(syncOps[T])
+		}
+		return any(casOps64).(syncOps[T])
 	}
 }
 
@@ -91,22 +124,24 @@ const Inf64 int64 = int64(graph.Inf) << 24
 // variants pass Problem[int64]).
 func RunT[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T]) ([]T, int32) {
 	opt = opt.Defaults(g.N)
-	val := make([]T, g.N)
+	e := scratch.Of[engine[T]](opt.Scratch)
+	e.bind(g, cfg, opt, p)
+	val := e.val
 	for v := int32(0); v < g.N; v++ {
 		val[v] = p.Init(v)
 	}
 	if cfg.Drive.IsDataDriven() {
-		return val, runData(g, cfg, opt, p, val)
+		return val, e.runData(cfg, opt)
 	}
 	if cfg.Det == styles.Deterministic {
-		return val, runTopoDet(g, cfg, opt, p, val)
+		return val, e.runTopoDet(cfg, opt)
 	}
-	return val, runTopoNonDet(g, cfg, opt, p, val)
+	return val, e.runTopoNonDet(cfg, opt)
 }
 
-// relaxMin lowers *addr to nd using the configured update style and
+// relaxTry lowers *addr to nd using the configured update style and
 // reports whether the location improved (Listing 5).
-func relaxMin[T Value](s syncOps[T], up styles.Update, addr *T, nd T, changed *atomic.Int32) bool {
+func relaxTry[T Value](s syncOps[T], up styles.Update, addr *T, nd T) bool {
 	if up == styles.ReadWrite {
 		// Read-write: racy load + conditional store. Safe here because
 		// updates are monotone, and only topology-driven variants use it
@@ -114,60 +149,188 @@ func relaxMin[T Value](s syncOps[T], up styles.Update, addr *T, nd T, changed *a
 		old := s.Load(addr)
 		if nd < old {
 			s.Store(addr, nd)
-			changed.Store(1)
 			return true
 		}
 		return false
 	}
-	old := s.Min(addr, nd)
-	if nd < old {
+	return nd < s.Min(addr, nd)
+}
+
+// relaxMin is relaxTry plus the topology-driven convergence flag.
+func relaxMin[T Value](s syncOps[T], up styles.Update, addr *T, nd T, changed *atomic.Int32) bool {
+	if relaxTry(s, up, addr, nd) {
 		changed.Store(1)
 		return true
 	}
 	return false
 }
 
+// engine is the per-run kernel context. One engine per value type lives
+// on each arena (scratch.Of), so its loop-body closures are built once
+// and reused across runs and variants: they capture only the engine
+// pointer, and everything that varies per run or per configuration — the
+// graph, the problem, the sync model, the update style, the worklists —
+// is rebound through engine fields. With a nil arena a fresh engine is
+// built per run, reproducing the old allocate-per-run behavior.
+type engine[T Value] struct {
+	g  *graph.Graph
+	p  Problem[T]
+	s  syncOps[T]
+	up styles.Update
+	ar *scratch.Arena
+
+	val     []T
+	next    []T
+	changed atomic.Int32
+
+	// Data-driven state.
+	wlIn, wlOut *par.Worklist
+	stamp       []int32
+	stampSync   par.Sync
+	noDup       bool
+	itr         int32
+
+	// Cached kernels (topology-driven in-place, deterministic
+	// double-buffered, data-driven), chosen per run by cfg.
+	topoEdge, topoPush, topoPull func(i int64)
+	detEdge, detPush, detPull    func(i int64)
+	dataPush, dataPull           func(tid int, i int64)
+}
+
+// bind points the engine at this run's inputs and checks out the value
+// array. Closures are built on first use and only ever read run state
+// through the engine, so rebinding is assignment-only.
+func (e *engine[T]) bind(g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T]) {
+	e.g = g
+	e.p = p
+	e.s = syncFor[T](cfg)
+	e.up = cfg.Update
+	e.ar = opt.Scratch
+	e.val = scratch.Slice[T](opt.Scratch, int(g.N))
+	if e.topoEdge != nil {
+		return
+	}
+	e.topoEdge = func(ee int64) {
+		g := e.g
+		dv := e.s.Load(&e.val[g.Src[ee]])
+		if dv >= e.p.Inf {
+			return
+		}
+		relaxMin(e.s, e.up, &e.val[g.Dst[ee]], e.p.Cand(dv, ee), &e.changed)
+	}
+	e.topoPush = func(i int64) {
+		g := e.g
+		v := int32(i)
+		dv := e.s.Load(&e.val[v])
+		if dv >= e.p.Inf {
+			return
+		}
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			relaxMin(e.s, e.up, &e.val[g.NbrList[ee]], e.p.Cand(dv, ee), &e.changed)
+		}
+	}
+	e.topoPull = func(i int64) {
+		g := e.g
+		v := int32(i)
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			du := e.s.Load(&e.val[g.NbrList[ee]])
+			if du >= e.p.Inf {
+				continue
+			}
+			relaxMin(e.s, e.up, &e.val[v], e.p.Cand(du, ee), &e.changed)
+		}
+	}
+	e.detEdge = func(ee int64) {
+		g := e.g
+		dv := e.val[g.Src[ee]]
+		if dv >= e.p.Inf {
+			return
+		}
+		relaxMin(e.s, e.up, &e.next[g.Dst[ee]], e.p.Cand(dv, ee), &e.changed)
+	}
+	e.detPush = func(i int64) {
+		g := e.g
+		v := int32(i)
+		dv := e.val[v]
+		if dv >= e.p.Inf {
+			return
+		}
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			relaxMin(e.s, e.up, &e.next[g.NbrList[ee]], e.p.Cand(dv, ee), &e.changed)
+		}
+	}
+	e.detPull = func(i int64) {
+		g := e.g
+		v := int32(i)
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			du := e.val[g.NbrList[ee]]
+			if du >= e.p.Inf {
+				continue
+			}
+			relaxMin(e.s, e.up, &e.next[v], e.p.Cand(du, ee), &e.changed)
+		}
+	}
+	e.dataPush = func(tid int, i int64) {
+		g := e.g
+		v := e.wlIn.Get(i)
+		dv := e.s.Load(&e.val[v])
+		if dv >= e.p.Inf {
+			return
+		}
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			u := g.NbrList[ee]
+			if relaxTry(e.s, e.up, &e.val[u], e.p.Cand(dv, ee)) {
+				e.push(tid, u)
+			}
+		}
+	}
+	e.dataPull = func(tid int, i int64) {
+		g := e.g
+		v := e.wlIn.Get(i)
+		improved := false
+		for ee := g.NbrIdx[v]; ee < g.NbrIdx[v+1]; ee++ {
+			du := e.s.Load(&e.val[g.NbrList[ee]])
+			if du >= e.p.Inf {
+				continue
+			}
+			if relaxTry(e.s, e.up, &e.val[v], e.p.Cand(du, ee)) {
+				improved = true
+			}
+		}
+		if improved {
+			// v's new value may enable its neighbors to improve.
+			for _, u := range g.Neighbors(v) {
+				e.push(tid, u)
+			}
+		}
+	}
+}
+
+// push appends u to the out-list under the round's duplicate policy.
+func (e *engine[T]) push(tid int, u int32) {
+	if e.noDup {
+		e.wlOut.PushUniqueTID(tid, u, e.stamp, e.itr, e.stampSync)
+	} else {
+		e.wlOut.PushTID(tid, u)
+	}
+}
+
 // runTopoNonDet is the topology-driven, in-place family (Listing 2a/6a).
-func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
-	s := syncFor[T](cfg)
+func (e *engine[T]) runTopoNonDet(cfg styles.Config, opt algo.Options) int32 {
 	sched := algo.SchedOf(cfg)
 	ex := opt.Exec()
+	n, body := int64(e.g.N), e.topoPush
+	if cfg.Iterate == styles.EdgeBased {
+		n, body = e.g.M(), e.topoEdge
+	} else if cfg.Flow == styles.Pull {
+		body = e.topoPull
+	}
 	var iters int32
 	for iters < opt.MaxIter {
 		iters++
-		var changed atomic.Int32
-		if cfg.Iterate == styles.EdgeBased {
-			ex.For(g.M(), sched, func(e int64) {
-				dv := s.Load(&val[g.Src[e]])
-				if dv >= p.Inf {
-					return
-				}
-				relaxMin(s, cfg.Update, &val[g.Dst[e]], p.Cand(dv, e), &changed)
-			})
-		} else if cfg.Flow == styles.Push {
-			ex.For(int64(g.N), sched, func(i int64) {
-				v := int32(i)
-				dv := s.Load(&val[v])
-				if dv >= p.Inf {
-					return
-				}
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					relaxMin(s, cfg.Update, &val[g.NbrList[e]], p.Cand(dv, e), &changed)
-				}
-			})
-		} else { // vertex pull
-			ex.For(int64(g.N), sched, func(i int64) {
-				v := int32(i)
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					du := s.Load(&val[g.NbrList[e]])
-					if du >= p.Inf {
-						continue
-					}
-					relaxMin(s, cfg.Update, &val[v], p.Cand(du, e), &changed)
-				}
-			})
-		}
-		if changed.Load() == 0 {
+		e.changed.Store(0)
+		ex.For(n, sched, body)
+		if e.changed.Load() == 0 {
 			break
 		}
 	}
@@ -176,49 +339,24 @@ func runTopoNonDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options,
 
 // runTopoDet is the deterministic double-buffered family (Listing 6b):
 // each iteration reads only the previous iteration's values.
-func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
-	s := syncFor[T](cfg)
+func (e *engine[T]) runTopoDet(cfg styles.Config, opt algo.Options) int32 {
 	sched := algo.SchedOf(cfg)
 	ex := opt.Exec()
-	next := make([]T, g.N)
+	e.next = scratch.Slice[T](e.ar, int(e.g.N))
+	n, body := int64(e.g.N), e.detPush
+	if cfg.Iterate == styles.EdgeBased {
+		n, body = e.g.M(), e.detEdge
+	} else if cfg.Flow == styles.Pull {
+		body = e.detPull
+	}
 	var iters int32
 	for iters < opt.MaxIter {
 		iters++
-		copy(next, val)
-		var changed atomic.Int32
-		if cfg.Iterate == styles.EdgeBased {
-			ex.For(g.M(), sched, func(e int64) {
-				dv := val[g.Src[e]]
-				if dv >= p.Inf {
-					return
-				}
-				relaxMin(s, cfg.Update, &next[g.Dst[e]], p.Cand(dv, e), &changed)
-			})
-		} else if cfg.Flow == styles.Push {
-			ex.For(int64(g.N), sched, func(i int64) {
-				v := int32(i)
-				dv := val[v]
-				if dv >= p.Inf {
-					return
-				}
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					relaxMin(s, cfg.Update, &next[g.NbrList[e]], p.Cand(dv, e), &changed)
-				}
-			})
-		} else {
-			ex.For(int64(g.N), sched, func(i int64) {
-				v := int32(i)
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					du := val[g.NbrList[e]]
-					if du >= p.Inf {
-						continue
-					}
-					relaxMin(s, cfg.Update, &next[v], p.Cand(du, e), &changed)
-				}
-			})
-		}
-		copy(val, next)
-		if changed.Load() == 0 {
+		copy(e.next, e.val)
+		e.changed.Store(0)
+		ex.For(n, sched, body)
+		copy(e.val, e.next)
+		if e.changed.Load() == 0 {
 			break
 		}
 	}
@@ -228,98 +366,82 @@ func runTopoDet[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p 
 // runData is the worklist-driven family (Listing 2b/3), with or without
 // duplicates, in push or pull flow. Data-driven variants are vertex-based
 // and internally non-deterministic (styles.Valid rules 2 and 3).
-func runData[T Value](g *graph.Graph, cfg styles.Config, opt algo.Options, p Problem[T], val []T) int32 {
-	s := syncFor[T](cfg)
-	stampSync := algo.SyncOf(cfg) // iteration stamps stay 32-bit
+//
+// Worklist capacity policy (high-water mark): both lists start at n+64,
+// which is the exact per-round bound for no-duplicate lists (each vertex
+// enters a round's out-list at most once, enforced by the stamps). With
+// duplicates allowed, a round pushes at most one entry per edge incident
+// to an in-list item, so before each round the out-list is grown — once,
+// at the sequential point, never mid-round — to the exact bound
+// Σ deg(v) over the in-list, at least doubling per growth so a run
+// performs O(log) growths total. Capacities only ratchet up, and reused
+// (arena) worklists keep their high-water capacity across runs, so
+// steady-state rounds never reallocate. This replaces the former fixed
+// 8m+n pre-allocation, which paid the full worst case on every run.
+func (e *engine[T]) runData(cfg styles.Config, opt algo.Options) int32 {
+	e.stampSync = algo.SyncOf(cfg) // iteration stamps stay 32-bit
 	sched := algo.SchedOf(cfg)
 	ex := opt.Exec()
-	noDup := cfg.Drive == styles.DataDrivenNoDup
+	g := e.g
+	e.noDup = cfg.Drive == styles.DataDrivenNoDup
 	capacity := int64(g.N) + 64
-	if !noDup {
-		// With duplicates allowed, one processed item can push one entry
-		// per incident edge; total improvements are bounded in practice
-		// but we size generously.
-		capacity = 8*g.M() + int64(g.N) + 64
-	}
 	// The out-list takes pushes from inside parallel regions, so it gets
-	// per-worker reservation buffers; the in-list is only read there.
-	wlIn, wlOut := par.NewWorklist(capacity), par.NewWorklistTID(capacity, ex.Width())
-	var stamp []int32
-	if noDup {
-		stamp = make([]int32, g.N)
-	}
-	push := func(tid int, u int32, itr int32) {
-		if noDup {
-			wlOut.PushUniqueTID(tid, u, stamp, itr, stampSync)
-		} else {
-			wlOut.PushTID(tid, u)
-		}
+	// per-worker reservation buffers; the in-list is only read there
+	// (the roles swap each round, so both are built push-capable). A nil
+	// arena builds fresh worklists.
+	e.wlIn = e.ar.Worklist(capacity, ex.Width())
+	e.wlOut = e.ar.Worklist(capacity, ex.Width())
+	e.stamp = nil
+	if e.noDup {
+		e.stamp = scratch.Slice[int32](e.ar, int(g.N))
 	}
 
 	// Seed the initial worklist.
-	seeds := p.Seeds(g)
+	seeds := e.p.Seeds(g)
 	if cfg.Flow == styles.Push {
 		for _, v := range seeds {
-			wlIn.Push(v)
+			e.wlIn.Push(v)
 		}
 	} else {
 		// Pull consumers are the vertices that might improve: the
 		// neighbors of the seeds, deduplicated.
-		mark := make([]bool, g.N)
+		mark := scratch.Slice[bool](e.ar, int(g.N))
 		for _, v := range seeds {
 			for _, u := range g.Neighbors(v) {
 				if !mark[u] {
 					mark[u] = true
-					wlIn.Push(u)
+					e.wlIn.Push(u)
 				}
 			}
 		}
 	}
 
+	body := e.dataPush
+	if cfg.Flow == styles.Pull {
+		body = e.dataPull
+	}
 	var iters int32
-	for iters < opt.MaxIter && wlIn.Size() > 0 {
+	for iters < opt.MaxIter && e.wlIn.Size() > 0 {
 		iters++
-		itr := iters
-		if cfg.Flow == styles.Push {
-			ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
-				v := wlIn.Get(i)
-				dv := s.Load(&val[v])
-				if dv >= p.Inf {
-					return
+		e.itr = iters
+		if !e.noDup {
+			// Grow the out-list to this round's exact push bound (see the
+			// capacity policy above).
+			bound := int64(64)
+			for i, sz := int64(0), e.wlIn.Size(); i < sz; i++ {
+				bound += g.Degree(e.wlIn.Get(i))
+			}
+			if bound > e.wlOut.Cap() {
+				if c := 2 * e.wlOut.Cap(); c > bound {
+					bound = c
 				}
-				var changed atomic.Int32
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					u := g.NbrList[e]
-					if relaxMin(s, cfg.Update, &val[u], p.Cand(dv, e), &changed) {
-						push(tid, u, itr)
-					}
-				}
-			})
-		} else {
-			ex.ForTID(wlIn.Size(), sched, func(tid int, i int64) {
-				v := wlIn.Get(i)
-				improved := false
-				var changed atomic.Int32
-				for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-					du := s.Load(&val[g.NbrList[e]])
-					if du >= p.Inf {
-						continue
-					}
-					if relaxMin(s, cfg.Update, &val[v], p.Cand(du, e), &changed) {
-						improved = true
-					}
-				}
-				if improved {
-					// v's new value may enable its neighbors to improve.
-					for _, u := range g.Neighbors(v) {
-						push(tid, u, itr)
-					}
-				}
-			})
+				e.wlOut.Grow(bound)
+			}
 		}
-		wlOut.Flush()
-		wlIn.Reset()
-		wlIn.Swap(wlOut)
+		ex.ForTID(e.wlIn.Size(), sched, body)
+		e.wlOut.Flush()
+		e.wlIn.Reset()
+		e.wlIn.Swap(e.wlOut)
 	}
 	return iters
 }

@@ -9,6 +9,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/algo/relax"
 	"indigo/internal/graph"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -58,25 +59,42 @@ func (h *distHeap) Pop() interface{} {
 	return x
 }
 
-// problem adapts SSSP to the shared min-relaxation engine: the candidate
+// cpuCtx adapts SSSP to the shared min-relaxation engine: the candidate
 // distance of edge e's destination is the source's distance plus the
-// edge weight (Listing 4).
-func problem(g *graph.Graph, src int32) relax.Problem[int32] {
-	return relax.Problem[int32]{
-		Init: func(v int32) int32 {
-			if v == src {
-				return 0
-			}
-			return graph.Inf
-		},
-		Cand:  func(val int32, e int64) int32 { return val + g.Weights[e] },
-		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
+// edge weight (Listing 4). The context is cached on the run's scratch
+// arena so the problem closures are built once and reused across runs;
+// the graph and source are read through the context pointer.
+type cpuCtx struct {
+	g    *graph.Graph
+	src  int32
+	seed [1]int32
+	prob relax.Problem[int32]
+}
+
+func (c *cpuCtx) problem() relax.Problem[int32] {
+	if c.prob.Cand == nil {
+		c.prob = relax.Problem[int32]{
+			Init: func(v int32) int32 {
+				if v == c.src {
+					return 0
+				}
+				return graph.Inf
+			},
+			Cand: func(val int32, e int64) int32 { return val + c.g.Weights[e] },
+			Seeds: func(g *graph.Graph) []int32 {
+				c.seed[0] = c.src
+				return c.seed[:]
+			},
+		}
 	}
+	return c.prob
 }
 
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
-	dist, iters := relax.Run(g, cfg, opt, problem(g, opt.Source))
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	c.g, c.src = g, opt.Source
+	dist, iters := relax.Run(g, cfg, opt, c.problem())
 	return algo.Result{Dist: dist, Iterations: iters}
 }

@@ -6,6 +6,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/algo/relax"
 	"indigo/internal/graph"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -60,20 +61,38 @@ func (h *dist64Heap) Pop() interface{} {
 	return x
 }
 
+// cpuCtx64 is cpuCtx for the 64-bit engine, cached the same way.
+type cpuCtx64 struct {
+	g    *graph.Graph
+	src  int32
+	seed [1]int32
+	prob relax.Problem[int64]
+}
+
+func (c *cpuCtx64) problem() relax.Problem[int64] {
+	if c.prob.Cand == nil {
+		c.prob = relax.Problem[int64]{
+			Inf: relax.Inf64,
+			Init: func(v int32) int64 {
+				if v == c.src {
+					return 0
+				}
+				return relax.Inf64
+			},
+			Cand: func(val int64, e int64) int64 { return val + int64(c.g.Weights[e]) },
+			Seeds: func(g *graph.Graph) []int32 {
+				c.seed[0] = c.src
+				return c.seed[:]
+			},
+		}
+	}
+	return c.prob
+}
+
 // RunCPU64 executes the 64-bit CPU variant selected by cfg.
 func RunCPU64(g *graph.Graph, cfg styles.Config, opt algo.Options) ([]int64, int32) {
 	opt = opt.Defaults(g.N)
-	src := opt.Source
-	p := relax.Problem[int64]{
-		Inf: relax.Inf64,
-		Init: func(v int32) int64 {
-			if v == src {
-				return 0
-			}
-			return relax.Inf64
-		},
-		Cand:  func(val int64, e int64) int64 { return val + int64(g.Weights[e]) },
-		Seeds: func(g *graph.Graph) []int32 { return []int32{src} },
-	}
-	return relax.RunT(g, cfg, opt, p)
+	c := scratch.Of[cpuCtx64](opt.Scratch)
+	c.g, c.src = g, opt.Source
+	return relax.RunT(g, cfg, opt, c.problem())
 }

@@ -9,6 +9,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/graph"
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -52,11 +53,13 @@ func CommonAbove(g *graph.Graph, v, u int32) int64 {
 }
 
 // lowerBound returns the first index whose value is >= x in the sorted
-// slice s.
+// slice s. The midpoint uses the overflow-safe form, not (lo+hi)/2 —
+// adjacency lists never approach the lengths where the sum wraps, but
+// the safe form costs nothing and matches graph.(*Graph).weight.
 func lowerBound(s []int32, x int32) int {
 	lo, hi := 0, len(s)
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := lo + (hi-lo)/2
 		if s[mid] < x {
 			lo = mid + 1
 		} else {
@@ -66,32 +69,55 @@ func lowerBound(s []int32, x int32) int {
 	return lo
 }
 
+// cpuCtx caches the two reduction bodies plus the reusable reduction
+// state on the scratch arena, so warmed-arena runs execute without heap
+// allocation.
+type cpuCtx struct {
+	g     *graph.Graph
+	red   par.Reducer
+	vBody func(i int64) int64
+	eBody func(e int64) int64
+}
+
+func (c *cpuCtx) bind(g *graph.Graph) {
+	c.g = g
+	if c.vBody != nil {
+		return
+	}
+	c.vBody = func(i int64) int64 {
+		g := c.g
+		v := int32(i)
+		var n int64
+		for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
+			if u := g.NbrList[e]; u > v {
+				n += CommonAbove(g, v, u)
+			}
+		}
+		return n
+	}
+	c.eBody = func(e int64) int64 {
+		g := c.g
+		v, u := g.Src[e], g.Dst[e]
+		if u <= v {
+			return 0
+		}
+		return CommonAbove(g, v, u)
+	}
+}
+
 // RunCPU executes the CPU variant selected by cfg.
 func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) algo.Result {
 	opt = opt.Defaults(g.N)
 	sched := algo.SchedOf(cfg)
 	red := algo.RedOf(cfg)
 	ex := opt.Exec()
+	c := scratch.Of[cpuCtx](opt.Scratch)
+	c.bind(g)
 	var count int64
 	if cfg.Iterate == styles.EdgeBased {
-		count = par.ReduceInt64On(ex, g.M(), sched, red, func(e int64) int64 {
-			v, u := g.Src[e], g.Dst[e]
-			if u <= v {
-				return 0
-			}
-			return CommonAbove(g, v, u)
-		})
+		count = c.red.Int64(ex, g.M(), sched, red, c.eBody)
 	} else {
-		count = par.ReduceInt64On(ex, int64(g.N), sched, red, func(i int64) int64 {
-			v := int32(i)
-			var c int64
-			for e := g.NbrIdx[v]; e < g.NbrIdx[v+1]; e++ {
-				if u := g.NbrList[e]; u > v {
-					c += CommonAbove(g, v, u)
-				}
-			}
-			return c
-		})
+		count = c.red.Int64(ex, int64(g.N), sched, red, c.vBody)
 	}
 	return algo.Result{Triangles: count, Iterations: 1}
 }

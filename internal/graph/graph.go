@@ -116,11 +116,14 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
-// weight returns the weight of directed edge u->v if it exists.
+// weight returns the weight of directed edge u->v if it exists. The
+// binary-search midpoint is the overflow-safe lo+(hi-lo)/2: lo and hi
+// are CSR edge offsets, and for graphs within 2x of the int64 edge-index
+// ceiling the sum lo+hi wraps negative and indexes out of bounds.
 func (g *Graph) weight(u, v int32) (int32, bool) {
 	lo, hi := g.NbrIdx[u], g.NbrIdx[u+1]
 	for lo < hi {
-		mid := (lo + hi) / 2
+		mid := lo + (hi-lo)/2
 		switch {
 		case g.NbrList[mid] < v:
 			lo = mid + 1

@@ -297,3 +297,41 @@ func assertSameGraph(t *testing.T, want, got *Graph) {
 		t.Fatal("CSR structures differ after round trip")
 	}
 }
+
+// TestWeightBinarySearch pins the weight() lookup after its midpoint
+// changed to the overflow-safe lo+(hi-lo)/2 form: every present edge
+// must resolve to its stored weight (first, middle, and last neighbor
+// positions included) and every absent pair must report not-found. The
+// old (lo+hi)/2 midpoint is only wrong when the CSR edge offsets are
+// within 2x of the int64 ceiling — unbuildable in a test — so the
+// regression coverage here is behavioral: the search must stay exact
+// over full adjacency lists under the new arithmetic.
+func TestWeightBinarySearch(t *testing.T) {
+	b := NewBuilder("star+", 8)
+	// Vertex 0 is adjacent to everything (neighbors 1..7 exercise the
+	// first/middle/last probe positions); 3-5 adds a non-star edge.
+	for v := int32(1); v < 8; v++ {
+		b.AddEdge(0, v, 10*v)
+	}
+	b.AddEdge(3, 5, 99)
+	g := b.Build()
+	for v := int32(1); v < 8; v++ {
+		if w, ok := g.weight(0, v); !ok || w != 10*v {
+			t.Errorf("weight(0,%d) = %d,%v, want %d,true", v, w, ok, 10*v)
+		}
+		if w, ok := g.weight(v, 0); !ok || w != 10*v {
+			t.Errorf("weight(%d,0) = %d,%v, want %d,true", v, w, ok, 10*v)
+		}
+	}
+	if w, ok := g.weight(3, 5); !ok || w != 99 {
+		t.Errorf("weight(3,5) = %d,%v, want 99,true", w, ok)
+	}
+	for _, pair := range [][2]int32{{1, 2}, {2, 7}, {5, 6}, {0, 0}} {
+		if _, ok := g.weight(pair[0], pair[1]); ok {
+			t.Errorf("weight(%d,%d) found, want absent", pair[0], pair[1])
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

@@ -88,3 +88,9 @@ func (tr *trap) rethrow() {
 		panic(tr.val)
 	}
 }
+
+// reset clears a trap for reuse (recycled pool regions). The mutex is
+// untouched — it is unlocked whenever reset can legally run.
+func (tr *trap) reset() {
+	tr.val, tr.set = nil, false
+}

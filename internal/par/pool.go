@@ -50,10 +50,24 @@ type Executor interface {
 }
 
 // region is one dispatched parallel region: the loop bounds, schedule,
-// body, and the join state. A fresh region is allocated per dispatch so
-// that a worker still reading a stale region (one it skipped because its
-// tid was beyond the region's width) can never race with the next
-// region's initialization.
+// body, and the join state.
+//
+// Regions are recycled through a two-slot ring on the Pool (prev/spare)
+// so steady-state dispatch allocates nothing. Recycling a region that a
+// stale worker might still read would race its reinitialization, so the
+// pool uses a publish-then-validate protocol: a worker first publishes
+// the region pointer it is about to read (poolWorker.seen), then
+// validates that the pool's current-region pointer still equals it
+// before touching any field; the dispatcher recycles a spare region only
+// if no worker has it published. If validation fails the region was
+// superseded, which means its join already resolved without this worker
+// (dispatch is serialized, so a new current region implies the old one
+// joined) — skipping it is safe. Field writes during reinit are
+// therefore always ordered against stale readers: either the dispatcher
+// observed seen != region (the worker's prior reads happened before its
+// last seen update, which the dispatcher's load synchronizes with), or
+// the worker validates and only reads after observing the republished
+// pointer, which the dispatcher stores after reinit completes.
 type region struct {
 	t       int
 	n       int64
@@ -78,6 +92,21 @@ type region struct {
 	// the caller a wake token on the pool's done channel.
 	join atomic.Int32
 	tr   trap
+}
+
+// reinit prepares a (fresh or recycled) region for dispatch. Atomics are
+// reset field by field — a recycled region's previous dispatch has fully
+// joined, and the recycle protocol guarantees no stale reader, so plain
+// reinitialization is safe.
+func (r *region) reinit(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool) {
+	r.t, r.n, r.sched = t, n, s
+	r.body, r.bodyTID = body, bodyTID
+	r.elastic = elastic
+	r.claim.Store(1) // slot 0 is the caller's
+	r.next.Store(0)
+	r.pending.Store(int32(t))
+	r.join.Store(cstSpinning)
+	r.tr.reset()
 }
 
 // Caller join states.
@@ -161,7 +190,11 @@ const (
 type poolWorker struct {
 	state atomic.Int32
 	wake  chan struct{} // buffered(1); CAS on state gates the single token
-	_     [56]byte
+	// seen is the region this worker last adopted (published before any
+	// field read; see the recycle protocol on region). The dispatcher
+	// never recycles a region any worker still has published here.
+	seen atomic.Pointer[region]
+	_    [40]byte
 }
 
 // Pool is a persistent fork/join executor: t-1 long-lived worker
@@ -180,6 +213,14 @@ type Pool struct {
 	closed  atomic.Bool
 	spin    int
 	workers []poolWorker
+	// solo is the reused region of the inline t==1 path. It is never
+	// published to cur, so no worker can observe it and it needs no
+	// recycle protocol.
+	solo *region
+	// prev is the region of the last completed dispatch (still == cur),
+	// spare the one before it. takeRegion recycles spare once no worker
+	// has it published; the two-slot lag guarantees spare != cur.
+	prev, spare *region
 }
 
 // spinRounds is how many epoch checks a worker makes after finishing a
@@ -286,14 +327,19 @@ func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid i
 	if t == 1 {
 		// Sub-width regions (e.g. a one-vertex frontier) run inline:
 		// identical assignment (everything is tid 0), zero dispatch cost.
-		r := &region{t: 1, n: n, sched: s, body: body, bodyTID: bodyTID}
+		// The solo region is reused — it is never published, so only the
+		// (serialized) dispatcher ever touches it.
+		if p.solo == nil {
+			p.solo = &region{}
+		}
+		r := p.solo
+		r.reinit(1, n, s, body, bodyTID, false)
 		r.exec(0)
 		r.tr.rethrow()
 		return
 	}
-	r := &region{t: t, n: n, sched: s, body: body, bodyTID: bodyTID, elastic: elastic}
-	r.claim.Store(1) // slot 0 is the caller's
-	r.pending.Store(int32(t))
+	r := p.takeRegion()
+	r.reinit(t, n, s, body, bodyTID, elastic)
 	p.mu.Lock()
 	if p.closed.Load() {
 		p.mu.Unlock()
@@ -326,7 +372,31 @@ func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid i
 		}
 	}
 	p.join(r)
+	// r has joined; rotate the recycle ring before any rethrow. The
+	// two-slot lag means takeRegion never offers the region cur still
+	// points at.
+	p.spare, p.prev = p.prev, r
 	r.tr.rethrow()
+}
+
+// takeRegion returns a region for the next dispatch: the spare slot of
+// the recycle ring if no worker still has it published (see the protocol
+// on region), else a fresh allocation. Stale publications only delay
+// recycling until the worker's next adoption — they never cause an
+// unbounded leak, since a worker that adopts anything newer clears its
+// claim on the spare.
+func (p *Pool) takeRegion() *region {
+	cand := p.spare
+	if cand == nil {
+		return &region{}
+	}
+	for tid := 1; tid < p.t; tid++ {
+		if p.workers[tid].seen.Load() == cand {
+			return &region{}
+		}
+	}
+	p.spare = nil
+	return cand
 }
 
 // join waits for the region's pool workers. It spins briefly (back-to-back
@@ -375,13 +445,33 @@ func (p *Pool) work(tid int) {
 	}
 }
 
-// await returns the next region, or nil once the pool is closed with no
-// newer region to run. It spins briefly on the region pointer (catching
-// back-to-back dispatches without a scheduler round trip), then parks on
-// the worker's wake channel.
+// adopt checks for a region newer than last and, before handing it to
+// the worker, publishes it in w.seen and validates that it is still the
+// pool's current region. A failed validation means the region was
+// superseded mid-adoption; since dispatch is serialized, a superseded
+// region has already joined without this worker, so returning nil (try
+// again) is safe. The publication stays in w.seen either way — it is
+// conservative: it only delays that region's recycling until the next
+// successful adoption.
+func (p *Pool) adopt(w *poolWorker, last *region) *region {
+	r := p.cur.Load()
+	if r == last {
+		return nil
+	}
+	w.seen.Store(r)
+	if p.cur.Load() != r {
+		return nil
+	}
+	return r
+}
+
+// await returns the next adopted region, or nil once the pool is closed
+// with no newer region to run. It spins briefly on the region pointer
+// (catching back-to-back dispatches without a scheduler round trip),
+// then parks on the worker's wake channel.
 func (p *Pool) await(w *poolWorker, last *region) *region {
 	for i := 0; i < p.spin; i++ {
-		if r := p.cur.Load(); r != last {
+		if r := p.adopt(w, last); r != nil {
 			return r
 		}
 		if p.closed.Load() {
@@ -396,7 +486,7 @@ func (p *Pool) await(w *poolWorker, last *region) *region {
 		// Re-check after publishing the parked state: a dispatcher that
 		// read the flag as active has already stored the region, and one
 		// that read it as parked owes us a token.
-		if r := p.cur.Load(); r != last {
+		if r := p.adopt(w, last); r != nil {
 			if !w.state.CompareAndSwap(wParked, wActive) {
 				<-w.wake // consume the in-flight token
 			}
@@ -408,13 +498,13 @@ func (p *Pool) await(w *poolWorker, last *region) *region {
 			}
 			// A region dispatched concurrently with Close still runs:
 			// its caller is blocked on the join.
-			if r := p.cur.Load(); r != last {
+			if r := p.adopt(w, last); r != nil {
 				return r
 			}
 			return nil
 		}
 		<-w.wake
-		if r := p.cur.Load(); r != last {
+		if r := p.adopt(w, last); r != nil {
 			return r
 		}
 	}

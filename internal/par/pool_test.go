@@ -220,3 +220,66 @@ func TestSpawnFallbackEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestPoolRegionRecycleStress drives many back-to-back regions of mixed
+// entry points through one pool so the two-slot region recycler (see
+// takeRegion/adopt) is exercised under the race detector: fast workers
+// adopt the next region while slow ones still hold stale pointers to a
+// recycled one, and the publish-then-validate protocol must never let a
+// worker execute a superseded region's fields.
+func TestPoolRegionRecycleStress(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var sum atomic.Int64
+	tidBody := func(tid int, i int64) { sum.Add(i + 1) }
+	for k := 0; k < 2000; k++ {
+		n := int64(1 + k%13) // small n keeps regions short-lived: maximum churn
+		sum.Store(0)
+		switch k % 3 {
+		case 0:
+			p.For(n, Dynamic, func(i int64) { sum.Add(i + 1) })
+		case 1:
+			p.ForTID(n, Cyclic, tidBody)
+		case 2:
+			// Elastic dispatch (the Reduce path) with occasional panics
+			// mixed in: a panicking region must still recycle cleanly.
+			if k%33 == 2 {
+				func() {
+					defer func() { recover() }()
+					p.For(n, Static, func(i int64) { panic("boom") })
+				}()
+				sum.Store(n * (n + 1) / 2) // skip the sum check this round
+				break
+			}
+			sum.Store(p.ReduceInt64(n, Static, RedClause, func(i int64) int64 { return i + 1 }))
+		}
+		if want := n * (n + 1) / 2; sum.Load() != want {
+			t.Fatalf("region %d (n=%d): sum %d, want %d", k, n, sum.Load(), want)
+		}
+	}
+}
+
+// TestPoolDispatchSteadyStateNoAlloc pins the recycler's purpose: once
+// the pool's solo and rotation regions exist, dispatching a region with
+// a cached body must not allocate.
+func TestPoolDispatchSteadyStateNoAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector allocates per instrumented access")
+	}
+	p := NewPool(4)
+	defer p.Close()
+	var sink atomic.Int64
+	body := func(i int64) { sink.Add(i) }
+	multi := func() { p.For(64, Static, body) }
+	solo := func() { p.For(1, Static, body) }
+	for i := 0; i < 3; i++ {
+		multi()
+		solo()
+	}
+	if avg := testing.AllocsPerRun(10, multi); avg != 0 {
+		t.Errorf("multi-worker dispatch: %.1f allocs per region, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(10, solo); avg != 0 {
+		t.Errorf("solo dispatch: %.1f allocs per region, want 0", avg)
+	}
+}

@@ -134,3 +134,146 @@ func reduceFloat64(ex Executor, n int64, s Sched, style RedStyle, body func(i in
 	}
 	panic("par.ReduceFloat64: unknown reduction style")
 }
+
+// Reducer is a reusable reduction context: it caches the wrapper
+// closures and clause partials that the one-shot Reduce functions build
+// per call, so steady-state reductions (PageRank residuals every
+// iteration, TC counts every run) are allocation-free. A Reducer serves
+// one reduction at a time; kernels embed one per cached context. The
+// arithmetic is identical to ReduceInt64/ReduceFloat64 for every style.
+type Reducer struct {
+	i64 reducerInt64
+	f64 reducerFloat64
+}
+
+type reducerInt64 struct {
+	body     func(i int64) int64
+	sum      atomic.Int64
+	mu       sync.Mutex
+	crit     int64
+	partials []paddedInt64
+	atomicFn func(i int64)
+	critFn   func(i int64)
+	clauseFn func(tid int, i int64)
+}
+
+// Int64 is ReduceInt64On with cached state; body must not retain the
+// Reducer past the call.
+func (r *Reducer) Int64(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) int64) int64 {
+	q := &r.i64
+	q.body = body
+	switch style {
+	case RedAtomic:
+		if q.atomicFn == nil {
+			q.atomicFn = func(i int64) {
+				if v := q.body(i); v != 0 {
+					q.sum.Add(v)
+				}
+			}
+		}
+		q.sum.Store(0)
+		ex.For(n, s, q.atomicFn)
+		q.body = nil
+		return q.sum.Load()
+	case RedCritical:
+		if q.critFn == nil {
+			q.critFn = func(i int64) {
+				v := q.body(i)
+				q.mu.Lock()
+				q.crit += v
+				q.mu.Unlock()
+			}
+		}
+		q.crit = 0
+		ex.For(n, s, q.critFn)
+		q.body = nil
+		return q.crit
+	case RedClause:
+		if q.clauseFn == nil {
+			q.clauseFn = func(tid int, i int64) {
+				q.partials[tid].v += q.body(i)
+			}
+		}
+		t := ex.Width()
+		if cap(q.partials) < t {
+			q.partials = make([]paddedInt64, t)
+		}
+		q.partials = q.partials[:t]
+		for i := range q.partials {
+			q.partials[i].v = 0
+		}
+		ex.ForTID(n, s, q.clauseFn)
+		q.body = nil
+		var sum int64
+		for i := range q.partials {
+			sum += q.partials[i].v
+		}
+		return sum
+	}
+	panic("par.Reducer.Int64: unknown reduction style")
+}
+
+type reducerFloat64 struct {
+	body     func(i int64) float64
+	bits     uint64
+	mu       sync.Mutex
+	crit     float64
+	partials []paddedFloat64
+	atomicFn func(i int64)
+	critFn   func(i int64)
+	clauseFn func(tid int, i int64)
+}
+
+// Float64 is ReduceFloat64On with cached state; body must not retain the
+// Reducer past the call.
+func (r *Reducer) Float64(ex Executor, n int64, s Sched, style RedStyle, body func(i int64) float64) float64 {
+	q := &r.f64
+	q.body = body
+	switch style {
+	case RedAtomic:
+		if q.atomicFn == nil {
+			q.atomicFn = func(i int64) {
+				AddFloat64(&q.bits, q.body(i))
+			}
+		}
+		atomic.StoreUint64(&q.bits, math.Float64bits(0))
+		ex.For(n, s, q.atomicFn)
+		q.body = nil
+		return math.Float64frombits(atomic.LoadUint64(&q.bits))
+	case RedCritical:
+		if q.critFn == nil {
+			q.critFn = func(i int64) {
+				v := q.body(i)
+				q.mu.Lock()
+				q.crit += v
+				q.mu.Unlock()
+			}
+		}
+		q.crit = 0
+		ex.For(n, s, q.critFn)
+		q.body = nil
+		return q.crit
+	case RedClause:
+		if q.clauseFn == nil {
+			q.clauseFn = func(tid int, i int64) {
+				q.partials[tid].v += q.body(i)
+			}
+		}
+		t := ex.Width()
+		if cap(q.partials) < t {
+			q.partials = make([]paddedFloat64, t)
+		}
+		q.partials = q.partials[:t]
+		for i := range q.partials {
+			q.partials[i].v = 0
+		}
+		ex.ForTID(n, s, q.clauseFn)
+		q.body = nil
+		var sum float64
+		for i := range q.partials {
+			sum += q.partials[i].v
+		}
+		return sum
+	}
+	panic("par.Reducer.Float64: unknown reduction style")
+}

@@ -131,6 +131,43 @@ func (w *Worklist) PushUniqueTID(tid int, v int32, stamp []int32, itr int32, s S
 // PushTID items are not counted until Flush.
 func (w *Worklist) Size() int64 { return w.size.Load() }
 
+// Cap returns the list's item capacity.
+func (w *Worklist) Cap() int64 { return int64(len(w.items)) }
+
+// Width returns the number of per-worker reservation buffers (0 for a
+// worklist built with NewWorklist).
+func (w *Worklist) Width() int { return len(w.bufs) }
+
+// EnsureWidth grows the reservation buffers to serve at least t workers,
+// keeping the (possibly large) items array. Existing buffered items are
+// preserved only when no growth is needed, so call it on empty or
+// flushed lists.
+func (w *Worklist) EnsureWidth(t int) {
+	if t < 1 {
+		t = 1
+	}
+	if len(w.bufs) < t {
+		w.bufs = make([]wlBuf, t)
+	}
+}
+
+// Grow raises the item capacity. It must run at a sequential point on an
+// empty, flushed list (between iterations, before seeding the round), so
+// growth never races pushes and never copies items. Callers implement
+// the high-water-mark policy documented in the relax engine: size the
+// out-list once per round from the exact push bound and at least double
+// per growth, so steady-state rounds (and repeat runs on reused
+// worklists) never reallocate.
+func (w *Worklist) Grow(capacity int64) {
+	if w.size.Load() > 0 {
+		panic("par.Worklist: Grow on a non-empty list")
+	}
+	w.assertFlushed()
+	if capacity > int64(len(w.items)) {
+		w.items = make([]int32, capacity)
+	}
+}
+
 // Get returns item i. It must only be called with i < Size() and no
 // concurrent pushes past i.
 func (w *Worklist) Get(i int64) int32 { return w.items[i] }
@@ -167,12 +204,12 @@ func (w *Worklist) Swap(o *Worklist) {
 }
 
 // assertFlushed panics if a reservation buffer still holds items —
-// swapping item arrays out from under buffered pushes would silently
-// misfile them, so misuse fails loudly instead.
+// swapping or growing item arrays out from under buffered pushes would
+// silently misfile them, so misuse fails loudly instead.
 func (w *Worklist) assertFlushed() {
 	for i := range w.bufs {
 		if w.bufs[i].n > 0 {
-			panic("par.Worklist: Swap with unflushed PushTID buffers (call Flush after the region)")
+			panic("par.Worklist: unflushed PushTID buffers (call Flush after the region)")
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"indigo/internal/algo/tc"
 	"indigo/internal/graph"
 	"indigo/internal/par"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 )
 
@@ -48,7 +49,12 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, e
 // giga-edges per second (the paper's metric, §4.5: input edges divided
 // by runtime). When the caller has not pinned a worker pool, one is
 // acquired for the whole run — outside the timed section, so measured
-// runs pay only per-region dispatch, never pool construction.
+// runs pay only per-region dispatch, never pool construction. Likewise,
+// when the caller has not supplied a scratch arena, one is acquired from
+// the process-wide free list before the clock starts; since TimeCPU then
+// releases the arena, the result is detached (copied) first — also
+// outside the timed section. Callers that pass their own arena get the
+// aliasing result untouched.
 func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
 	if opt.Pool == nil {
 		t := opt.Threads
@@ -59,12 +65,22 @@ func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, 
 		defer par.ReleasePool(p)
 		opt.Pool = p
 	}
+	var owned *scratch.Arena
+	if opt.Scratch == nil {
+		owned = scratch.Acquire()
+		opt.Scratch = owned
+	}
 	start := time.Now()
 	res, err := RunCPU(g, cfg, opt)
+	elapsed := time.Since(start).Seconds()
+	if owned != nil {
+		res = res.Detach()
+		scratch.Release(owned)
+	}
 	if err != nil {
 		return algo.Result{}, math.NaN(), err
 	}
-	return res, Throughput(g, time.Since(start).Seconds()), nil
+	return res, Throughput(g, elapsed), nil
 }
 
 // Throughput converts a runtime in seconds to giga-edges per second.

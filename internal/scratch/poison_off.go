@@ -1,0 +1,11 @@
+//go:build !scratchpoison
+
+package scratch
+
+// poisonEnabled selects whether Reset scribbles a recognizable pattern
+// over freed slabs. Off by default; build with -tags scratchpoison to
+// turn use-after-Reset reads into conspicuous garbage (0xA5 bytes)
+// instead of plausible stale values.
+const poisonEnabled = false
+
+func poison[T any](s []T) {}

@@ -1,0 +1,24 @@
+//go:build scratchpoison
+
+package scratch
+
+import "unsafe"
+
+// poisonEnabled: built with -tags scratchpoison, Reset fills freed slabs
+// with 0xA5 bytes so any use-after-Reset read yields conspicuous garbage
+// (huge negative distances, out-of-range vertex ids) rather than
+// plausible stale values. Checkouts still hand out zeroed memory, so
+// correct code behaves identically.
+const poisonEnabled = true
+
+func poison[T any](s []T) {
+	if len(s) == 0 {
+		return
+	}
+	var zero T
+	size := unsafe.Sizeof(zero)
+	b := unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), uintptr(len(s))*size)
+	for i := range b {
+		b[i] = 0xA5
+	}
+}

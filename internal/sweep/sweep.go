@@ -30,6 +30,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/par"
 	"indigo/internal/runner"
+	"indigo/internal/scratch"
 	"indigo/internal/styles"
 	"indigo/internal/verify"
 )
@@ -302,12 +303,14 @@ func (s *Supervisor) finish(o Outcome, total int) {
 	}
 }
 
-// poolHolder owns one sweep worker's persistent par pool so consecutive
-// variants reuse the same worker goroutines instead of paying pool
-// construction per run.
+// poolHolder owns one sweep worker's persistent par pool and scratch
+// arena so consecutive variants reuse the same worker goroutines and the
+// same slab memory instead of paying pool construction and per-run
+// allocation per run.
 type poolHolder struct {
 	width int
 	pool  *par.Pool
+	arena *scratch.Arena
 }
 
 func newPoolHolder(ropt algo.Options) *poolHolder {
@@ -315,20 +318,28 @@ func newPoolHolder(ropt algo.Options) *poolHolder {
 	if w <= 0 {
 		w = par.Threads()
 	}
-	return &poolHolder{width: w, pool: par.NewPool(w)}
+	return &poolHolder{width: w, pool: par.NewPool(w), arena: scratch.Acquire()}
 }
 
-// replace retires the current pool and builds a fresh one. It must be
-// called after a timed-out attempt is abandoned: the abandoned run may
-// still occupy the old pool's workers (e.g. a stalled region), and
-// closing it makes any late dispatches fall back to spawn-per-region
-// while the replacement serves subsequent attempts with clean workers.
+// replace retires the current pool and arena and builds fresh ones. It
+// must be called after a timed-out attempt is abandoned: the abandoned
+// run may still occupy the old pool's workers (e.g. a stalled region)
+// and may still be scribbling on the old arena's slabs, so the pool is
+// closed (late dispatches fall back to spawn-per-region) and the arena
+// is retired (a late checkout or Reset panics inside the abandoned
+// goroutine, where the attempt's recover contains it) while replacements
+// serve subsequent attempts with clean state.
 func (h *poolHolder) replace() {
 	h.pool.Close()
 	h.pool = par.NewPool(h.width)
+	h.arena.Retire()
+	h.arena = scratch.Acquire()
 }
 
-func (h *poolHolder) close() { h.pool.Close() }
+func (h *poolHolder) close() {
+	h.pool.Close()
+	scratch.Release(h.arena)
+}
 
 // runTask resolves resume and quarantine, then drives the retry loop.
 func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) Outcome {
@@ -384,6 +395,13 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 	}
 	g := graphs[t.Input]
 	ropt.Pool = h.pool // pin CPU regions to this worker's persistent pool
+	if h.arena != nil {
+		// Reuse the worker's warmed arena. The previous attempt's result
+		// has been fully consumed (verified or discarded) by now, so its
+		// aliased slabs are free to recycle.
+		h.arena.Reset()
+		ropt.Scratch = h.arena
+	}
 
 	ctx := context.Background()
 	if s.opt.Timeout > 0 {
