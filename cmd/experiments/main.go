@@ -6,6 +6,7 @@
 //	experiments -exp fig1,fig5,table3
 //	experiments -scale small -journal sweep.jsonl        # journaled sweep
 //	experiments -scale small -journal sweep.jsonl -resume # continue it
+//	experiments -scale small -store results.store         # persistent results store
 //
 // Experiment ids: table2 table3 table4 fig1..fig16 correlation all.
 //
@@ -25,6 +26,7 @@ import (
 	"indigo/internal/gen"
 	"indigo/internal/harness"
 	"indigo/internal/scratch"
+	"indigo/internal/store"
 	"indigo/internal/sweep"
 )
 
@@ -36,6 +38,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "per-variant deadline (0 = scale-aware default)")
 	journal := flag.String("journal", "", "JSONL measurement journal to append to")
 	resume := flag.Bool("resume", false, "skip variants already recorded in -journal")
+	storePath := flag.String("store", "", "results store file: completed runs are appended, existing cells seed the session")
 	useScratch := flag.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	flag.Parse()
 	scratch.SetEnabled(*useScratch)
@@ -53,6 +56,20 @@ func main() {
 	s.Sweep.Journal = *journal
 	s.Sweep.Resume = *resume
 	s.Sweep.Progress = progress(*verbose)
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		// Cells already in the store seed the session (those pairs are
+		// not re-run); everything newly measured is appended back.
+		if n := s.LoadStore(st); n > 0 && *verbose {
+			fmt.Fprintf(os.Stderr, "experiments: loaded %d cells from %s\n", n, *storePath)
+		}
+		s.AttachStore(st)
+	}
 	if err := s.InitSweep(); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)

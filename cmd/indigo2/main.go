@@ -5,8 +5,9 @@
 //
 //	indigo2 list [-algo bfs] [-model cuda]
 //	indigo2 run -variant <name> [-input road] [-scale small] [-device rtx-sim] [-source 0]
-//	            [-timeout 2m] [-journal runs.jsonl [-resume]]
+//	            [-timeout 2m] [-journal runs.jsonl [-resume]] [-store results.store]
 //	indigo2 verify [-algo bfs] [-model omp] [-scale tiny]
+//	indigo2 serve [-addr :8080] [-store results.store] [-import runs.jsonl -scale small]
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"indigo/internal/algo"
 	"indigo/internal/emit"
@@ -22,6 +24,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/runner"
 	"indigo/internal/scratch"
+	"indigo/internal/store"
 	"indigo/internal/styles"
 	"indigo/internal/sweep"
 	"indigo/internal/verify"
@@ -42,6 +45,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "emit":
 		err = cmdEmit(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -53,7 +58,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: indigo2 <list|run|verify|emit> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: indigo2 <list|run|verify|emit|serve> [flags]")
 }
 
 // cmdEmit writes the standalone Go source of a CPU SSSP variant, the
@@ -171,6 +176,7 @@ func cmdRun(args []string) error {
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = scale-aware default)")
 	journal := fs.String("journal", "", "JSONL measurement journal to append to")
 	resume := fs.Bool("resume", false, "skip the run if the journal already records it")
+	storePath := fs.String("store", "", "results store file to append the measurement to")
 	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -199,12 +205,38 @@ func cmdRun(args []string) error {
 		sc, _ := gen.ParseScale(*scale)
 		*timeout = sweep.DefaultTimeout(sc)
 	}
-	sup, err := sweep.New(sweep.Options{
+	opts := sweep.Options{
 		Timeout: *timeout,
 		Verify:  true,
 		Journal: *journal,
 		Resume:  *resume,
-	})
+	}
+	if *storePath != "" {
+		st, err := store.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		gstats := g.Stats()
+		opts.Observer = func(o sweep.Outcome) {
+			if o.Kind != sweep.OK {
+				return
+			}
+			cell := store.Cell{
+				Cfg:       o.Cfg,
+				Input:     o.Input.String(),
+				Device:    o.Device,
+				Graph:     gstats,
+				Tput:      o.Tput,
+				Attempts:  o.Attempts,
+				ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+			}
+			if err := st.Append(cell); err != nil {
+				fmt.Fprintf(os.Stderr, "indigo2: store append failed: %v\n", err)
+			}
+		}
+	}
+	sup, err := sweep.New(opts)
 	if err != nil {
 		return err
 	}

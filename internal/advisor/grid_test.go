@@ -1,0 +1,70 @@
+package advisor
+
+import (
+	"testing"
+
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// TestRecommendGrid sweeps the advisor over every algorithm, model, and
+// a grid of shape values straddling each guideline threshold (diameter
+// 60, average degree 10, %deg>=512 at 0.5, max degree 32). Every
+// recommendation must be a valid configuration from the enumerated
+// suite that preserves its (algorithm, model) identity and explains
+// itself — the §5.16 engine has no shape it is allowed to choke on.
+func TestRecommendGrid(t *testing.T) {
+	diameters := []int32{0, 10, 59, 60, 61, 1000}
+	avgDegrees := []float64{0, 5, 9.99, 10, 50}
+	maxDegrees := []int64{0, 16, 31, 32, 1024}
+	pct512s := []float64{0, 0.5, 0.6, 5}
+
+	// Membership oracle: the advisor must only ever recommend variants
+	// the study actually enumerates and builds.
+	inSuite := make(map[string]bool)
+	for _, cfg := range styles.EnumerateAll() {
+		inSuite[cfg.Name()] = true
+	}
+
+	n := 0
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		for m := styles.Model(0); m < styles.NumModels; m++ {
+			for _, d := range diameters {
+				for _, avg := range avgDegrees {
+					for _, mx := range maxDegrees {
+						for _, p512 := range pct512s {
+							shape := graph.Stats{
+								Name:      "grid-case",
+								Vertices:  1 << 10,
+								Edges:     1 << 12,
+								AvgDegree: avg,
+								MaxDegree: mx,
+								PctDeg512: p512,
+								Diameter:  d,
+							}
+							rec := Recommend(a, m, shape)
+							n++
+							cfg := rec.Config
+							if cfg.Algo != a || cfg.Model != m {
+								t.Fatalf("%v/%v d=%d avg=%.2f mx=%d p512=%.1f: identity mangled to %s",
+									a, m, d, avg, mx, p512, cfg.Name())
+							}
+							if !styles.Valid(cfg) {
+								t.Fatalf("%v/%v d=%d avg=%.2f mx=%d p512=%.1f: invalid config %s",
+									a, m, d, avg, mx, p512, cfg.Name())
+							}
+							if !inSuite[cfg.Name()] {
+								t.Fatalf("%v/%v d=%d avg=%.2f mx=%d p512=%.1f: %s is not in the enumerated suite",
+									a, m, d, avg, mx, p512, cfg.Name())
+							}
+							if len(rec.Rationale) == 0 {
+								t.Fatalf("%v/%v: empty rationale", a, m)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	t.Logf("checked %d recommendations", n)
+}

@@ -8,6 +8,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Graph is an undirected weighted graph stored simultaneously in CSR form
@@ -33,6 +34,13 @@ type Graph struct {
 	// COO: directed edge i is Src[i] -> Dst[i] with weight Weights[i].
 	Src []int32
 	Dst []int32
+
+	// cachedStats memoizes Stats(): the shape signature (including the
+	// double-sweep diameter estimate) is an O(n+m) computation consumed
+	// by the advisor, store cell signatures, and reports, and the graph
+	// is immutable after Build. Concurrent first calls may both compute;
+	// the result is identical, so last-store-wins is harmless.
+	cachedStats atomic.Pointer[Stats]
 }
 
 // M returns the number of directed edges (twice the undirected edge count).

@@ -8,6 +8,25 @@ import (
 	"strings"
 )
 
+// MaxReadVertices caps the vertex count the text readers accept. The
+// readers parse untrusted uploads (the advisor service feeds them
+// client bodies), and a forged "p sp 2000000000 ..." header would
+// otherwise commit ~16 GB of NbrIdx before a single edge is read. 2^27
+// vertices (~1 GiB of NbrIdx) is far beyond the paper's largest input;
+// trusted bulk loaders may raise it at startup.
+var MaxReadVertices int32 = 1 << 27
+
+// checkVertexCount validates a parsed vertex count against the cap.
+func checkVertexCount(who string, line int, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("%s: line %d: negative vertex count %d", who, line, n)
+	}
+	if n > int64(MaxReadVertices) {
+		return fmt.Errorf("%s: line %d: vertex count %d exceeds limit %d", who, line, n, MaxReadVertices)
+	}
+	return nil
+}
+
 // WriteDIMACS writes g in the DIMACS shortest-path (.gr) text format used
 // by the 9th DIMACS challenge inputs the paper draws from: a problem line
 // "p sp <n> <m>" followed by one "a <u> <v> <w>" arc line per directed
@@ -29,10 +48,18 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 // the DIMACS challenge tools). Arcs are treated as undirected edges and
 // re-symmetrized by the builder, so reading a file that already contains
 // both directions yields the same graph.
+//
+// The reader is hardened for untrusted input: vertex ids outside
+// [1, n], negative weights, counts beyond MaxReadVertices, a second
+// problem line, and an arc count disagreeing with the declared edge
+// count (a truncated or padded file) are all errors, never panics or
+// silent misreads.
 func ReadDIMACS(r io.Reader, name string) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b *Builder
+	var declaredArcs, arcs int64
+	var n int64
 	line := 0
 	for sc.Scan() {
 		line++
@@ -44,13 +71,24 @@ func ReadDIMACS(r io.Reader, name string) (*Graph, error) {
 		case 'c':
 			continue
 		case 'p':
+			if b != nil {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: duplicate problem line", line)
+			}
 			fields := strings.Fields(text)
 			if len(fields) != 4 || fields[1] != "sp" {
 				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: bad problem line %q", line, text)
 			}
-			n, err := strconv.ParseInt(fields[2], 10, 32)
-			if err != nil {
-				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: %v", line, err)
+			var err1, err2 error
+			n, err1 = strconv.ParseInt(fields[2], 10, 64)
+			declaredArcs, err2 = strconv.ParseInt(fields[3], 10, 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: bad problem counts %q", line, text)
+			}
+			if err := checkVertexCount("graph.ReadDIMACS", line, n); err != nil {
+				return nil, err
+			}
+			if declaredArcs < 0 {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: negative arc count %d", line, declaredArcs)
 			}
 			b = NewBuilder(name, int32(n))
 		case 'a':
@@ -67,16 +105,29 @@ func ReadDIMACS(r io.Reader, name string) (*Graph, error) {
 			if err1 != nil || err2 != nil || err3 != nil {
 				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: bad arc numbers %q", line, text)
 			}
+			if u < 1 || u > n || v < 1 || v > n {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: arc %d->%d outside 1..%d", line, u, v, n)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: negative weight %d", line, w)
+			}
+			arcs++
+			if arcs > declaredArcs {
+				return nil, fmt.Errorf("graph.ReadDIMACS: line %d: more arcs than the declared %d", line, declaredArcs)
+			}
 			b.AddEdge(int32(u-1), int32(v-1), int32(w))
 		default:
 			return nil, fmt.Errorf("graph.ReadDIMACS: line %d: unknown record %q", line, text)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph.ReadDIMACS: %w", err)
 	}
 	if b == nil {
 		return nil, fmt.Errorf("graph.ReadDIMACS: no problem line")
+	}
+	if arcs != declaredArcs {
+		return nil, fmt.Errorf("graph.ReadDIMACS: truncated: %d arcs, problem line declares %d", arcs, declaredArcs)
 	}
 	return b.Build(), nil
 }
@@ -96,6 +147,11 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // ReadEdgeList parses a plain edge list with 0-based ids. Lines are
 // "u v" (weight defaults to 1) or "u v w"; lines starting with '#' are
 // comments. The vertex count is one more than the largest id seen.
+//
+// The reader is hardened for untrusted input: negative or overflowing
+// vertex ids, ids beyond MaxReadVertices, and negative weights are all
+// errors (ParseInt's 32-bit bound already rejects values that would
+// wrap int32).
 func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -118,12 +174,21 @@ func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 		if err1 != nil || err2 != nil {
 			return nil, fmt.Errorf("graph.ReadEdgeList: line %d: bad ids %q", line, text)
 		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph.ReadEdgeList: line %d: negative vertex id in %q", line, text)
+		}
+		if max := max(u, v); max >= int64(MaxReadVertices) {
+			return nil, fmt.Errorf("graph.ReadEdgeList: line %d: vertex id %d exceeds limit %d", line, max, MaxReadVertices)
+		}
 		w := int64(1)
 		if len(fields) == 3 {
 			var err error
 			w, err = strconv.ParseInt(fields[2], 10, 32)
 			if err != nil {
 				return nil, fmt.Errorf("graph.ReadEdgeList: line %d: bad weight %q", line, text)
+			}
+			if w < 0 {
+				return nil, fmt.Errorf("graph.ReadEdgeList: line %d: negative weight %d", line, w)
 			}
 		}
 		edges = append(edges, edge{int32(u), int32(v), int32(w)})
@@ -135,7 +200,7 @@ func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("graph.ReadEdgeList: %w", err)
 	}
 	b := NewBuilder(name, maxID+1)
 	for _, e := range edges {

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestReadEdgeListErrors drives the hardened edge-list reader over
+// malformed and hostile inputs: every case must return an error naming
+// the offense, never panic or silently misread.
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"one field", "0\n", "want 2 or 3 fields"},
+		{"four fields", "0 1 2 3\n", "want 2 or 3 fields"},
+		{"non-numeric id", "a b\n", "bad ids"},
+		{"negative source", "-1 2\n", "negative vertex id"},
+		{"negative target", "0 -7\n", "negative vertex id"},
+		{"id overflows int32", "0 4294967296\n", "bad ids"},
+		// An id of exactly MaxInt32 parses, but building a graph of
+		// MaxInt32+1 vertices would wrap the int32 count; the cap
+		// rejects it long before.
+		{"id at int32 max", "0 2147483647\n", "exceeds limit"},
+		{"id past cap", fmt.Sprintf("0 %d\n", MaxReadVertices), "exceeds limit"},
+		{"bad weight", "0 1 w\n", "bad weight"},
+		{"negative weight", "0 1 -5\n", "negative weight"},
+		{"weight overflows int32", "0 1 99999999999\n", "bad weight"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadEdgeList(strings.NewReader(tc.in), "bad")
+			if err == nil {
+				t.Fatalf("ReadEdgeList(%q) succeeded, want error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestReadDIMACSErrorsHardened covers the untrusted-input checks added
+// on top of the original format errors (see TestReadDIMACSErrors).
+func TestReadDIMACSErrorsHardened(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"negative vertex count", "p sp -3 2\n", "negative vertex count"},
+		{"absurd vertex count", fmt.Sprintf("p sp %d 1\n", int64(MaxReadVertices)+1), "exceeds limit"},
+		{"overflowing vertex count", "p sp 99999999999999999999 1\n", "bad problem counts"},
+		{"negative arc count", "p sp 3 -1\n", "negative arc count"},
+		{"duplicate problem line", "p sp 3 2\np sp 3 2\n", "duplicate problem line"},
+		{"arc id zero", "p sp 3 1\na 0 2 1\n", "outside 1..3"},
+		{"arc id past n", "p sp 3 1\na 1 4 1\n", "outside 1..3"},
+		{"negative arc id", "p sp 3 1\na -1 2 1\n", "outside 1..3"},
+		{"negative weight", "p sp 3 1\na 1 2 -4\n", "negative weight"},
+		{"truncated arcs", "p sp 3 5\na 1 2 1\n", "truncated"},
+		{"padded arcs", "p sp 3 1\na 1 2 1\na 2 3 1\n", "more arcs than the declared"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadDIMACS(strings.NewReader(tc.in), "bad")
+			if err == nil {
+				t.Fatalf("ReadDIMACS(%q) succeeded, want error", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestStatsCached pins the memoization contract: Stats is computed once
+// per graph, identical on every call, and safe to request concurrently
+// (the diameter estimate inside is two BFS traversals — the expensive
+// part the cache exists for).
+func TestStatsCached(t *testing.T) {
+	g := k4()
+	first := g.Stats()
+	if first != ComputeStats(g) {
+		t.Fatal("ComputeStats and Stats disagree")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := g.Stats(); got != first {
+				t.Errorf("concurrent Stats = %+v, want %+v", got, first)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.cachedStats.Load() == nil {
+		t.Fatal("stats were not cached on the graph")
+	}
+}

@@ -16,8 +16,26 @@ type Stats struct {
 	Diameter  int32   // lower-bound estimate via double-sweep BFS
 }
 
-// ComputeStats derives the Table 4/5 summary of g.
+// Stats returns the Table 4/5 summary of g, computed once and cached
+// on the graph: the advisor, store cell signatures, and report tables
+// all consume the same signature, and the diameter estimate inside it
+// is two full BFS traversals.
+func (g *Graph) Stats() Stats {
+	if p := g.cachedStats.Load(); p != nil {
+		return *p
+	}
+	s := computeStats(g)
+	g.cachedStats.Store(&s)
+	return s
+}
+
+// ComputeStats derives the Table 4/5 summary of g. It is the historical
+// entry point; it now serves the cached copy (the graph is immutable).
 func ComputeStats(g *Graph) Stats {
+	return g.Stats()
+}
+
+func computeStats(g *Graph) Stats {
 	s := Stats{
 		Name:     g.Name,
 		Vertices: g.N,

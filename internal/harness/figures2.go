@@ -209,7 +209,10 @@ func (s *Session) bestConfigs(model styles.Model) []styles.Config {
 	best := make(map[key]Meas)
 	for _, m := range s.Select(and(byModel(model), classicOnly)) {
 		k := key{m.Cfg.Algo, m.Input, m.Device}
-		if cur, ok := best[k]; !ok || m.Tput > cur.Tput {
+		// Ties break to the smaller variant name so the census does not
+		// depend on measurement order (the store census matches).
+		if cur, ok := best[k]; !ok || m.Tput > cur.Tput ||
+			(m.Tput == cur.Tput && m.Cfg.Name() < cur.Cfg.Name()) {
 			best[k] = m
 		}
 	}

@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"indigo/internal/gen"
+	"indigo/internal/store"
+	"indigo/internal/sweep"
+)
+
+// AttachStore subscribes st to this session's sweeps: every successful
+// supervised run (including journal replays on resume) is appended as a
+// store cell carrying the input's shape signature. The store dedups by
+// (variant, input, device), so replays are idempotent. Call before the
+// first Collect; any previously set sweep observer keeps firing.
+func (s *Session) AttachStore(st *store.Store) {
+	prev := s.Sweep.Observer
+	s.Sweep.Observer = func(o sweep.Outcome) {
+		if prev != nil {
+			prev(o)
+		}
+		if o.Kind != sweep.OK {
+			return
+		}
+		err := st.Append(store.Cell{
+			Cfg:       o.Cfg,
+			Input:     o.Input.String(),
+			Device:    o.Device,
+			Graph:     s.GStats[o.Input],
+			Tput:      o.Tput,
+			Attempts:  o.Attempts,
+			ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "harness: store append failed: %v\n", err)
+		}
+	}
+}
+
+// LoadStore seeds the session's measurements from a results store, so
+// reports build from the persistent corpus instead of fresh runs. Every
+// (algorithm, model) pair the store covers is marked collected: the
+// store is trusted as the measurement source for those pairs, and cells
+// it lacks surface as missing data in reports rather than triggering
+// re-runs. Cells naming inputs outside the generated suite are skipped.
+// Call on a fresh session, before any Collect. Returns the number of
+// measurements loaded.
+func (s *Session) LoadStore(st *store.Store) int {
+	byName := make(map[string]gen.Input, int(gen.NumInputs))
+	for in := gen.Input(0); in < gen.NumInputs; in++ {
+		byName[in.String()] = in
+	}
+	n := 0
+	for _, c := range st.Cells() {
+		in, ok := byName[c.Input]
+		if !ok {
+			continue
+		}
+		s.meas = append(s.meas, Meas{Cfg: c.Cfg, Input: in, Device: c.Device, Tput: c.Tput})
+		s.collected[collKey{c.Cfg.Algo, c.Cfg.Model}] = true
+		n++
+	}
+	return n
+}

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"indigo/internal/advisor"
+	"indigo/internal/graph"
+)
+
+// adviseRequest is the /v1/advise request body. The client supplies the
+// input's shape either directly ("stats") or as an inline graph to
+// parse ("graph" + "format"); exactly one of the two.
+type adviseRequest struct {
+	Algo  string `json:"algo"`
+	Model string `json:"model"`
+	// Stats is the precomputed Table 4/5 shape signature.
+	Stats *graph.Stats `json:"stats,omitempty"`
+	// Graph is an inline graph in the given Format ("edgelist" or
+	// "dimacs"); the service computes its stats. Bodies are capped by
+	// Options.MaxUploadBytes and parsed through the hardened readers.
+	Graph  string `json:"graph,omitempty"`
+	Format string `json:"format,omitempty"`
+}
+
+// adviseResponse is the recommendation: the variant to build, the
+// per-choice §5.16 rationale, and the shape the advice keyed on.
+type adviseResponse struct {
+	Variant   string      `json:"variant"`
+	Rationale []string    `json:"rationale"`
+	Stats     graph.Stats `json:"stats"`
+}
+
+func (s *Server) handleAdvise(r *http.Request) (*response, error) {
+	if r.Method != http.MethodPost {
+		return nil, errf(http.StatusMethodNotAllowed, "use POST")
+	}
+	body, herr := readBody(r, s.opt.MaxUploadBytes)
+	if herr != nil {
+		return nil, herr
+	}
+	var req adviseRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	a, aerr := parseAlgo(req.Algo)
+	if aerr != nil {
+		return nil, aerr
+	}
+	m, merr := parseModel(req.Model)
+	if merr != nil {
+		return nil, merr
+	}
+	if (req.Stats == nil) == (req.Graph == "") {
+		return nil, errf(http.StatusBadRequest, "provide exactly one of stats or graph")
+	}
+
+	// Advice is deterministic in the request, so it caches on the body
+	// hash; coalescing also folds concurrent identical uploads (the
+	// expensive case: stats of a big inline graph) into one parse.
+	return s.cached(bodyCacheKey("advise", body), func() (*response, error) {
+		var st graph.Stats
+		if req.Stats != nil {
+			st = *req.Stats
+		} else {
+			g, err := parseInlineGraph(req.Graph, req.Format)
+			if err != nil {
+				return nil, err
+			}
+			st = g.Stats()
+		}
+		rec := advisor.Recommend(a, m, st)
+		out, err := json.MarshalIndent(adviseResponse{
+			Variant:   rec.Config.Name(),
+			Rationale: rec.Rationale,
+			Stats:     st,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &response{status: http.StatusOK, contentType: "application/json", body: append(out, '\n')}, nil
+	})
+}
+
+// parseInlineGraph parses an uploaded graph through the hardened
+// readers. Malformed input is a client error, never a crash: the
+// readers reject negative/overflowing ids, truncated records, and
+// absurd header counts (see internal/graph/io.go).
+func parseInlineGraph(text, format string) (*graph.Graph, *httpError) {
+	switch format {
+	case "edgelist", "":
+		g, err := graph.ReadEdgeList(strings.NewReader(text), "upload")
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "parse edgelist: %v", err)
+		}
+		return g, nil
+	case "dimacs":
+		g, err := graph.ReadDIMACS(strings.NewReader(text), "upload")
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "parse dimacs: %v", err)
+		}
+		return g, nil
+	}
+	return nil, errf(http.StatusBadRequest, "unknown format %q (edgelist, dimacs)", format)
+}

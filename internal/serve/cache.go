@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// response is a fully materialized reply, the unit the cache stores and
+// coalesced requests share.
+type response struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// respCache is an LRU response cache with request coalescing. Entries
+// are tagged with the store generation they were computed against; a
+// store append bumps the generation, which invalidates every older
+// entry on its next lookup (lazy invalidation — no sweep needed, stale
+// entries age out of the LRU like any other). Coalescing collapses
+// concurrent misses on the same key into one computation: the first
+// request computes, the rest wait and share the result, so a thundering
+// herd on an expensive aggregate costs one scan.
+type respCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key  string
+	gen  uint64
+	resp *response
+}
+
+// flight is one in-progress computation awaited by coalesced requests.
+type flight struct {
+	done chan struct{}
+	resp *response
+	err  error
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// outcome classifies how do() produced its response, for metrics.
+type outcome int
+
+const (
+	outcomeHit outcome = iota
+	outcomeMiss
+	outcomeCoalesced
+)
+
+// do returns the cached response for key at generation gen, computing
+// it via compute on a miss. Concurrent misses on the same key coalesce.
+// Errors are never cached.
+func (c *respCache) do(key string, gen uint64, compute func() (*response, error)) (*response, outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if e.gen == gen {
+			c.ll.MoveToFront(el)
+			c.mu.Unlock()
+			return e.resp, outcomeHit, nil
+		}
+		// Stale: the store advanced since this was computed.
+		c.ll.Remove(el)
+		delete(c.items, key)
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		return f.resp, outcomeCoalesced, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.resp, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insert(key, gen, f.resp)
+	}
+	c.mu.Unlock()
+	return f.resp, outcomeMiss, f.err
+}
+
+// insert adds an entry, evicting from the LRU tail past capacity.
+// Caller holds mu.
+func (c *respCache) insert(key string, gen uint64, resp *response) {
+	if c.capacity <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).gen = gen
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, gen: gen, resp: resp})
+	for c.ll.Len() > c.capacity {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.items, el.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached entries (tests only).
+func (c *respCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

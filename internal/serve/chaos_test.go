@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitFor polls cond up to two seconds; the chaos tests use it instead
+// of sleeps so they stay fast when things go right and loud when not.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestLimiterShedsOverload is the chaos acceptance test: at 2x the
+// concurrency cap, every request is answered with either 200 or 429
+// (+Retry-After), the limiter never admits more than the cap, and no
+// goroutines leak once the flood drains.
+func TestLimiterShedsOverload(t *testing.T) {
+	const cap = 4
+	baseline := runtime.NumGoroutine()
+
+	release := make(chan struct{})
+	s := New(Options{Store: seedStore(t), MaxInflight: cap})
+	s.testHold = func() { <-release }
+	ts := httptest.NewServer(s.Handler())
+
+	type result struct {
+		status     int
+		retryAfter string
+	}
+	results := make(chan result, 2*cap)
+	var wg sync.WaitGroup
+	for i := 0; i < 2*cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/census")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			results <- result{resp.StatusCode, resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// The first cap requests fill the limiter and block on the hold; the
+	// rest must shed without queueing.
+	waitFor(t, "limiter to fill", func() bool { return s.metrics.inflight.Load() == cap })
+	waitFor(t, "overload to shed", func() bool { return s.metrics.shed.Load() == cap })
+	// Health stays answerable at saturation — that is the point of
+	// keeping it outside the limiter.
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("healthz at saturation: %d, want 200", code)
+	}
+	close(release)
+	wg.Wait()
+	close(results)
+
+	var ok, shed int
+	for r := range results {
+		switch r.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+			if r.retryAfter == "" {
+				t.Error("429 without Retry-After")
+			}
+		default:
+			t.Errorf("unexpected status %d under overload", r.status)
+		}
+	}
+	if ok != cap || shed != cap {
+		t.Fatalf("got %d oks and %d sheds, want %d and %d", ok, shed, cap, cap)
+	}
+
+	// No goroutine leak: everything spawned for the flood winds down.
+	ts.Close()
+	waitFor(t, "goroutines to drain", func() bool {
+		runtime.GC()
+		return runtime.NumGoroutine() <= baseline+2
+	})
+}
+
+// TestGracefulDrain cancels a serving context while a request is held
+// in flight: the listener closes at once, the in-flight request still
+// completes with 200, and Serve returns a clean nil.
+func TestGracefulDrain(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	s := New(Options{Store: seedStore(t), DrainTimeout: 5 * time.Second})
+	s.testHold = func() {
+		close(entered)
+		<-release
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ctx, ln) }()
+
+	got := make(chan int, 1)
+	go func() {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/v1/census")
+		if err != nil {
+			got <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		got <- resp.StatusCode
+	}()
+
+	<-entered // the request is inside the handler
+	cancel()  // begin shutdown while it is still there
+
+	// The listener must refuse new work promptly even though a request
+	// is draining.
+	waitFor(t, "listener to close", func() bool {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), 50*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return false
+		}
+		return true
+	})
+
+	select {
+	case err := <-served:
+		t.Fatalf("Serve returned %v before the in-flight request finished", err)
+	default:
+	}
+
+	close(release)
+	if code := <-got; code != http.StatusOK {
+		t.Fatalf("in-flight request finished with %d, want 200", code)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("Serve returned %v after drain, want nil", err)
+	}
+}
+
+// TestCoalescing pins the thundering-herd contract: concurrent identical
+// misses collapse into one computation.
+func TestCoalescing(t *testing.T) {
+	release := make(chan struct{})
+	computes := 0
+	c := newRespCache(8)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.do("k", 1, func() (*response, error) {
+				computes++ // only the single winner runs this
+				<-release
+				return &response{status: 200}, nil
+			})
+		}()
+	}
+	waitFor(t, "flight to register", func() bool {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return len(c.inflight) == 1
+	})
+	close(release)
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("compute ran %d times for 8 concurrent requests, want 1", computes)
+	}
+}

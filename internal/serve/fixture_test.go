@@ -1,0 +1,32 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"indigo/internal/gen"
+	"indigo/internal/store"
+)
+
+// TestFixtureJournal guards the CI smoke fixture against rot: the
+// checked-in journal must import cleanly (valid variant names, current
+// schema version) and feed a census — if a styles or journal change
+// invalidates it, this fails locally before the smoke job does.
+func TestFixtureJournal(t *testing.T) {
+	st := store.NewMem()
+	n, err := store.ImportJournal(st, "testdata/fixture.jsonl", store.ScaleResolver(gen.Tiny))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("fixture journal imported no cells")
+	}
+	ts := httptest.NewServer(New(Options{Store: st}).Handler())
+	defer ts.Close()
+	code, body := get(t, ts.URL+"/v1/census?model=omp")
+	if code != http.StatusOK || !strings.Contains(body, "omp\t") {
+		t.Fatalf("census over fixture: %d %q", code, body)
+	}
+}

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (milliseconds, inclusive) of
+// the request-latency histogram; the final implicit bucket is +Inf.
+var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// metrics holds the service counters exposed on /metrics, expvar-style:
+// plain atomics snapshotted into JSON, no external dependencies. All
+// methods are safe for concurrent use.
+type metrics struct {
+	requests  atomic.Int64 // every request that reached the handler tree
+	inflight  atomic.Int64 // currently inside the limited section
+	shed      atomic.Int64 // rejected with 429 by the concurrency limiter
+	cacheHit  atomic.Int64
+	cacheMiss atomic.Int64
+	coalesced atomic.Int64 // waited on another request's in-flight compute
+
+	byRoute  [numRoutes]atomic.Int64
+	byStatus [6]atomic.Int64 // index = status / 100
+
+	latency [len(latencyBucketsMS) + 1]atomic.Int64
+}
+
+// route indexes the per-endpoint request counters.
+type route int
+
+const (
+	routeHealthz route = iota
+	routeMetrics
+	routeAdvise
+	routeCells
+	routeCensus
+	routeRatios
+	routeOther
+	numRoutes
+)
+
+func (r route) String() string {
+	switch r {
+	case routeHealthz:
+		return "/healthz"
+	case routeMetrics:
+		return "/metrics"
+	case routeAdvise:
+		return "/v1/advise"
+	case routeCells:
+		return "/v1/cells"
+	case routeCensus:
+		return "/v1/census"
+	case routeRatios:
+		return "/v1/ratios"
+	}
+	return "other"
+}
+
+func (m *metrics) observe(rt route, status int, elapsed time.Duration) {
+	m.requests.Add(1)
+	m.byRoute[rt].Add(1)
+	if i := status / 100; i >= 0 && i < len(m.byStatus) {
+		m.byStatus[i].Add(1)
+	}
+	ms := float64(elapsed) / float64(time.Millisecond)
+	for i, ub := range latencyBucketsMS {
+		if ms <= ub {
+			m.latency[i].Add(1)
+			return
+		}
+	}
+	m.latency[len(latencyBucketsMS)].Add(1)
+}
+
+// snapshot renders the counters as a JSON document. storeCells and
+// storeGen describe the backing store at snapshot time.
+func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
+	type doc struct {
+		RequestsTotal int64            `json:"requests_total"`
+		Requests      map[string]int64 `json:"requests"`
+		Responses     map[string]int64 `json:"responses"`
+		Inflight      int64            `json:"inflight"`
+		ShedTotal     int64            `json:"shed_total"`
+		Cache         map[string]int64 `json:"cache"`
+		LatencyMS     map[string]int64 `json:"latency_ms"`
+		Store         map[string]int64 `json:"store"`
+	}
+	d := doc{
+		RequestsTotal: m.requests.Load(),
+		Requests:      map[string]int64{},
+		Responses:     map[string]int64{},
+		Inflight:      m.inflight.Load(),
+		ShedTotal:     m.shed.Load(),
+		Cache: map[string]int64{
+			"hits":      m.cacheHit.Load(),
+			"misses":    m.cacheMiss.Load(),
+			"coalesced": m.coalesced.Load(),
+		},
+		LatencyMS: map[string]int64{},
+		Store: map[string]int64{
+			"cells":      int64(storeCells),
+			"generation": int64(storeGen),
+		},
+	}
+	for rt := route(0); rt < numRoutes; rt++ {
+		if n := m.byRoute[rt].Load(); n > 0 {
+			d.Requests[rt.String()] = n
+		}
+	}
+	for i := range m.byStatus {
+		if v := m.byStatus[i].Load(); v > 0 {
+			d.Responses[fmt.Sprintf("%dxx", i)] = v
+		}
+	}
+	for i, ub := range latencyBucketsMS {
+		d.LatencyMS[fmt.Sprintf("le_%g", ub)] = m.latency[i].Load()
+	}
+	d.LatencyMS["le_inf"] = m.latency[len(latencyBucketsMS)].Load()
+	out, _ := json.MarshalIndent(d, "", "  ")
+	return append(out, '\n')
+}

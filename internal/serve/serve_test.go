@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"indigo/internal/graph"
+	"indigo/internal/store"
+	"indigo/internal/styles"
+)
+
+// seedStore builds a store with a push/pull pair of BFS/OMP cells on
+// two inputs, enough to exercise every query endpoint.
+func seedStore(t *testing.T) *store.Store {
+	t.Helper()
+	cell := func(drive styles.Drive, flow styles.Flow, input string, tput float64) store.Cell {
+		cfg := styles.Config{
+			Algo: styles.BFS, Model: styles.OMP,
+			Drive: drive, Flow: flow, Update: styles.ReadModifyWrite,
+		}
+		if !styles.Valid(cfg) {
+			t.Fatalf("seed config %q invalid", cfg.Name())
+		}
+		return store.Cell{
+			Cfg: cfg, Input: input, Device: "cpu",
+			Graph: graph.Stats{Name: input, Vertices: 64, Edges: 128},
+			Tput:  tput, Attempts: 1, ElapsedMS: 5,
+		}
+	}
+	st := store.NewMem()
+	if err := st.Append(
+		cell(styles.TopologyDriven, styles.Push, "road", 4),
+		cell(styles.TopologyDriven, styles.Pull, "road", 2),
+		cell(styles.TopologyDriven, styles.Push, "grid2d", 9),
+		cell(styles.TopologyDriven, styles.Pull, "grid2d", 3),
+	); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func newTestServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Store == nil {
+		opt.Store = seedStore(t)
+	}
+	s := New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(out)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/v1/census")
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	var doc struct {
+		RequestsTotal int64            `json:"requests_total"`
+		Requests      map[string]int64 `json:"requests"`
+		Responses     map[string]int64 `json:"responses"`
+		Store         map[string]int64 `json:"store"`
+		LatencyMS     map[string]int64 `json:"latency_ms"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("metrics is not JSON: %v\n%s", err, body)
+	}
+	if doc.RequestsTotal < 2 {
+		t.Errorf("requests_total = %d, want >= 2", doc.RequestsTotal)
+	}
+	if doc.Requests["/v1/census"] != 1 {
+		t.Errorf("census count = %d, want 1", doc.Requests["/v1/census"])
+	}
+	if doc.Responses["2xx"] < 2 {
+		t.Errorf("2xx = %d, want >= 2", doc.Responses["2xx"])
+	}
+	if doc.Store["cells"] != 4 {
+		t.Errorf("store cells = %d, want 4", doc.Store["cells"])
+	}
+	var hist int64
+	for _, v := range doc.LatencyMS {
+		hist += v
+	}
+	if hist < 2 {
+		t.Errorf("latency histogram sums to %d, want >= 2", hist)
+	}
+}
+
+func TestCells(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/v1/cells")
+	if code != http.StatusOK {
+		t.Fatalf("cells: %d %q", code, body)
+	}
+	var doc struct {
+		Count int `json:"count"`
+		Cells []struct {
+			Variant string  `json:"variant"`
+			Input   string  `json:"input"`
+			Tput    float64 `json:"tput"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Count != 4 || len(doc.Cells) != 4 {
+		t.Fatalf("count = %d (%d cells), want 4", doc.Count, len(doc.Cells))
+	}
+	// Filters and limit compose.
+	code, body = get(t, ts.URL+"/v1/cells?input=road&limit=1")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil || code != http.StatusOK {
+		t.Fatalf("filtered cells: %d %v", code, err)
+	}
+	if doc.Count != 1 || doc.Cells[0].Input != "road" {
+		t.Fatalf("filtered cells = %+v, want one road cell", doc)
+	}
+	// Bad params are client errors.
+	if code, _ := get(t, ts.URL+"/v1/cells?algo=nope"); code != http.StatusBadRequest {
+		t.Errorf("bad algo: %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/cells?limit=-2"); code != http.StatusBadRequest {
+		t.Errorf("bad limit: %d, want 400", code)
+	}
+}
+
+func TestCensus(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/v1/census?model=omp")
+	if code != http.StatusOK {
+		t.Fatalf("census: %d %q", code, body)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if lines[0] != store.CensusHeader {
+		t.Fatalf("census header %q, want %q", lines[0], store.CensusHeader)
+	}
+	if len(lines) != 2 || !strings.HasPrefix(lines[1], "omp\t") {
+		t.Fatalf("census body %q, want one omp row", body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/census?model=fortran"); code != http.StatusBadRequest {
+		t.Errorf("bad model: %d, want 400", code)
+	}
+}
+
+func TestRatios(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/v1/ratios?dim=flow")
+	if code != http.StatusOK {
+		t.Fatalf("ratios: %d %q", code, body)
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if lines[0] != "flow: push over pull" {
+		t.Fatalf("ratios header %q", lines[0])
+	}
+	if len(lines) != 2 || !strings.Contains(lines[1], "bfs") {
+		t.Fatalf("ratios body %q, want one bfs line", body)
+	}
+	if code, _ := get(t, ts.URL+"/v1/ratios"); code != http.StatusBadRequest {
+		t.Errorf("missing dim: %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/ratios?dim=flow&a=9"); code != http.StatusBadRequest {
+		t.Errorf("out-of-range value index: %d, want 400", code)
+	}
+}
+
+func TestAdviseStats(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := `{"algo":"sssp","model":"omp","stats":{"Name":"road","Vertices":1000,"Edges":3000,"AvgDegree":3,"Diameter":100}}`
+	code, body := post(t, ts.URL+"/v1/advise", req)
+	if code != http.StatusOK {
+		t.Fatalf("advise: %d %q", code, body)
+	}
+	var rec struct {
+		Variant   string   `json:"variant"`
+		Rationale []string `json:"rationale"`
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(rec.Variant, "sssp/omp/") {
+		t.Fatalf("variant %q, want sssp/omp/...", rec.Variant)
+	}
+	if len(rec.Rationale) == 0 {
+		t.Fatal("empty rationale")
+	}
+
+	cases := []struct {
+		name, req string
+		want      int
+	}{
+		{"bad json", `{"algo":`, http.StatusBadRequest},
+		{"unknown algo", `{"algo":"dijkstra","model":"omp","stats":{}}`, http.StatusBadRequest},
+		{"unknown model", `{"algo":"bfs","model":"tbb","stats":{}}`, http.StatusBadRequest},
+		{"neither stats nor graph", `{"algo":"bfs","model":"omp"}`, http.StatusBadRequest},
+		{"both stats and graph", `{"algo":"bfs","model":"omp","stats":{},"graph":"0 1\n"}`, http.StatusBadRequest},
+		{"malformed inline graph", `{"algo":"bfs","model":"omp","graph":"-1 2\n"}`, http.StatusBadRequest},
+		{"unknown format", `{"algo":"bfs","model":"omp","graph":"0 1\n","format":"gml"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, ts.URL+"/v1/advise", tc.req); code != tc.want {
+			t.Errorf("%s: %d %q, want %d", tc.name, code, body, tc.want)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/advise")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET advise: %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestAdviseInlineGraph(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req := `{"algo":"bfs","model":"omp","graph":"0 1\n1 2\n2 3\n","format":"edgelist"}`
+	code, body := post(t, ts.URL+"/v1/advise", req)
+	if code != http.StatusOK {
+		t.Fatalf("advise inline: %d %q", code, body)
+	}
+	var rec struct {
+		Stats graph.Stats `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Stats.Vertices != 4 || rec.Stats.Edges != 6 {
+		t.Fatalf("computed stats %+v, want 4 vertices / 6 directed edges", rec.Stats)
+	}
+}
+
+func TestAdviseBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxUploadBytes: 64})
+	big := `{"algo":"bfs","model":"omp","graph":"` + strings.Repeat("0 1\\n", 64) + `"}`
+	code, _ := post(t, ts.URL+"/v1/advise", big)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d, want 413", code)
+	}
+}
+
+// TestCacheInvalidation pins the cache contract: repeated queries hit,
+// a store append invalidates, and the metrics expose the difference.
+func TestCacheInvalidation(t *testing.T) {
+	s, ts := newTestServer(t, Options{})
+	_, first := get(t, ts.URL+"/v1/census?model=omp")
+	_, second := get(t, ts.URL+"/v1/census?model=omp")
+	if first != second {
+		t.Fatal("identical queries returned different bodies")
+	}
+	if hits := s.metrics.cacheHit.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d after repeat query, want 1", hits)
+	}
+
+	// Appending a better cell must invalidate: the census changes.
+	cfg := styles.Config{
+		Algo: styles.BFS, Model: styles.OMP,
+		Drive: styles.TopologyDriven, Flow: styles.Pull, Update: styles.ReadModifyWrite,
+	}
+	if err := s.opt.Store.Append(store.Cell{
+		Cfg: cfg, Input: "road", Device: "cpu", Tput: 1e6,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, third := get(t, ts.URL+"/v1/census?model=omp")
+	if third == second {
+		t.Fatal("census unchanged after store append (stale cache served)")
+	}
+	if hits := s.metrics.cacheHit.Load(); hits != 1 {
+		t.Fatalf("cache hits = %d after invalidating append, want still 1", hits)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s, ts := newTestServer(t, Options{CacheEntries: -1})
+	get(t, ts.URL+"/v1/census")
+	get(t, ts.URL+"/v1/census")
+	if hits := s.metrics.cacheHit.Load(); hits != 0 {
+		t.Fatalf("cache hits = %d with caching disabled, want 0", hits)
+	}
+	if n := s.cache.len(); n != 0 {
+		t.Fatalf("cache holds %d entries with caching disabled", n)
+	}
+}
+
+func TestNewRequiresStore(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New without a store did not panic")
+		}
+	}()
+	New(Options{})
+}

@@ -1,0 +1,490 @@
+// Package serve exposes the results store and the §5.16 advisor as an
+// HTTP service — the paper's distilled knowledge behind a network API
+// instead of a one-shot report run. The service is built for sustained
+// traffic: a concurrency limiter that sheds overload with 429s instead
+// of queuing into collapse, an LRU response cache (invalidated when the
+// store appends) with request coalescing, per-request timeouts, an
+// expvar-style /metrics endpoint, and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness (never limited, never cached)
+//	GET  /metrics     service counters as JSON
+//	POST /v1/advise   graph stats or an inline graph -> recommended variant + rationale
+//	GET  /v1/cells    stored measurement cells (filterable)
+//	GET  /v1/census   best-style census per model (paper Fig. 14)
+//	GET  /v1/ratios   per-dimension throughput-ratio distributions (paper Figs. 1-13)
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"indigo/internal/graph"
+	"indigo/internal/store"
+	"indigo/internal/styles"
+)
+
+// Options configures a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Store is the results store queries read from. Required (use
+	// store.NewMem() for an advisor-only service).
+	Store *store.Store
+	// MaxInflight caps concurrently served requests; excess load is
+	// shed with 429 + Retry-After. Default 64.
+	MaxInflight int
+	// RequestTimeout bounds one request's handling; requests that
+	// exceed it get 503. Default 10s.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful shutdown: how long Serve waits for
+	// in-flight requests after its context is canceled. Default 15s.
+	DrainTimeout time.Duration
+	// CacheEntries sizes the LRU response cache. 0 means 256; negative
+	// disables caching.
+	CacheEntries int
+	// MaxUploadBytes caps /v1/advise request bodies (inline graphs from
+	// untrusted clients). Default 8 MiB.
+	MaxUploadBytes int64
+}
+
+func (o *Options) defaults() {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 10 * time.Second
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 15 * time.Second
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 256
+	}
+	if o.MaxUploadBytes <= 0 {
+		o.MaxUploadBytes = 8 << 20
+	}
+}
+
+// Server is the advisor/query HTTP service over a results store.
+type Server struct {
+	opt     Options
+	metrics metrics
+	cache   *respCache
+	sem     chan struct{} // concurrency limiter; len == in-flight
+
+	// testHold, when set (tests only), runs inside the limited section
+	// of every /v1 request, so tests can pin requests in flight and
+	// drive the limiter and drain paths deterministically.
+	testHold func()
+}
+
+// New creates a Server. It panics if opt.Store is nil — the service is
+// meaningless without one, and the nil would otherwise surface on the
+// first query.
+func New(opt Options) *Server {
+	if opt.Store == nil {
+		panic("serve.New: Options.Store is required")
+	}
+	opt.defaults()
+	return &Server{
+		opt:   opt,
+		cache: newRespCache(opt.CacheEntries),
+		sem:   make(chan struct{}, opt.MaxInflight),
+	}
+}
+
+// httpError is a handler failure with a status code.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+// Handler returns the service's HTTP handler tree.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument(routeHealthz, s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument(routeMetrics, s.handleMetrics))
+	mux.HandleFunc("/v1/advise", s.limited(routeAdvise, s.handleAdvise))
+	mux.HandleFunc("/v1/cells", s.limited(routeCells, s.handleCells))
+	mux.HandleFunc("/v1/census", s.limited(routeCensus, s.handleCensus))
+	mux.HandleFunc("/v1/ratios", s.limited(routeRatios, s.handleRatios))
+	return mux
+}
+
+// instrument wraps unlimited endpoints (health, metrics): these must
+// answer even when the service is saturated, or the load balancer would
+// kill a healthy-but-busy instance.
+func (s *Server) instrument(rt route, h func(*http.Request) (*response, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		resp, err := h(r)
+		status := s.write(w, resp, err)
+		s.metrics.observe(rt, status, time.Since(start))
+	}
+}
+
+// limited wraps /v1 endpoints with the full pipeline: concurrency
+// limiting with load shedding, a per-request deadline, and metrics.
+func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			// Saturated: shed immediately. A bounded queue would only
+			// trade 429s for timeout 503s once arrival exceeds service
+			// rate; telling the client when to retry is cheaper for both
+			// sides.
+			s.metrics.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.write(w, nil, errf(http.StatusTooManyRequests, "server at capacity (%d in flight)", s.opt.MaxInflight))
+			s.metrics.observe(rt, http.StatusTooManyRequests, time.Since(start))
+			return
+		}
+		s.metrics.inflight.Add(1)
+		defer func() {
+			s.metrics.inflight.Add(-1)
+			<-s.sem
+		}()
+		if s.testHold != nil {
+			s.testHold()
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		resp, err := h(r.WithContext(ctx))
+		if err == nil && ctx.Err() != nil {
+			err = errf(http.StatusServiceUnavailable, "request deadline exceeded")
+		}
+		status := s.write(w, resp, err)
+		s.metrics.observe(rt, status, time.Since(start))
+	}
+}
+
+// write renders a handler result. Errors become JSON error bodies.
+func (s *Server) write(w http.ResponseWriter, resp *response, err error) int {
+	if err != nil {
+		status := http.StatusInternalServerError
+		var he *httpError
+		if errors.As(err, &he) {
+			status = he.status
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		body, _ := json.Marshal(map[string]string{"error": err.Error()})
+		w.Write(append(body, '\n'))
+		return status
+	}
+	w.Header().Set("Content-Type", resp.contentType)
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+	return resp.status
+}
+
+// cached runs compute through the response cache + coalescer, keyed on
+// the request identity and the store generation.
+func (s *Server) cached(key string, compute func() (*response, error)) (*response, error) {
+	if s.opt.CacheEntries < 0 {
+		return compute()
+	}
+	resp, oc, err := s.cache.do(key, s.opt.Store.Generation(), compute)
+	switch oc {
+	case outcomeHit:
+		s.metrics.cacheHit.Add(1)
+	case outcomeCoalesced:
+		s.metrics.coalesced.Add(1)
+	default:
+		s.metrics.cacheMiss.Add(1)
+	}
+	return resp, err
+}
+
+func (s *Server) handleHealthz(r *http.Request) (*response, error) {
+	return &response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: []byte("ok\n")}, nil
+}
+
+func (s *Server) handleMetrics(r *http.Request) (*response, error) {
+	return &response{
+		status:      http.StatusOK,
+		contentType: "application/json",
+		body:        s.metrics.snapshot(s.opt.Store.Len(), s.opt.Store.Generation()),
+	}, nil
+}
+
+// cellJSON is the /v1/cells wire form of one store cell.
+type cellJSON struct {
+	Variant   string      `json:"variant"`
+	Input     string      `json:"input"`
+	Device    string      `json:"device"`
+	Graph     graph.Stats `json:"graph"`
+	Tput      float64     `json:"tput"`
+	Attempts  int         `json:"attempts"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+}
+
+func (s *Server) handleCells(r *http.Request) (*response, error) {
+	if r.Method != http.MethodGet {
+		return nil, errf(http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	var filters []store.Filter
+	if v := q.Get("algo"); v != "" {
+		a, err := parseAlgo(v)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, store.ByAlgo(a))
+	}
+	if v := q.Get("model"); v != "" {
+		m, err := parseModel(v)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, store.ByModel(m))
+	}
+	if v := q.Get("input"); v != "" {
+		filters = append(filters, func(c store.Cell) bool { return c.Input == v })
+	}
+	if v := q.Get("device"); v != "" {
+		filters = append(filters, func(c store.Cell) bool { return c.Device == v })
+	}
+	limit := -1
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return nil, errf(http.StatusBadRequest, "bad limit %q", v)
+		}
+		limit = n
+	}
+	key := "cells?" + canonicalQuery(q)
+	return s.cached(key, func() (*response, error) {
+		f := store.And(filters...)
+		cells := s.opt.Store.Cells()
+		// Deterministic order regardless of append history.
+		sort.Slice(cells, func(i, j int) bool { return cells[i].Key() < cells[j].Key() })
+		out := make([]cellJSON, 0, len(cells))
+		for _, c := range cells {
+			if !f(c) {
+				continue
+			}
+			out = append(out, cellJSON{
+				Variant:   c.Cfg.Name(),
+				Input:     c.Input,
+				Device:    c.Device,
+				Graph:     c.Graph,
+				Tput:      c.Tput,
+				Attempts:  c.Attempts,
+				ElapsedMS: c.ElapsedMS,
+			})
+			if limit >= 0 && len(out) >= limit {
+				break
+			}
+		}
+		body, err := json.MarshalIndent(struct {
+			Count int        `json:"count"`
+			Cells []cellJSON `json:"cells"`
+		}{len(out), out}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &response{status: http.StatusOK, contentType: "application/json", body: append(body, '\n')}, nil
+	})
+}
+
+func (s *Server) handleCensus(r *http.Request) (*response, error) {
+	if r.Method != http.MethodGet {
+		return nil, errf(http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	models := []styles.Model{styles.CUDA, styles.OMP, styles.CPP}
+	if v := q.Get("model"); v != "" {
+		m, err := parseModel(v)
+		if err != nil {
+			return nil, err
+		}
+		models = []styles.Model{m}
+	}
+	key := "census?" + canonicalQuery(q)
+	return s.cached(key, func() (*response, error) {
+		lines := []string{store.CensusHeader}
+		for _, m := range models {
+			if row, ok := s.opt.Store.Census(m); ok {
+				lines = append(lines, row.Line())
+			}
+		}
+		return textResponse(lines), nil
+	})
+}
+
+func (s *Server) handleRatios(r *http.Request) (*response, error) {
+	if r.Method != http.MethodGet {
+		return nil, errf(http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	dim := styles.DimByKey(q.Get("dim"))
+	if dim == nil {
+		return nil, errf(http.StatusBadRequest, "unknown dim %q (%s)", q.Get("dim"), dimKeys())
+	}
+	aIdx, bIdx := 0, 1
+	var err error
+	if v := q.Get("a"); v != "" {
+		if aIdx, err = strconv.Atoi(v); err != nil {
+			return nil, errf(http.StatusBadRequest, "bad a %q", v)
+		}
+	}
+	if v := q.Get("b"); v != "" {
+		if bIdx, err = strconv.Atoi(v); err != nil {
+			return nil, errf(http.StatusBadRequest, "bad b %q", v)
+		}
+	}
+	if aIdx < 0 || aIdx >= dim.NumValues || bIdx < 0 || bIdx >= dim.NumValues {
+		return nil, errf(http.StatusBadRequest, "value index out of range for dim %s (0..%d)", dim.Key, dim.NumValues-1)
+	}
+	filters := []store.Filter{}
+	if q.Get("all") == "" {
+		// Like the paper after §5.1, exclude the CudaAtomic stragglers
+		// unless the client asks for everything.
+		filters = append(filters, store.ClassicOnly)
+	}
+	if v := q.Get("model"); v != "" {
+		m, err := parseModel(v)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, store.ByModel(m))
+	}
+	if v := q.Get("algo"); v != "" {
+		a, err := parseAlgo(v)
+		if err != nil {
+			return nil, err
+		}
+		filters = append(filters, store.ByAlgo(a))
+	}
+	key := "ratios?" + canonicalQuery(q)
+	return s.cached(key, func() (*response, error) {
+		ratios := s.opt.Store.Ratios(dim, aIdx, bIdx, store.And(filters...))
+		lines := []string{fmt.Sprintf("%s: %s over %s", dim.Key,
+			dim.Value(dim.Set(styles.Config{}, aIdx)), dim.Value(dim.Set(styles.Config{}, bIdx)))}
+		lines = append(lines, store.RatioLines(ratios)...)
+		return textResponse(lines), nil
+	})
+}
+
+func textResponse(lines []string) *response {
+	return &response{
+		status:      http.StatusOK,
+		contentType: "text/plain; charset=utf-8",
+		body:        []byte(strings.Join(lines, "\n") + "\n"),
+	}
+}
+
+// canonicalQuery renders query params in sorted order so equivalent
+// URLs share a cache entry.
+func canonicalQuery(q map[string][]string) string {
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		for _, v := range q[k] {
+			fmt.Fprintf(&sb, "%s=%s&", k, v)
+		}
+	}
+	return sb.String()
+}
+
+func bodyCacheKey(path string, body []byte) string {
+	sum := sha256.Sum256(body)
+	return path + "#" + hex.EncodeToString(sum[:])
+}
+
+func parseAlgo(s string) (styles.Algorithm, *httpError) {
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, errf(http.StatusBadRequest, "unknown algorithm %q (bfs, sssp, cc, mis, pr, tc)", s)
+}
+
+func parseModel(s string) (styles.Model, *httpError) {
+	for m := styles.Model(0); m < styles.NumModels; m++ {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, errf(http.StatusBadRequest, "unknown model %q (cuda, omp, cpp)", s)
+}
+
+func dimKeys() string {
+	var keys []string
+	for _, d := range styles.Dims {
+		keys = append(keys, d.Key)
+	}
+	return strings.Join(keys, ", ")
+}
+
+// Serve runs the service on ln until ctx is canceled, then drains
+// gracefully: the listener closes immediately (load balancers see
+// connection refused and fail over), while in-flight requests get up to
+// DrainTimeout to finish. Returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			return fmt.Errorf("serve: drain: %w", err)
+		}
+		<-errc // reap the Serve goroutine (returns ErrServerClosed)
+		return nil
+	}
+}
+
+// ListenAndServe binds addr and calls Serve.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// readBody drains a capped request body.
+func readBody(r *http.Request, max int64) ([]byte, *httpError) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, max+1))
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "read body: %v", err)
+	}
+	if int64(len(body)) > max {
+		return nil, errf(http.StatusRequestEntityTooLarge, "body exceeds %d bytes", max)
+	}
+	return body, nil
+}

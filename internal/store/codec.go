@@ -1,0 +1,256 @@
+// Package store is the persistent, queryable measurement corpus of the
+// reproduction: an append-only columnar results store for sweep cells.
+// The paper's end product is not the 1106 programs but the distilled
+// knowledge — throughput-ratio distributions, best-style censuses, the
+// §5.16 guidelines — and this package turns the one-shot JSONL journals
+// of internal/sweep into a durable knowledge base those aggregates can
+// be queried from repeatedly (and served over HTTP by internal/serve).
+//
+// Layout: cells are columnar in memory (struct-of-arrays, so aggregate
+// scans touch only the columns they need) and row-framed on disk (each
+// cell is one length-prefixed, checksummed frame, so appends are cheap
+// and a torn final frame from a killed process costs one cell, exactly
+// like the sweep journal's torn-line tolerance). The on-disk codec is
+// versioned independently of the journal schema: either side can evolve
+// without breaking the other's readers.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Codec versioning. Version is bumped whenever the frame payload layout
+// changes; readers reject files whose version they do not know instead
+// of misparsing them.
+const (
+	// magic identifies a store file. The trailing byte is free for a
+	// future format-level (not payload-level) revision.
+	magic = "indigo2\x00"
+	// Version is the current payload codec version.
+	Version = 1
+)
+
+// Config bitfield layout (21 bits used). The bitfield is the store's
+// compact identity of a style combination; PackConfig/UnpackConfig
+// round-trip every config of the enumerated suite (tested exhaustively).
+const (
+	algoBits    = 3
+	modelBits   = 2
+	iterateBits = 1
+	driveBits   = 2
+	flowBits    = 1
+	updateBits  = 1
+	detBits     = 1
+	granBits    = 2
+	persistBits = 1
+	atomicsBits = 1
+	gpuredBits  = 2
+	cpuredBits  = 2
+	ompBits     = 1
+	cppBits     = 1
+)
+
+// PackConfig encodes a style configuration as a 32-bit bitfield, the
+// store's columnar representation of the variant identity.
+func PackConfig(c styles.Config) uint32 {
+	var bits uint32
+	put := func(v uint32, width uint) {
+		bits = bits<<width | v
+	}
+	put(uint32(c.Algo), algoBits)
+	put(uint32(c.Model), modelBits)
+	put(uint32(c.Iterate), iterateBits)
+	put(uint32(c.Drive), driveBits)
+	put(uint32(c.Flow), flowBits)
+	put(uint32(c.Update), updateBits)
+	put(uint32(c.Det), detBits)
+	put(uint32(c.Gran), granBits)
+	put(uint32(c.Persist), persistBits)
+	put(uint32(c.Atomics), atomicsBits)
+	put(uint32(c.GPURed), gpuredBits)
+	put(uint32(c.CPURed), cpuredBits)
+	put(uint32(c.OMPSched), ompBits)
+	put(uint32(c.CPPSched), cppBits)
+	return bits
+}
+
+// UnpackConfig decodes a bitfield produced by PackConfig. It errors on
+// out-of-range enum values (a corrupt or future-version field) but does
+// not re-validate the style combination: stored cells were validated
+// when measured, and rejecting a combination a future suite revision
+// legalizes would make old stores unreadable.
+func UnpackConfig(bits uint32) (styles.Config, error) {
+	// Fields come back out in reverse order of PackConfig's puts.
+	take := func(width uint) uint32 {
+		v := bits & (1<<width - 1)
+		bits >>= width
+		return v
+	}
+	var c styles.Config
+	c.CPPSched = styles.CPPSched(take(cppBits))
+	c.OMPSched = styles.OMPSched(take(ompBits))
+	c.CPURed = styles.CPURed(take(cpuredBits))
+	c.GPURed = styles.GPURed(take(gpuredBits))
+	c.Atomics = styles.Atomics(take(atomicsBits))
+	c.Persist = styles.Persist(take(persistBits))
+	c.Gran = styles.Gran(take(granBits))
+	c.Det = styles.Det(take(detBits))
+	c.Update = styles.Update(take(updateBits))
+	c.Flow = styles.Flow(take(flowBits))
+	c.Drive = styles.Drive(take(driveBits))
+	c.Iterate = styles.Iterate(take(iterateBits))
+	c.Model = styles.Model(take(modelBits))
+	c.Algo = styles.Algorithm(take(algoBits))
+	if bits != 0 {
+		return styles.Config{}, fmt.Errorf("store: config bitfield has excess bits %#x", bits)
+	}
+	if c.Algo >= styles.NumAlgorithms {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown algorithm %d", c.Algo)
+	}
+	if c.Model >= styles.NumModels {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown model %d", c.Model)
+	}
+	if c.Drive > styles.DataDrivenNoDup {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown drive %d", c.Drive)
+	}
+	if c.Gran > styles.BlockGran {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown granularity %d", c.Gran)
+	}
+	if c.GPURed > styles.ReductionAdd {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown gpu reduction %d", c.GPURed)
+	}
+	if c.CPURed > styles.ClauseRed {
+		return styles.Config{}, fmt.Errorf("store: config bitfield names unknown cpu reduction %d", c.CPURed)
+	}
+	return c, nil
+}
+
+// appendCell serializes one cell as a version-1 frame payload.
+func appendCell(buf []byte, c Cell) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, PackConfig(c.Cfg))
+	buf = appendString(buf, c.Input)
+	buf = appendString(buf, c.Device)
+	buf = appendString(buf, c.Graph.Name)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Graph.Vertices))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Graph.Edges))
+	buf = appendFloat(buf, c.Graph.SizeMB)
+	buf = appendFloat(buf, c.Graph.AvgDegree)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.Graph.MaxDegree))
+	buf = appendFloat(buf, c.Graph.PctDeg32)
+	buf = appendFloat(buf, c.Graph.PctDeg512)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.Graph.Diameter))
+	buf = appendFloat(buf, c.Tput)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(c.Attempts))
+	buf = appendFloat(buf, c.ElapsedMS)
+	return buf
+}
+
+// decodeCell parses a version-1 frame payload.
+func decodeCell(p []byte) (Cell, error) {
+	d := decoder{p: p}
+	var c Cell
+	bits := d.u32()
+	c.Input = d.str()
+	c.Device = d.str()
+	c.Graph.Name = d.str()
+	c.Graph.Vertices = int32(d.u32())
+	c.Graph.Edges = int64(d.u64())
+	c.Graph.SizeMB = d.f64()
+	c.Graph.AvgDegree = d.f64()
+	c.Graph.MaxDegree = int64(d.u64())
+	c.Graph.PctDeg32 = d.f64()
+	c.Graph.PctDeg512 = d.f64()
+	c.Graph.Diameter = int32(d.u32())
+	c.Tput = d.f64()
+	c.Attempts = int(d.u16())
+	c.ElapsedMS = d.f64()
+	if d.err != nil {
+		return Cell{}, d.err
+	}
+	if len(d.p) != 0 {
+		return Cell{}, fmt.Errorf("store: cell frame has %d trailing bytes", len(d.p))
+	}
+	cfg, err := UnpackConfig(bits)
+	if err != nil {
+		return Cell{}, err
+	}
+	c.Cfg = cfg
+	return c, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}
+
+// decoder cursors over a frame payload, latching the first error so
+// call sites stay linear.
+type decoder struct {
+	p   []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.p) < n {
+		d.err = fmt.Errorf("store: truncated cell frame (want %d bytes, have %d)", n, len(d.p))
+		return nil
+	}
+	b := d.p[:n]
+	d.p = d.p[n:]
+	return b
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Signature is the graph-shape part of a cell: the Table 4/5 stats
+// signature the advisor keys on, stored alongside every measurement so
+// aggregates can be cut by input shape without the input itself.
+type Signature = graph.Stats

@@ -1,0 +1,248 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"indigo/internal/stats"
+	"indigo/internal/styles"
+)
+
+// This file is the query side of the store: the paper's figures as
+// aggregations over stored cells instead of one-shot report passes.
+// The pairing and census methodologies mirror internal/harness exactly
+// (same grouping keys, same tie-breaks, same rendering), which the
+// round-trip golden test in internal/serve pins down byte-for-byte.
+
+// paperOrder lists the six algorithms in the paper's presentation
+// order, matching harness.AllAlgorithms.
+var paperOrder = []styles.Algorithm{
+	styles.CC, styles.MIS, styles.PR, styles.TC, styles.BFS, styles.SSSP,
+}
+
+// Filter selects cells for a query; nil selects everything.
+type Filter func(Cell) bool
+
+// And combines filters.
+func And(fs ...Filter) Filter {
+	return func(c Cell) bool {
+		for _, f := range fs {
+			if f != nil && !f(c) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// ByModel selects cells of one programming model.
+func ByModel(m styles.Model) Filter {
+	return func(c Cell) bool { return c.Cfg.Model == m }
+}
+
+// ByAlgo selects cells of one algorithm.
+func ByAlgo(a styles.Algorithm) Filter {
+	return func(c Cell) bool { return c.Cfg.Algo == a }
+}
+
+// ClassicOnly excludes default-CudaAtomic cells, as the paper does for
+// every result after §5.1.
+func ClassicOnly(c Cell) bool { return c.Cfg.Atomics == styles.ClassicAtomic }
+
+// valueIndex returns which alternative of dim the config holds.
+func valueIndex(dim *styles.Dim, cfg styles.Config) int {
+	for i := 0; i < dim.NumValues; i++ {
+		if dim.Set(cfg, i) == cfg {
+			return i
+		}
+	}
+	return -1
+}
+
+// Ratios pairs cells that differ only in the given dimension and
+// returns tput[aIdx]/tput[bIdx] per algorithm — the paper's §5 ratio
+// methodology over the stored corpus. Pairing is per input and device,
+// exactly like harness.Ratios.
+func (s *Store) Ratios(dim *styles.Dim, aIdx, bIdx int, f Filter) map[styles.Algorithm][]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type pairKey struct {
+		key    string
+		input  string
+		device string
+	}
+	groups := make(map[pairKey]map[int]float64)
+	algoOf := make(map[pairKey]styles.Algorithm)
+	for i := range s.cfg {
+		c := s.cellAt(i)
+		if f != nil && !f(c) {
+			continue
+		}
+		if !dim.Applies(c.Cfg) {
+			continue
+		}
+		pk := pairKey{c.Cfg.KeyWithout(dim), c.Input, c.Device}
+		g := groups[pk]
+		if g == nil {
+			g = make(map[int]float64)
+			groups[pk] = g
+			algoOf[pk] = c.Cfg.Algo
+		}
+		g[valueIndex(dim, c.Cfg)] = c.Tput
+	}
+	out := make(map[styles.Algorithm][]float64)
+	for pk, g := range groups {
+		a, okA := g[aIdx]
+		b, okB := g[bIdx]
+		if okA && okB && a > 0 && b > 0 {
+			out[algoOf[pk]] = append(out[algoOf[pk]], a/b)
+		}
+	}
+	return out
+}
+
+// RatioLines renders per-algorithm ratio distributions as boxen lines
+// in the harness report format ("  algo n=... med=...").
+func RatioLines(ratios map[styles.Algorithm][]float64) []string {
+	var lines []string
+	for _, a := range paperOrder {
+		if xs := ratios[a]; len(xs) > 0 {
+			lines = append(lines, fmt.Sprintf("  %-4s %s", a.String(), stats.NewBoxen(xs).String()))
+		}
+	}
+	return lines
+}
+
+// CensusRow is the Fig. 14 census of one model: the percentage of each
+// style among the best-performing cells.
+type CensusRow struct {
+	Model  styles.Model
+	N      int // best-performing cells counted
+	Vertex float64
+	Topo   float64
+	Dup    float64 // among data-driven best performers
+	Push   float64
+	RW     float64
+	NonDet float64
+}
+
+// bestCells returns the highest-throughput cell per (algorithm, input,
+// device) among classic-atomics cells of the model. Ties break to the
+// lexicographically smaller variant name so the census is independent
+// of row order.
+func (s *Store) bestCells(model styles.Model) []Cell {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	type key struct {
+		a      styles.Algorithm
+		input  string
+		device string
+	}
+	best := make(map[key]Cell)
+	for i := range s.cfg {
+		c := s.cellAt(i)
+		if c.Cfg.Model != model || !ClassicOnly(c) {
+			continue
+		}
+		k := key{c.Cfg.Algo, c.Input, c.Device}
+		cur, ok := best[k]
+		if !ok || c.Tput > cur.Tput ||
+			(c.Tput == cur.Tput && c.Cfg.Name() < cur.Cfg.Name()) {
+			best[k] = c
+		}
+	}
+	out := make([]Cell, 0, len(best))
+	for _, c := range best {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// Census computes the Fig. 14 best-style census for one model over the
+// stored corpus. ok is false when the store holds no cells for it.
+func (s *Store) Census(model styles.Model) (CensusRow, bool) {
+	best := s.bestCells(model)
+	if len(best) == 0 {
+		return CensusRow{Model: model}, false
+	}
+	var vertex, topo, dup, push, rw, nondet, data int
+	for _, c := range best {
+		cfg := c.Cfg
+		if cfg.Iterate == styles.VertexBased {
+			vertex++
+		}
+		if cfg.Drive == styles.TopologyDriven {
+			topo++
+		} else {
+			data++
+			if cfg.Drive == styles.DataDrivenDup {
+				dup++
+			}
+		}
+		if cfg.Flow == styles.Push {
+			push++
+		}
+		if cfg.Update == styles.ReadWrite {
+			rw++
+		}
+		if cfg.Det == styles.NonDeterministic {
+			nondet++
+		}
+	}
+	n := len(best)
+	pct := func(x, of int) float64 {
+		if of == 0 {
+			return 0
+		}
+		return 100 * float64(x) / float64(of)
+	}
+	return CensusRow{
+		Model:  model,
+		N:      n,
+		Vertex: pct(vertex, n),
+		Topo:   pct(topo, n),
+		Dup:    pct(dup, data),
+		Push:   pct(push, n),
+		RW:     pct(rw, n),
+		NonDet: pct(nondet, n),
+	}, true
+}
+
+// CensusHeader is the census table header line, shared with Fig. 14.
+const CensusHeader = "model\tvertex%\ttopo%\tdup%\tpush%\trw%\tnondet%"
+
+// Line renders the row in the Fig. 14 report format.
+func (r CensusRow) Line() string {
+	return fmt.Sprintf("%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f",
+		r.Model, r.Vertex, r.Topo, r.Dup, r.Push, r.RW, r.NonDet)
+}
+
+// ComboCount pairs a variant name with how many (algorithm, input,
+// device) groups it wins.
+type ComboCount struct {
+	Variant string
+	Count   int
+}
+
+// BestComboCounts counts, per full style combination, how often it is
+// the best performer for the model — the store's view of "which exact
+// combinations win", beyond the per-dimension census. Sorted by count
+// descending, then name.
+func (s *Store) BestComboCounts(model styles.Model) []ComboCount {
+	counts := make(map[string]int)
+	for _, c := range s.bestCells(model) {
+		counts[c.Cfg.Name()]++
+	}
+	out := make([]ComboCount, 0, len(counts))
+	for name, n := range counts {
+		out = append(out, ComboCount{Variant: name, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Variant < out[j].Variant
+	})
+	return out
+}

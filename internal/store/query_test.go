@@ -1,0 +1,107 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// queryCell builds a BFS/OMP cell with the given drive/flow settings
+// and throughput, anchored on a fixed otherwise-default config.
+func queryCell(t *testing.T, drive styles.Drive, flow styles.Flow, input string, tput float64) Cell {
+	t.Helper()
+	cfg := styles.Config{
+		Algo:   styles.BFS,
+		Model:  styles.OMP,
+		Drive:  drive,
+		Flow:   flow,
+		Update: styles.ReadModifyWrite, // legal with every drive
+	}
+	if !styles.Valid(cfg) {
+		t.Fatalf("test config %q is not valid", cfg.Name())
+	}
+	return Cell{
+		Cfg:    cfg,
+		Input:  input,
+		Device: "cpu",
+		Graph:  graph.Stats{Name: input},
+		Tput:   tput,
+	}
+}
+
+func TestRatiosPairsByInput(t *testing.T) {
+	s := NewMem()
+	// Two inputs, push vs pull on each: ratios 2.0 and 4.0. A third
+	// cell on a different drive must not pair with either.
+	if err := s.Append(
+		queryCell(t, styles.TopologyDriven, styles.Push, "road", 2.0),
+		queryCell(t, styles.TopologyDriven, styles.Pull, "road", 1.0),
+		queryCell(t, styles.TopologyDriven, styles.Push, "grid2d", 8.0),
+		queryCell(t, styles.TopologyDriven, styles.Pull, "grid2d", 2.0),
+		queryCell(t, styles.DataDrivenDup, styles.Push, "road", 100.0),
+	); err != nil {
+		t.Fatal(err)
+	}
+	dim := styles.DimByKey("flow")
+	got := s.Ratios(dim, int(styles.Push), int(styles.Pull), nil)
+	want := map[styles.Algorithm][]float64{styles.BFS: {2.0, 4.0}}
+	// Map iteration order is random; sort-insensitive compare.
+	if len(got) != 1 || len(got[styles.BFS]) != 2 {
+		t.Fatalf("Ratios = %v, want two BFS ratios", got)
+	}
+	sum := got[styles.BFS][0] + got[styles.BFS][1]
+	if sum != want[styles.BFS][0]+want[styles.BFS][1] {
+		t.Fatalf("Ratios = %v, want %v (any order)", got, want)
+	}
+}
+
+func TestCensusDeterministicTieBreak(t *testing.T) {
+	// Two variants tie on throughput; the census must pick the
+	// lexicographically smaller variant name no matter the append order.
+	a := queryCell(t, styles.TopologyDriven, styles.Push, "road", 5.0)
+	b := queryCell(t, styles.DataDrivenDup, styles.Pull, "road", 5.0)
+
+	census := func(cells ...Cell) CensusRow {
+		s := NewMem()
+		if err := s.Append(cells...); err != nil {
+			t.Fatal(err)
+		}
+		row, ok := s.Census(styles.OMP)
+		if !ok {
+			t.Fatal("Census returned no data")
+		}
+		return row
+	}
+	r1 := census(a, b)
+	r2 := census(b, a)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("census depends on append order:\n %+v\nvs %+v", r1, r2)
+	}
+	if r1.N != 1 {
+		t.Fatalf("census N = %d, want 1 best cell", r1.N)
+	}
+}
+
+func TestCensusEmptyModel(t *testing.T) {
+	s := NewMem()
+	if _, ok := s.Census(styles.CUDA); ok {
+		t.Fatal("Census over empty store reported data")
+	}
+}
+
+func TestBestComboCounts(t *testing.T) {
+	s := NewMem()
+	if err := s.Append(
+		queryCell(t, styles.TopologyDriven, styles.Push, "road", 5.0),
+		queryCell(t, styles.TopologyDriven, styles.Pull, "road", 1.0),
+		queryCell(t, styles.TopologyDriven, styles.Push, "grid2d", 5.0),
+	); err != nil {
+		t.Fatal(err)
+	}
+	got := s.BestComboCounts(styles.OMP)
+	if len(got) != 1 || got[0].Count != 2 {
+		t.Fatalf("BestComboCounts = %+v, want one variant winning both inputs", got)
+	}
+}

@@ -12,10 +12,22 @@ import (
 	"indigo/internal/styles"
 )
 
+// JournalVersion is the journal record schema version. Version history:
+//
+//	0 — the unversioned original (no "v" field)
+//	1 — identical fields plus the explicit "v" marker
+//
+// Readers accept every version they know (0 and 1 parse identically)
+// and reject records from the future, so the journal schema and the
+// store's binary codec can evolve independently without a new writer
+// silently feeding garbage to an old resume or import.
+const JournalVersion = 1
+
 // Record is the JSONL journal form of one supervised run. Throughput is
 // recorded only for successful runs (failed runs have no measurement,
 // and NaN is not representable in JSON).
 type Record struct {
+	V         int     `json:"v"`
 	Variant   string  `json:"variant"`
 	Input     string  `json:"input"`
 	Device    string  `json:"device"`
@@ -57,6 +69,7 @@ func openJournal(path string) (*journal, error) {
 
 func (j *journal) append(o Outcome) error {
 	rec := Record{
+		V:         JournalVersion,
 		Variant:   o.Cfg.Name(),
 		Input:     o.Input.String(),
 		Device:    o.Device,
@@ -110,10 +123,18 @@ func ReadJournal(path string) (map[string]Outcome, error) {
 	out := make(map[string]Outcome)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
 	for sc.Scan() {
+		line++
 		var rec Record
 		if json.Unmarshal(sc.Bytes(), &rec) != nil {
 			continue
+		}
+		if rec.V > JournalVersion {
+			// A future writer produced this journal. Its fields may mean
+			// something else now; refusing beats resuming over garbage.
+			return nil, fmt.Errorf("sweep: read journal: line %d has schema version %d, this build reads <= %d",
+				line, rec.V, JournalVersion)
 		}
 		cfg, okV := byName[rec.Variant]
 		in, okI := inputs[rec.Input]

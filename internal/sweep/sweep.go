@@ -160,6 +160,13 @@ type Options struct {
 	// Progress, when set, is called after every task (including resumed
 	// and quarantined ones) with the running completion count.
 	Progress func(done, total int, o Outcome)
+	// Observer, when set, receives every completed outcome (including
+	// resumed replays) right after it is journaled. It is how the
+	// results store subscribes to a sweep without the supervisor
+	// depending on internal/store: the wiring layer (harness, cmd)
+	// passes an observer that appends OK outcomes as store cells.
+	// Called from worker goroutines; must be safe for concurrent use.
+	Observer func(Outcome)
 }
 
 // DefaultTimeout is the scale-aware per-run deadline: generous enough
@@ -287,12 +294,16 @@ func (s *Supervisor) Run(graphs []*graph.Graph, ropt algo.Options, tasks []Task)
 	return out
 }
 
-// finish journals the outcome and reports progress.
+// finish journals the outcome, notifies the observer, and reports
+// progress.
 func (s *Supervisor) finish(o Outcome, total int) {
 	if s.jrnl != nil && !o.Resumed {
 		if err := s.jrnl.append(o); err != nil {
 			fmt.Fprintf(os.Stderr, "sweep: journal append failed: %v\n", err)
 		}
+	}
+	if s.opt.Observer != nil {
+		s.opt.Observer(o)
 	}
 	s.mu.Lock()
 	s.done++
