@@ -1,7 +1,8 @@
 // Command bench measures the worker-pool runtime against the legacy
 // spawn-per-region path and the scratch-arena runs against the
 // allocate-per-run path, and emits the results as JSON. It is the source
-// of the committed BENCH_pool.json and BENCH_scratch.json: dispatch
+// of the committed BENCH_pool.json, BENCH_scratch.json, and (with
+// -guard) BENCH_guard.json: dispatch
 // latency at small region sizes (where road-network frontiers live),
 // worklist push styles, an end-to-end road-graph BFS, and a
 // multi-variant road-graph sweep with and without arenas.
@@ -13,20 +14,25 @@
 //	bench -out pool.json   # write the JSON to a file
 //	bench -alloccheck      # also assert the warmed-arena steady state
 //	                       # allocates zero times per run (exit 1 if not)
+//	bench -guard           # measure guard-checkpoint overhead on road BFS
+//	                       # instead (source of BENCH_guard.json)
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"runtime/debug"
 	"testing"
 	"time"
 
 	"indigo/internal/algo"
 	"indigo/internal/gen"
+	"indigo/internal/guard"
 	"indigo/internal/par"
 	"indigo/internal/runner"
 	"indigo/internal/scratch"
@@ -66,11 +72,22 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	alloccheck := flag.Bool("alloccheck", false,
 		"fail (exit 1) if a warmed-arena run allocates; pins the zero-alloc budget")
+	guardBench := flag.Bool("guard", false,
+		"measure guard-checkpoint overhead on the road BFS and emit that report instead")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
 	if *quick {
 		bt = 20 * time.Millisecond
+	}
+
+	if *guardBench {
+		trials := 9
+		if *quick {
+			trials = 2
+		}
+		emit(guardOverhead(bt, 4, trials, *quick), *out)
+		return
 	}
 
 	if *alloccheck {
@@ -94,17 +111,22 @@ func main() {
 		scratchSweep(bt, 4),
 	)
 
-	enc, err := json.MarshalIndent(rep, "", "  ")
+	emit(rep, *out)
+}
+
+// emit marshals doc to out (stdout when empty).
+func emit(doc any, out string) {
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	enc = append(enc, '\n')
-	if *out == "" {
+	if out == "" {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	if err := os.WriteFile(out, enc, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
@@ -318,4 +340,84 @@ func steadyStateAllocs() float64 {
 		sweep()
 	}
 	return testing.AllocsPerRun(5, sweep)
+}
+
+// GuardReport is the -guard measurement: what arming a live guard token
+// costs an end-to-end pooled road BFS — the paper-relevant hot path
+// with the most dispatches per second, hence the worst case for
+// checkpoint overhead. The budgeted contract is < 2% (DESIGN.md §11).
+type GuardReport struct {
+	GoVersion   string  `json:"go_version"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
+	Quick       bool    `json:"quick"`
+	Benchmark   string  `json:"benchmark"`
+	Trials      int     `json:"trials"`
+	UnguardedNs float64 `json:"unguarded_ns_per_op"`
+	GuardedNs   float64 `json:"guarded_ns_per_op"`
+	// OverheadPct is the median over trials of the per-trial ratio
+	// (guarded/unguarded - 1) * 100. Within a trial the two sides
+	// alternate run by run, so scheduler windows, GC cycles, and load
+	// ramps land on both sides of the ratio and cancel; the median over
+	// trials then discards the ones where interference still landed
+	// asymmetrically. (Measuring each side in its own multi-second window
+	// instead reads several percent of pure window-to-window drift on a
+	// busy host.) The ns fields are min-of-N, reported for scale only.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// guardOverhead measures the pooled road BFS with and without a live
+// (armed, never tripping) guard token, interleaving trials so machine
+// drift hits both sides equally.
+func guardOverhead(bt time.Duration, threads, trials int, quick bool) GuardReport {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	cfg := styles.Config{
+		Algo: styles.BFS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+		Flow: styles.Push, Update: styles.ReadModifyWrite,
+	}
+	p := par.NewPool(threads)
+	defer p.Close()
+	gd := guard.New().WithTimeout(time.Hour) // armed and live, never trips
+	defer gd.Release()
+
+	optU := algo.Options{Threads: threads, Pool: p}
+	optG := algo.Options{Threads: threads, Pool: p, Guard: gd}
+	for w := 0; w < 200; w++ { // warm the pool, caches, and branch state
+		runner.RunCPU(g, cfg, optU) //nolint:errcheck // benchmark body
+		runner.RunCPU(g, cfg, optG) //nolint:errcheck // benchmark body
+	}
+	unguarded, guarded := math.Inf(1), math.Inf(1)
+	ratios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		var tu, tg time.Duration
+		var n int
+		for tu+tg < 2*bt {
+			n++
+			s := time.Now()
+			runner.RunCPU(g, cfg, optU) //nolint:errcheck // benchmark body
+			tu += time.Since(s)
+			s = time.Now()
+			runner.RunCPU(g, cfg, optG) //nolint:errcheck // benchmark body
+			tg += time.Since(s)
+		}
+		u := float64(tu.Nanoseconds()) / float64(n)
+		m := float64(tg.Nanoseconds()) / float64(n)
+		unguarded = math.Min(unguarded, u)
+		guarded = math.Min(guarded, m)
+		ratios = append(ratios, m/u)
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (median + ratios[len(ratios)/2-1]) / 2
+	}
+	return GuardReport{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Quick:       quick,
+		Benchmark:   fmt.Sprintf("bfs-road/t%d", threads),
+		Trials:      trials,
+		UnguardedNs: unguarded,
+		GuardedNs:   guarded,
+		OverheadPct: (median - 1) * 100,
+	}
 }

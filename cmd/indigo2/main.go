@@ -174,6 +174,7 @@ func cmdRun(args []string) error {
 	source := fs.Int("source", 0, "source vertex for bfs/sssp")
 	threads := fs.Int("threads", 0, "CPU worker count (0 = all cores)")
 	timeout := fs.Duration("timeout", 0, "per-run deadline (0 = scale-aware default)")
+	budget := fs.Int64("budget", 0, "per-run scratch memory budget in bytes (0 = unlimited)")
 	journal := fs.String("journal", "", "JSONL measurement journal to append to")
 	resume := fs.Bool("resume", false, "skip the run if the journal already records it")
 	storePath := fs.String("store", "", "results store file to append the measurement to")
@@ -206,10 +207,11 @@ func cmdRun(args []string) error {
 		*timeout = sweep.DefaultTimeout(sc)
 	}
 	opts := sweep.Options{
-		Timeout: *timeout,
-		Verify:  true,
-		Journal: *journal,
-		Resume:  *resume,
+		Timeout:   *timeout,
+		MemBudget: *budget,
+		Verify:    true,
+		Journal:   *journal,
+		Resume:    *resume,
 	}
 	if *storePath != "" {
 		st, err := store.Open(*storePath)

@@ -31,6 +31,7 @@ func cmdServe(args []string) error {
 	scaleName := fs.String("scale", "tiny", "suite scale for resolving -import input shapes")
 	maxInflight := fs.Int("max-inflight", 64, "max concurrently served requests; excess sheds with 429")
 	timeout := fs.Duration("timeout", 10*time.Second, "per-request deadline")
+	budget := fs.Int64("budget", 0, "per-request compute memory budget in bytes (0 = unlimited)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	cacheEntries := fs.Int("cache", 256, "response cache entries (negative disables caching)")
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +65,7 @@ func cmdServe(args []string) error {
 		Store:          st,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
+		RequestBudget:  *budget,
 		DrainTimeout:   *drain,
 		CacheEntries:   *cacheEntries,
 	})

@@ -40,7 +40,7 @@ func main() {
 		return
 	}
 	start := time.Now()
-	distDelta := baseline.SSSPDelta(g, 0, 0, 0)
+	distDelta := baseline.SSSPDelta(g, 0, 0, 0, nil)
 	tputDelta := runner.Throughput(g, time.Since(start).Seconds())
 
 	fmt.Printf("topology-driven sweep: %8.4f GE/s (%d iterations)\n", tputTopo, resTopo.Iterations)

@@ -4,6 +4,7 @@
 package algo
 
 import (
+	"indigo/internal/guard"
 	"indigo/internal/par"
 	"indigo/internal/scratch"
 	"indigo/internal/styles"
@@ -39,6 +40,14 @@ type Options struct {
 	PRTol float64
 	// PRDamping is the PageRank damping factor; 0 means 0.85.
 	PRDamping float64
+	// Guard, when non-nil, makes the run cooperatively cancelable: every
+	// parallel region polls the token at amortized checkpoints, kernels
+	// poll it once per outer round, and (with Scratch set) the arena
+	// charges fresh allocations against the token's byte budget. A trip
+	// unwinds the kernel via a typed panic; runner.RunCPU/RunGPU convert
+	// it to the token's sentinel error. nil means unguarded — the hot
+	// loops then carry no checkpoint branches at all.
+	Guard *guard.Token
 }
 
 // Defaults fills zero fields given the vertex count n.
@@ -66,9 +75,9 @@ func (o Options) Defaults(n int32) Options {
 // after Defaults has resolved Threads.
 func (o Options) Exec() par.Executor {
 	if o.Pool != nil && o.Pool.Width() == o.Threads && !o.Pool.Closed() {
-		return o.Pool
+		return o.Pool.Guarded(o.Guard)
 	}
-	return par.Fixed(o.Threads)
+	return par.FixedGuarded(o.Threads, o.Guard)
 }
 
 // Result carries the output of one variant run. Only the fields relevant

@@ -22,7 +22,7 @@ func inputs() []*graph.Graph {
 func TestBFSDirOptMatchesSerial(t *testing.T) {
 	for _, g := range inputs() {
 		want := bfs.Serial(g, 0)
-		got := BFSDirOpt(g, 0, threads)
+		got := BFSDirOpt(g, 0, threads, nil)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s: vertex %d level %d, want %d", g.Name, v, got[v], want[v])
@@ -35,7 +35,7 @@ func TestSSSPDeltaMatchesSerial(t *testing.T) {
 	for _, g := range inputs() {
 		want := sssp.Serial(g, 0)
 		for _, delta := range []int32{1, 16, 64, 1024} {
-			got := SSSPDelta(g, 0, threads, delta)
+			got := SSSPDelta(g, 0, threads, delta, nil)
 			for v := range want {
 				if got[v] != want[v] {
 					t.Fatalf("%s delta=%d: vertex %d dist %d, want %d", g.Name, delta, v, got[v], want[v])
@@ -43,7 +43,7 @@ func TestSSSPDeltaMatchesSerial(t *testing.T) {
 			}
 		}
 		// Default delta path.
-		got := SSSPDelta(g, 0, threads, 0)
+		got := SSSPDelta(g, 0, threads, 0, nil)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s default delta: vertex %d", g.Name, v)
@@ -55,7 +55,7 @@ func TestSSSPDeltaMatchesSerial(t *testing.T) {
 func TestCCJumpMatchesSerial(t *testing.T) {
 	for _, g := range inputs() {
 		want := cc.Serial(g)
-		got := CCJump(g, threads)
+		got := CCJump(g, threads, nil)
 		for v := range want {
 			if got[v] != want[v] {
 				t.Fatalf("%s: vertex %d label %d, want %d", g.Name, v, got[v], want[v])
@@ -67,7 +67,7 @@ func TestCCJumpMatchesSerial(t *testing.T) {
 func TestPROptMatchesSerial(t *testing.T) {
 	for _, g := range inputs() {
 		want, _ := pr.Serial(g, 0.85, 1e-4, 200)
-		got, iters := PROpt(g, threads, 0.85, 1e-4, 200)
+		got, iters := PROpt(g, threads, 0.85, 1e-4, 200, nil)
 		if iters <= 0 {
 			t.Fatalf("%s: no iterations", g.Name)
 		}
@@ -86,7 +86,7 @@ func TestPROptMatchesSerial(t *testing.T) {
 func TestTCOrientMatchesSerial(t *testing.T) {
 	for _, g := range inputs() {
 		want := tc.Serial(g)
-		if got := TCOrient(g, threads); got != want {
+		if got := TCOrient(g, threads, nil); got != want {
 			t.Fatalf("%s: %d triangles, want %d", g.Name, got, want)
 		}
 	}
@@ -94,7 +94,7 @@ func TestTCOrientMatchesSerial(t *testing.T) {
 
 func TestMISLubyIsValidMIS(t *testing.T) {
 	for _, g := range inputs() {
-		inSet := MISLuby(g, threads, 42)
+		inSet := MISLuby(g, threads, 42, nil)
 		for v := int32(0); v < g.N; v++ {
 			if inSet[v] {
 				for _, u := range g.Neighbors(v) {

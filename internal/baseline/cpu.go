@@ -14,13 +14,16 @@ import (
 	"sync/atomic"
 
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 	"indigo/internal/par"
 )
 
 // BFSDirOpt is a direction-optimizing BFS (the GAP/Gardenia technique):
 // top-down frontier expansion that switches to bottom-up sweeps when
-// the frontier grows past a fraction of the graph.
-func BFSDirOpt(g *graph.Graph, src int32, threads int) []int32 {
+// the frontier grows past a fraction of the graph. gd (which may be
+// nil, like everywhere) is polled once per level, so baseline runs
+// honor the same deadlines and cancellation as the suite's variants.
+func BFSDirOpt(g *graph.Graph, src int32, threads int, gd *guard.Token) []int32 {
 	level := make([]int32, g.N)
 	for i := range level {
 		level[i] = graph.Inf
@@ -31,6 +34,7 @@ func BFSDirOpt(g *graph.Graph, src int32, threads int) []int32 {
 	// Switch to bottom-up when the frontier exceeds n/alpha vertices.
 	const alpha = 20
 	for len(frontier) > 0 {
+		gd.Poll()
 		next := par.NewWorklist(int64(g.N) + 1)
 		if int64(len(frontier)) > int64(g.N)/alpha {
 			// Bottom-up: every unvisited vertex scans its neighbors for
@@ -72,8 +76,8 @@ func BFSDirOpt(g *graph.Graph, src int32, threads int) []int32 {
 // SSSPDelta is delta-stepping SSSP (the Lonestar-style priority
 // schedule): vertices are processed in buckets of width delta in
 // ascending distance order, which avoids most of Bellman-Ford's wasted
-// relaxations.
-func SSSPDelta(g *graph.Graph, src int32, threads int, delta int32) []int32 {
+// relaxations. gd is polled once per bucket pass.
+func SSSPDelta(g *graph.Graph, src int32, threads int, delta int32, gd *guard.Token) []int32 {
 	if delta <= 0 {
 		delta = 32
 	}
@@ -98,6 +102,7 @@ func SSSPDelta(g *graph.Graph, src int32, threads int, delta int32) []int32 {
 	}
 	for b := 0; b < len(buckets); b++ {
 		for len(buckets[b]) > 0 {
+			gd.Poll()
 			frontier := buckets[b]
 			buckets[b] = nil
 			pending := make([][]pend, threads)
@@ -135,14 +140,16 @@ func SSSPDelta(g *graph.Graph, src int32, threads int, delta int32) []int32 {
 
 // CCJump is min-label propagation accelerated with pointer jumping
 // (the Shiloach-Vishkin-style shortcutting of the optimized CC codes):
-// labels converge in O(log n) rounds instead of O(diameter).
-func CCJump(g *graph.Graph, threads int) []int32 {
+// labels converge in O(log n) rounds instead of O(diameter). gd is
+// polled once per hook round and once per jump round.
+func CCJump(g *graph.Graph, threads int, gd *guard.Token) []int32 {
 	label := make([]int32, g.N)
 	for v := int32(0); v < g.N; v++ {
 		label[v] = v
 	}
 	cas := par.CAS{}
 	for {
+		gd.Poll()
 		var changed atomic.Int32
 		// Hook: spread the smaller endpoint label across every edge.
 		par.For(threads, g.M(), par.Static, func(e int64) {
@@ -161,6 +168,7 @@ func CCJump(g *graph.Graph, threads int) []int32 {
 		})
 		// Jump: shortcut label chains (label[v] <- label[label[v]]).
 		for {
+			gd.Poll()
 			var jumped atomic.Int32
 			par.For(threads, int64(g.N), par.Static, func(i int64) {
 				l := atomic.LoadInt32(&label[i])
@@ -185,8 +193,9 @@ func CCJump(g *graph.Graph, threads int) []int32 {
 // PROpt is optimized pull PageRank: per-iteration precomputed
 // contribution array (one division per vertex instead of one per edge)
 // and a clause-style reduction for the residual — the optimizations the
-// suite's unoptimized codes deliberately lack.
-func PROpt(g *graph.Graph, threads int, damping float32, tol float64, maxIter int32) ([]float32, int32) {
+// suite's unoptimized codes deliberately lack. gd is polled once per
+// iteration.
+func PROpt(g *graph.Graph, threads int, damping float32, tol float64, maxIter int32, gd *guard.Token) ([]float32, int32) {
 	n := int64(g.N)
 	rank := make([]float32, n)
 	next := make([]float32, n)
@@ -197,6 +206,7 @@ func PROpt(g *graph.Graph, threads int, damping float32, tol float64, maxIter in
 	base := 1 - damping
 	var iters int32
 	for iters < maxIter {
+		gd.Poll()
 		iters++
 		par.For(threads, n, par.Static, func(i int64) {
 			if d := g.Degree(int32(i)); d > 0 {
@@ -260,9 +270,13 @@ func Orient(g *graph.Graph) *Oriented {
 
 // TCOrient counts triangles over the oriented adjacency: for each
 // oriented edge (v, u) it intersects the two out-lists, touching every
-// triangle exactly once with half-length lists.
-func TCOrient(g *graph.Graph, threads int) int64 {
+// triangle exactly once with half-length lists. TC has no rounds: gd is
+// polled before the orientation build and before the counting pass, the
+// two long serial stretches.
+func TCOrient(g *graph.Graph, threads int, gd *guard.Token) int64 {
+	gd.Poll()
 	o := Orient(g)
+	gd.Poll()
 	return par.ReduceInt64(threads, int64(g.N), par.Static, par.RedClause, func(i int64) int64 {
 		v := int32(i)
 		var c int64
@@ -295,8 +309,8 @@ func intersectSorted(a, b []int32) int64 {
 // MISLuby is classic Luby's algorithm with fresh random priorities per
 // round, the style of the Lonestar baseline: correct and maximal but
 // slower than fixed-priority local-max (it cannot reuse decisions
-// across rounds and must re-randomize).
-func MISLuby(g *graph.Graph, threads int, seed int64) []bool {
+// across rounds and must re-randomize). gd is polled once per round.
+func MISLuby(g *graph.Graph, threads int, seed int64, gd *guard.Token) []bool {
 	const (
 		undecided int32 = 0
 		in        int32 = 1
@@ -311,6 +325,7 @@ func MISLuby(g *graph.Graph, threads int, seed int64) []bool {
 	prio := make([]uint32, g.N)
 	rng := rand.New(rand.NewSource(seed))
 	for {
+		gd.Poll()
 		// Fresh priorities each round (serial RNG, as in simple ports).
 		remaining := false
 		for v := int32(0); v < g.N; v++ {

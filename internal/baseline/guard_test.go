@@ -1,0 +1,36 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"indigo/internal/guard"
+)
+
+// TestBaselinesHonorGuard: a tripped token aborts every CPU baseline at
+// its next round checkpoint, surfacing as the sentinel via Recover —
+// the same cooperative-cancellation contract the suite's variants obey.
+func TestBaselinesHonorGuard(t *testing.T) {
+	g := inputs()[0]
+	runs := map[string]func(gd *guard.Token){
+		"bfs":  func(gd *guard.Token) { BFSDirOpt(g, 0, threads, gd) },
+		"sssp": func(gd *guard.Token) { SSSPDelta(g, 0, threads, 0, gd) },
+		"cc":   func(gd *guard.Token) { CCJump(g, threads, gd) },
+		"pr":   func(gd *guard.Token) { PROpt(g, threads, 0.85, 1e-4, 200, gd) },
+		"tc":   func(gd *guard.Token) { TCOrient(g, threads, gd) },
+		"mis":  func(gd *guard.Token) { MISLuby(g, threads, 42, gd) },
+	}
+	for name, run := range runs {
+		gd := guard.New()
+		gd.Cancel()
+		err := func() (err error) {
+			defer guard.Recover(&err)
+			run(gd)
+			return nil
+		}()
+		gd.Release()
+		if !errors.Is(err, guard.ErrCanceled) {
+			t.Errorf("%s: canceled baseline returned %v, want guard.ErrCanceled", name, err)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sync/atomic"
+
+	"indigo/internal/guard"
 )
 
 // Device is one simulated GPU: a profile, a fake global address space
@@ -19,7 +21,17 @@ type Device struct {
 	// collisions merge conservatively); the busiest address's count
 	// extends the kernel's critical path by AtomicSerialCost each.
 	atomTable []atomic.Int64
+	// gd, when non-nil, makes kernels cooperatively cancelable: Launch
+	// polls it per launch (which checkpoints every outer round of the
+	// multi-launch algorithms) and each warp polls it every
+	// guardPollCycles simulated cycles inside a kernel.
+	gd *guard.Token
 }
+
+// SetGuard installs (or, with nil, removes) the guard token subsequent
+// launches run under. Call it from the launching goroutine before
+// Launch; the launch's fan-out orders the write for the warp runners.
+func (d *Device) SetGuard(gd *guard.Token) { d.gd = gd }
 
 // New creates a device with the given profile.
 func New(p Profile) *Device {

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"indigo/internal/guard"
 	"indigo/internal/par"
 )
 
@@ -65,6 +66,10 @@ func (s Stats) Seconds(p Profile) float64 {
 // atomics, so results are exact; host parallelism only affects wall
 // time, not simulated time beyond cache-model perturbation.
 func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
+	// One poll per launch checkpoints every outer round of the
+	// multi-launch algorithms; warps poll again inside the kernel every
+	// guardPollCycles (see Warp.Op).
+	d.gd.Poll()
 	if cfg.ThreadsPerBlock == 0 {
 		cfg.ThreadsPerBlock = 256
 	}
@@ -81,7 +86,7 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	var total Stats
 
 	var nextBlock atomic.Int64
-	var panicked atomic.Value
+	var panicked panicSlot
 	workers := runtime.GOMAXPROCS(0)
 	if int64(workers) > cfg.Blocks {
 		workers = int(cfg.Blocks)
@@ -93,7 +98,7 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 		// CUDA error on the host thread.
 		defer func() {
 			if r := recover(); r != nil {
-				panicked.CompareAndSwap(nil, r)
+				panicked.record(r)
 				nextBlock.Store(cfg.Blocks) // stop other workers
 			}
 		}()
@@ -114,9 +119,7 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 		}
 		smMu.Unlock()
 	})
-	if r := panicked.Load(); r != nil {
-		panic(r)
-	}
+	panicked.rethrow()
 
 	var maxSM int64
 	for _, c := range smCycles {
@@ -166,12 +169,16 @@ func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock
 	blk.barrier = newBarrier(warpsPerBlock)
 	var mu sync.Mutex
 	var maxCycles int64
-	var panicked atomic.Value
+	var panicked panicSlot
+	// The fan-out itself stays unguarded on purpose: cancellation must
+	// reach barrier kernels through the in-body Op polls below, whose
+	// recover breaks the block barrier. A region-entry abort would skip a
+	// warp's body without waking its rendezvoused siblings.
 	par.ForConcurrent(warpsPerBlock, func(tid int) {
 		w := warps[tid]
 		defer func() {
 			if r := recover(); r != nil {
-				panicked.CompareAndSwap(nil, r)
+				panicked.record(r)
 				blk.barrier.abort()
 			}
 		}()
@@ -183,10 +190,32 @@ func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock
 		}
 		mu.Unlock()
 	})
-	if r := panicked.Load(); r != nil {
+	panicked.rethrow()
+	return maxCycles + blk.sharedSerial(d)
+}
+
+// panicSlot collects concurrent worker panics and rethrows one, with
+// guard aborts preferred: when a canceled warp's abort breaks the block
+// barrier, its sibling warps panic too ("barrier aborted"), and whichever
+// lands first would otherwise decide whether the run is filed as a
+// cancellation or a crash.
+type panicSlot struct{ abort, other atomic.Value }
+
+func (s *panicSlot) record(r any) {
+	if _, ok := guard.AbortError(r); ok {
+		s.abort.CompareAndSwap(nil, r)
+	} else {
+		s.other.CompareAndSwap(nil, r)
+	}
+}
+
+func (s *panicSlot) rethrow() {
+	if r := s.abort.Load(); r != nil {
 		panic(r)
 	}
-	return maxCycles + blk.sharedSerial(d)
+	if r := s.other.Load(); r != nil {
+		panic(r)
+	}
 }
 
 // sharedSerial is the block-critical-path cost of its shared atomics.

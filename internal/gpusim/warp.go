@@ -19,6 +19,11 @@ type Warp struct {
 
 	cycles int64
 	stats  Stats
+	// nextPoll is the cycle count at which Op next polls the device's
+	// guard token. Every simulated operation funnels through Op, so this
+	// bounds how much simulated work a canceled kernel can still do
+	// without adding a branch to each memory-op helper.
+	nextPoll int64
 }
 
 // Gidx returns the global thread index of the given lane, the paper's
@@ -41,10 +46,19 @@ func (w *Warp) TotalWarps() int64 { return w.GridDim * int64(w.BlockDim/WarpSize
 // Cycles returns the warp's current cycle count (for tests).
 func (w *Warp) Cycles() int64 { return w.cycles }
 
+// guardPollCycles is how many simulated cycles a warp runs between guard
+// polls: frequent enough that a canceled multi-second kernel stops in
+// microseconds of host time, rare enough to vanish in simulation cost.
+const guardPollCycles = 1 << 16
+
 // Op charges n warp instructions of plain ALU work.
 func (w *Warp) Op(n int64) {
 	w.cycles += n * w.d.Prof.Issue
 	w.stats.Instructions += n
+	if w.cycles >= w.nextPoll {
+		w.nextPoll = w.cycles + guardPollCycles
+		w.d.gd.Poll()
+	}
 }
 
 // charge accounts one memory transaction cost returned by the device.

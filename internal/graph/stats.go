@@ -1,5 +1,12 @@
 package graph
 
+import "indigo/internal/guard"
+
+// statsPollStride is how many vertices (or BFS dequeues) each stats
+// traversal processes between guard checkpoints: coarse enough to be
+// free, fine enough that a canceled request stops within microseconds.
+const statsPollStride = 4096
+
 // Stats summarizes the degree and distance structure of an input graph.
 // The fields mirror paper Tables 4 and 5: vertex/edge counts, size,
 // average and maximum degree, the fraction of vertices with degree >= 32
@@ -20,11 +27,19 @@ type Stats struct {
 // on the graph: the advisor, store cell signatures, and report tables
 // all consume the same signature, and the diameter estimate inside it
 // is two full BFS traversals.
-func (g *Graph) Stats() Stats {
+func (g *Graph) Stats() Stats { return g.StatsGuarded(nil) }
+
+// StatsGuarded is Stats under cooperative cancellation: gd (nil is
+// free) is polled every few thousand vertices through the degree scan
+// and both diameter BFS sweeps, so a request deadline or client
+// disconnect stops the traversals mid-flight instead of after the
+// fact. A completed computation is cached on the graph exactly like
+// Stats; an aborted one caches nothing.
+func (g *Graph) StatsGuarded(gd *guard.Token) Stats {
 	if p := g.cachedStats.Load(); p != nil {
 		return *p
 	}
-	s := computeStats(g)
+	s := computeStats(g, gd)
 	g.cachedStats.Store(&s)
 	return s
 }
@@ -35,7 +50,7 @@ func ComputeStats(g *Graph) Stats {
 	return g.Stats()
 }
 
-func computeStats(g *Graph) Stats {
+func computeStats(g *Graph, gd *guard.Token) Stats {
 	s := Stats{
 		Name:     g.Name,
 		Vertices: g.N,
@@ -47,6 +62,9 @@ func computeStats(g *Graph) Stats {
 	}
 	var ge32, ge512 int64
 	for v := int32(0); v < g.N; v++ {
+		if v%statsPollStride == 0 {
+			gd.Poll()
+		}
 		d := g.Degree(v)
 		if d > s.MaxDegree {
 			s.MaxDegree = d
@@ -61,7 +79,7 @@ func computeStats(g *Graph) Stats {
 	s.AvgDegree = float64(g.M()) / float64(g.N)
 	s.PctDeg32 = 100 * float64(ge32) / float64(g.N)
 	s.PctDeg512 = 100 * float64(ge512) / float64(g.N)
-	s.Diameter = EstimateDiameter(g)
+	s.Diameter = estimateDiameter(g, gd)
 	return s
 }
 
@@ -70,7 +88,9 @@ func computeStats(g *Graph) Stats {
 // an arbitrary vertex, then BFS again from the farthest vertex found.
 // For the paper's graph classes (grids, roads, scale-free) the double
 // sweep is within a small factor of the true diameter.
-func EstimateDiameter(g *Graph) int32 {
+func EstimateDiameter(g *Graph) int32 { return estimateDiameter(g, nil) }
+
+func estimateDiameter(g *Graph, gd *guard.Token) int32 {
 	if g.N == 0 {
 		return 0
 	}
@@ -82,14 +102,14 @@ func EstimateDiameter(g *Graph) int32 {
 			start = v
 		}
 	}
-	far, _ := bfsFarthest(g, start)
-	_, ecc := bfsFarthest(g, far)
+	far, _ := bfsFarthest(g, start, gd)
+	_, ecc := bfsFarthest(g, far, gd)
 	return ecc
 }
 
 // bfsFarthest runs a serial BFS from src and returns the farthest reached
 // vertex and its hop distance.
-func bfsFarthest(g *Graph, src int32) (far int32, dist int32) {
+func bfsFarthest(g *Graph, src int32, gd *guard.Token) (far int32, dist int32) {
 	level := make([]int32, g.N)
 	for i := range level {
 		level[i] = -1
@@ -97,7 +117,10 @@ func bfsFarthest(g *Graph, src int32) (far int32, dist int32) {
 	level[src] = 0
 	queue := []int32{src}
 	far, dist = src, 0
-	for len(queue) > 0 {
+	for seen := 0; len(queue) > 0; seen++ {
+		if seen%statsPollStride == 0 {
+			gd.Poll()
+		}
 		v := queue[0]
 		queue = queue[1:]
 		for _, u := range g.Neighbors(v) {

@@ -1,0 +1,39 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"indigo/internal/guard"
+)
+
+// TestStatsGuardedCancels: a tripped token aborts the stats traversals
+// at a checkpoint, nothing is cached from the aborted attempt, and a
+// later unguarded call still computes and caches normally.
+func TestStatsGuardedCancels(t *testing.T) {
+	const n = 10000
+	b := NewBuilder("line", n)
+	for v := int32(0); v+1 < n; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	g := b.Build()
+
+	gd := guard.New()
+	gd.Cancel()
+	err := func() (err error) {
+		defer guard.Recover(&err)
+		g.StatsGuarded(gd)
+		return nil
+	}()
+	gd.Release()
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled stats returned %v, want guard.ErrCanceled", err)
+	}
+	if g.cachedStats.Load() != nil {
+		t.Error("aborted stats computation must not be cached")
+	}
+
+	if s := g.Stats(); s.Diameter != n-1 {
+		t.Errorf("stats after abort: diameter %d, want %d", s.Diameter, n-1)
+	}
+}

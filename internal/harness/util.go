@@ -29,17 +29,17 @@ func timeCPUBaseline(a styles.Algorithm, g *graph.Graph, threads int) float64 {
 	start := time.Now()
 	switch a {
 	case styles.BFS:
-		baseline.BFSDirOpt(g, 0, threads)
+		baseline.BFSDirOpt(g, 0, threads, nil)
 	case styles.SSSP:
-		baseline.SSSPDelta(g, 0, threads, 0)
+		baseline.SSSPDelta(g, 0, threads, 0, nil)
 	case styles.CC:
-		baseline.CCJump(g, threads)
+		baseline.CCJump(g, threads, nil)
 	case styles.MIS:
-		baseline.MISLuby(g, threads, 42)
+		baseline.MISLuby(g, threads, 42, nil)
 	case styles.PR:
-		baseline.PROpt(g, threads, 0.85, 1e-4, g.N+8)
+		baseline.PROpt(g, threads, 0.85, 1e-4, g.N+8, nil)
 	case styles.TC:
-		baseline.TCOrient(g, threads)
+		baseline.TCOrient(g, threads, nil)
 	default:
 		return 0
 	}

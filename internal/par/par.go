@@ -77,16 +77,7 @@ func For(t int, n int64, s Sched, body func(i int64)) {
 	if s < Static || s > Cyclic {
 		panic("par.For: unknown schedule")
 	}
-	if n <= 0 {
-		return
-	}
-	if !pooling.Load() {
-		forSpawn(t, n, s, body, nil)
-		return
-	}
-	p := AcquirePool(t)
-	defer ReleasePool(p)
-	p.run(n, s, body, nil)
+	forAny(t, n, s, body, nil, nil)
 }
 
 // ForTID is like For but also passes the worker id (0..t-1) to the body,
@@ -96,14 +87,5 @@ func ForTID(t int, n int64, s Sched, body func(tid int, i int64)) {
 	if s < Static || s > Cyclic {
 		panic("par.ForTID: unknown schedule")
 	}
-	if n <= 0 {
-		return
-	}
-	if !pooling.Load() {
-		forSpawn(t, n, s, nil, body)
-		return
-	}
-	p := AcquirePool(t)
-	defer ReleasePool(p)
-	p.run(n, s, nil, body)
+	forAny(t, n, s, nil, body, nil)
 }

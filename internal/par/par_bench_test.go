@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"indigo/internal/guard"
 )
 
 const benchN = 1 << 16
@@ -75,6 +78,35 @@ func BenchmarkDispatch(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkDispatchGuarded puts a live (armed, never tripping) guard
+// token next to the unguarded fast path at the same region size. The
+// two sides should read within noise of each other: sub-stride shares
+// run the exact unguarded loops, so a region only pays for guarding at
+// the one dispatch-entry poll. cmd/bench -guard measures the same
+// contrast end to end through a road-BFS run (BENCH_guard.json).
+func BenchmarkDispatchGuarded(b *testing.B) {
+	const t, n = 4, 64
+	b.Run("unguarded", func(b *testing.B) {
+		p := NewPool(t)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.For(n, Static, func(int64) {})
+		}
+	})
+	b.Run("guarded", func(b *testing.B) {
+		p := NewPool(t)
+		defer p.Close()
+		gd := guard.New().WithTimeout(time.Hour)
+		defer gd.Release()
+		ex := p.Guarded(gd)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ex.For(n, Static, func(int64) {})
+		}
+	})
 }
 
 // BenchmarkWorklistPushStyles compares a full region of pushes through

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"indigo/internal/guard"
 )
 
 // This file is the persistent worker-pool runtime behind the package's
@@ -92,16 +94,21 @@ type region struct {
 	// the caller a wake token on the pool's done channel.
 	join atomic.Int32
 	tr   trap
+	// gd, when non-nil, makes workers poll the token at guardStride-amortized
+	// checkpoints. A tripped token aborts the worker's share via a typed
+	// panic that rides tr to the region's caller like any other panic.
+	gd *guard.Token
 }
 
 // reinit prepares a (fresh or recycled) region for dispatch. Atomics are
 // reset field by field — a recycled region's previous dispatch has fully
 // joined, and the recycle protocol guarantees no stale reader, so plain
 // reinitialization is safe.
-func (r *region) reinit(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool) {
+func (r *region) reinit(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool, gd *guard.Token) {
 	r.t, r.n, r.sched = t, n, s
 	r.body, r.bodyTID = body, bodyTID
 	r.elastic = elastic
+	r.gd = gd
 	r.claim.Store(1) // slot 0 is the caller's
 	r.next.Store(0)
 	r.pending.Store(int32(t))
@@ -128,8 +135,15 @@ func (r *region) finish(p *Pool) {
 }
 
 // exec runs worker tid's share of the region, trapping panics and
-// applying the chaos hook exactly like a spawned worker would.
+// applying the chaos hook exactly like a spawned worker would. Guarded
+// regions take the checkpointed twin instead; unguarded regions keep
+// these branch-free loops, so a live token is the only thing that pays
+// for guarding.
 func (r *region) exec(tid int) {
+	if r.gd != nil {
+		r.execGuarded(tid)
+		return
+	}
 	defer r.tr.capture()
 	chaosEnter(tid)
 	t := int64(r.t)
@@ -179,6 +193,123 @@ func (r *region) exec(tid int) {
 	}
 }
 
+// guardStride is how many iterations a guarded worker runs between token
+// polls. A poll is one atomic load, so at this stride the checkpoint cost
+// is amortized to noise even on trivially cheap bodies, while a worker in
+// a million-edge round still observes a cancel within ~2k iterations.
+const guardStride = 2048
+
+// execGuarded is exec for guarded regions: the same iteration→worker
+// assignment per schedule, with a token poll folded in every guardStride
+// iterations. A share that fits inside one stride runs the plain loops
+// from exec with no poll in sight — not just skipping the call: keeping
+// the (panic-throwing) checkpoint out of the loop body entirely lets the
+// compiler emit the same code as the unguarded twin, which is what holds
+// guarded overhead at noise level for the small-frontier regions
+// road-network rounds are made of. Staleness is still bounded: the
+// dispatch-entry poll runs once per region in the submitting goroutine,
+// so a canceled run stops between regions even when every worker share
+// is sub-stride. Only oversized shares take the chunked (contiguous) or
+// credit-counter (strided/dynamic) checkpointed loops.
+func (r *region) execGuarded(tid int) {
+	defer r.tr.capture()
+	chaosEnter(tid)
+	gd := r.gd
+	t := int64(r.t)
+	switch r.sched {
+	case Static, Blocked:
+		beg := int64(tid) * r.n / t
+		end := int64(tid+1) * r.n / t
+		if end-beg <= guardStride {
+			if r.body != nil {
+				for i := beg; i < end; i++ {
+					r.body(i)
+				}
+			} else {
+				for i := beg; i < end; i++ {
+					r.bodyTID(tid, i)
+				}
+			}
+			return
+		}
+		for beg < end {
+			stop := beg + guardStride
+			if stop > end {
+				stop = end
+			}
+			if r.body != nil {
+				for i := beg; i < stop; i++ {
+					r.body(i)
+				}
+			} else {
+				for i := beg; i < stop; i++ {
+					r.bodyTID(tid, i)
+				}
+			}
+			beg = stop
+			if beg < end {
+				gd.Poll()
+			}
+		}
+	case Cyclic:
+		if r.n <= guardStride*t {
+			if r.body != nil {
+				for i := int64(tid); i < r.n; i += t {
+					r.body(i)
+				}
+			} else {
+				for i := int64(tid); i < r.n; i += t {
+					r.bodyTID(tid, i)
+				}
+			}
+			return
+		}
+		credit := int64(guardStride)
+		if r.body != nil {
+			for i := int64(tid); i < r.n; i += t {
+				r.body(i)
+				if credit--; credit == 0 {
+					credit = guardStride
+					gd.Poll()
+				}
+			}
+		} else {
+			for i := int64(tid); i < r.n; i += t {
+				r.bodyTID(tid, i)
+				if credit--; credit == 0 {
+					credit = guardStride
+					gd.Poll()
+				}
+			}
+		}
+	case Dynamic:
+		credit := int64(guardStride)
+		for {
+			beg := r.next.Add(dynChunk) - dynChunk
+			if beg >= r.n {
+				return
+			}
+			end := beg + dynChunk
+			if end > r.n {
+				end = r.n
+			}
+			if r.body != nil {
+				for i := beg; i < end; i++ {
+					r.body(i)
+				}
+			} else {
+				for i := beg; i < end; i++ {
+					r.bodyTID(tid, i)
+				}
+			}
+			if credit -= end - beg; credit <= 0 {
+				credit = guardStride
+				gd.Poll()
+			}
+		}
+	}
+}
+
 // Worker parking states.
 const (
 	wActive int32 = iota // running a region or spinning on the epoch
@@ -221,6 +352,12 @@ type Pool struct {
 	// spare the one before it. takeRegion recycles spare once no worker
 	// has it published; the two-slot lag guarantees spare != cur.
 	prev, spare *region
+	// gexec is the reused guarded-view executor handed out by Guarded.
+	// Reusing it keeps Guarded allocation-free (a fresh view would escape
+	// into the Executor interface every run); that is safe under the same
+	// discipline that serializes dispatch — one run drives a pool at a
+	// time, and the view is only read during dispatch.
+	gexec guardedPool
 }
 
 // spinRounds is how many epoch checks a worker makes after finishing a
@@ -285,17 +422,64 @@ func (p *Pool) ForTID(n int64, s Sched, body func(tid int, i int64)) {
 // slots on one goroutine), so bodies that rendezvous across tids — the
 // GPU simulator's barrier kernels — must use this entry point.
 func ForConcurrent(t int, body func(tid int)) {
+	ForConcurrentGuarded(t, nil, body)
+}
+
+// ForConcurrentGuarded is ForConcurrent under a guard token: a tripped
+// token aborts before any body runs, and long-running bodies are expected
+// to poll gd themselves (one call per tid gives the substrate no
+// iteration boundary to amortize over). gd == nil means unguarded.
+func ForConcurrentGuarded(t int, gd *guard.Token, body func(tid int)) {
 	if t < 1 {
 		t = 1
 	}
 	wrapped := func(tid int, _ int64) { body(tid) }
 	if !pooling.Load() {
-		forSpawn(t, int64(t), Static, nil, wrapped)
+		forSpawn(t, int64(t), Static, nil, wrapped, gd)
 		return
 	}
 	p := AcquirePool(t)
 	defer ReleasePool(p)
-	p.dispatch(int64(t), Static, nil, wrapped, false)
+	p.dispatch(int64(t), Static, nil, wrapped, false, gd)
+}
+
+// Guarded returns an Executor that runs p's regions under gd: workers
+// poll the token at amortized checkpoints and a trip aborts the region,
+// surfacing as a panic on the region's caller (convert with
+// guard.Recover at the runner boundary). A nil gd returns p itself, so
+// unguarded runs keep the branch-free fast path. The returned view is
+// owned by the pool (reused across calls, never allocated); like
+// dispatch itself it must not be shared across concurrent runs.
+func (p *Pool) Guarded(gd *guard.Token) Executor {
+	if gd == nil {
+		return p
+	}
+	p.gexec.p, p.gexec.gd = p, gd
+	return &p.gexec
+}
+
+// guardedPool binds a Pool to a guard token for one run. It is a view,
+// not a wrapper with state: the same Pool can serve guarded and
+// unguarded runs back to back.
+type guardedPool struct {
+	p  *Pool
+	gd *guard.Token
+}
+
+func (g *guardedPool) Width() int { return g.p.t }
+
+func (g *guardedPool) For(n int64, s Sched, body func(i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.For: unknown schedule")
+	}
+	g.p.dispatch(n, s, body, nil, true, g.gd)
+}
+
+func (g *guardedPool) ForTID(n int64, s Sched, body func(tid int, i int64)) {
+	if s < Static || s > Cyclic {
+		panic("par.ForTID: unknown schedule")
+	}
+	g.p.dispatch(n, s, nil, body, true, g.gd)
 }
 
 // ReduceInt64 runs a pooled reduction (see par.ReduceInt64).
@@ -310,13 +494,16 @@ func (p *Pool) ReduceFloat64(n int64, s Sched, style RedStyle, body func(i int64
 
 // run dispatches one region and joins it.
 func (p *Pool) run(n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64)) {
-	p.dispatch(n, s, body, bodyTID, true)
+	p.dispatch(n, s, body, bodyTID, true, nil)
 }
 
 // dispatch publishes one region, runs the caller's share (plus, for
 // elastic regions, any shares the pool workers have not claimed yet),
-// and joins.
-func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool) {
+// and joins. A non-nil gd makes workers poll at guarded checkpoints; the
+// dispatch-entry poll stops a canceled run between regions (e.g. between
+// relax rounds) even when every region body is trivially short.
+func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), elastic bool, gd *guard.Token) {
+	gd.Poll()
 	if n <= 0 {
 		return
 	}
@@ -333,17 +520,17 @@ func (p *Pool) dispatch(n int64, s Sched, body func(i int64), bodyTID func(tid i
 			p.solo = &region{}
 		}
 		r := p.solo
-		r.reinit(1, n, s, body, bodyTID, false)
+		r.reinit(1, n, s, body, bodyTID, false, gd)
 		r.exec(0)
 		r.tr.rethrow()
 		return
 	}
 	r := p.takeRegion()
-	r.reinit(t, n, s, body, bodyTID, elastic)
+	r.reinit(t, n, s, body, bodyTID, elastic, gd)
 	p.mu.Lock()
 	if p.closed.Load() {
 		p.mu.Unlock()
-		forSpawn(t, n, s, body, bodyTID)
+		forSpawn(t, n, s, body, bodyTID, gd)
 		return
 	}
 	// Publishing the region pointer is the epoch tick; the atomic store
@@ -569,6 +756,21 @@ func ReleasePool(p *Pool) {
 	poolCache.Unlock()
 }
 
+// DrainPoolCache closes and discards every idle pool on the free list.
+// Goroutine-leak tests call it so that cached pools' workers do not show
+// up as leaks; production code never needs it.
+func DrainPoolCache() {
+	poolCache.Lock()
+	free := poolCache.free
+	poolCache.free = map[int][]*Pool{}
+	poolCache.Unlock()
+	for _, list := range free {
+		for _, p := range list {
+			p.Close()
+		}
+	}
+}
+
 // pooling gates the package-level For/ForTID between the pool runtime
 // and the legacy spawn-per-region implementation. It exists for
 // benchmarks and equivalence tests; production code leaves it on.
@@ -581,33 +783,79 @@ func init() { pooling.Store(true) }
 // execution (false). Only tests and benchmarks should call this.
 func SetPooling(on bool) { pooling.Store(on) }
 
-// fixedExec adapts the package-level functions to Executor.
-type fixedExec struct{ t int }
+// fixedExec adapts the package-level functions to Executor, optionally
+// under a guard token.
+type fixedExec struct {
+	t  int
+	gd *guard.Token
+}
 
 func (f fixedExec) Width() int { return f.t }
 func (f fixedExec) For(n int64, s Sched, body func(i int64)) {
-	For(f.t, n, s, body)
+	if s < Static || s > Cyclic {
+		panic("par.For: unknown schedule")
+	}
+	forAny(f.t, n, s, body, nil, f.gd)
 }
 func (f fixedExec) ForTID(n int64, s Sched, body func(tid int, i int64)) {
-	ForTID(f.t, n, s, body)
+	if s < Static || s > Cyclic {
+		panic("par.ForTID: unknown schedule")
+	}
+	forAny(f.t, n, s, nil, body, f.gd)
 }
 
 // Fixed returns the default executor for t logical threads: regions run
 // on free-list pools (or spawned goroutines when pooling is disabled).
 // t < 1 is treated as 1.
 func Fixed(t int) Executor {
+	return FixedGuarded(t, nil)
+}
+
+// FixedGuarded is Fixed under a guard token: every region the executor
+// runs polls gd at amortized checkpoints. gd == nil is plain Fixed.
+func FixedGuarded(t int, gd *guard.Token) Executor {
 	if t < 1 {
 		t = 1
 	}
-	return fixedExec{t}
+	return fixedExec{t, gd}
+}
+
+// forAny is the common pooled-or-spawned region entry behind the
+// package-level For/ForTID and the Fixed executors. Schedule validation
+// happens at the public call sites so their panic messages keep the
+// caller's name.
+func forAny(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), gd *guard.Token) {
+	if n <= 0 {
+		gd.Poll()
+		return
+	}
+	if !pooling.Load() {
+		forSpawn(t, n, s, body, bodyTID, gd)
+		return
+	}
+	p := AcquirePool(t)
+	defer ReleasePool(p)
+	p.dispatch(n, s, body, bodyTID, true, gd)
 }
 
 // forSpawn is the spawn-per-region reference implementation — the
 // pre-pool substrate, kept as the closed-pool fallback, the
 // SetPooling(false) path, and the baseline that schedule-equivalence
 // tests and dispatch benchmarks compare against. Exactly one of body and
-// bodyTID must be non-nil.
-func forSpawn(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64)) {
+// bodyTID must be non-nil. A non-nil gd is honored with a per-iteration
+// poll — this path is off the measured fast path, so simplicity beats
+// amortization here.
+func forSpawn(t int, n int64, s Sched, body func(i int64), bodyTID func(tid int, i int64), gd *guard.Token) {
+	if gd != nil {
+		gd.Poll()
+		if body != nil {
+			inner := body
+			body = func(i int64) { gd.Poll(); inner(i) }
+		} else {
+			inner := bodyTID
+			bodyTID = func(tid int, i int64) { gd.Poll(); inner(tid, i) }
+		}
+	}
 	if n <= 0 {
 		return
 	}

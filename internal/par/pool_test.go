@@ -11,7 +11,7 @@ import (
 // spawn-per-region reference implementation.
 func spawnAssignment(t int, n int64, s Sched) []int {
 	got := make([]int, n)
-	forSpawn(t, n, s, nil, func(tid int, i int64) { got[i] = tid })
+	forSpawn(t, n, s, nil, func(tid int, i int64) { got[i] = tid }, nil)
 	return got
 }
 

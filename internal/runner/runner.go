@@ -15,6 +15,7 @@ import (
 	"indigo/internal/algo/sssp"
 	"indigo/internal/algo/tc"
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 	"indigo/internal/par"
 	"indigo/internal/scratch"
 	"indigo/internal/styles"
@@ -24,10 +25,17 @@ import (
 // configuration that has no CPU implementation (a CUDA variant) is a
 // recoverable caller mistake and returns an error; only enum values
 // outside the styles space, which no enumeration can produce, panic.
-func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, error) {
+//
+// RunCPU is the guard boundary: when opt.Guard trips mid-run, the
+// kernel's cooperative abort unwinds to here and comes back as the
+// token's sentinel error (guard.ErrCanceled, ErrDeadlineExceeded, or
+// ErrBudgetExceeded) with a zero Result. Real kernel panics keep
+// panicking through.
+func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (res algo.Result, err error) {
 	if cfg.Model == styles.CUDA {
 		return algo.Result{}, fmt.Errorf("runner.RunCPU: %s is a GPU variant", cfg.Name())
 	}
+	defer guard.Recover(&err)
 	switch cfg.Algo {
 	case styles.BFS:
 		return bfs.RunCPU(g, cfg, opt), nil

@@ -13,19 +13,27 @@ import (
 	"indigo/internal/algo/tc"
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 	"indigo/internal/styles"
 )
 
 // RunGPU executes a CUDA-model variant on the given simulated device and
 // returns the result and the simulated cost. Non-CUDA configurations
 // and a nil device are recoverable caller mistakes and return an error.
-func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, gpusim.Stats, error) {
+//
+// Like RunCPU, this is the guard boundary: opt.Guard is installed on the
+// device for the run (launch-entry and per-cycle warp polls), and a
+// cooperative abort surfaces as the token's sentinel error here.
+func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (res algo.Result, st gpusim.Stats, err error) {
 	if cfg.Model != styles.CUDA {
 		return algo.Result{}, gpusim.Stats{}, fmt.Errorf("runner.RunGPU: %s is not a CUDA variant", cfg.Name())
 	}
 	if d == nil {
 		return algo.Result{}, gpusim.Stats{}, fmt.Errorf("runner.RunGPU: nil device for %s", cfg.Name())
 	}
+	d.SetGuard(opt.Guard)
+	defer d.SetGuard(nil)
+	defer guard.Recover(&err)
 	switch cfg.Algo {
 	case styles.BFS:
 		res, st := bfs.RunGPU(d, g, cfg, opt)

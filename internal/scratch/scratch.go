@@ -36,7 +36,9 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"indigo/internal/guard"
 	"indigo/internal/par"
 )
 
@@ -77,8 +79,12 @@ type pool[T any] struct {
 // take returns a cleared slice of length n backed by the smallest free
 // slab that fits (best fit keeps checkout sequences deterministic run to
 // run, which is what makes the steady state allocation-free), or a fresh
-// slab rounded up to the size class.
-func (p *pool[T]) take(n int) []T {
+// slab rounded up to the size class. Fresh slabs — the only point where
+// an arena actually grows — are charged against gd's byte budget, so a
+// budgeted run fails with guard.ErrBudgetExceeded at the allocation that
+// would have overdrawn it instead of OOMing the process. Reused slabs
+// are free: they were paid for when first allocated.
+func (p *pool[T]) take(n int, gd *guard.Token) []T {
 	c := sizeClass(n)
 	best := -1
 	for i, s := range p.free {
@@ -93,6 +99,8 @@ func (p *pool[T]) take(n int) []T {
 		p.free[best] = p.free[last]
 		p.free = p.free[:last]
 	} else {
+		var zero T
+		gd.Charge(int64(c) * int64(unsafe.Sizeof(zero)))
 		s = make([]T, c)
 	}
 	s = s[:n]
@@ -121,6 +129,20 @@ type Arena struct {
 	lists   []resetter
 	wlFree  []*par.Worklist
 	wlUsed  []*par.Worklist
+	// gd is the guard token fresh allocations are charged against; nil
+	// (and every reused checkout) charges nothing. Set per run by the
+	// supervisor via SetGuard.
+	gd *guard.Token
+}
+
+// SetGuard installs (or, with nil, removes) the guard token the arena
+// charges fresh slab and worklist allocations against. Call it from the
+// arena's owning goroutine alongside Reset, before handing the arena to
+// a run.
+func (a *Arena) SetGuard(gd *guard.Token) {
+	if a != nil {
+		a.gd = gd
+	}
 }
 
 // New creates an empty Arena.
@@ -146,12 +168,12 @@ func Slice[T any](a *Arena, n int) []T {
 	a.live("checkout")
 	key := reflect.TypeOf((*T)(nil))
 	if v, ok := a.slabs[key]; ok {
-		return v.(*pool[T]).take(n)
+		return v.(*pool[T]).take(n, a.gd)
 	}
 	p := &pool[T]{}
 	a.slabs[key] = p
 	a.lists = append(a.lists, p)
-	return p.take(n)
+	return p.take(n, a.gd)
 }
 
 // Of returns the arena's singleton *T, created zeroed on first use.
@@ -212,7 +234,9 @@ func (a *Arena) Worklist(capacity int64, t int) *par.Worklist {
 		w.Reset()
 		w.EnsureWidth(t)
 	} else {
-		w = par.NewWorklistTID(int64(sizeClass(int(capacity))), t)
+		c := int64(sizeClass(int(capacity)))
+		a.gd.Charge(c * 4) // int32 items; reservation buffers are noise
+		w = par.NewWorklistTID(c, t)
 	}
 	a.wlUsed = append(a.wlUsed, w)
 	return w

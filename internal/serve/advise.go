@@ -7,6 +7,7 @@ import (
 
 	"indigo/internal/advisor"
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 )
 
 // adviseRequest is the /v1/advise request body. The client supplies the
@@ -59,25 +60,33 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 	// Advice is deterministic in the request, so it caches on the body
 	// hash; coalescing also folds concurrent identical uploads (the
 	// expensive case: stats of a big inline graph) into one parse.
-	return s.cached(bodyCacheKey("advise", body), func() (*response, error) {
+	// The compute runs under the request's guard token: the inline
+	// graph's bytes are charged against the budget, the stats traversals
+	// poll for cancellation, and the deferred Recover turns a mid-parse
+	// abort back into the sentinel error the limited pipeline maps to a
+	// status code.
+	gd := tokenFrom(r.Context())
+	return s.cached(bodyCacheKey("advise", body), func() (resp *response, err error) {
+		defer guard.Recover(&err)
 		var st graph.Stats
 		if req.Stats != nil {
 			st = *req.Stats
 		} else {
-			g, err := parseInlineGraph(req.Graph, req.Format)
-			if err != nil {
-				return nil, err
+			gd.Charge(int64(len(req.Graph))) // parsing materializes the upload
+			g, herr := parseInlineGraph(req.Graph, req.Format)
+			if herr != nil {
+				return nil, herr
 			}
-			st = g.Stats()
+			st = g.StatsGuarded(gd)
 		}
 		rec := advisor.Recommend(a, m, st)
-		out, err := json.MarshalIndent(adviseResponse{
+		out, jerr := json.MarshalIndent(adviseResponse{
 			Variant:   rec.Config.Name(),
 			Rationale: rec.Rationale,
 			Stats:     st,
 		}, "", "  ")
-		if err != nil {
-			return nil, err
+		if jerr != nil {
+			return nil, jerr
 		}
 		return &response{status: http.StatusOK, contentType: "application/json", body: append(out, '\n')}, nil
 	})

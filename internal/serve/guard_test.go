@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"indigo/internal/testutil"
+)
+
+// inlineAdvise is a small but real /v1/advise body with an inline graph,
+// so the compute path goes through the guarded charge + stats traversal.
+const inlineAdvise = `{"algo":"bfs","model":"omp","graph":"0 1\n1 2\n2 3\n3 4\n"}`
+
+func serveAdvise(s *Server, body string, mutate func(*http.Request) *http.Request) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, "/v1/advise", strings.NewReader(body))
+	if mutate != nil {
+		req = mutate(req)
+	}
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// TestAdviseBudgetRejected: an inline graph larger than the request
+// budget is rejected with a clean 413 that names the budget — the
+// compute aborts at the charge, it does not OOM or 500.
+func TestAdviseBudgetRejected(t *testing.T) {
+	s := New(Options{Store: seedStore(t), RequestBudget: 4})
+	w := serveAdvise(s, inlineAdvise, nil)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-budget advise: %d %q, want 413", w.Code, w.Body.String())
+	}
+	if !strings.Contains(w.Body.String(), "budget") {
+		t.Errorf("413 body %q does not mention the budget", w.Body.String())
+	}
+	if n := s.metrics.budgetRejected.Load(); n != 1 {
+		t.Errorf("budget_rejected counter = %d, want 1", n)
+	}
+}
+
+// TestAdviseDeadlineCancels: a request that is still computing when its
+// deadline passes is stopped through its token and answered 503.
+func TestAdviseDeadlineCancels(t *testing.T) {
+	s := New(Options{Store: seedStore(t), RequestTimeout: 20 * time.Millisecond})
+	// Hold the request (inside the limited section, after the deadline is
+	// armed) until the deadline has passed and the context watcher has
+	// certainly tripped the token.
+	s.testHold = func() { time.Sleep(120 * time.Millisecond) }
+	w := serveAdvise(s, inlineAdvise, nil)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired advise: %d %q, want 503", w.Code, w.Body.String())
+	}
+	if n := s.metrics.deadlineExceeded.Load(); n != 1 {
+		t.Errorf("deadline_exceeded counter = %d, want 1", n)
+	}
+}
+
+// TestAdviseClientDisconnectCancels: when the client goes away
+// mid-request, the bound token trips and the in-flight compute stops at
+// its next checkpoint instead of finishing for nobody.
+func TestAdviseClientDisconnectCancels(t *testing.T) {
+	s := New(Options{Store: seedStore(t)})
+	var cancel context.CancelFunc
+	s.testHold = func() {
+		cancel() // the client hangs up while the request is in flight
+		time.Sleep(120 * time.Millisecond)
+	}
+	w := serveAdvise(s, inlineAdvise, func(req *http.Request) *http.Request {
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(req.Context())
+		return req.WithContext(ctx)
+	})
+	if w.Code != statusClientClosedRequest {
+		t.Fatalf("disconnected advise: %d %q, want %d", w.Code, w.Body.String(), statusClientClosedRequest)
+	}
+	if n := s.metrics.canceled.Load(); n != 1 {
+		t.Errorf("canceled counter = %d, want 1", n)
+	}
+}
+
+// TestMetricsFullCounterSet drives every counter family at least once
+// and asserts the /metrics document carries the complete set, including
+// the guard counters — so a dashboard built on these names never finds
+// one missing.
+func TestMetricsFullCounterSet(t *testing.T) {
+	s := New(Options{Store: seedStore(t), RequestBudget: 4, MaxInflight: 64})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	get(t, ts.URL+"/healthz")
+	get(t, ts.URL+"/v1/census") // cache miss
+	get(t, ts.URL+"/v1/census") // cache hit
+	post(t, ts.URL+"/v1/advise", inlineAdvise) // budget rejection (413)
+
+	// Deadline and disconnect paths, via direct dispatch with test holds.
+	s.opt.RequestTimeout = 20 * time.Millisecond
+	s.testHold = func() { time.Sleep(120 * time.Millisecond) }
+	serveAdvise(s, inlineAdvise, nil)
+	var cancel context.CancelFunc
+	s.testHold = func() {
+		cancel()
+		time.Sleep(120 * time.Millisecond)
+	}
+	s.opt.RequestTimeout = 10 * time.Second
+	serveAdvise(s, inlineAdvise, func(req *http.Request) *http.Request {
+		var ctx context.Context
+		ctx, cancel = context.WithCancel(req.Context())
+		return req.WithContext(ctx)
+	})
+	s.testHold = nil
+
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("metrics is not JSON: %v\n%s", err, body)
+	}
+	for _, key := range []string{
+		"requests_total", "requests", "responses", "inflight", "shed_total",
+		"canceled_total", "deadline_exceeded_total", "budget_rejected_total",
+		"cache", "latency_ms", "store",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("metrics document is missing %q:\n%s", key, body)
+		}
+	}
+	for key, want := range map[string]int64{
+		"canceled_total":          1,
+		"deadline_exceeded_total": 1,
+		"budget_rejected_total":   1,
+	} {
+		if got := int64(doc[key].(float64)); got != want {
+			t.Errorf("%s = %d, want %d", key, got, want)
+		}
+	}
+}
+
+// TestSustainedOverload holds the service at twice its capacity for a
+// sustained stretch: every answer is a 200 or a 429-with-Retry-After,
+// the goroutine count stays bounded the whole time (overload sheds, it
+// does not queue), and nothing leaks once the flood stops.
+func TestSustainedOverload(t *testing.T) {
+	leaks := testutil.Snapshot(t)
+	const cap = 4
+	s := New(Options{Store: seedStore(t), MaxInflight: cap, CacheEntries: -1})
+	s.testHold = func() { time.Sleep(2 * time.Millisecond) }
+	ts := httptest.NewServer(s.Handler())
+
+	baseline := runtime.NumGoroutine()
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	var ok, shed, bad, maxGoroutines atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2*cap; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				resp, err := http.Get(ts.URL + "/v1/census")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					if resp.Header.Get("Retry-After") == "" {
+						t.Error("429 without Retry-After")
+					}
+					shed.Add(1)
+				default:
+					bad.Add(1)
+				}
+				if g := int64(runtime.NumGoroutine()); g > maxGoroutines.Load() {
+					maxGoroutines.Store(g)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if bad.Load() != 0 {
+		t.Errorf("%d responses were neither 200 nor 429 under overload", bad.Load())
+	}
+	if ok.Load() == 0 || shed.Load() == 0 {
+		t.Errorf("sustained overload served %d oks and %d sheds; want both nonzero", ok.Load(), shed.Load())
+	}
+	// Bounded: client goroutines + per-connection server goroutines +
+	// slack. What this guards against is unbounded queue growth, where
+	// the count would track total request volume (thousands here).
+	if limit := int64(baseline + 16*cap); maxGoroutines.Load() > limit {
+		t.Errorf("goroutines peaked at %d (baseline %d); overload must shed, not queue",
+			maxGoroutines.Load(), baseline)
+	}
+
+	ts.Close()
+	leaks.Check(t)
+}

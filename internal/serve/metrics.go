@@ -22,6 +22,10 @@ type metrics struct {
 	cacheMiss atomic.Int64
 	coalesced atomic.Int64 // waited on another request's in-flight compute
 
+	canceled         atomic.Int64 // stopped because the client disconnected
+	deadlineExceeded atomic.Int64 // stopped (or discarded) at the request deadline
+	budgetRejected   atomic.Int64 // rejected for overdrawing the compute budget
+
 	byRoute  [numRoutes]atomic.Int64
 	byStatus [6]atomic.Int64 // index = status / 100
 
@@ -85,6 +89,9 @@ func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
 		Responses     map[string]int64 `json:"responses"`
 		Inflight      int64            `json:"inflight"`
 		ShedTotal     int64            `json:"shed_total"`
+		Canceled      int64            `json:"canceled_total"`
+		Deadline      int64            `json:"deadline_exceeded_total"`
+		BudgetReject  int64            `json:"budget_rejected_total"`
 		Cache         map[string]int64 `json:"cache"`
 		LatencyMS     map[string]int64 `json:"latency_ms"`
 		Store         map[string]int64 `json:"store"`
@@ -95,6 +102,9 @@ func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
 		Responses:     map[string]int64{},
 		Inflight:      m.inflight.Load(),
 		ShedTotal:     m.shed.Load(),
+		Canceled:      m.canceled.Load(),
+		Deadline:      m.deadlineExceeded.Load(),
+		BudgetReject:  m.budgetRejected.Load(),
 		Cache: map[string]int64{
 			"hits":      m.cacheHit.Load(),
 			"misses":    m.cacheMiss.Load(),

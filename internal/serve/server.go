@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 	"indigo/internal/store"
 	"indigo/internal/styles"
 )
@@ -57,6 +58,12 @@ type Options struct {
 	// MaxUploadBytes caps /v1/advise request bodies (inline graphs from
 	// untrusted clients). Default 8 MiB.
 	MaxUploadBytes int64
+	// RequestBudget, when positive, caps the bytes one request's
+	// computation may charge against its guard token (today: inline
+	// /v1/advise graphs and their stats traversals); an overdraw is
+	// rejected with 413 instead of growing without bound. 0 disables
+	// the budget.
+	RequestBudget int64
 }
 
 func (o *Options) defaults() {
@@ -141,8 +148,32 @@ func (s *Server) instrument(rt route, h func(*http.Request) (*response, error)) 
 	}
 }
 
+// statusClientClosedRequest is nginx's conventional status for requests
+// abandoned by their client before the response was written; the code
+// never reaches the (gone) client, but it keeps the access metrics
+// honest about why the work stopped.
+const statusClientClosedRequest = 499
+
+// tokenKey carries the request's guard token through its context.
+type tokenKey struct{}
+
+func withToken(ctx context.Context, gd *guard.Token) context.Context {
+	return context.WithValue(ctx, tokenKey{}, gd)
+}
+
+// tokenFrom returns the request's guard token, or nil outside the
+// limited pipeline (nil is valid everywhere guard is used).
+func tokenFrom(ctx context.Context) *guard.Token {
+	gd, _ := ctx.Value(tokenKey{}).(*guard.Token)
+	return gd
+}
+
 // limited wraps /v1 endpoints with the full pipeline: concurrency
-// limiting with load shedding, a per-request deadline, and metrics.
+// limiting with load shedding, a per-request deadline and budget
+// enforced through a guard token bound to the request context (so a
+// client disconnect or deadline stops in-flight computation at its
+// next checkpoint instead of merely discarding the finished result),
+// and metrics.
 func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
@@ -164,14 +195,41 @@ func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) htt
 			s.metrics.inflight.Add(-1)
 			<-s.sem
 		}()
+		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
+		defer cancel()
+		// The token is how the deadline (and a client disconnect) reaches
+		// into the request's computation: guarded traversals poll it and
+		// abort mid-flight rather than running to completion for nobody.
+		gd := guard.New().WithBudget(s.opt.RequestBudget)
+		unbind := gd.BindContext(ctx)
+		defer func() {
+			unbind()
+			gd.Release()
+		}()
 		if s.testHold != nil {
 			s.testHold()
 		}
-		ctx, cancel := context.WithTimeout(r.Context(), s.opt.RequestTimeout)
-		defer cancel()
-		resp, err := h(r.WithContext(ctx))
-		if err == nil && ctx.Err() != nil {
+		resp, err := h(r.WithContext(withToken(ctx, gd)))
+		switch {
+		case errors.Is(err, guard.ErrBudgetExceeded):
+			s.metrics.budgetRejected.Add(1)
+			err = errf(http.StatusRequestEntityTooLarge,
+				"request exceeds the %d-byte compute budget", s.opt.RequestBudget)
+		case errors.Is(err, guard.ErrDeadlineExceeded):
+			s.metrics.deadlineExceeded.Add(1)
 			err = errf(http.StatusServiceUnavailable, "request deadline exceeded")
+		case errors.Is(err, guard.ErrCanceled):
+			s.metrics.canceled.Add(1)
+			err = errf(statusClientClosedRequest, "client closed request")
+		case err == nil && ctx.Err() != nil:
+			// The handler finished but nobody is waiting for the answer.
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				s.metrics.deadlineExceeded.Add(1)
+				err = errf(http.StatusServiceUnavailable, "request deadline exceeded")
+			} else {
+				s.metrics.canceled.Add(1)
+				err = errf(statusClientClosedRequest, "client closed request")
+			}
 		}
 		status := s.write(w, resp, err)
 		s.metrics.observe(rt, status, time.Since(start))
@@ -205,6 +263,12 @@ func (s *Server) cached(key string, compute func() (*response, error)) (*respons
 		return compute()
 	}
 	resp, oc, err := s.cache.do(key, s.opt.Store.Generation(), compute)
+	if oc == outcomeCoalesced && errors.Is(err, guard.ErrCanceled) {
+		// The request whose compute we coalesced onto was canceled (its
+		// client hung up); that cancellation is not ours. Retry once with
+		// our own compute closure — and our own token.
+		resp, oc, err = s.cache.do(key, s.opt.Store.Generation(), compute)
+	}
 	switch oc {
 	case outcomeHit:
 		s.metrics.cacheHit.Add(1)

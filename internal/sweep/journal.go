@@ -16,12 +16,16 @@ import (
 //
 //	0 — the unversioned original (no "v" field)
 //	1 — identical fields plus the explicit "v" marker
+//	2 — adds "reclaim" ("cancel" | "abandon") and "cancel_ns" to timeout
+//	    records, distinguishing cooperatively canceled cells (safe to
+//	    replay on resume) from abandoned ones (poisoned runtime; re-run)
 //
-// Readers accept every version they know (0 and 1 parse identically)
-// and reject records from the future, so the journal schema and the
-// store's binary codec can evolve independently without a new writer
-// silently feeding garbage to an old resume or import.
-const JournalVersion = 1
+// Readers accept every version they know (0–2 parse identically; the
+// v2 fields are simply absent from older records) and reject records
+// from the future, so the journal schema and the store's binary codec
+// can evolve independently without a new writer silently feeding
+// garbage to an old resume or import.
+const JournalVersion = 2
 
 // Record is the JSONL journal form of one supervised run. Throughput is
 // recorded only for successful runs (failed runs have no measurement,
@@ -36,6 +40,11 @@ type Record struct {
 	Err       string  `json:"err,omitempty"`
 	Attempts  int     `json:"attempts"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Reclaim and CancelNS qualify timeout records (schema v2): how the
+	// run's resources were recovered (ReclaimCancel/ReclaimAbandon) and,
+	// for cancels, the deadline-to-return latency in nanoseconds.
+	Reclaim  string `json:"reclaim,omitempty"`
+	CancelNS int64  `json:"cancel_ns,omitempty"`
 }
 
 // journal appends one Record per completed run to a JSONL file. Appends
@@ -77,6 +86,8 @@ func (j *journal) append(o Outcome) error {
 		Err:       o.Err,
 		Attempts:  o.Attempts,
 		ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+		Reclaim:   o.Reclaim,
+		CancelNS:  o.CancelNS,
 	}
 	if o.Kind == OK {
 		rec.Tput = o.Tput
@@ -149,6 +160,13 @@ func ReadJournal(path string) (map[string]Outcome, error) {
 			Err:      rec.Err,
 			Attempts: rec.Attempts,
 			Elapsed:  time.Duration(rec.ElapsedMS * float64(time.Millisecond)),
+			Reclaim:  rec.Reclaim,
+			CancelNS: rec.CancelNS,
+		}
+		if kind == Timeout && o.Reclaim == "" {
+			// Pre-v2 timeouts were always abandonments (cancellation did
+			// not exist yet), so resume treats them as poisoned and re-runs.
+			o.Reclaim = ReclaimAbandon
 		}
 		out[o.Key()] = o
 	}

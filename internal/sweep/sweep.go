@@ -17,7 +17,7 @@
 package sweep
 
 import (
-	"context"
+	"errors"
 	"fmt"
 	"math"
 	"os"
@@ -28,6 +28,7 @@ import (
 	"indigo/internal/gen"
 	"indigo/internal/gpusim"
 	"indigo/internal/graph"
+	"indigo/internal/guard"
 	"indigo/internal/par"
 	"indigo/internal/runner"
 	"indigo/internal/scratch"
@@ -45,8 +46,11 @@ type Kind int
 const (
 	// OK: the run completed (and verified, when enabled) in time.
 	OK Kind = iota
-	// Timeout: no result within the per-run deadline; the run's
-	// goroutine is abandoned (the algorithm kernels take no context).
+	// Timeout: the run missed its per-run deadline. Almost always the
+	// guard token stopped it cooperatively and the worker pool was
+	// reclaimed intact (Outcome.Reclaim == ReclaimCancel); a run that
+	// never reached a checkpoint within the grace window was abandoned
+	// and its pool replaced (ReclaimAbandon).
 	Timeout
 	// Panic: the variant panicked and the supervisor recovered it.
 	Panic
@@ -99,6 +103,21 @@ func (t Task) Key() string {
 	return t.Cfg.Name() + "|" + t.Input.String() + "|" + t.Device
 }
 
+// How a timed-out run's resources were recovered (Outcome.Reclaim).
+const (
+	// ReclaimCancel: the run observed its tripped guard token at a
+	// checkpoint and returned cooperatively; the worker pool and arena
+	// were reclaimed intact. The cell's partial work is simply lost —
+	// nothing is poisoned, and resume may re-run it safely.
+	ReclaimCancel = "cancel"
+	// ReclaimAbandon: the run never reached a checkpoint within the
+	// grace window (a wedged worker, a stall in foreign code); its pool
+	// was closed and replaced and its arena retired. The runtime that
+	// produced this record was poisoned, so resume re-runs the cell
+	// rather than trusting the replay.
+	ReclaimAbandon = "abandon"
+)
+
 // Outcome is the supervisor's record of one task: either a measurement
 // (Kind == OK) or a classified failure.
 type Outcome struct {
@@ -108,6 +127,13 @@ type Outcome struct {
 	Err      string
 	Attempts int
 	Elapsed  time.Duration
+	// Reclaim records how a Timeout's resources were recovered:
+	// ReclaimCancel or ReclaimAbandon. Empty for every other kind.
+	Reclaim string
+	// CancelNS is the reclaim latency of a cooperative cancel: the time
+	// from the deadline tripping the token to the run returning,
+	// nanoseconds. Zero for abandons (there is no return to measure).
+	CancelNS int64
 	// Resumed marks outcomes replayed from the journal rather than run.
 	Resumed bool
 }
@@ -130,8 +156,19 @@ func (o Outcome) Failure() Failure {
 // Options configures a Supervisor.
 type Options struct {
 	// Timeout is the per-run deadline; 0 disables deadlines. Use
-	// DefaultTimeout for a scale-aware default.
+	// DefaultTimeout for a scale-aware default. A run that misses it is
+	// stopped cooperatively through its guard token; see ReclaimGrace.
 	Timeout time.Duration
+	// ReclaimGrace is how long after the deadline the supervisor waits
+	// for the canceled run to observe its token and return before giving
+	// up and abandoning it (closing its pool, retiring its arena).
+	// 0 means one second.
+	ReclaimGrace time.Duration
+	// MemBudget, when positive, caps the bytes each attempt's scratch
+	// arena may freshly allocate; an overdraw fails the run with
+	// guard.ErrBudgetExceeded (a deterministic Error, never retried)
+	// instead of OOMing the sweep.
+	MemBudget int64
 	// Workers sizes the pool. The default (<= 1) runs tasks one at a
 	// time: variants are internally parallel, and concurrent runs
 	// perturb each other's timing. Raise it for verification sweeps
@@ -355,8 +392,15 @@ func (h *poolHolder) close() {
 // runTask resolves resume and quarantine, then drives the retry loop.
 func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) Outcome {
 	if prior, ok := s.prior[t.Key()]; ok {
-		prior.Resumed = true
-		return prior
+		// Abandoned timeouts are not replayed: the runtime that produced
+		// them was poisoned (wedged pool, retired arena), so the record
+		// describes the old process's distress, not the cell. Re-run it.
+		// Cooperatively canceled timeouts replay fine — the cell really is
+		// too slow for the deadline.
+		if !(prior.Kind == Timeout && prior.Reclaim == ReclaimAbandon) {
+			prior.Resumed = true
+			return prior
+		}
 	}
 	name := t.Cfg.Name()
 	s.mu.Lock()
@@ -370,8 +414,9 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 	start := time.Now()
 	var o Outcome
 	for attempt := 1; ; attempt++ {
-		kind, tput, msg := s.attempt(graphs, ropt, t, h)
-		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt}
+		kind, tput, msg, reclaim, cancelNS := s.attempt(graphs, ropt, t, h)
+		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt,
+			Reclaim: reclaim, CancelNS: cancelNS}
 		if kind == OK || kind == Error || attempt > s.opt.Retries {
 			break
 		}
@@ -399,10 +444,17 @@ type reply struct {
 	panicked any
 }
 
-// attempt executes the task once under deadline and panic isolation.
-func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (Kind, float64, string) {
+// attempt executes the task once under deadline, budget, and panic
+// isolation. The deadline is enforced cooperatively: the attempt's guard
+// token is armed with the timeout and threaded through the run (pool
+// regions, kernel rounds, arena charges), so a timed-out run normally
+// cancels itself and hands the worker pool back intact. Only a run that
+// never reaches a checkpoint within the reclaim grace window is
+// abandoned the old way — pool closed and replaced, arena retired — and
+// parks harmlessly on the buffered channel if it ever finishes.
+func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (kind Kind, tput float64, msg, reclaim string, cancelNS int64) {
 	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
-		return Error, math.NaN(), fmt.Sprintf("no graph for input %q", t.Input)
+		return Error, math.NaN(), fmt.Sprintf("no graph for input %q", t.Input), "", 0
 	}
 	g := graphs[t.Input]
 	ropt.Pool = h.pool // pin CPU regions to this worker's persistent pool
@@ -414,22 +466,38 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 		ropt.Scratch = h.arena
 	}
 
-	ctx := context.Background()
-	if s.opt.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opt.Timeout)
-		defer cancel()
-	}
+	gd := guard.New().WithTimeout(s.opt.Timeout).WithBudget(s.opt.MemBudget)
+	defer gd.Release()
+	ropt.Guard = gd
+	// Charge the arena's fresh growth against this attempt's budget. The
+	// goroutine start below orders the write for the run; the reply
+	// receive orders the clearing write after it.
+	h.arena.SetGuard(gd)
 
-	// The algorithm kernels take no context, so the deadline is enforced
-	// from outside: the run proceeds on its own goroutine and a run that
-	// misses the deadline is abandoned (it parks harmlessly on the
-	// buffered channel when — if ever — it finishes).
+	grace := s.opt.ReclaimGrace
+	if grace <= 0 {
+		grace = time.Second
+	}
+	var graceC <-chan time.Time
+	if s.opt.Timeout > 0 {
+		timer := time.NewTimer(s.opt.Timeout + grace)
+		defer timer.Stop()
+		graceC = timer.C
+	}
+	armed := time.Now()
+
 	ch := make(chan reply, 1)
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
-				ch <- reply{panicked: p}
+				if err, ok := guard.AbortError(p); ok {
+					// A cooperative abort that escaped the runner boundary
+					// (e.g. an arena charge outside RunCPU) is a
+					// cancellation, not a crash.
+					ch <- reply{err: err}
+				} else {
+					ch <- reply{panicked: p}
+				}
 			}
 		}()
 		var r reply
@@ -444,27 +512,48 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 	}()
 
 	select {
-	case <-ctx.Done():
-		// The abandoned run may still be executing on (or wedging) the
-		// pinned pool; retire it so retries and later tasks get clean
-		// workers.
+	case <-graceC:
+		// The run blew through deadline AND grace without reaching a
+		// checkpoint — it is wedged somewhere the token cannot see. Fall
+		// back to abandonment: close the pool (late dispatches degrade to
+		// spawn-per-region), retire the arena (late checkouts panic inside
+		// the attempt's recover), and give later attempts clean state.
 		h.replace()
-		return Timeout, math.NaN(), fmt.Sprintf("no result within %v", s.opt.Timeout)
+		return Timeout, math.NaN(),
+			fmt.Sprintf("no result within %v and no checkpoint within the %v grace window",
+				s.opt.Timeout, grace), ReclaimAbandon, 0
 	case r := <-ch:
+		h.arena.SetGuard(nil)
 		switch {
+		case errors.Is(r.err, guard.ErrDeadlineExceeded):
+			// The canceled run returned on its own: the pool and arena are
+			// intact and will serve the next attempt as-is. Record how long
+			// the cancel took to land.
+			lat := time.Since(armed) - s.opt.Timeout
+			if lat < 0 {
+				lat = 0
+			}
+			return Timeout, math.NaN(),
+				fmt.Sprintf("canceled after %v deadline", s.opt.Timeout),
+				ReclaimCancel, int64(lat)
+		case errors.Is(r.err, guard.ErrBudgetExceeded):
+			// Deterministic — the variant needs more memory than the budget
+			// allows — so Error, which the retry loop never re-attempts.
+			return Error, math.NaN(),
+				fmt.Sprintf("memory budget of %d bytes exceeded", s.opt.MemBudget), "", 0
 		case r.panicked != nil:
-			return Panic, math.NaN(), fmt.Sprint(r.panicked)
+			return Panic, math.NaN(), fmt.Sprint(r.panicked), "", 0
 		case r.err != nil:
-			return Error, math.NaN(), r.err.Error()
+			return Error, math.NaN(), r.err.Error(), "", 0
 		case !(r.tput > 0): // catches NaN from zero/negative elapsed
-			return Error, math.NaN(), fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput)
+			return Error, math.NaN(), fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput), "", 0
 		}
 		if s.opt.Verify {
 			if err := s.check(g, ropt, t.Cfg, r.res); err != nil {
-				return WrongAnswer, math.NaN(), err.Error()
+				return WrongAnswer, math.NaN(), err.Error(), "", 0
 			}
 		}
-		return OK, r.tput, ""
+		return OK, r.tput, "", "", 0
 	}
 }
 
