@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+)
+
+// ingestThreads is the worker count the parallel side runs at; the
+// committed BENCH_ingest.json is the t=4 measurement the issue asks for.
+const ingestThreads = 4
+
+// ingestAllocCeiling is the -alloccheck pin for the parallel edge-list
+// read: allocations must stay O(chunks + output arrays), never O(lines).
+// The parse itself is zero-alloc per line ([]byte fields, no Scanner
+// line copies, no strings.Fields slices), so the steady state is a
+// couple hundred allocations regardless of input size — a per-line
+// allocation on the social input would blow past this by three orders
+// of magnitude.
+const ingestAllocCeiling = 512
+
+// IngestReport is the document emitted by -ingest (BENCH_ingest.json).
+// Comparisons reuse the pool-vs-spawn record: "pool" is the chunked
+// parallel ingest path, "spawn" the serial scanner reference.
+type IngestReport struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+	Threads    int    `json:"threads"`
+	// Input shape: the social-network generator's output serialized to
+	// both text formats.
+	Vertices      int32   `json:"vertices"`
+	DirectedEdges int64   `json:"directed_edges"`
+	EdgeListMB    float64 `json:"edgelist_mb"`
+	DIMACSMB      float64 `json:"dimacs_mb"`
+	// ParallelParseMBps is the chunked edge-list parse throughput
+	// (input megabytes over the parallel read's ns/op).
+	ParallelParseMBps float64      `json:"parallel_parse_mb_per_s"`
+	Comparisons       []Comparison `json:"comparisons"`
+}
+
+// ingestBench measures the parallel ingest pipeline against the serial
+// reference on a social-shaped input (the paper's hardest degree
+// distribution: power-law hubs make per-vertex work skewed). Stages are
+// measured separately and end-to-end; end-to-end is parse + CSR build +
+// stats, the full cost of turning uploaded bytes into an advisable graph.
+func ingestBench(bt time.Duration, quick bool) IngestReport {
+	// gen.Social's second argument is attachments per new vertex, so the
+	// graph lands near n*attach undirected edges (~1.2M directed at the
+	// full size — big enough that parse and build dominate timer noise).
+	n, attach := int32(120_000), 5
+	if quick {
+		n = 20_000
+	}
+	g := gen.Social(n, attach, 7)
+
+	var elBuf, grBuf bytes.Buffer
+	if err := graph.WriteEdgeList(&elBuf, g); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: write edgelist:", err)
+		os.Exit(1)
+	}
+	if err := graph.WriteDIMACS(&grBuf, g); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: write dimacs:", err)
+		os.Exit(1)
+	}
+	el, gr := elBuf.Bytes(), grBuf.Bytes()
+
+	rep := IngestReport{
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Quick:         quick,
+		Threads:       ingestThreads,
+		Vertices:      g.N,
+		DirectedEdges: g.M(),
+		EdgeListMB:    float64(len(el)) / (1 << 20),
+		DIMACSMB:      float64(len(gr)) / (1 << 20),
+	}
+
+	parOpts := graph.ReadOptions{Threads: ingestThreads}
+	serOpts := graph.ReadOptions{Serial: true}
+
+	// Each side is measured several times and the fastest trial kept:
+	// on a timeshared container a single benchmark sample (often N=1 at
+	// these op sizes) can absorb a scheduler window or a GC of the other
+	// side's garbage, and min-of-trials is the standard noise floor.
+	trials := 3
+	if quick {
+		trials = 2
+	}
+	best := func(body func(b *testing.B)) metrics {
+		m := measure(bt, body)
+		for i := 1; i < trials; i++ {
+			if mi := measure(bt, body); mi.ns < m.ns {
+				m = mi
+			}
+		}
+		return m
+	}
+
+	// Warm both paths once before measuring: the first parse on a cold
+	// heap pays page faults and heap growth for the whole process, which
+	// otherwise lands entirely on whichever comparison runs first.
+	if _, err := graph.ReadEdgeListBytes(el, "bench", parOpts); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: warm-up read:", err)
+		os.Exit(1)
+	}
+	if _, err := graph.ReadEdgeListBytes(el, "bench", serOpts); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: warm-up read:", err)
+		os.Exit(1)
+	}
+
+	readEL := compare("ingest-read-edgelist-social",
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadEdgeListBytes(el, "bench", parOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadEdgeListBytes(el, "bench", serOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	rep.ParallelParseMBps = float64(len(el)) / (1 << 20) / (readEL.PoolNs / 1e9)
+
+	readGR := compare("ingest-read-dimacs-social",
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadDIMACSBytes(gr, "bench", parOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := graph.ReadDIMACSBytes(gr, "bench", serOpts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+
+	// CSR build alone, from pre-parsed COO edges (the builder is
+	// reusable: BuildOpts does not consume the edge arrays).
+	bld := graph.NewBuilder("bench", g.N)
+	for i := int64(0); i < g.M(); i++ {
+		if g.Src[i] < g.Dst[i] { // one direction; the builder re-symmetrizes
+			bld.AddEdge(g.Src[i], g.Dst[i], g.Weights[i])
+		}
+	}
+	build := compare("ingest-build-social",
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bld.BuildOpts(graph.BuildOptions{Threads: ingestThreads})
+			}
+		}),
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bld.BuildOpts(graph.BuildOptions{Serial: true})
+			}
+		}))
+
+	stats := compare("ingest-stats-social",
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graph.ComputeStatsOpts(g, graph.StatsOptions{Threads: ingestThreads})
+			}
+		}),
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				graph.ComputeStatsOpts(g, graph.StatsOptions{Serial: true})
+			}
+		}))
+
+	// End-to-end: bytes in, advisable shape out — the path a large
+	// inline upload takes through the advisor service.
+	endToEnd := compare("ingest-end-to-end-social",
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gg, err := graph.ReadEdgeListBytes(el, "bench", parOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				graph.ComputeStatsOpts(gg, graph.StatsOptions{Threads: ingestThreads})
+			}
+		}),
+		best(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gg, err := graph.ReadEdgeListBytes(el, "bench", serOpts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				graph.ComputeStatsOpts(gg, graph.StatsOptions{Serial: true})
+			}
+		}))
+
+	rep.Comparisons = append(rep.Comparisons, readEL, readGR, build, stats, endToEnd)
+	return rep
+}
+
+// ingestAllocCheck pins the parallel read's allocation shape: the
+// chunked parse of the quick social input must stay under the fixed
+// ceiling, proving no per-line allocations crept back in. Returns the
+// measured allocs/op for the error message.
+func ingestAllocCheck() (int64, bool) {
+	g := gen.Social(20_000, 5, 7)
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: write edgelist:", err)
+		os.Exit(1)
+	}
+	el := buf.Bytes()
+	opts := graph.ReadOptions{Threads: ingestThreads}
+	m := measure(100*time.Millisecond, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := graph.ReadEdgeListBytes(el, "bench", opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return m.allocs, m.allocs <= ingestAllocCeiling
+}

@@ -2,7 +2,7 @@
 // spawn-per-region path and the scratch-arena runs against the
 // allocate-per-run path, and emits the results as JSON. It is the source
 // of the committed BENCH_pool.json, BENCH_scratch.json, and (with
-// -guard) BENCH_guard.json: dispatch
+// -guard / -ingest) BENCH_guard.json and BENCH_ingest.json: dispatch
 // latency at small region sizes (where road-network frontiers live),
 // worklist push styles, an end-to-end road-graph BFS, and a
 // multi-variant road-graph sweep with and without arenas.
@@ -16,6 +16,10 @@
 //	                       # allocates zero times per run (exit 1 if not)
 //	bench -guard           # measure guard-checkpoint overhead on road BFS
 //	                       # instead (source of BENCH_guard.json)
+//	bench -ingest          # measure parallel vs serial graph ingest
+//	                       # instead (source of BENCH_ingest.json); with
+//	                       # -alloccheck also pins the parallel read's
+//	                       # allocation ceiling
 package main
 
 import (
@@ -25,8 +29,8 @@ import (
 	"math"
 	"os"
 	"runtime"
-	"sort"
 	"runtime/debug"
+	"sort"
 	"testing"
 	"time"
 
@@ -74,6 +78,8 @@ func main() {
 		"fail (exit 1) if a warmed-arena run allocates; pins the zero-alloc budget")
 	guardBench := flag.Bool("guard", false,
 		"measure guard-checkpoint overhead on the road BFS and emit that report instead")
+	ingest := flag.Bool("ingest", false,
+		"measure the chunked parallel graph ingest against the serial readers and emit that report instead (source of BENCH_ingest.json)")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
@@ -87,6 +93,17 @@ func main() {
 			trials = 2
 		}
 		emit(guardOverhead(bt, 4, trials, *quick), *out)
+		return
+	}
+
+	if *ingest {
+		if *alloccheck {
+			if allocs, ok := ingestAllocCheck(); !ok {
+				fmt.Fprintf(os.Stderr, "bench: parallel ingest allocation budget exceeded: %d allocs per read, want <= %d\n", allocs, ingestAllocCeiling)
+				os.Exit(1)
+			}
+		}
+		emit(ingestBench(bt, *quick), *out)
 		return
 	}
 

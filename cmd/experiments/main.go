@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"indigo/internal/gen"
+	"indigo/internal/graph"
 	"indigo/internal/harness"
 	"indigo/internal/scratch"
 	"indigo/internal/store"
@@ -40,8 +41,10 @@ func main() {
 	resume := flag.Bool("resume", false, "skip variants already recorded in -journal")
 	storePath := flag.String("store", "", "results store file: completed runs are appended, existing cells seed the session")
 	useScratch := flag.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
+	parIngest := flag.Bool("ingest", true, "chunked parallel graph ingest (-ingest=false uses the serial readers/build)")
 	flag.Parse()
 	scratch.SetEnabled(*useScratch)
+	graph.SetSerialIngest(!*parIngest)
 
 	scale, ok := gen.ParseScale(*scaleName)
 	if !ok {

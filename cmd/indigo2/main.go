@@ -179,10 +179,12 @@ func cmdRun(args []string) error {
 	resume := fs.Bool("resume", false, "skip the run if the journal already records it")
 	storePath := fs.String("store", "", "results store file to append the measurement to")
 	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
+	parIngest := fs.Bool("ingest", true, "chunked parallel graph ingest (-ingest=false uses the serial readers/build)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scratch.SetEnabled(*useScratch)
+	graph.SetSerialIngest(!*parIngest)
 	if *variant == "" {
 		return fmt.Errorf("missing -variant")
 	}
@@ -280,10 +282,12 @@ func cmdVerify(args []string) error {
 	scale := fs.String("scale", "tiny", "input scale")
 	threads := fs.Int("threads", 0, "CPU worker count (0 = all cores)")
 	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
+	parIngest := fs.Bool("ingest", true, "chunked parallel graph ingest (-ingest=false uses the serial readers/build)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	scratch.SetEnabled(*useScratch)
+	graph.SetSerialIngest(!*parIngest)
 	algos, models, err := parseFilters(*algoName, *modelName)
 	if err != nil {
 		return err

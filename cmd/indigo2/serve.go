@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"indigo/internal/gen"
+	"indigo/internal/graph"
 	"indigo/internal/serve"
 	"indigo/internal/store"
 )
@@ -34,9 +35,11 @@ func cmdServe(args []string) error {
 	budget := fs.Int64("budget", 0, "per-request compute memory budget in bytes (0 = unlimited)")
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	cacheEntries := fs.Int("cache", 256, "response cache entries (negative disables caching)")
+	parIngest := fs.Bool("ingest", true, "chunked parallel parse of uploaded graphs (-ingest=false uses the serial readers)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	graph.SetSerialIngest(!*parIngest)
 
 	var st *store.Store
 	if *storePath == "" {

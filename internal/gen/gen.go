@@ -7,7 +7,11 @@
 // are the properties the paper ties performance behavior to (§5.13).
 //
 // All generators are deterministic for a given seed and scale, so every
-// experiment and benchmark is reproducible.
+// experiment and benchmark is reproducible. Generators accumulate edges
+// through graph.Builder and finish with Build(), so past the small-input
+// cutoff they get the parallel counting-sort CSR construction
+// (DESIGN.md §12) — identical output, O(m) instead of a global
+// comparison sort — with no generator-side changes.
 package gen
 
 import (

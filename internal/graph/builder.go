@@ -2,7 +2,12 @@ package graph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync/atomic"
+
+	"indigo/internal/guard"
+	"indigo/internal/par"
 )
 
 // Builder accumulates undirected weighted edges and produces a Graph.
@@ -43,8 +48,49 @@ func (b *Builder) AddEdge(u, v, weight int32) {
 // (before dedup).
 func (b *Builder) NumEdgesAdded() int { return len(b.src) }
 
+// BuildOptions configures Build. The zero value means: counting-sort
+// construction for inputs past a size cutoff, the serial reference
+// build below it, with par.Threads() workers and no guard.
+type BuildOptions struct {
+	// Serial forces the comparison-sort reference build.
+	Serial bool
+	// Threads is the worker count for the counting-sort build; <= 0
+	// means par.Threads().
+	Threads int
+	// Guard is polled at region checkpoints and charged for the
+	// construction scratch and the graph's arrays; nil is free.
+	Guard *guard.Token
+}
+
+// buildSerialCutoff is the edge count below which the counting-sort
+// machinery (histogram, scatter buffer, pool dispatch) costs more than
+// the comparison sort it replaces.
+const buildSerialCutoff = 1 << 13
+
 // Build produces the CSR+COO graph. The builder may be reused afterwards.
-func (b *Builder) Build() *Graph {
+func (b *Builder) Build() *Graph { return b.BuildOpts(BuildOptions{}) }
+
+// BuildOpts is Build with explicit options. The counting-sort and
+// serial paths produce bit-identical graphs (proven by the differential
+// tests in ingest_test.go): scatter order inside a vertex bucket is
+// erased by the per-bucket sort on (neighbor, weight) keys, and
+// dedup-keep-first after that sort keeps the minimum weight exactly as
+// the serial sort+dedup does.
+func (b *Builder) BuildOpts(o BuildOptions) *Graph {
+	if o.Serial || serialIngest.Load() || len(b.src) < buildSerialCutoff {
+		return b.buildSerial()
+	}
+	t := o.Threads
+	if t <= 0 {
+		t = par.Threads()
+	}
+	return b.buildParallel(t, o.Guard)
+}
+
+// buildSerial is the reference build: symmetrize, comparison-sort,
+// dedup. O(m log m) with a closure compare; kept verbatim as the
+// semantic baseline the counting-sort path is tested against.
+func (b *Builder) buildSerial() *Graph {
 	type dedge struct {
 		u, v, w int32
 	}
@@ -97,9 +143,106 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// packNbr packs a directed edge's (neighbor, weight) into one sortable
+// key: neighbor ascending in the high half, weight in signed-ascending
+// order in the low half (the sign-bit flip makes unsigned key order
+// equal signed weight order).
+func packNbr(v, w int32) uint64 {
+	return uint64(uint32(v))<<32 | uint64(uint32(w)^0x80000000)
+}
+
+func unpackW(key uint64) int32 { return int32(uint32(key) ^ 0x80000000) }
+
+// buildParallel is the counting-sort CSR construction: degree histogram
+// (atomic adds), prefix sum, key scatter (atomic bucket cursors), then
+// a per-vertex sort + dedup and a final parallel fill — O(m) work plus
+// per-bucket sorts, no global comparison sort. Builder invariants
+// guarantee src/dst contain no self-loops and all ids are in range.
+func (b *Builder) buildParallel(t int, gd *guard.Token) *Graph {
+	k := int64(len(b.src))
+	n := int64(b.n)
+	src, dst, ws := b.src, b.dst, b.w
+
+	pool := par.AcquirePool(t)
+	defer par.ReleasePool(pool)
+	ex := pool.Guarded(gd)
+
+	// Construction scratch: bucket cursors, offsets, and the packed-key
+	// scatter buffer (16 bytes per directed edge — less than the serial
+	// path's 12-byte dedge with both directions materialized the same way).
+	gd.Charge(n*8 + (n+1)*8 + 2*k*8)
+	cur := make([]int64, n)
+	ex.For(k, par.Static, func(i int64) {
+		atomic.AddInt64(&cur[src[i]], 1)
+		atomic.AddInt64(&cur[dst[i]], 1)
+	})
+	off := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		off[v+1] = off[v] + cur[v]
+		cur[v] = off[v] // becomes the scatter cursor
+	}
+	keys := make([]uint64, 2*k)
+	ex.For(k, par.Static, func(i int64) {
+		u, v, w := src[i], dst[i], ws[i]
+		keys[atomic.AddInt64(&cur[u], 1)-1] = packNbr(v, w)
+		keys[atomic.AddInt64(&cur[v], 1)-1] = packNbr(u, w)
+	})
+
+	// Per-vertex: sort the bucket (erasing scatter order), dedup by
+	// neighbor keeping the first = smallest weight. cur[v] becomes the
+	// deduped degree.
+	ex.For(n, par.Static, func(v int64) {
+		bkt := keys[off[v]:off[v+1]]
+		slices.Sort(bkt)
+		out := 0
+		for j := range bkt {
+			if out > 0 && bkt[out-1]>>32 == bkt[j]>>32 {
+				continue
+			}
+			bkt[out] = bkt[j]
+			out++
+		}
+		cur[v] = int64(out)
+	})
+
+	nbrIdx := make([]int64, n+1)
+	for v := int64(0); v < n; v++ {
+		nbrIdx[v+1] = nbrIdx[v] + cur[v]
+	}
+	m := nbrIdx[n]
+	gd.Charge((n+1)*8 + m*16)
+	g := &Graph{
+		Name:    b.name,
+		N:       b.n,
+		NbrIdx:  nbrIdx,
+		NbrList: make([]int32, m),
+		Weights: make([]int32, m),
+		Src:     make([]int32, m),
+		Dst:     make([]int32, m),
+	}
+	ex.For(n, par.Static, func(v int64) {
+		bkt := keys[off[v] : off[v]+cur[v]]
+		base := nbrIdx[v]
+		for j, key := range bkt {
+			nbr := int32(key >> 32)
+			g.NbrList[base+int64(j)] = nbr
+			g.Weights[base+int64(j)] = unpackW(key)
+			g.Src[base+int64(j)] = int32(v)
+			g.Dst[base+int64(j)] = nbr
+		}
+	})
+	return g
+}
+
 // FromEdges is a convenience constructor: it builds a graph from parallel
 // u/v/weight slices.
 func FromEdges(name string, n int32, u, v, w []int32) *Graph {
+	return FromEdgesOpts(name, n, u, v, w, BuildOptions{})
+}
+
+// FromEdgesOpts is FromEdges with explicit build options. Edges are
+// validated and self-loops dropped exactly as AddEdge does.
+func FromEdgesOpts(name string, n int32, u, v, w []int32, o BuildOptions) *Graph {
 	if len(u) != len(v) || len(u) != len(w) {
 		panic("graph.FromEdges: slice lengths disagree")
 	}
@@ -107,5 +250,5 @@ func FromEdges(name string, n int32, u, v, w []int32) *Graph {
 	for i := range u {
 		b.AddEdge(u[i], v[i], w[i])
 	}
-	return b.Build()
+	return b.BuildOpts(o)
 }

@@ -64,3 +64,82 @@ func FuzzReadDIMACS(f *testing.F) {
 		}
 	})
 }
+
+// The differential fuzz targets drive the parallel readers against the
+// serial references on arbitrary bytes: same accept/reject decision,
+// byte-identical error messages (line numbers included), bit-identical
+// graphs. Chunk size and thread count are fuzzed too, so boundaries
+// land inside lines, comments, and blank runs. Run with
+// `go test -fuzz=FuzzReadEdgeListDiff ./internal/graph/`.
+
+func FuzzReadEdgeListDiff(f *testing.F) {
+	f.Add("0 1\n1 2\n", uint8(1))
+	f.Add("# c\n0 1 5\n\n1 2 7\n", uint8(3))
+	f.Add("0 1\nbad\n2 3\n", uint8(2))
+	f.Add("5 5\n0 1\n", uint8(9))
+	f.Add("0 1\u00a02\n", uint8(4))
+	f.Add("0 99999999999999\n", uint8(5))
+	f.Fuzz(func(t *testing.T, in string, chunk uint8) {
+		if len(in) > 1<<16 {
+			return
+		}
+		// Clamp the vertex cap: the differential property is about
+		// parsing, and a 9-digit id would otherwise build a gigabyte
+		// NbrIdx on both paths. Both readers see the same cap, so the
+		// "exceeds limit" messages still compare byte-for-byte.
+		old := MaxReadVertices
+		MaxReadVertices = 1 << 15
+		defer func() { MaxReadVertices = old }()
+		want, wantErr := ReadEdgeListOpts(strings.NewReader(in), "diff", ReadOptions{Serial: true})
+		got, gotErr := ReadEdgeListBytes([]byte(in), "diff",
+			ReadOptions{Threads: int(chunk%4) + 1, chunkBytes: int(chunk%64) + 1})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("input %q: serial err %v, parallel err %v", in, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("input %q:\nserial err   %q\nparallel err %q", in, wantErr, gotErr)
+			}
+			return
+		}
+		if err := sameGraph(want, got); err != nil {
+			t.Fatalf("input %q: graphs differ: %v", in, err)
+		}
+	})
+}
+
+func FuzzReadDIMACSDiff(f *testing.F) {
+	f.Add("p sp 3 2\na 1 2 5\na 2 3 1\n", uint8(1))
+	f.Add("c h\np sp 2 1\na 1 2 5\n", uint8(3))
+	f.Add("p sp 2 1\na 1 2 5\na 2 1 5\n", uint8(2))
+	f.Add("p sp 2 3\na 1 2 5\n", uint8(9))
+	f.Add("p sp 3 1\na 2 2 5\n", uint8(4))
+	f.Add("p sp 2 1\nboom\n", uint8(5))
+	f.Fuzz(func(t *testing.T, in string, chunk uint8) {
+		if len(in) > 1<<16 {
+			return
+		}
+		// Clamp the vertex cap: the differential property is about
+		// parsing, and a 9-digit id would otherwise build a gigabyte
+		// NbrIdx on both paths. Both readers see the same cap, so the
+		// "exceeds limit" messages still compare byte-for-byte.
+		old := MaxReadVertices
+		MaxReadVertices = 1 << 15
+		defer func() { MaxReadVertices = old }()
+		want, wantErr := ReadDIMACSOpts(strings.NewReader(in), "diff", ReadOptions{Serial: true})
+		got, gotErr := ReadDIMACSBytes([]byte(in), "diff",
+			ReadOptions{Threads: int(chunk%4) + 1, chunkBytes: int(chunk%64) + 1})
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("input %q: serial err %v, parallel err %v", in, wantErr, gotErr)
+		}
+		if wantErr != nil {
+			if wantErr.Error() != gotErr.Error() {
+				t.Fatalf("input %q:\nserial err   %q\nparallel err %q", in, wantErr, gotErr)
+			}
+			return
+		}
+		if err := sameGraph(want, got); err != nil {
+			t.Fatalf("input %q: graphs differ: %v", in, err)
+		}
+	})
+}

@@ -1,0 +1,467 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"indigo/internal/guard"
+)
+
+// diffChunkSizes puts chunk boundaries everywhere: mid-line, between a
+// comment and its newline, right at blank lines. Every input below runs
+// against all of them.
+var diffChunkSizes = []int{1, 2, 3, 7, 16, 64, 4096}
+
+// edgeListDiffInputs covers the happy paths, every hardening case the
+// serial reader's table tests pin, and boundary shapes (torn lines,
+// comments/blanks at chunk edges, CRLF, unicode whitespace, missing
+// trailing newline).
+var edgeListDiffInputs = []string{
+	"",
+	"\n",
+	"\n\n\n",
+	"# only a comment\n",
+	"0 1\n",
+	"0 1", // no trailing newline
+	"0 1\n1 2\n2 3\n",
+	"0 1 5\n1 2 7\n",
+	"0 1 5\n1 2 7", // no trailing newline, weighted
+	"0 1\r\n1 2\r\n",
+	"  0   1  \n\t1\t2\t\n",
+	"# c1\n0 1\n# c2\n1 2\n\n\n2 3\n",
+	"5 5\n",                 // self-loop only: n=6, no edges
+	"0 1\n3 3\n",            // self-loop among edges
+	"0 1 3\n1 0 9\n0 1 4\n", // duplicates, min weight wins
+	"0 1\u00a02\n",          // NBSP is unicode space: three fields
+	"0\u00851\n",            // NEL separates fields
+	"0 1 2 3\n",             // too many fields
+	"0\n",                   // too few fields
+	"x 1\n",                 // bad ids
+	"0 x\n",
+	"1 +2\n", // explicit plus sign parses
+	"+1 2\n",
+	"-1 2\n",                    // negative vertex id
+	"0 -2\n",                    // negative vertex id
+	"0 99999999999999\n",        // id overflows int32 -> bad ids
+	"0 1 99999999999999\n",      // weight overflows int32 -> bad weight
+	"0 1 -3\n",                  // negative weight
+	"0 134217728\n",             // id == MaxReadVertices -> exceeds limit
+	"0 1\nbad line here\n2 3\n", // error after good lines
+	"0 1\n# ok\n\nbroken\n",     // error after comment/blank
+	"0 1\n2 x\n3 y\n",           // two errors: first wins
+	"0 1 07\n",                  // leading zeros parse
+	"00 01\n",
+	"0 1 2147483647\n",  // INT32 max weight
+	"0 1 2147483648\n",  // overflow by one
+	"2147483647 0\n",    // id over MaxReadVertices but within int32
+	"\uFEFF0 1\n",       // BOM is not whitespace: bad ids
+	"0 1 \n",            // trailing space, two fields
+	"# torn\ncomment\n", // "comment" is a bad line (1 field)
+}
+
+func edgeListDiffCheck(t *testing.T, input string) {
+	t.Helper()
+	want, wantErr := ReadEdgeListOpts(strings.NewReader(input), "diff", ReadOptions{Serial: true})
+	for _, cs := range diffChunkSizes {
+		for _, threads := range []int{1, 3, 4} {
+			got, gotErr := ReadEdgeListBytes([]byte(input), "diff",
+				ReadOptions{Threads: threads, chunkBytes: cs})
+			compareIngest(t, input, cs, threads, want, wantErr, got, gotErr)
+		}
+	}
+}
+
+// dimacsDiffInputs: header, arc-region, count, and boundary cases.
+var dimacsDiffInputs = []string{
+	"",
+	"\n\n",
+	"c lonely comment\n",
+	"p sp 0 0\n",
+	"p sp 2 1\na 1 2 5\n",
+	"p sp 2 1\na 1 2 5", // no trailing newline
+	"c hdr\np sp 4 3\na 1 2 5\na 2 3 6\na 3 4 7\n",
+	"p sp 3 2\nc mid comment\na 1 2 5\n\na 2 3 1\n",
+	"p sp 3 2\r\na 1 2 5\r\na 2 3 1\r\n",
+	"  p sp 2 1 \n  a 1 2 3 \n",
+	"p sp 2 2\na 1 2 5\na 2 1 5\n",                  // both directions present
+	"p sp 2 2\na 1 2 9\na 1 2 4\n",                  // duplicate arc, min weight
+	"p sp 3 1\na 2 2 5\n",                           // self-loop arc counts but adds no edge
+	"a 1 2 3\n",                                     // arc before problem line
+	"q sp 2 1\n",                                    // unknown record
+	"p sp 2 1\nz 1 2 3\n",                           // unknown record after header
+	"p sp 2 1\np sp 2 1\n",                          // duplicate problem line
+	"p sp 2\n",                                      // bad problem line (3 fields)
+	"p xx 2 1\n",                                    // bad problem line (not sp)
+	"p sp two 1\n",                                  // bad problem counts
+	"p sp 2 -1\n",                                   // negative arc count
+	"p sp -2 1\n",                                   // negative vertex count
+	"p sp 999999999999 1\n",                         // vertex count over limit
+	"p sp 2 1\na 1 2\n",                             // bad arc line (3 fields)
+	"p sp 2 1\na 1 2 3 4\n",                         // bad arc line (5 fields)
+	"p sp 2 1\na x 2 3\n",                           // bad arc numbers
+	"p sp 2 1\na 1 2 z\n",                           // bad arc numbers
+	"p sp 2 1\na 0 2 3\n",                           // arc outside range (low)
+	"p sp 2 1\na 1 3 4\n",                           // arc outside range (high)
+	"p sp 2 1\na 1 2 -5\n",                          // negative weight
+	"p sp 2 1\na 1 2 5\na 2 1 5\n",                  // more arcs than declared
+	"p sp 2 3\na 1 2 5\na 2 1 5\n",                  // truncated
+	"p sp 2 0\na 1 2 5\n",                           // declared zero, arc present
+	"p sp 2 9\n",                                    // declared arcs, none present
+	"c a\nc b\nc c\np sp 2 1\na 1 2 3\n",            // long comment header
+	"p sp 4 4\na 1 2 1\na 2 3 1\nboom\na 3 4 1\n",   // unknown record mid-arcs
+	"p sp 4 2\na 1 2 1\na 2 3 1\na 3 4 1\nbroken\n", // overflow before bad line
+	"p sp 4 2\na 1 2 1\nbroken\na 2 3 1\na 3 4 1\n", // bad line before overflow
+	"ps sp 2 1\na 1 2 3\n",                          // 'p' first byte, odd field 0: still a problem line
+	"ab 1 2 3\np sp 2 1\n",                          // 'a' first byte before problem line
+}
+
+func dimacsDiffCheck(t *testing.T, input string) {
+	t.Helper()
+	want, wantErr := ReadDIMACSOpts(strings.NewReader(input), "diff", ReadOptions{Serial: true})
+	for _, cs := range diffChunkSizes {
+		for _, threads := range []int{1, 3, 4} {
+			got, gotErr := ReadDIMACSBytes([]byte(input), "diff",
+				ReadOptions{Threads: threads, chunkBytes: cs})
+			compareIngest(t, input, cs, threads, want, wantErr, got, gotErr)
+		}
+	}
+}
+
+func compareIngest(t *testing.T, input string, cs, threads int, want *Graph, wantErr error, got *Graph, gotErr error) {
+	t.Helper()
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("input %q chunk=%d t=%d: serial err %v, parallel err %v", input, cs, threads, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		if wantErr.Error() != gotErr.Error() {
+			t.Fatalf("input %q chunk=%d t=%d:\nserial err   %q\nparallel err %q", input, cs, threads, wantErr, gotErr)
+		}
+		return
+	}
+	if err := sameGraph(want, got); err != nil {
+		t.Fatalf("input %q chunk=%d t=%d: graphs differ: %v", input, cs, threads, err)
+	}
+}
+
+// sameGraph compares every array of the CSR+COO representation bit for
+// bit (assertSameGraph predates the COO form and skips Src/Dst).
+func sameGraph(want, got *Graph) error {
+	if got.N != want.N || got.M() != want.M() {
+		return fmt.Errorf("shape n=%d m=%d, want n=%d m=%d", got.N, got.M(), want.N, want.M())
+	}
+	switch {
+	case !reflect.DeepEqual(got.NbrIdx, want.NbrIdx):
+		return fmt.Errorf("NbrIdx differs")
+	case !reflect.DeepEqual(got.NbrList, want.NbrList):
+		return fmt.Errorf("NbrList differs")
+	case !reflect.DeepEqual(got.Weights, want.Weights):
+		return fmt.Errorf("Weights differ")
+	case !reflect.DeepEqual(got.Src, want.Src):
+		return fmt.Errorf("COO Src differs")
+	case !reflect.DeepEqual(got.Dst, want.Dst):
+		return fmt.Errorf("COO Dst differs")
+	}
+	return nil
+}
+
+func TestReadEdgeListDifferential(t *testing.T) {
+	for _, in := range edgeListDiffInputs {
+		edgeListDiffCheck(t, in)
+	}
+}
+
+func TestReadDIMACSDifferential(t *testing.T) {
+	for _, in := range dimacsDiffInputs {
+		dimacsDiffCheck(t, in)
+	}
+}
+
+// TestReadDifferentialRandom: generated inputs with mixed good lines,
+// comments, blanks, and (sometimes) one seeded error, exercising many
+// random chunk boundary placements.
+func TestReadDifferentialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		var sb strings.Builder
+		n := rng.Intn(200) + 1
+		lines := rng.Intn(120)
+		for i := 0; i < lines; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				sb.WriteString("# comment\n")
+			case 1:
+				sb.WriteString("\n")
+			case 2: // self loop
+				v := rng.Intn(n)
+				writeInts(&sb, v, v, rng.Intn(9)+1)
+			default:
+				writeInts(&sb, rng.Intn(n), rng.Intn(n), rng.Intn(9)+1)
+			}
+		}
+		if rng.Intn(3) == 0 {
+			sb.WriteString("oops\n")
+			for i := 0; i < rng.Intn(5); i++ {
+				writeInts(&sb, rng.Intn(n), rng.Intn(n), 1)
+			}
+		}
+		edgeListDiffCheck(t, sb.String())
+	}
+}
+
+func writeInts(sb *strings.Builder, u, v, w int) {
+	sb.WriteString(strings.Join([]string{itoa(u), itoa(v), itoa(w)}, " "))
+	sb.WriteByte('\n')
+}
+
+func itoa(v int) string { return string(appendInt(nil, v)) }
+
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// TestReadTooLongLine: a line at the scanner's buffer limit fails with
+// the exact wrapped bufio.ErrTooLong on both paths, and position
+// ordering holds (an earlier parse error beats a later long line).
+func TestReadTooLongLine(t *testing.T) {
+	long := strings.Repeat("9", 1<<20) // one 1 MiB token
+	cases := []string{
+		"0 1\n" + long + " 2\n",
+		long + "\n0 1\n",
+		"0 1\nbad\n" + long + "\n", // parse error before the long line
+		"# " + long + "\n0 1\n",    // long comment still errors
+	}
+	for _, in := range cases {
+		want, wantErr := ReadEdgeListOpts(strings.NewReader(in), "long", ReadOptions{Serial: true})
+		got, gotErr := ReadEdgeListBytes([]byte(in), "long", ReadOptions{Threads: 4, chunkBytes: 1 << 10})
+		compareIngest(t, "<long-line case>", 1<<10, 4, want, wantErr, got, gotErr)
+	}
+	dIn := "p sp 2 1\nc " + long + "\na 1 2 3\n"
+	want, wantErr := ReadDIMACSOpts(strings.NewReader(dIn), "long", ReadOptions{Serial: true})
+	got, gotErr := ReadDIMACSBytes([]byte(dIn), "long", ReadOptions{Threads: 4, chunkBytes: 1 << 10})
+	compareIngest(t, "<long dimacs comment>", 1<<10, 4, want, wantErr, got, gotErr)
+	if wantErr == nil || !errors.Is(wantErr, bufio.ErrTooLong) {
+		t.Fatalf("long dimacs comment: err %v, want wrapped bufio.ErrTooLong", wantErr)
+	}
+}
+
+// TestBuildParallelBitIdentical: the counting-sort build matches the
+// comparison-sort reference bit for bit on random multigraphs with
+// duplicate edges, duplicate weights, skewed degrees, and both weight
+// signs (FromEdges accepts negative weights even though readers don't).
+func TestBuildParallelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := int32(rng.Intn(300) + 1)
+		edges := rng.Intn(2000)
+		b1 := NewBuilder("serial", n)
+		b2 := NewBuilder("serial", n)
+		for i := 0; i < edges; i++ {
+			u := int32(rng.Intn(int(n)))
+			v := u
+			if rng.Intn(20) > 0 { // mostly non-loops; AddEdge drops loops
+				v = int32(rng.Intn(int(n)))
+			}
+			var w int32
+			switch rng.Intn(3) {
+			case 0:
+				w = int32(rng.Intn(5)) // many duplicate weights
+			case 1:
+				w = rng.Int31()
+			default:
+				w = -rng.Int31() // negative weights sort signed
+			}
+			b1.AddEdge(u, v, w)
+			b2.AddEdge(u, v, w)
+		}
+		want := b1.buildSerial()
+		for _, threads := range []int{1, 2, 4} {
+			got := b2.buildParallel(threads, nil)
+			assertSameGraph(t, want, got)
+			if err := got.Validate(); err != nil {
+				t.Fatalf("parallel build invalid: %v", err)
+			}
+		}
+	}
+}
+
+// TestBuildParallelHubGraph: a star-heavy graph puts nearly every edge
+// in one vertex bucket — the worst case for the per-vertex sort pass.
+func TestBuildParallelHubGraph(t *testing.T) {
+	const n = 5000
+	b1 := NewBuilder("hub", n)
+	b2 := NewBuilder("hub", n)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		v := int32(rng.Intn(n-1)) + 1
+		w := int32(rng.Intn(3))
+		b1.AddEdge(0, v, w)
+		b2.AddEdge(0, v, w)
+	}
+	want := b1.buildSerial()
+	got := b2.buildParallel(4, nil)
+	assertSameGraph(t, want, got)
+}
+
+// TestComputeStatsParallelMatchesSerial: full Stats equality (including
+// the double-sweep diameter) across graph shapes on both paths.
+func TestComputeStatsParallelMatchesSerial(t *testing.T) {
+	graphs := []*Graph{
+		path(10),
+		path(1),
+		k4(),
+		randomGraph(3, 500, 4000),
+		randomGraph(4, 2000, 1000), // sparse, disconnected
+		FromEdges("empty", 0, nil, nil, nil),
+		FromEdges("isolated", 5, nil, nil, nil),
+		star(64),
+		twoComponents(),
+	}
+	for _, g := range graphs {
+		want := ComputeStatsOpts(g, StatsOptions{Serial: true})
+		for _, threads := range []int{1, 2, 4} {
+			got := computeStatsPar(g, threads, nil)
+			if want != got {
+				t.Errorf("%s t=%d: parallel stats %+v, want %+v", g.Name, threads, got, want)
+			}
+		}
+	}
+}
+
+func star(leaves int32) *Graph {
+	b := NewBuilder("star", leaves+1)
+	for v := int32(1); v <= leaves; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	return b.Build()
+}
+
+func twoComponents() *Graph {
+	b := NewBuilder("twocomp", 40)
+	for v := int32(0); v+1 < 30; v++ { // long path: the larger component
+		b.AddEdge(v, v+1, 1)
+	}
+	for v := int32(30); v+1 < 40; v++ {
+		b.AddEdge(v, v+1, 1)
+	}
+	return b.Build()
+}
+
+// TestReadParallelCancel: a tripped guard aborts the parallel read at a
+// chunk checkpoint and surfaces as guard.ErrCanceled through Recover.
+func TestReadParallelCancel(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 30000; i++ {
+		writeInts(&sb, i, i+1, 1)
+	}
+	data := []byte(sb.String())
+	gd := guard.New()
+	gd.Cancel()
+	err := func() (err error) {
+		defer guard.Recover(&err)
+		_, rerr := ReadEdgeListBytes(data, "cancel", ReadOptions{Threads: 4, Guard: gd, chunkBytes: 1 << 12})
+		return rerr
+	}()
+	gd.Release()
+	if !errors.Is(err, guard.ErrCanceled) {
+		t.Fatalf("canceled parallel read returned %v, want guard.ErrCanceled", err)
+	}
+}
+
+// TestReadParallelBudget: the parallel read charges its edge buffers
+// against the token budget; an undersized budget aborts with
+// guard.ErrBudgetExceeded instead of completing the allocation.
+func TestReadParallelBudget(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 30000; i++ {
+		writeInts(&sb, i, i+1, 1)
+	}
+	data := []byte(sb.String())
+	gd := guard.New().WithBudget(1 << 10)
+	err := func() (err error) {
+		defer guard.Recover(&err)
+		_, rerr := ReadEdgeListBytes(data, "budget", ReadOptions{Threads: 4, Guard: gd})
+		return rerr
+	}()
+	gd.Release()
+	if !errors.Is(err, guard.ErrBudgetExceeded) {
+		t.Fatalf("budgeted parallel read returned %v, want guard.ErrBudgetExceeded", err)
+	}
+}
+
+// TestReadRoundTripParallel: write -> parallel read -> write again is a
+// fixed point for both formats, and matches the serially read graph.
+func TestReadRoundTripParallel(t *testing.T) {
+	g := randomGraph(21, 400, 3000)
+	var el, dm bytes.Buffer
+	if err := WriteEdgeList(&el, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDIMACS(&dm, g); err != nil {
+		t.Fatal(err)
+	}
+	gotEL, err := ReadEdgeListBytes(el.Bytes(), g.Name, ReadOptions{Threads: 4, chunkBytes: 512})
+	if err != nil {
+		t.Fatalf("parallel edge-list read: %v", err)
+	}
+	assertSameGraph(t, g, gotEL)
+	gotDM, err := ReadDIMACSBytes(dm.Bytes(), g.Name, ReadOptions{Threads: 4, chunkBytes: 512})
+	if err != nil {
+		t.Fatalf("parallel dimacs read: %v", err)
+	}
+	assertSameGraph(t, g, gotDM)
+}
+
+// TestParseIntBytes pins the strconv.ParseInt equivalence the parsers
+// rely on (sign handling, overflow at both widths, junk rejection).
+func TestParseIntBytes(t *testing.T) {
+	cases := []struct {
+		in      string
+		bitSize int
+		want    int64
+		ok      bool
+	}{
+		{"0", 32, 0, true},
+		{"-0", 32, 0, true},
+		{"+7", 32, 7, true},
+		{"007", 32, 7, true},
+		{"2147483647", 32, 2147483647, true},
+		{"2147483648", 32, 0, false},
+		{"-2147483648", 32, -2147483648, true},
+		{"-2147483649", 32, 0, false},
+		{"9223372036854775807", 64, 9223372036854775807, true},
+		{"9223372036854775808", 64, 0, false},
+		{"-9223372036854775808", 64, -9223372036854775808, true},
+		{"-9223372036854775809", 64, 0, false},
+		{"99999999999999999999999999", 64, 0, false},
+		{"", 32, 0, false},
+		{"+", 32, 0, false},
+		{"-", 32, 0, false},
+		{"1.5", 32, 0, false},
+		{"1e3", 32, 0, false},
+		{"1_000", 32, 0, false},
+		{"0x10", 32, 0, false},
+		{" 1", 32, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseIntBytes([]byte(c.in), c.bitSize)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseIntBytes(%q, %d) = (%d, %v), want (%d, %v)", c.in, c.bitSize, got, ok, c.want, c.ok)
+		}
+	}
+}

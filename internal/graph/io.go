@@ -36,8 +36,20 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 	if _, err := fmt.Fprintf(bw, "c %s\np sp %d %d\n", g.Name, g.N, g.M()); err != nil {
 		return err
 	}
+	// Per-arc lines are strconv.AppendInt into one reused buffer: the
+	// fmt.Fprintf path costs an interface-boxing allocation and verb
+	// parse per edge, which dominates writing large graphs. The output
+	// bytes are identical (the round-trip tests pin the format).
+	buf := make([]byte, 0, 48)
 	for i := int64(0); i < g.M(); i++ {
-		if _, err := fmt.Fprintf(bw, "a %d %d %d\n", g.Src[i]+1, g.Dst[i]+1, g.Weights[i]); err != nil {
+		buf = append(buf[:0], 'a', ' ')
+		buf = strconv.AppendInt(buf, int64(g.Src[i])+1, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(g.Dst[i])+1, 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(g.Weights[i]), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -54,7 +66,19 @@ func WriteDIMACS(w io.Writer, g *Graph) error {
 // problem line, and an arc count disagreeing with the declared edge
 // count (a truncated or padded file) are all errors, never panics or
 // silent misreads.
+//
+// Large inputs take the chunked parallel path in parse.go, which is
+// bit-identical in both graphs and error messages to the serial
+// reference below (enforced by differential tests and fuzzing); use
+// ReadDIMACSOpts to pick a path, thread count, or guard explicitly.
 func ReadDIMACS(r io.Reader, name string) (*Graph, error) {
+	return ReadDIMACSOpts(r, name, ReadOptions{})
+}
+
+// readDIMACSSerial is the scanner-based reference reader. Its parsing
+// and error semantics define the format; the parallel path replicates
+// them byte for byte.
+func readDIMACSSerial(r io.Reader, name string) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var b *Builder
@@ -129,15 +153,22 @@ func ReadDIMACS(r io.Reader, name string) (*Graph, error) {
 	if arcs != declaredArcs {
 		return nil, fmt.Errorf("graph.ReadDIMACS: truncated: %d arcs, problem line declares %d", arcs, declaredArcs)
 	}
-	return b.Build(), nil
+	return b.BuildOpts(BuildOptions{Serial: true}), nil
 }
 
 // WriteEdgeList writes g as a plain "u v w" edge list with 0-based ids,
 // one directed edge per line (the SNAP-style format).
 func WriteEdgeList(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriter(w)
+	buf := make([]byte, 0, 40)
 	for i := int64(0); i < g.M(); i++ {
-		if _, err := fmt.Fprintf(bw, "%d %d %d\n", g.Src[i], g.Dst[i], g.Weights[i]); err != nil {
+		buf = strconv.AppendInt(buf[:0], int64(g.Src[i]), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(g.Dst[i]), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(g.Weights[i]), 10)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
@@ -152,7 +183,18 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 // vertex ids, ids beyond MaxReadVertices, and negative weights are all
 // errors (ParseInt's 32-bit bound already rejects values that would
 // wrap int32).
+//
+// Large inputs take the chunked parallel path in parse.go, which is
+// bit-identical in both graphs and error messages to the serial
+// reference below (enforced by differential tests and fuzzing); use
+// ReadEdgeListOpts to pick a path, thread count, or guard explicitly.
 func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
+	return ReadEdgeListOpts(r, name, ReadOptions{})
+}
+
+// readEdgeListSerial is the scanner-based reference reader (see
+// readDIMACSSerial).
+func readEdgeListSerial(r io.Reader, name string) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	type edge struct{ u, v, w int32 }
@@ -206,5 +248,5 @@ func ReadEdgeList(r io.Reader, name string) (*Graph, error) {
 	for _, e := range edges {
 		b.AddEdge(e.u, e.v, e.w)
 	}
-	return b.Build(), nil
+	return b.BuildOpts(BuildOptions{Serial: true}), nil
 }

@@ -75,6 +75,10 @@ func NewSession(scale gen.Scale, threads int) *Session {
 		Graphs:    gen.Suite(scale),
 		collected: make(map[collKey]bool),
 	}
+	// Suite stats warm each graph's cached signature up front; past the
+	// small-input cutoff this takes the parallel scan + level-synchronous
+	// BFS path (DESIGN.md §12), and the cache makes every later
+	// g.Stats() — report tables, store cell signatures — free.
 	for _, g := range s.Graphs {
 		s.GStats = append(s.GStats, graph.ComputeStats(g))
 	}

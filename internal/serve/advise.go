@@ -3,7 +3,6 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
-	"strings"
 
 	"indigo/internal/advisor"
 	"indigo/internal/graph"
@@ -73,7 +72,7 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 			st = *req.Stats
 		} else {
 			gd.Charge(int64(len(req.Graph))) // parsing materializes the upload
-			g, herr := parseInlineGraph(req.Graph, req.Format)
+			g, herr := parseInlineGraph(req.Graph, req.Format, gd)
 			if herr != nil {
 				return nil, herr
 			}
@@ -95,17 +94,21 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 // parseInlineGraph parses an uploaded graph through the hardened
 // readers. Malformed input is a client error, never a crash: the
 // readers reject negative/overflowing ids, truncated records, and
-// absurd header counts (see internal/graph/io.go).
-func parseInlineGraph(text, format string) (*graph.Graph, *httpError) {
+// absurd header counts (see internal/graph/io.go). The request's
+// guard rides into the chunked parallel parse and CSR build, so a
+// deadline or budget abort stops a large upload mid-chunk (the
+// guard panic unwinds to handleAdvise's Recover).
+func parseInlineGraph(text, format string, gd *guard.Token) (*graph.Graph, *httpError) {
+	opts := graph.ReadOptions{Guard: gd}
 	switch format {
 	case "edgelist", "":
-		g, err := graph.ReadEdgeList(strings.NewReader(text), "upload")
+		g, err := graph.ReadEdgeListBytes([]byte(text), "upload", opts)
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "parse edgelist: %v", err)
 		}
 		return g, nil
 	case "dimacs":
-		g, err := graph.ReadDIMACS(strings.NewReader(text), "upload")
+		g, err := graph.ReadDIMACSBytes([]byte(text), "upload", opts)
 		if err != nil {
 			return nil, errf(http.StatusBadRequest, "parse dimacs: %v", err)
 		}
