@@ -80,6 +80,8 @@ func main() {
 		"measure guard-checkpoint overhead on the road BFS and emit that report instead")
 	ingest := flag.Bool("ingest", false,
 		"measure the chunked parallel graph ingest against the serial readers and emit that report instead (source of BENCH_ingest.json)")
+	gpusimFlag := flag.Bool("gpusim", false,
+		"measure the sharded GPU cost model against the shared-atomic baseline and emit that report instead (source of BENCH_gpusim.json); with -alloccheck also pins the warmed Launch at zero allocations")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
@@ -104,6 +106,17 @@ func main() {
 			}
 		}
 		emit(ingestBench(bt, *quick), *out)
+		return
+	}
+
+	if *gpusimFlag {
+		if *alloccheck {
+			if avg, ok := gpusimAllocCheck(); !ok {
+				fmt.Fprintf(os.Stderr, "bench: warmed gpusim Launch allocation budget exceeded: %.1f allocs per launch pair, want 0\n", avg)
+				os.Exit(1)
+			}
+		}
+		emit(gpusimBench(bt, *quick), *out)
 		return
 	}
 

@@ -1,0 +1,126 @@
+// Determinism regression suite for the sharded cost model: simulated
+// Stats must be a pure function of (kernel, graph, profile) —
+// bit-identical across host parallelism levels, repeated runs on a
+// reused device, and host scheduling (the -race chaos job runs this
+// file to stress the sharded merge).
+package gpusim_test
+
+import (
+	"runtime"
+	"testing"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/runner"
+	"indigo/internal/styles"
+)
+
+// deterministicCases returns two CUDA variants per algorithm family:
+// the first enumerated one and, when the family has one, the first
+// reduction-add variant (reduction kernels are the barrier-heavy path,
+// where warps of a block run concurrently on the host).
+func deterministicCases(t *testing.T) []styles.Config {
+	t.Helper()
+	var cases []styles.Config
+	for a := styles.Algorithm(0); a < styles.NumAlgorithms; a++ {
+		cfgs := styles.Enumerate(a, styles.CUDA)
+		if len(cfgs) == 0 {
+			t.Fatalf("no CUDA variants for algorithm %v", a)
+		}
+		cases = append(cases, cfgs[0])
+		for _, cfg := range cfgs {
+			if cfg.GPURed == styles.ReductionAdd {
+				cases = append(cases, cfg)
+				break
+			}
+		}
+	}
+	return cases
+}
+
+func gpuStats(t *testing.T, d *gpusim.Device, cfg styles.Config) gpusim.Stats {
+	t.Helper()
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	_, st, err := runner.RunGPU(d, g, cfg, algo.Options{})
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Name(), err)
+	}
+	return st
+}
+
+// TestDeterministicStatsAcrossGOMAXPROCS pins the headline contract of
+// the sharded cost model: the host worker count (and therefore how
+// shards are claimed and interleaved) must not change a single counter.
+func TestDeterministicStatsAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, cfg := range deterministicCases(t) {
+		t.Run(cfg.Name(), func(t *testing.T) {
+			runtime.GOMAXPROCS(1)
+			want := gpuStats(t, gpusim.New(gpusim.RTXSim()), cfg)
+			for _, procs := range []int{4, 8} {
+				runtime.GOMAXPROCS(procs)
+				if got := gpuStats(t, gpusim.New(gpusim.RTXSim()), cfg); got != want {
+					t.Errorf("GOMAXPROCS=%d:\n got %+v\nwant %+v", procs, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestDeterministicStatsAcrossDeviceReuse pins the sweep's device-reuse
+// contract: a Reset device must reproduce a fresh device bit-for-bit,
+// run after run.
+func TestDeterministicStatsAcrossDeviceReuse(t *testing.T) {
+	for _, cfg := range deterministicCases(t) {
+		d := gpusim.New(gpusim.RTXSim())
+		want := gpuStats(t, d, cfg)
+		for run := 0; run < 2; run++ {
+			d.Reset()
+			if got := gpuStats(t, d, cfg); got != want {
+				t.Errorf("%s: reused-device run %d:\n got %+v\nwant %+v", cfg.Name(), run+1, got, want)
+			}
+		}
+		if got := gpuStats(t, gpusim.New(gpusim.RTXSim()), cfg); got != want {
+			t.Errorf("%s: fresh device differs from first run:\n got %+v\nwant %+v", cfg.Name(), got, want)
+		}
+	}
+}
+
+// TestShardedMergeStress hammers the concurrent paths — many host
+// workers claiming shards, barrier blocks folding private views and
+// atomic-pressure entries back — and checks every repetition lands on
+// the same Stats. The chaos CI job runs it under -race.
+func TestShardedMergeStress(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	runtime.GOMAXPROCS(8)
+	stress := []styles.Config{
+		// Barrier-heavy: PR with block reduction.
+		pickGPU(t, styles.PR, func(c styles.Config) bool { return c.GPURed == styles.ReductionAdd }),
+		// Atomic-heavy, non-barrier: data-driven push BFS.
+		pickGPU(t, styles.BFS, func(c styles.Config) bool {
+			return c.Drive.IsDataDriven() && c.Flow == styles.Push
+		}),
+	}
+	for _, cfg := range stress {
+		d := gpusim.New(gpusim.RTXSim())
+		want := gpuStats(t, d, cfg)
+		for i := 0; i < 4; i++ {
+			d.Reset()
+			if got := gpuStats(t, d, cfg); got != want {
+				t.Fatalf("%s: stress run %d diverged:\n got %+v\nwant %+v", cfg.Name(), i+1, got, want)
+			}
+		}
+	}
+}
+
+func pickGPU(t *testing.T, a styles.Algorithm, want func(styles.Config) bool) styles.Config {
+	t.Helper()
+	for _, cfg := range styles.Enumerate(a, styles.CUDA) {
+		if want(cfg) {
+			return cfg
+		}
+	}
+	t.Fatalf("no CUDA %v variant matches the predicate", a)
+	return styles.Config{}
+}

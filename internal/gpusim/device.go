@@ -3,39 +3,129 @@ package gpusim
 import (
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"indigo/internal/guard"
 )
 
+// atomSlots is the size of the hashed same-address atomic-pressure
+// table (collisions merge conservatively, as before).
+const atomSlots = 1 << 12
+
+// Tag entries pack (epoch << epochShift) | segment so a whole tag view
+// invalidates with one epoch bump: entries written under an older epoch
+// simply stop matching. 24 epoch bits leave 40 segment bits — 128 TiB
+// of simulated address space — and the epoch wraps by falling back to a
+// real clear, so a false hit is impossible.
+const (
+	epochBits  = 24
+	epochShift = 64 - epochBits
+	segMask    = 1<<epochShift - 1
+	epochMax   = 1<<epochBits - 1
+)
+
+// tagView is one private direct-mapped L2 tag array: the deterministic
+// slice of the L2 owned by one SM, persisting across blocks and
+// launches. Exactly one warp executes against a view at any time (the
+// sequential block path and the coroutine barrier path both serialize
+// warps), so probes are plain loads and stores.
+type tagView struct {
+	tags  []uint64
+	mask  uint64
+	epoch uint64
+	// dirty means at least one tag was written in the current epoch,
+	// so FlushL2 can skip views that are already empty.
+	dirty bool
+}
+
+func (v *tagView) init(slots uint64) {
+	v.tags = make([]uint64, slots)
+	v.mask = slots - 1
+	v.epoch = 1
+}
+
+// probe looks up seg, installs it on a miss, and reports the hit.
+func (v *tagView) probe(seg uint64) bool {
+	slot := seg & v.mask
+	want := v.epoch<<epochShift | seg&segMask
+	if v.tags[slot] == want {
+		return true
+	}
+	v.tags[slot] = want
+	v.dirty = true
+	return false
+}
+
+// invalidate empties the view in O(1) by starting a fresh epoch.
+func (v *tagView) invalidate() {
+	if v.epoch == epochMax {
+		clear(v.tags)
+		v.epoch = 0
+	}
+	v.epoch++
+	v.dirty = false
+}
+
+// shard is the cost-model state of one SM. The deterministic block→SM
+// mapping (block bi runs on SM bi % SMs) makes each shard's inputs a
+// pure function of the launch, so shards need no synchronization: one
+// host worker owns a shard at a time and processes its blocks in
+// ascending order.
+type shard struct {
+	// view is the SM's slice of the L2 tag model.
+	view tagView
+	// stats and smCycles accumulate over the launch and are collected
+	// (and cleared) single-threaded at launch end, in shard order.
+	stats    Stats
+	smCycles int64
+	// bc is the shard's reusable block context (warps, barrier, shared
+	// memory slabs): a multi-launch algorithm's hundreds of launches
+	// allocate nothing here after warm-up.
+	bc block
+}
+
 // Device is one simulated GPU: a profile, a fake global address space
-// for coalescing/caching, and the L2 tag store. A Device may run many
-// kernels; allocate arrays once and launch repeatedly.
+// for coalescing/caching, and the sharded cost model. A Device may run
+// many kernels; allocate arrays once and launch repeatedly. Simulated
+// Stats are deterministic: a pure function of (kernel, graph, profile),
+// independent of GOMAXPROCS and host scheduling.
 type Device struct {
 	Prof Profile
 
-	nextAddr uint64
-	l2       []atomic.Uint64 // direct-mapped segment tags; tag 0 = empty
-	l2Mask   uint64
-	// atomTable counts same-address atomic pressure per launch (hashed,
-	// collisions merge conservatively); the busiest address's count
-	// extends the kernel's critical path by AtomicSerialCost each.
-	atomTable []atomic.Int64
+	nextAddr   uint64
+	shardSlots uint64
+	shards     []shard
+	// atom counts same-address atomic pressure, with plain increments
+	// (execution on the sharded path is fully serial, so one global
+	// table serves every SM and stays hot in cache). atomTouched and
+	// atomCursor index the nonzero slots so the launch-end drain is
+	// O(footprint), not a 4096-slot scan.
+	atom        []int64
+	atomTouched []int32
+	atomCursor  int32
+	ls          launchScratch
+	// coros are the persistent warp coroutines for barrier blocks, one
+	// per warp slot, reused across blocks and launches (see launch.go).
+	// teamBlock is the block they are currently executing.
+	coros     []warpCoro
+	teamBlock *block
 	// gd, when non-nil, makes kernels cooperatively cancelable: Launch
 	// polls it per launch (which checkpoints every outer round of the
 	// multi-launch algorithms) and each warp polls it every
 	// guardPollCycles simulated cycles inside a kernel.
 	gd *guard.Token
+	// legacy, when non-nil, routes launches through the shared-atomic
+	// baseline (cmd/bench -gpusim measures the sharded model against it).
+	legacy *legacyState
 }
 
 // SetGuard installs (or, with nil, removes) the guard token subsequent
 // launches run under. Call it from the launching goroutine before
-// Launch; the launch's fan-out orders the write for the warp runners.
+// Launch.
 func (d *Device) SetGuard(gd *guard.Token) { d.gd = gd }
 
 // New creates a device with the given profile.
 func New(p Profile) *Device {
-	segs := uint64(p.L2Bytes) / segBytes
+	segs := uint64(p.L2Bytes) / segBytes / uint64(p.SMs)
 	// Round down to a power of two for cheap indexing.
 	for segs&(segs-1) != 0 {
 		segs &= segs - 1
@@ -43,33 +133,45 @@ func New(p Profile) *Device {
 	if segs == 0 {
 		segs = 1
 	}
-	d := &Device{Prof: p, nextAddr: segBytes}
-	d.l2 = make([]atomic.Uint64, segs)
-	d.l2Mask = segs - 1
-	d.atomTable = make([]atomic.Int64, 1<<12)
+	d := &Device{Prof: p, nextAddr: segBytes, shardSlots: segs}
+	d.shards = make([]shard, p.SMs)
+	for i := range d.shards {
+		d.shards[i].view.init(segs)
+	}
+	d.atom = make([]int64, atomSlots)
+	d.atomTouched = make([]int32, atomSlots)
 	return d
 }
 
 // atomHit records weight units of atomic pressure on addr (CudaAtomics
 // weigh CudaAtomicFactor because their seq_cst system-scope RMWs hold
 // the L2 atomic unit far longer).
-func (d *Device) atomHit(addr uint64, weight int64) {
+func (w *Warp) atomHit(addr uint64, weight int64) {
+	if w.lt != nil {
+		w.lt.atomHit(addr, weight)
+		return
+	}
 	h := addr * 0x9e3779b97f4a7c15 >> 52 // top 12 bits
-	d.atomTable[h].Add(weight)
+	d := w.d
+	if d.atom[h] == 0 {
+		d.atomTouched[d.atomCursor] = int32(h)
+		d.atomCursor++
+	}
+	d.atom[h] += weight
 }
 
-// drainAtomics returns the launch's maximum same-address atomic
-// pressure and resets the table.
+// drainAtomics returns the launch's maximum same-address pressure and
+// resets the table. Runs single-threaded at launch end; only touched
+// slots are visited.
 func (d *Device) drainAtomics() int64 {
 	var max int64
-	for i := range d.atomTable {
-		if c := d.atomTable[i].Load(); c != 0 {
-			if c > max {
-				max = c
-			}
-			d.atomTable[i].Store(0)
+	for _, h := range d.atomTouched[:d.atomCursor] {
+		if c := d.atom[h]; c > max {
+			max = c
 		}
+		d.atom[h] = 0
 	}
+	d.atomCursor = 0
 	if max > 0 {
 		max-- // the first atomic is already charged in-line
 	}
@@ -77,36 +179,44 @@ func (d *Device) drainAtomics() int64 {
 }
 
 // FlushL2 invalidates the cache model (used between independent runs so
-// timings do not leak across experiments).
+// timings do not leak across experiments). Tag shards that are already
+// empty are skipped.
 func (d *Device) FlushL2() {
-	for i := range d.l2 {
-		d.l2[i].Store(0)
+	if d.legacy != nil {
+		d.legacy.flush()
+		return
+	}
+	for i := range d.shards {
+		if v := &d.shards[i].view; v.dirty {
+			v.invalidate()
+		}
 	}
 }
 
-// access charges one global-memory transaction for the segment holding
-// addr and returns its cycle cost. The tag store is updated with atomic
-// operations; cross-block races just perturb hit rates, as on hardware.
-func (d *Device) access(addr uint64) int64 {
-	seg := addr / segBytes
-	slot := &d.l2[seg&d.l2Mask]
-	if slot.Load() == seg {
-		return d.Prof.L2HitCost
+// Reset returns the device to its post-New state so it can be reused
+// across independent runs with bit-identical Stats: the fake address
+// space restarts (any arrays from earlier runs are dead), the L2 model
+// flushes, and cost-model state left by an aborted launch is cleared.
+func (d *Device) Reset() {
+	d.nextAddr = segBytes
+	d.FlushL2()
+	d.drainAtomics()
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.stats = Stats{}
+		sh.smCycles = 0
 	}
-	slot.Store(seg)
-	return d.Prof.DRAMCost
 }
 
-// transactions charges one transaction per distinct segment among the
-// given addresses (the coalescing rule) and returns the total cost.
-// Addresses of one warp access are contiguous in our vector ops, so a
-// tiny fixed-size scan suffices.
-func (d *Device) transactions(lo, hi uint64) int64 {
-	var cost int64
-	for seg := lo / segBytes; seg <= (hi-1)/segBytes; seg++ {
-		cost += d.access(seg * segBytes)
+// transactions returns the coalesced transaction count of the byte
+// range [lo, hi): one per 128-byte segment touched. The empty range
+// returns 0 (hi == 0 previously underflowed in the (hi-1)/segBytes
+// bound).
+func transactions(lo, hi uint64) int64 {
+	if hi <= lo {
+		return 0
 	}
-	return cost
+	return int64((hi-1)/segBytes - lo/segBytes + 1)
 }
 
 func (d *Device) alloc(bytes int64) uint64 {

@@ -2,12 +2,11 @@ package gpusim
 
 import (
 	"fmt"
-	"runtime"
+	"iter"
 	"sync"
 	"sync/atomic"
 
 	"indigo/internal/guard"
-	"indigo/internal/par"
 )
 
 // Kernel is a device kernel, written per warp: the function is invoked
@@ -21,7 +20,8 @@ type LaunchCfg struct {
 	// ThreadsPerBlock must be a multiple of 32; 0 means 256.
 	ThreadsPerBlock int
 	// NeedsBarrier must be set when the kernel calls Warp.Sync. Barrier
-	// kernels run their block's warps concurrently; others run them
+	// kernels run their block's warps as coroutines (interleaved at
+	// Sync points, one at a time); others run them straight through
 	// sequentially (cheaper to simulate).
 	NeedsBarrier bool
 }
@@ -61,10 +61,24 @@ func (s Stats) Seconds(p Profile) float64 {
 	return float64(s.Cycles) / (p.ClockGHz * 1e9)
 }
 
+// launchScratch is the per-Device reusable launch state: a warmed-up
+// device's Launch allocates nothing.
+type launchScratch struct {
+	cfg           LaunchCfg
+	kern          Kernel
+	warpsPerBlock int
+	// nextShard hands whole shards to the launch worker; a recorded
+	// panic overshoots it past the shard count to stop the claim loop.
+	nextShard atomic.Int64
+	panicked  panicSlot
+}
+
 // Launch executes the kernel over the grid and returns its simulated
 // cost. Execution is functional: all global-memory operations use host
-// atomics, so results are exact; host parallelism only affects wall
-// time, not simulated time beyond cache-model perturbation.
+// atomics, so results are exact. The cost model is sharded per SM with
+// the deterministic block→SM mapping bi % SMs and merged in fixed shard
+// order at launch end, so Stats are bit-identical across GOMAXPROCS
+// settings and repeated runs.
 func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	// One poll per launch checkpoints every outer round of the
 	// multi-launch algorithms; warps poll again inside the kernel every
@@ -79,119 +93,292 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	if cfg.Blocks <= 0 {
 		panic(fmt.Sprintf("gpusim.Launch: bad grid size %d", cfg.Blocks))
 	}
-	warpsPerBlock := cfg.ThreadsPerBlock / WarpSize
-
-	smCycles := make([]int64, d.Prof.SMs)
-	var smMu sync.Mutex
-	var total Stats
-
-	var nextBlock atomic.Int64
-	var panicked panicSlot
-	workers := runtime.GOMAXPROCS(0)
-	if int64(workers) > cfg.Blocks {
-		workers = int(cfg.Blocks)
+	if d.legacy != nil {
+		return d.launchLegacy(cfg, k)
 	}
-	// One Static iteration per host worker: the fan-out rides the par
-	// worker-pool runtime instead of spawning goroutines per launch.
-	par.ForTID(workers, int64(workers), par.Static, func(_ int, _ int64) {
-		// Kernel panics surface on the launching goroutine, like a
-		// CUDA error on the host thread.
-		defer func() {
-			if r := recover(); r != nil {
-				panicked.record(r)
-				nextBlock.Store(cfg.Blocks) // stop other workers
-			}
-		}()
-		var local Stats
-		localSM := make([]int64, d.Prof.SMs)
-		for {
-			bi := nextBlock.Add(1) - 1
-			if bi >= cfg.Blocks {
-				break
-			}
-			blockCycles := d.runBlock(cfg, k, bi, warpsPerBlock, &local)
-			localSM[bi%int64(d.Prof.SMs)] += blockCycles + d.Prof.BlockOverhead
-		}
-		smMu.Lock()
-		total.Add(local)
-		for i, c := range localSM {
-			smCycles[i] += c
-		}
-		smMu.Unlock()
-	})
-	panicked.rethrow()
+	ls := &d.ls
+	ls.cfg = cfg
+	ls.kern = k
+	ls.warpsPerBlock = cfg.ThreadsPerBlock / WarpSize
+	ls.nextShard.Store(0)
+	ls.panicked.reset()
 
+	// Shards execute inline on the launching goroutine, in fixed shard
+	// order. Blocks of different shards must NOT run concurrently: the
+	// functional side of the simulation is shared (kernels of the
+	// nondeterministic styles intentionally race on global memory), so
+	// concurrent blocks would make results — and therefore iteration and
+	// instruction counts — depend on host scheduling. The fast path's
+	// speed comes from the contention-free cost model (plain increments,
+	// O(footprint) merges, zero warmed-launch allocations), not from
+	// host fan-out; the legacy baseline keeps the old multi-worker
+	// behavior for comparison.
+	d.launchWorker()
+	ls.kern = nil
+
+	// Collect in fixed shard order — and always, even when a worker
+	// panicked, so an aborted launch leaves no stale cost state behind.
+	var total Stats
 	var maxSM int64
-	for _, c := range smCycles {
-		if c > maxSM {
-			maxSM = c
+	for i := range d.shards {
+		sh := &d.shards[i]
+		total.Add(sh.stats)
+		sh.stats = Stats{}
+		if sh.smCycles > maxSM {
+			maxSM = sh.smCycles
 		}
+		sh.smCycles = 0
 	}
 	// Same-address atomics serialize at the L2 atomic unit: the busiest
 	// address's queue is a lower bound on the kernel's duration no
 	// matter how many SMs are working.
 	serial := d.drainAtomics() * d.Prof.AtomicSerialCost
+	ls.panicked.rethrow()
 	total.AtomicSerial = serial
 	total.Cycles = maxSM + serial + d.Prof.LaunchOverhead
 	return total
 }
 
+// launchWorker claims shards until none remain. Kernel panics surface
+// on the launching goroutine, like a CUDA error on the host thread.
+func (d *Device) launchWorker() {
+	ls := &d.ls
+	sms := int64(d.Prof.SMs)
+	defer func() {
+		if r := recover(); r != nil {
+			ls.panicked.record(r)
+			ls.nextShard.Store(sms + 1) // stop other workers
+		}
+	}()
+	for {
+		s := ls.nextShard.Add(1) - 1
+		if s >= sms {
+			return
+		}
+		d.runShard(int(s))
+	}
+}
+
+// runShard simulates every block of one SM, in ascending block order.
+func (d *Device) runShard(si int) {
+	ls := &d.ls
+	sh := &d.shards[si]
+	sms := int64(d.Prof.SMs)
+	for bi := int64(si); bi < ls.cfg.Blocks; bi += sms {
+		if ls.nextShard.Load() > sms { // a sibling worker panicked
+			return
+		}
+		sh.smCycles += d.runBlock(sh, bi) + d.Prof.BlockOverhead
+	}
+}
+
 // runBlock executes one block's warps and returns the block's cycle
 // count (the slowest warp).
-func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock int, agg *Stats) int64 {
-	blk := &block{shared: make(map[int]any)}
-	warps := make([]*Warp, warpsPerBlock)
-	for wi := range warps {
-		warps[wi] = &Warp{
-			d:           d,
-			blk:         blk,
-			WarpInBlock: wi,
-			BlockIdx:    blockIdx,
-			BlockDim:    cfg.ThreadsPerBlock,
-			GridDim:     cfg.Blocks,
-		}
-	}
-	if !cfg.NeedsBarrier {
+func (d *Device) runBlock(sh *shard, blockIdx int64) int64 {
+	ls := &d.ls
+	bc := &sh.bc
+	bc.begin(d, sh, ls.warpsPerBlock, ls.cfg)
+	W := ls.warpsPerBlock
+	if !ls.cfg.NeedsBarrier {
+		// Sequential fast path: one warp at a time against the shard's
+		// own view, all cost-model state plain.
 		var maxCycles int64
-		for _, w := range warps {
-			k(w)
-			agg.Add(w.stats)
+		for wi := 0; wi < W; wi++ {
+			w := bc.warps[wi]
+			w.reset(blockIdx, &sh.view)
+			ls.kern(w)
+			sh.stats.Add(w.stats)
 			if w.cycles > maxCycles {
 				maxCycles = w.cycles
 			}
 		}
-		return maxCycles + blk.sharedSerial(d)
+		return maxCycles + bc.sharedSerial(d)
 	}
-	// Barrier kernels: warps run concurrently and rendezvous in Sync, so
-	// each needs its own concurrently scheduled worker — ForConcurrent
-	// guarantees that; an elastic For could run two warps on one
-	// goroutine and deadlock at the barrier.
-	blk.barrier = newBarrier(warpsPerBlock)
-	var mu sync.Mutex
+	// Barrier kernels run the block's warps as coroutines (iter.Pull)
+	// that hand control to each other directly at Sync points: a warp
+	// arriving at a barrier resumes the next sibling that has not
+	// arrived yet, and whichever warp completes the rendezvous aligns
+	// the cycle counters and continues straight into the next phase.
+	// Exactly one warp executes at any moment and the hand-off order is
+	// a pure function of the arrival bookkeeping, so every piece of
+	// cost-model and functional state stays plain and the simulation is
+	// deterministic by construction. Each suspension is one coroutine
+	// switch on this same goroutine — no scheduler round-trip, channel,
+	// futex, or pool dispatch anywhere in a barrier block.
+	bc.teamN = W
+	for wi := 0; wi < W; wi++ {
+		bc.warps[wi].reset(blockIdx, &sh.view)
+	}
+	if W == 1 {
+		// One warp rendezvouses with itself; skip the machinery.
+		w := bc.warps[0]
+		ls.kern(w)
+		sh.stats.Add(w.stats)
+		return w.cycles + bc.sharedSerial(d)
+	}
+	d.ensureCoros(W)
+	d.teamBlock = bc
+	bc.teamLive = W
+	bc.arrivedN = 0
+	bc.syncSeq = 0
+	bc.syncMax = 0
+	bc.aborted = false
+	bc.panicked.reset()
+	if d.runTeam(bc) {
+		d.clearCoros(bc)
+		bc.panicked.rethrow()
+	}
 	var maxCycles int64
-	var panicked panicSlot
-	// The fan-out itself stays unguarded on purpose: cancellation must
-	// reach barrier kernels through the in-body Op polls below, whose
-	// recover breaks the block barrier. A region-entry abort would skip a
-	// warp's body without waking its rendezvoused siblings.
-	par.ForConcurrent(warpsPerBlock, func(tid int) {
-		w := warps[tid]
-		defer func() {
-			if r := recover(); r != nil {
-				panicked.record(r)
-				blk.barrier.abort()
-			}
-		}()
-		k(w)
-		mu.Lock()
-		agg.Add(w.stats)
+	for wi := 0; wi < W; wi++ {
+		w := bc.warps[wi]
+		sh.stats.Add(w.stats)
 		if w.cycles > maxCycles {
 			maxCycles = w.cycles
 		}
-		mu.Unlock()
+	}
+	return maxCycles + bc.sharedSerial(d)
+}
+
+// warpCoro is one persistent warp coroutine: a pull iterator whose
+// body executes the current block's warp of its slot, suspending at
+// every Sync it waits out and once more between blocks. detached means
+// the coroutine is suspended at a yield and may be resumed with next;
+// the warps currently holding or forwarding control are not (they are
+// blocked inside their own next calls and resume when their target
+// suspends). A zero warpCoro means the slot needs (re)creation — after
+// an aborted block, or before the slot's first barrier block.
+type warpCoro struct {
+	next     func() (struct{}, bool)
+	stop     func()
+	detached bool
+}
+
+// ensureCoros makes slots [0, n) runnable.
+func (d *Device) ensureCoros(n int) {
+	for len(d.coros) < n {
+		d.coros = append(d.coros, warpCoro{})
+	}
+	for wi := 0; wi < n; wi++ {
+		if d.coros[wi].next == nil {
+			d.coros[wi] = d.makeCoro(wi)
+		}
+	}
+}
+
+func (d *Device) makeCoro(wi int) warpCoro {
+	next, stop := iter.Pull(func(yield func(struct{}) bool) {
+		for {
+			d.coros[wi].detached = false
+			b := d.teamBlock
+			w := b.warps[wi]
+			w.yield = yield
+			d.ls.kern(w)
+			w.done = true
+			b.teamLive--
+			if b.arrivedN > 0 && !b.aborted {
+				// Siblings are parked at a barrier this warp will never
+				// reach: real hardware would hang.
+				b.panicked.record("gpusim: Sync divergence: a sibling warp retired without reaching the barrier")
+				b.aborted = true
+			}
+			// Block boundary: suspend until the next barrier block (or
+			// exit when stopped).
+			d.coros[wi].detached = true
+			if !yield(struct{}{}) {
+				return
+			}
+		}
 	})
-	panicked.rethrow()
-	return maxCycles + blk.sharedSerial(d)
+	return warpCoro{next: next, stop: stop, detached: true}
+}
+
+// runTeam drives the block until every warp retires. Control moves
+// between the warps themselves at Sync points; the manager only injects
+// it, and regains it when the whole control chain has suspended — at
+// which point every unfinished warp is detached, so resuming the first
+// one is always legal. Returns true when the block aborted (a kernel
+// panic, a guard abort, or barrier divergence, recorded in
+// bc.panicked); surviving coroutines are then still suspended
+// mid-kernel and must be killed with clearCoros. Panics inside a warp
+// propagate through the chain of pending next calls (killing each
+// forwarding coroutine) and surface here — like a CUDA error reported
+// on the host thread.
+func (d *Device) runTeam(bc *block) (aborted bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			bc.panicked.record(r)
+			aborted = true
+		}
+	}()
+	for {
+		live := -1
+		for wi := 0; wi < bc.teamN; wi++ {
+			if !bc.warps[wi].done {
+				live = wi
+				break
+			}
+		}
+		if live < 0 {
+			return false
+		}
+		if bc.aborted {
+			return true
+		}
+		d.coros[live].next()
+	}
+}
+
+// clearCoros kills every team coroutine of an aborted block and empties
+// the slots (ensureCoros recreates them for the next barrier block).
+// Dead coroutines (the ones a panic unwound) make stop a no-op; live
+// detached ones see their pending yield return false, so Sync panics
+// barrierAborted inside the coroutine and the panic surfaces here —
+// recorded, not rethrown, so the original cause (a guard abort in
+// particular) keeps priority in panicked.rethrow.
+func (d *Device) clearCoros(bc *block) {
+	for wi := 0; wi < bc.teamN; wi++ {
+		c := d.coros[wi]
+		if c.stop != nil {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						bc.panicked.record(r)
+					}
+				}()
+				c.stop()
+			}()
+		}
+		d.coros[wi] = warpCoro{}
+	}
+}
+
+// completeSync finishes one rendezvous: the barrier releases when the
+// slowest warp arrives, so every live warp resumes at that warp's cycle
+// count.
+func (b *block) completeSync() {
+	for wi := 0; wi < b.teamN; wi++ {
+		if w := b.warps[wi]; !w.done {
+			w.cycles = b.syncMax
+			w.arrived = false
+		}
+	}
+	b.syncMax = 0
+	b.arrivedN = 0
+	b.syncSeq++
+}
+
+// nextPending returns the next warp (cyclically after self) that still
+// has to arrive at the pending rendezvous and can be resumed, or -1
+// when every such warp is busy forwarding control (the caller then
+// parks and lets the chain unwind).
+func (b *block) nextPending(self int) int {
+	for i := 1; i < b.teamN; i++ {
+		wi := (self + i) % b.teamN
+		if b.d.coros[wi].detached && !b.warps[wi].done && !b.warps[wi].arrived {
+			return wi
+		}
+	}
+	return -1
 }
 
 // panicSlot collects concurrent worker panics and rethrows one, with
@@ -199,98 +386,114 @@ func (d *Device) runBlock(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock
 // barrier, its sibling warps panic too ("barrier aborted"), and whichever
 // lands first would otherwise decide whether the run is filed as a
 // cancellation or a crash.
-type panicSlot struct{ abort, other atomic.Value }
+type panicSlot struct {
+	mu           sync.Mutex
+	abort, other any
+}
 
 func (s *panicSlot) record(r any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, ok := guard.AbortError(r); ok {
-		s.abort.CompareAndSwap(nil, r)
-	} else {
-		s.other.CompareAndSwap(nil, r)
+		if s.abort == nil {
+			s.abort = r
+		}
+	} else if s.other == nil {
+		s.other = r
 	}
 }
 
 func (s *panicSlot) rethrow() {
-	if r := s.abort.Load(); r != nil {
-		panic(r)
+	s.mu.Lock()
+	abort, other := s.abort, s.other
+	s.mu.Unlock()
+	if abort != nil {
+		panic(abort)
 	}
-	if r := s.other.Load(); r != nil {
-		panic(r)
+	if other != nil {
+		panic(other)
 	}
 }
 
+// reset clears the slot for reuse. Call only from the owning goroutine
+// at a point ordered after any recording workers have joined.
+func (s *panicSlot) reset() { s.abort, s.other = nil, nil }
+
 // sharedSerial is the block-critical-path cost of its shared atomics.
 func (b *block) sharedSerial(d *Device) int64 {
-	n := b.sharedAtomics.Load()
+	n := b.sharedAtomicsN
 	if n <= 1 {
 		return 0
 	}
 	return (n - 1) * d.Prof.SharedSerialCost
 }
 
-// block is the per-block state: shared memory and the barrier.
+// sharedSlab is one reusable shared-memory array, re-registered (and
+// re-zeroed) per block via the generation counter.
+type sharedSlab struct {
+	gen  uint64
+	live byte // 0 none, 'i' int64, 'u' uint32
+	i64  []int64
+	u32  []uint32
+}
+
+// block is the reusable per-block state: the warps, shared memory, and
+// the barrier-team bookkeeping. One lives in each shard and is recycled
+// for every block the shard runs. All fields are plain: exactly one
+// warp executes at any time on the sharded path.
 type block struct {
-	mu      sync.Mutex
-	shared  map[int]any
-	barrier *barrier
-	// sharedAtomics counts the block's shared-memory atomic operations;
+	d  *Device
+	sh *shard
+
+	mu        sync.Mutex
+	shared    []sharedSlab
+	sharedGen uint64
+	// sharedAtomicsN counts the block's shared-memory atomic operations;
 	// they serialize on the block's critical path (SharedSerialCost).
-	sharedAtomics atomic.Int64
+	sharedAtomicsN int64
+
+	warps    []*Warp
+	panicked panicSlot
+
+	// teamN is the warp count of a barrier block, 0 outside one (Sync
+	// uses it to reject launches missing NeedsBarrier). teamLive counts
+	// the warps that have not retired. arrivedN, syncMax, and syncSeq
+	// are the pending rendezvous: how many live warps have arrived, the
+	// cycle maximum so far, and how many rendezvous have completed (a
+	// warp arriving at rendezvous syncSeq+1 waits until syncSeq passes
+	// it). aborted stops the block after a divergence.
+	teamN    int
+	teamLive int
+	arrivedN int
+	syncMax  int64
+	syncSeq  int64
+	aborted  bool
+
+	// legacyBar is set only on the shared-atomic baseline path, which
+	// allocates a fresh block (and cond-based barrier) per block.
+	legacyBar *condBarrier
 }
 
-// barrier synchronizes a block's warps and aligns their cycle counters
-// to the slowest participant, like __syncthreads.
-type barrier struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	n      int
-	count  int
-	gen    int
-	maxCyc int64
-	broken bool
+// begin recycles the block context for the next block: shared slabs
+// age out via the generation bump and the warp ring grows to the block
+// shape on first use.
+func (b *block) begin(d *Device, sh *shard, warpsPerBlock int, cfg LaunchCfg) {
+	if b.d == nil {
+		b.d, b.sh = d, sh
+	}
+	for len(b.warps) < warpsPerBlock {
+		b.warps = append(b.warps, &Warp{d: d, blk: b, sh: sh, WarpInBlock: len(b.warps)})
+	}
+	for wi := 0; wi < warpsPerBlock; wi++ {
+		b.warps[wi].BlockDim = cfg.ThreadsPerBlock
+		b.warps[wi].GridDim = cfg.Blocks
+	}
+	b.sharedGen++
+	b.sharedAtomicsN = 0
+	b.teamN = 0
 }
 
-func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// wait blocks until all n participants arrive and returns the maximum
-// cycle count among them.
-func (b *barrier) wait(cycles int64) int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.broken {
-		panic("gpusim: barrier aborted by a panicking warp")
-	}
-	if cycles > b.maxCyc {
-		b.maxCyc = cycles
-	}
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		return b.maxCyc
-	}
-	gen := b.gen
-	for gen == b.gen && !b.broken {
-		b.cond.Wait()
-	}
-	if b.broken {
-		panic("gpusim: barrier aborted by a panicking warp")
-	}
-	return b.maxCyc
-}
-
-// abort releases all waiters after a warp panicked, so the block does
-// not deadlock; released waiters panic in turn.
-func (b *barrier) abort() {
-	b.mu.Lock()
-	b.broken = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
+const barrierAborted = "gpusim: barrier aborted by a panicking warp"
 
 // GridSize returns the block count needed for n items with the given
 // items-per-block coverage: itemsPerBlock is ThreadsPerBlock for

@@ -1,0 +1,233 @@
+package gpusim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"indigo/internal/par"
+)
+
+// legacyState is the pre-sharding shared-atomic cost model: one global
+// atomic tag store and one global atomic pressure table, raced by every
+// concurrently executing block. It is kept as an executable baseline so
+// cmd/bench -gpusim can measure the sharded model against the very
+// implementation it replaced (the same pattern internal/par uses for
+// its spawn-per-region baseline). Stats on this path are not
+// deterministic — host interleaving perturbs the hit rates.
+type legacyState struct {
+	l2        []atomic.Uint64 // direct-mapped segment tags; tag 0 = empty
+	l2Mask    uint64
+	atomTable []atomic.Int64
+}
+
+// SetSharedBaseline switches the device between the sharded model
+// (default) and the shared-atomic baseline. Bench-only.
+func (d *Device) SetSharedBaseline(on bool) {
+	if !on {
+		d.legacy = nil
+		return
+	}
+	segs := uint64(d.Prof.L2Bytes) / segBytes
+	for segs&(segs-1) != 0 {
+		segs &= segs - 1
+	}
+	if segs == 0 {
+		segs = 1
+	}
+	d.legacy = &legacyState{
+		l2:        make([]atomic.Uint64, segs),
+		l2Mask:    segs - 1,
+		atomTable: make([]atomic.Int64, atomSlots),
+	}
+}
+
+func (lt *legacyState) access(addr uint64, d *Device) int64 {
+	seg := addr / segBytes
+	slot := &lt.l2[seg&lt.l2Mask]
+	if slot.Load() == seg {
+		return d.Prof.L2HitCost
+	}
+	slot.Store(seg)
+	return d.Prof.DRAMCost
+}
+
+func (lt *legacyState) atomHit(addr uint64, weight int64) {
+	h := addr * 0x9e3779b97f4a7c15 >> 52
+	lt.atomTable[h].Add(weight)
+}
+
+// drain scans the whole table (the cost the sharded model's
+// touched-slot tracking eliminates).
+func (lt *legacyState) drain() int64 {
+	var max int64
+	for i := range lt.atomTable {
+		if c := lt.atomTable[i].Load(); c != 0 {
+			if c > max {
+				max = c
+			}
+			lt.atomTable[i].Store(0)
+		}
+	}
+	if max > 0 {
+		max--
+	}
+	return max
+}
+
+func (lt *legacyState) flush() {
+	for i := range lt.l2 {
+		lt.l2[i].Store(0)
+	}
+}
+
+// launchLegacy is the old Launch: dynamic block claiming, per-launch
+// and per-block allocations, mutex-order stats merge.
+func (d *Device) launchLegacy(cfg LaunchCfg, k Kernel) Stats {
+	warpsPerBlock := cfg.ThreadsPerBlock / WarpSize
+	smCycles := make([]int64, d.Prof.SMs)
+	var smMu sync.Mutex
+	var total Stats
+	var nextBlock atomic.Int64
+	var panicked panicSlot
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > cfg.Blocks {
+		workers = int(cfg.Blocks)
+	}
+	par.ForTID(workers, int64(workers), par.Static, func(_ int, _ int64) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.record(r)
+				nextBlock.Store(cfg.Blocks)
+			}
+		}()
+		var local Stats
+		localSM := make([]int64, d.Prof.SMs)
+		for {
+			bi := nextBlock.Add(1) - 1
+			if bi >= cfg.Blocks {
+				break
+			}
+			blockCycles := d.runBlockLegacy(cfg, k, bi, warpsPerBlock, &local)
+			localSM[bi%int64(d.Prof.SMs)] += blockCycles + d.Prof.BlockOverhead
+		}
+		smMu.Lock()
+		total.Add(local)
+		for i, c := range localSM {
+			smCycles[i] += c
+		}
+		smMu.Unlock()
+	})
+	panicked.rethrow()
+
+	var maxSM int64
+	for _, c := range smCycles {
+		if c > maxSM {
+			maxSM = c
+		}
+	}
+	serial := d.legacy.drain() * d.Prof.AtomicSerialCost
+	total.AtomicSerial = serial
+	total.Cycles = maxSM + serial + d.Prof.LaunchOverhead
+	return total
+}
+
+func (d *Device) runBlockLegacy(cfg LaunchCfg, k Kernel, blockIdx int64, warpsPerBlock int, agg *Stats) int64 {
+	blk := &block{d: d, sharedGen: 1}
+	warps := make([]*Warp, warpsPerBlock)
+	for wi := range warps {
+		warps[wi] = &Warp{
+			d:           d,
+			blk:         blk,
+			lt:          d.legacy,
+			WarpInBlock: wi,
+			BlockIdx:    blockIdx,
+			BlockDim:    cfg.ThreadsPerBlock,
+			GridDim:     cfg.Blocks,
+		}
+	}
+	if !cfg.NeedsBarrier {
+		var maxCycles int64
+		for _, w := range warps {
+			k(w)
+			agg.Add(w.stats)
+			if w.cycles > maxCycles {
+				maxCycles = w.cycles
+			}
+		}
+		return maxCycles + blk.sharedSerial(d)
+	}
+	blk.legacyBar = newCondBarrier(warpsPerBlock)
+	var mu sync.Mutex
+	var maxCycles int64
+	var panicked panicSlot
+	par.ForConcurrent(warpsPerBlock, func(tid int) {
+		w := warps[tid]
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.record(r)
+				blk.legacyBar.abort()
+			}
+		}()
+		k(w)
+		mu.Lock()
+		agg.Add(w.stats)
+		if w.cycles > maxCycles {
+			maxCycles = w.cycles
+		}
+		mu.Unlock()
+	})
+	panicked.rethrow()
+	return maxCycles + blk.sharedSerial(d)
+}
+
+// condBarrier is the old park-on-a-cond-var block barrier, kept for the
+// baseline path.
+type condBarrier struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	maxCyc int64
+	broken bool
+}
+
+func newCondBarrier(n int) *condBarrier {
+	b := &condBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *condBarrier) wait(cycles int64) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		panic(barrierAborted)
+	}
+	if cycles > b.maxCyc {
+		b.maxCyc = cycles
+	}
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return b.maxCyc
+	}
+	gen := b.gen
+	for gen == b.gen && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		panic(barrierAborted)
+	}
+	return b.maxCyc
+}
+
+func (b *condBarrier) abort() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -8,10 +8,18 @@ import (
 // Warp is the execution context handed to kernels: one 32-lane warp,
 // with its position in the block and grid, its cycle counter, and the
 // device operation set. All global-memory operations are performed with
-// host atomics, so concurrently executing blocks are race-free.
+// host atomics, so the functional results are exact even for kernels
+// that intentionally race.
+//
+// Cost accounting is contention-free: warps execute one at a time (the
+// sequential block path runs them straight through; barrier blocks
+// interleave them at Sync points as coroutines), so every charge is
+// a plain operation against the owning shard and simulated Stats never
+// depend on host interleaving.
 type Warp struct {
 	d           *Device
 	blk         *block
+	sh          *shard
 	WarpInBlock int
 	BlockIdx    int64
 	BlockDim    int
@@ -24,6 +32,30 @@ type Warp struct {
 	// bounds how much simulated work a canceled kernel can still do
 	// without adding a branch to each memory-op helper.
 	nextPoll int64
+	// yield suspends this warp's coroutine (set per block in barrier
+	// launches; see launch.go). done marks the warp retired from the
+	// current block's kernel; arrived marks it waiting at the pending
+	// rendezvous.
+	yield   func(struct{}) bool
+	done    bool
+	arrived bool
+
+	// view is the L2 tag view this warp charges (its shard's).
+	view *tagView
+	// lt routes cost accounting through the shared-atomic baseline
+	// (bench comparisons only; see legacy.go).
+	lt *legacyState
+}
+
+// reset recycles the warp for the next block.
+func (w *Warp) reset(blockIdx int64, view *tagView) {
+	w.BlockIdx = blockIdx
+	w.cycles = 0
+	w.stats = Stats{}
+	w.nextPoll = 0
+	w.done = false
+	w.arrived = false
+	w.view = view
 }
 
 // Gidx returns the global thread index of the given lane, the paper's
@@ -49,6 +81,8 @@ func (w *Warp) Cycles() int64 { return w.cycles }
 // guardPollCycles is how many simulated cycles a warp runs between guard
 // polls: frequent enough that a canceled multi-second kernel stops in
 // microseconds of host time, rare enough to vanish in simulation cost.
+// Polling is hoisted to these cycle-stride boundaries the same way
+// internal/par amortizes its region polls.
 const guardPollCycles = 1 << 16
 
 // Op charges n warp instructions of plain ALU work.
@@ -61,10 +95,26 @@ func (w *Warp) Op(n int64) {
 	}
 }
 
-// charge accounts one memory transaction cost returned by the device.
-func (w *Warp) charge(cost int64) {
-	w.cycles += cost
+// access charges one global-memory transaction for the segment holding
+// addr against the warp's tag view.
+func (w *Warp) access(addr uint64) {
 	w.stats.Transactions++
+	if w.lt != nil {
+		w.chargeLegacy(w.lt.access(addr, w.d))
+		return
+	}
+	if w.view.probe(addr / segBytes) {
+		w.cycles += w.d.Prof.L2HitCost
+		w.stats.L2Hits++
+	} else {
+		w.cycles += w.d.Prof.DRAMCost
+		w.stats.L2Misses++
+	}
+}
+
+// chargeLegacy classifies a baseline access cost (legacy path only).
+func (w *Warp) chargeLegacy(cost int64) {
+	w.cycles += cost
 	if cost >= w.d.Prof.DRAMCost {
 		w.stats.L2Misses++
 	} else {
@@ -73,59 +123,102 @@ func (w *Warp) charge(cost int64) {
 }
 
 // --- Scalar (single-lane, uncoalesced) global memory operations. ---
+//
+// The sharded path is completely serialized (shards run in order on the
+// launching goroutine, and a barrier block's warps take turns as
+// coroutines), so functional reads-modify-writes and stores are plain —
+// a locked CAS loop per simulated atomicAdd was the single largest cost
+// in the reduction-style kernels. The legacy baseline really does run
+// warps and blocks concurrently and keeps the host-atomic versions
+// (selected by w.lt, which is only set on that path).
 
 // LdI32 loads a[i] as one lane's uncoalesced access: a full transaction.
 func (w *Warp) LdI32(a *I32, i int64) int32 {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
+	w.access(a.addr(i))
 	return atomic.LoadInt32(&a.data[i])
 }
 
 // StI32 stores a[i] = v as one lane's uncoalesced access.
 func (w *Warp) StI32(a *I32, i int64, v int32) {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
-	atomic.StoreInt32(&a.data[i], v)
+	w.access(a.addr(i))
+	if w.lt != nil {
+		atomic.StoreInt32(&a.data[i], v)
+		return
+	}
+	a.data[i] = v
 }
 
 // LdI64 loads a[i] (uncoalesced).
 func (w *Warp) LdI64(a *I64, i int64) int64 {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
+	w.access(a.addr(i))
 	return atomic.LoadInt64(&a.data[i])
 }
 
 // StI64 stores a[i] = v (uncoalesced).
 func (w *Warp) StI64(a *I64, i int64, v int64) {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
-	atomic.StoreInt64(&a.data[i], v)
+	w.access(a.addr(i))
+	if w.lt != nil {
+		atomic.StoreInt64(&a.data[i], v)
+		return
+	}
+	a.data[i] = v
 }
 
 // LdF32 loads a[i] (uncoalesced).
 func (w *Warp) LdF32(a *F32, i int64) float32 {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
+	w.access(a.addr(i))
 	return math.Float32frombits(atomic.LoadUint32(&a.data[i]))
 }
 
 // StF32 stores a[i] = v (uncoalesced).
 func (w *Warp) StF32(a *F32, i int64, v float32) {
 	w.Op(1)
-	w.charge(w.d.access(a.addr(i)))
-	atomic.StoreUint32(&a.data[i], math.Float32bits(v))
+	w.access(a.addr(i))
+	if w.lt != nil {
+		atomic.StoreUint32(&a.data[i], math.Float32bits(v))
+		return
+	}
+	a.data[i] = math.Float32bits(v)
 }
 
 // --- Coalesced vector operations: the warp's lanes access the
 // contiguous range [base, base+count), which coalesces into
 // ceil(count*elemsize/128) transactions. ---
 
-// coalCharge charges the transactions of a contiguous byte range.
+// coalCharge charges the transactions of a contiguous byte range in one
+// batched segment-range walk: the tags still update per segment, but
+// the cycle and stat accounting lands once for the whole range.
 func (w *Warp) coalCharge(lo, hi uint64) {
 	w.Op(1)
-	for seg := lo / segBytes; seg <= (hi-1)/segBytes; seg++ {
-		w.charge(w.d.access(seg * segBytes))
+	n := transactions(lo, hi)
+	if n == 0 {
+		return
 	}
+	if w.lt != nil {
+		// Baseline: per-segment shared-atomic accesses, as before.
+		for seg := lo / segBytes; seg <= (hi-1)/segBytes; seg++ {
+			w.stats.Transactions++
+			w.chargeLegacy(w.lt.access(seg*segBytes, w.d))
+		}
+		return
+	}
+	var hits int64
+	segHi := (hi - 1) / segBytes
+	for seg := lo / segBytes; seg <= segHi; seg++ {
+		if w.view.probe(seg) {
+			hits++
+		}
+	}
+	misses := n - hits
+	w.cycles += hits*w.d.Prof.L2HitCost + misses*w.d.Prof.DRAMCost
+	w.stats.Transactions += n
+	w.stats.L2Hits += hits
+	w.stats.L2Misses += misses
 }
 
 // CoalLdI32 loads a[base+lane] for lanes [0, count) in one coalesced
@@ -148,9 +241,13 @@ func (w *Warp) CoalStI32(a *I32, base int64, count int, vals *[WarpSize]int32) {
 		return
 	}
 	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
-	for l := 0; l < count; l++ {
-		atomic.StoreInt32(&a.data[base+int64(l)], vals[l])
+	if w.lt != nil {
+		for l := 0; l < count; l++ {
+			atomic.StoreInt32(&a.data[base+int64(l)], vals[l])
+		}
+		return
 	}
+	copy(a.data[base:base+int64(count)], vals[:count])
 }
 
 // CoalLdI64 loads a[base+lane] for lanes [0, count) in one coalesced
@@ -186,53 +283,111 @@ func (w *Warp) CoalStF32(a *F32, base int64, count int, vals *[WarpSize]float32)
 		return
 	}
 	w.coalCharge(a.addr(base), a.addr(base+int64(count)))
+	if w.lt != nil {
+		for l := 0; l < count; l++ {
+			atomic.StoreUint32(&a.data[base+int64(l)], math.Float32bits(vals[l]))
+		}
+		return
+	}
 	for l := 0; l < count; l++ {
-		atomic.StoreUint32(&a.data[base+int64(l)], math.Float32bits(vals[l]))
+		a.data[base+int64(l)] = math.Float32bits(vals[l])
 	}
 }
 
 // --- Classic atomics: device scope, relaxed ordering (§2.9). ---
 
+// rmwMinI32 / rmwMaxI32 / rmwAddI32 / rmwAddI64 / rmwAddF32 apply the
+// simulated RMW with the path-appropriate host memory order: plain on
+// the serialized sharded path, locked on the concurrent legacy one.
+
+func (w *Warp) rmwMinI32(p *int32, v int32) int32 {
+	if w.lt != nil {
+		return casMinI32(p, v)
+	}
+	old := *p
+	if v < old {
+		*p = v
+	}
+	return old
+}
+
+func (w *Warp) rmwMaxI32(p *int32, v int32) int32 {
+	if w.lt != nil {
+		return casMaxI32(p, v)
+	}
+	old := *p
+	if v > old {
+		*p = v
+	}
+	return old
+}
+
+func (w *Warp) rmwAddI32(p *int32, v int32) int32 {
+	if w.lt != nil {
+		return atomic.AddInt32(p, v) - v
+	}
+	old := *p
+	*p = old + v
+	return old
+}
+
+func (w *Warp) rmwAddI64(p *int64, v int64) int64 {
+	if w.lt != nil {
+		return atomic.AddInt64(p, v) - v
+	}
+	old := *p
+	*p = old + v
+	return old
+}
+
+func (w *Warp) rmwAddF32(p *uint32, v float32) {
+	if w.lt != nil {
+		casAddF32(p, v)
+		return
+	}
+	*p = math.Float32bits(math.Float32frombits(*p) + v)
+}
+
 func (w *Warp) atomCharge(addr uint64) {
 	w.Op(1)
 	w.cycles += w.d.Prof.AtomicCost
 	w.stats.Atomics++
-	w.d.atomHit(addr, 1)
+	w.atomHit(addr, 1)
 }
 
 // AtomicMinI32 atomically lowers a[i] to v and returns the old value.
 func (w *Warp) AtomicMinI32(a *I32, i int64, v int32) int32 {
 	w.atomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return casMinI32(&a.data[i], v)
+	w.access(a.addr(i))
+	return w.rmwMinI32(&a.data[i], v)
 }
 
 // AtomicMaxI32 atomically raises a[i] to v and returns the old value.
 func (w *Warp) AtomicMaxI32(a *I32, i int64, v int32) int32 {
 	w.atomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return casMaxI32(&a.data[i], v)
+	w.access(a.addr(i))
+	return w.rmwMaxI32(&a.data[i], v)
 }
 
 // AtomicAddI32 atomically adds v to a[i] and returns the old value.
 func (w *Warp) AtomicAddI32(a *I32, i int64, v int32) int32 {
 	w.atomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return atomic.AddInt32(&a.data[i], v) - v
+	w.access(a.addr(i))
+	return w.rmwAddI32(&a.data[i], v)
 }
 
 // AtomicAddI64 atomically adds v to a[i] and returns the old value.
 func (w *Warp) AtomicAddI64(a *I64, i int64, v int64) int64 {
 	w.atomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return atomic.AddInt64(&a.data[i], v) - v
+	w.access(a.addr(i))
+	return w.rmwAddI64(&a.data[i], v)
 }
 
 // AtomicAddF32 atomically adds v to a[i].
 func (w *Warp) AtomicAddF32(a *F32, i int64, v float32) {
 	w.atomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	casAddF32(&a.data[i], v)
+	w.access(a.addr(i))
+	w.rmwAddF32(&a.data[i], v)
 }
 
 // --- Default libcu++ CudaAtomics: system scope, seq_cst (§2.9). The
@@ -244,48 +399,48 @@ func (w *Warp) cudaAtomCharge(addr uint64) {
 	w.Op(1)
 	w.cycles += w.d.Prof.AtomicCost * w.d.Prof.CudaAtomicFactor
 	w.stats.Atomics++
-	w.d.atomHit(addr, w.d.Prof.CudaAtomicFactor)
+	w.atomHit(addr, w.d.Prof.CudaAtomicFactor)
 }
 
 // CudaAtomicMinI32 is AtomicMinI32 through a default cuda::atomic.
 func (w *Warp) CudaAtomicMinI32(a *I32, i int64, v int32) int32 {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return casMinI32(&a.data[i], v)
+	w.access(a.addr(i))
+	return w.rmwMinI32(&a.data[i], v)
 }
 
 // CudaAtomicMaxI32 is AtomicMaxI32 through a default cuda::atomic.
 func (w *Warp) CudaAtomicMaxI32(a *I32, i int64, v int32) int32 {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return casMaxI32(&a.data[i], v)
+	w.access(a.addr(i))
+	return w.rmwMaxI32(&a.data[i], v)
 }
 
 // CudaAtomicAddI32 is AtomicAddI32 through a default cuda::atomic.
 func (w *Warp) CudaAtomicAddI32(a *I32, i int64, v int32) int32 {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return atomic.AddInt32(&a.data[i], v) - v
+	w.access(a.addr(i))
+	return w.rmwAddI32(&a.data[i], v)
 }
 
 // CudaAtomicAddI64 is AtomicAddI64 through a default cuda::atomic.
 func (w *Warp) CudaAtomicAddI64(a *I64, i int64, v int64) int64 {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
-	return atomic.AddInt64(&a.data[i], v) - v
+	w.access(a.addr(i))
+	return w.rmwAddI64(&a.data[i], v)
 }
 
 // CudaLdI32 is a cuda::atomic load() with default (seq_cst) ordering.
 func (w *Warp) CudaLdI32(a *I32, i int64) int32 {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
+	w.access(a.addr(i))
 	return atomic.LoadInt32(&a.data[i])
 }
 
 // CudaStI32 is a cuda::atomic store() with default (seq_cst) ordering.
 func (w *Warp) CudaStI32(a *I32, i int64, v int32) {
 	w.cudaAtomCharge(a.addr(i))
-	w.charge(w.d.access(a.addr(i)))
+	w.access(a.addr(i))
 	atomic.StoreInt32(&a.data[i], v)
 }
 
@@ -349,30 +504,74 @@ func (w *Warp) DivergentRanges(count int, beg, end *[WarpSize]int64, opsPerStep 
 // --- Shared memory and block-scope operations. ---
 
 // SharedI64 returns the block's shared int64 array registered under
-// tag, allocating it on first use. Access costs are charged per call
-// site by the block atomic helpers.
+// tag, allocating it on first use (and recycling the slab, zeroed, on
+// every later block). Access costs are charged per call site by the
+// block atomic helpers.
 func (w *Warp) SharedI64(tag int, n int) []int64 {
-	w.blk.mu.Lock()
-	defer w.blk.mu.Unlock()
-	if s, ok := w.blk.shared[tag]; ok {
-		return s.([]int64)
+	b := w.blk
+	if w.lt != nil { // only the legacy baseline runs warps concurrently
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
-	s := make([]int64, n)
-	w.blk.shared[tag] = s
-	return s
+	for len(b.shared) <= tag {
+		b.shared = append(b.shared, sharedSlab{})
+	}
+	s := &b.shared[tag]
+	if s.gen == b.sharedGen {
+		if s.live != 'i' {
+			panic("gpusim: shared tag registered with a different element type")
+		}
+		return s.i64
+	}
+	s.gen = b.sharedGen
+	s.live = 'i'
+	if cap(s.i64) < n {
+		s.i64 = make([]int64, n)
+	} else {
+		s.i64 = s.i64[:n]
+		clear(s.i64)
+	}
+	return s.i64
 }
 
 // SharedU32 returns the block's shared uint32 array (float bits or
 // plain words) registered under tag.
 func (w *Warp) SharedU32(tag int, n int) []uint32 {
-	w.blk.mu.Lock()
-	defer w.blk.mu.Unlock()
-	if s, ok := w.blk.shared[tag]; ok {
-		return s.([]uint32)
+	b := w.blk
+	if w.lt != nil { // only the legacy baseline runs warps concurrently
+		b.mu.Lock()
+		defer b.mu.Unlock()
 	}
-	s := make([]uint32, n)
-	w.blk.shared[tag] = s
-	return s
+	for len(b.shared) <= tag {
+		b.shared = append(b.shared, sharedSlab{})
+	}
+	s := &b.shared[tag]
+	if s.gen == b.sharedGen {
+		if s.live != 'u' {
+			panic("gpusim: shared tag registered with a different element type")
+		}
+		return s.u32
+	}
+	s.gen = b.sharedGen
+	s.live = 'u'
+	if cap(s.u32) < n {
+		s.u32 = make([]uint32, n)
+	} else {
+		s.u32 = s.u32[:n]
+		clear(s.u32)
+	}
+	return s.u32
+}
+
+// addSharedAtomic counts one shared-memory atomic on the block. Only
+// the legacy baseline runs warps concurrently; the sharded paths are
+// serialized, so the count is plain there.
+func (w *Warp) addSharedAtomic() {
+	if w.lt != nil {
+		atomic.AddInt64(&w.blk.sharedAtomicsN, 1)
+	} else {
+		w.blk.sharedAtomicsN++
+	}
 }
 
 // BlockAtomicAddI64 is an atomicAdd_block on shared memory: block
@@ -381,54 +580,124 @@ func (w *Warp) SharedU32(tag int, n int) []uint32 {
 func (w *Warp) BlockAtomicAddI64(s []int64, i int, v int64) int64 {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedAtomicCost
-	w.blk.sharedAtomics.Add(1)
-	return atomic.AddInt64(&s[i], v) - v
+	w.addSharedAtomic()
+	if w.lt != nil {
+		return atomic.AddInt64(&s[i], v) - v
+	}
+	old := s[i]
+	s[i] = old + v
+	return old
 }
 
 // BlockAtomicAddF32 is an atomicAdd_block on shared float32 bits.
 func (w *Warp) BlockAtomicAddF32(s []uint32, i int, v float32) {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedAtomicCost
-	w.blk.sharedAtomics.Add(1)
-	casAddF32(&s[i], v)
+	w.addSharedAtomic()
+	if w.lt != nil {
+		casAddF32(&s[i], v)
+		return
+	}
+	s[i] = math.Float32bits(math.Float32frombits(s[i]) + v)
 }
 
 // SharedLdI64 reads shared memory (cheap, on-chip).
 func (w *Warp) SharedLdI64(s []int64, i int) int64 {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedCost
-	return atomic.LoadInt64(&s[i])
+	if w.lt != nil {
+		return atomic.LoadInt64(&s[i])
+	}
+	return s[i]
 }
 
 // SharedLdF32 reads shared float32 bits.
 func (w *Warp) SharedLdF32(s []uint32, i int) float32 {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedCost
-	return math.Float32frombits(atomic.LoadUint32(&s[i]))
+	if w.lt != nil {
+		return math.Float32frombits(atomic.LoadUint32(&s[i]))
+	}
+	return math.Float32frombits(s[i])
 }
 
 // StSharedF32 writes shared float32 bits.
 func (w *Warp) StSharedF32(s []uint32, i int, v float32) {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedCost
-	atomic.StoreUint32(&s[i], math.Float32bits(v))
+	if w.lt != nil {
+		atomic.StoreUint32(&s[i], math.Float32bits(v))
+		return
+	}
+	s[i] = math.Float32bits(v)
 }
 
 // StSharedI64 writes shared memory.
 func (w *Warp) StSharedI64(s []int64, i int, v int64) {
 	w.Op(1)
 	w.cycles += w.d.Prof.SharedCost
-	atomic.StoreInt64(&s[i], v)
+	if w.lt != nil {
+		atomic.StoreInt64(&s[i], v)
+		return
+	}
+	s[i] = v
 }
 
 // Sync is __syncthreads(): all warps of the block rendezvous and their
 // cycle counters align to the slowest. The launch must set NeedsBarrier.
+//
+// On the coroutine team the rendezvous is a direct hand-off: the
+// arriving warp resumes the next sibling that still has to arrive (or
+// parks and lets the control chain unwind to one), and whichever warp
+// arrives last completes the rendezvous and continues straight into the
+// next phase. One coroutine switch per suspension, no manager
+// round-trip.
 func (w *Warp) Sync() {
-	if w.blk.barrier == nil {
+	b := w.blk
+	if b.legacyBar != nil {
+		w.cycles += w.d.Prof.SyncCost
+		w.cycles = b.legacyBar.wait(w.cycles)
+		return
+	}
+	if b.teamN == 0 {
 		panic("gpusim: Sync called in a launch without NeedsBarrier")
 	}
 	w.cycles += w.d.Prof.SyncCost
-	w.cycles = w.blk.barrier.wait(w.cycles)
+	if b.teamN == 1 {
+		return
+	}
+	if w.cycles > b.syncMax {
+		b.syncMax = w.cycles
+	}
+	w.arrived = true
+	b.arrivedN++
+	if b.arrivedN == b.teamLive {
+		b.completeSync()
+		return
+	}
+	seq := b.syncSeq + 1 // the rendezvous this warp is waiting out
+	for b.syncSeq < seq {
+		if b.aborted {
+			panic(barrierAborted)
+		}
+		if v := b.nextPending(w.WarpInBlock); v >= 0 {
+			w.d.coros[v].next()
+		} else {
+			w.park()
+		}
+	}
+}
+
+// park suspends the warp's coroutine until a sibling (or the manager)
+// resumes it. A false yield means the block was stopped underneath us.
+func (w *Warp) park() {
+	d := w.d
+	d.coros[w.WarpInBlock].detached = true
+	ok := w.yield(struct{}{})
+	d.coros[w.WarpInBlock].detached = false
+	if !ok {
+		panic(barrierAborted)
+	}
 }
 
 // --- CAS helpers over the raw storage. ---

@@ -32,6 +32,10 @@ func (s *Session) AttachStore(st *store.Store) {
 			Tput:      o.Tput,
 			Attempts:  o.Attempts,
 			ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+
+			SimCycles:       o.SimCycles,
+			SimInstructions: o.SimInstructions,
+			SimTransactions: o.SimTransactions,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "harness: store append failed: %v\n", err)

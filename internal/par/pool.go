@@ -430,17 +430,25 @@ func ForConcurrent(t int, body func(tid int)) {
 // to poll gd themselves (one call per tid gives the substrate no
 // iteration boundary to amortize over). gd == nil means unguarded.
 func ForConcurrentGuarded(t int, gd *guard.Token, body func(tid int)) {
+	ForConcurrentTID(t, gd, func(tid int, _ int64) { body(tid) })
+}
+
+// ForConcurrentTID is ForConcurrentGuarded for pre-bound bodies: the
+// body already has the func(tid, i) dispatch shape (i is always 0), so
+// hot callers — the GPU simulator runs one such fan-out per simulated
+// barrier block — can cache the closure once and stay allocation-free
+// across millions of calls.
+func ForConcurrentTID(t int, gd *guard.Token, body func(tid int, i int64)) {
 	if t < 1 {
 		t = 1
 	}
-	wrapped := func(tid int, _ int64) { body(tid) }
 	if !pooling.Load() {
-		forSpawn(t, int64(t), Static, nil, wrapped, gd)
+		forSpawn(t, int64(t), Static, nil, body, gd)
 		return
 	}
 	p := AcquirePool(t)
 	defer ReleasePool(p)
-	p.dispatch(int64(t), Static, nil, wrapped, false, gd)
+	p.dispatch(int64(t), Static, nil, body, false, gd)
 }
 
 // Guarded returns an Executor that runs p's regions under gd: workers

@@ -60,11 +60,20 @@ func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Option
 // TimeGPU runs the variant and returns the result and the simulated
 // throughput in giga-edges per second.
 func TimeGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
+	res, tput, _, err := MeasureGPU(d, g, cfg, opt)
+	return res, tput, err
+}
+
+// MeasureGPU is TimeGPU plus the raw simulated stats, for callers that
+// persist cycle counts (the sweep supervisor and results store). The
+// stats are deterministic — a pure function of (kernel, graph, profile)
+// — so a recorded GPU cell is exact ground truth, not a sample.
+func MeasureGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, gpusim.Stats, error) {
 	res, st, err := RunGPU(d, g, cfg, opt)
 	if err != nil {
-		return algo.Result{}, math.NaN(), err
+		return algo.Result{}, math.NaN(), gpusim.Stats{}, err
 	}
-	return res, Throughput(g, st.Seconds(d.Prof)), nil
+	return res, Throughput(g, st.Seconds(d.Prof)), st, nil
 }
 
 // Run dispatches to RunCPU or RunGPU by model; d may be nil for CPU

@@ -301,6 +301,11 @@ type cellJSON struct {
 	Tput      float64     `json:"tput"`
 	Attempts  int         `json:"attempts"`
 	ElapsedMS float64     `json:"elapsed_ms"`
+	// Simulated cost counters, present on GPU cells measured since the
+	// store's codec v2 (deterministic, exact for the cell's triple).
+	SimCycles       int64 `json:"sim_cycles,omitempty"`
+	SimInstructions int64 `json:"sim_instructions,omitempty"`
+	SimTransactions int64 `json:"sim_transactions,omitempty"`
 }
 
 func (s *Server) handleCells(r *http.Request) (*response, error) {
@@ -356,6 +361,10 @@ func (s *Server) handleCells(r *http.Request) (*response, error) {
 				Tput:      c.Tput,
 				Attempts:  c.Attempts,
 				ElapsedMS: c.ElapsedMS,
+
+				SimCycles:       c.SimCycles,
+				SimInstructions: c.SimInstructions,
+				SimTransactions: c.SimTransactions,
 			})
 			if limit >= 0 && len(out) >= limit {
 				break

@@ -26,13 +26,24 @@ import (
 
 // Codec versioning. Version is bumped whenever the frame payload layout
 // changes; readers reject files whose version they do not know instead
-// of misparsing them.
+// of misparsing them. Version history:
+//
+//	1 — the original cell layout
+//	2 — appends the simulator's deterministic cost counters (cycles,
+//	    instructions, transactions) to GPU cells; zero for CPU cells
+//
+// Open migrates a version-1 file to the current version in place (the
+// old payloads decode losslessly; the new counters backfill as zero,
+// meaning "not recorded"), and still rejects versions it does not know.
 const (
 	// magic identifies a store file. The trailing byte is free for a
 	// future format-level (not payload-level) revision.
 	magic = "indigo2\x00"
 	// Version is the current payload codec version.
-	Version = 1
+	Version = 2
+	// oldestVersion is the oldest payload codec Open can still decode
+	// (and will migrate forward on open).
+	oldestVersion = 1
 )
 
 // Config bitfield layout (21 bits used). The bitfield is the store's
@@ -130,7 +141,7 @@ func UnpackConfig(bits uint32) (styles.Config, error) {
 	return c, nil
 }
 
-// appendCell serializes one cell as a version-1 frame payload.
+// appendCell serializes one cell as a current-version frame payload.
 func appendCell(buf []byte, c Cell) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, PackConfig(c.Cfg))
 	buf = appendString(buf, c.Input)
@@ -147,11 +158,16 @@ func appendCell(buf []byte, c Cell) []byte {
 	buf = appendFloat(buf, c.Tput)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(c.Attempts))
 	buf = appendFloat(buf, c.ElapsedMS)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.SimCycles))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.SimInstructions))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c.SimTransactions))
 	return buf
 }
 
-// decodeCell parses a version-1 frame payload.
-func decodeCell(p []byte) (Cell, error) {
+// decodeCell parses a frame payload written at codec version ver. The
+// version-1 layout is the version-2 layout minus the trailing simulated
+// cost counters, which backfill as zero ("not recorded").
+func decodeCell(p []byte, ver uint16) (Cell, error) {
 	d := decoder{p: p}
 	var c Cell
 	bits := d.u32()
@@ -169,6 +185,11 @@ func decodeCell(p []byte) (Cell, error) {
 	c.Tput = d.f64()
 	c.Attempts = int(d.u16())
 	c.ElapsedMS = d.f64()
+	if ver >= 2 {
+		c.SimCycles = int64(d.u64())
+		c.SimInstructions = int64(d.u64())
+		c.SimTransactions = int64(d.u64())
+	}
 	if d.err != nil {
 		return Cell{}, d.err
 	}

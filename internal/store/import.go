@@ -52,6 +52,10 @@ func ImportJournal(s *Store, path string, resolve func(input string) (graph.Stat
 			Tput:      o.Tput,
 			Attempts:  o.Attempts,
 			ElapsedMS: float64(o.Elapsed) / float64(time.Millisecond),
+
+			SimCycles:       o.SimCycles,
+			SimInstructions: o.SimInstructions,
+			SimTransactions: o.SimTransactions,
 		})
 	}
 	if err := s.Append(cells...); err != nil {

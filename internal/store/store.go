@@ -25,6 +25,13 @@ type Cell struct {
 	// Run metadata carried over from the supervisor.
 	Attempts  int
 	ElapsedMS float64
+	// Simulated cost counters (codec v2), recorded for GPU cells. They
+	// are deterministic — a pure function of (kernel, graph, profile) —
+	// so a stored GPU cell is exact ground truth, not a sample. Zero for
+	// CPU cells and for cells imported from pre-v3 journals.
+	SimCycles       int64
+	SimInstructions int64
+	SimTransactions int64
 }
 
 // Key is the cell's merge identity: one measurement per (variant,
@@ -53,6 +60,9 @@ type Store struct {
 	tput     []float64
 	attempts []uint16
 	elapsed  []float64
+	simCyc   []int64
+	simIns   []int64
+	simTrn   []int64
 
 	index map[string]int // Key -> row
 	gen   uint64         // bumped per mutation; response caches key on it
@@ -66,7 +76,9 @@ func NewMem() *Store {
 // Open opens (or creates) a store file and loads its cells. A torn
 // final frame — the mark of a process killed mid-append — is dropped
 // and truncated away so subsequent appends start on a clean boundary.
-// A file with an unknown codec version is rejected, not skimmed.
+// A file written at an older codec version this build still decodes is
+// migrated to the current version in place; a file with an unknown
+// (future or pre-history) codec version is rejected, not skimmed.
 func Open(path string) (*Store, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
@@ -75,10 +87,19 @@ func Open(path string) (*Store, error) {
 	s := NewMem()
 	s.f = f
 	s.path = path
-	good, err := s.load(f)
+	good, ver, err := s.load(f)
 	if err != nil {
 		f.Close()
 		return nil, err
+	}
+	if ver < Version {
+		// Older codec: the cells are already decoded in memory, so
+		// migrate by rewriting the whole file at the current version.
+		if err := s.rewrite(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return s, nil
 	}
 	// Drop any torn tail and position for appends.
 	if err := f.Truncate(good); err != nil {
@@ -92,54 +113,79 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
+// rewrite replaces the backing file's contents with a current-version
+// header and one frame per in-memory cell, in row order. Used to
+// migrate a file opened at an older codec version.
+func (s *Store) rewrite(f *os.File) error {
+	buf := append([]byte(magic), 0, 0)
+	binary.LittleEndian.PutUint16(buf[len(magic):], Version)
+	for i := range s.cfg {
+		payload := appendCell(nil, s.cellAt(i))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+		buf = append(buf, payload...)
+	}
+	if _, err := f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("store: migrate to codec v%d: %w", Version, err)
+	}
+	if err := f.Truncate(int64(len(buf))); err != nil {
+		return fmt.Errorf("store: migrate to codec v%d: %w", Version, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("store: migrate to codec v%d: %w", Version, err)
+	}
+	return nil
+}
+
 // load reads the header and every intact frame, returning the byte
-// offset of the last intact frame's end.
-func (s *Store) load(f *os.File) (good int64, err error) {
+// offset of the last intact frame's end and the file's codec version.
+func (s *Store) load(f *os.File) (good int64, ver uint16, err error) {
 	st, err := f.Stat()
 	if err != nil {
-		return 0, fmt.Errorf("store: stat: %w", err)
+		return 0, 0, fmt.Errorf("store: stat: %w", err)
 	}
 	if st.Size() == 0 {
 		// Fresh file: write the header.
 		hdr := append([]byte(magic), 0, 0)
 		binary.LittleEndian.PutUint16(hdr[len(magic):], Version)
 		if _, err := f.Write(hdr); err != nil {
-			return 0, fmt.Errorf("store: write header: %w", err)
+			return 0, 0, fmt.Errorf("store: write header: %w", err)
 		}
-		return int64(len(hdr)), nil
+		return int64(len(hdr)), Version, nil
 	}
 	hdr := make([]byte, len(magic)+2)
 	if _, err := io.ReadFull(f, hdr); err != nil {
-		return 0, fmt.Errorf("store: %s: short header (not a store file?)", s.path)
+		return 0, 0, fmt.Errorf("store: %s: short header (not a store file?)", s.path)
 	}
 	if string(hdr[:len(magic)]) != magic {
-		return 0, fmt.Errorf("store: %s: bad magic (not a store file)", s.path)
+		return 0, 0, fmt.Errorf("store: %s: bad magic (not a store file)", s.path)
 	}
-	ver := binary.LittleEndian.Uint16(hdr[len(magic):])
-	if ver != Version {
-		return 0, fmt.Errorf("store: %s: codec version %d, this build reads only %d", s.path, ver, Version)
+	ver = binary.LittleEndian.Uint16(hdr[len(magic):])
+	if ver < oldestVersion || ver > Version {
+		return 0, 0, fmt.Errorf("store: %s: codec version %d, this build reads %d through %d",
+			s.path, ver, oldestVersion, Version)
 	}
 	good = int64(len(hdr))
 	frame := make([]byte, 8)
 	for {
 		if _, err := io.ReadFull(f, frame); err != nil {
-			return good, nil // clean EOF or torn length word
+			return good, ver, nil // clean EOF or torn length word
 		}
 		n := binary.LittleEndian.Uint32(frame[:4])
 		sum := binary.LittleEndian.Uint32(frame[4:])
 		if n > maxFrame {
-			return good, nil // garbage length: treat as torn tail
+			return good, ver, nil // garbage length: treat as torn tail
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(f, payload); err != nil {
-			return good, nil // torn payload
+			return good, ver, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			return good, nil // corrupt frame: stop at last good cell
+			return good, ver, nil // corrupt frame: stop at last good cell
 		}
-		cell, err := decodeCell(payload)
+		cell, err := decodeCell(payload, ver)
 		if err != nil {
-			return 0, fmt.Errorf("store: %s: %w", s.path, err)
+			return 0, 0, fmt.Errorf("store: %s: %w", s.path, err)
 		}
 		s.put(cell)
 		good += int64(8 + int(n))
@@ -192,6 +238,9 @@ func (s *Store) put(c Cell) {
 		s.tput[row] = c.Tput
 		s.attempts[row] = uint16(c.Attempts)
 		s.elapsed[row] = c.ElapsedMS
+		s.simCyc[row] = c.SimCycles
+		s.simIns[row] = c.SimInstructions
+		s.simTrn[row] = c.SimTransactions
 		return
 	}
 	s.index[key] = len(s.cfg)
@@ -203,6 +252,9 @@ func (s *Store) put(c Cell) {
 	s.tput = append(s.tput, c.Tput)
 	s.attempts = append(s.attempts, uint16(c.Attempts))
 	s.elapsed = append(s.elapsed, c.ElapsedMS)
+	s.simCyc = append(s.simCyc, c.SimCycles)
+	s.simIns = append(s.simIns, c.SimInstructions)
+	s.simTrn = append(s.simTrn, c.SimTransactions)
 }
 
 // Len returns the number of distinct cells.
@@ -236,6 +288,10 @@ func (s *Store) cellAt(i int) Cell {
 		Tput:      s.tput[i],
 		Attempts:  int(s.attempts[i]),
 		ElapsedMS: s.elapsed[i],
+
+		SimCycles:       s.simCyc[i],
+		SimInstructions: s.simIns[i],
+		SimTransactions: s.simTrn[i],
 	}
 }
 

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"encoding/json"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -70,6 +71,10 @@ func testCells(t *testing.T) []Cell {
 			Tput:      0.25 * float64(i+1),
 			Attempts:  i + 1,
 			ElapsedMS: 12.5 * float64(i+1),
+
+			SimCycles:       int64(1000 * (i + 1)),
+			SimInstructions: int64(400 * (i + 1)),
+			SimTransactions: int64(90 * (i + 1)),
 		})
 	}
 	return cells
@@ -78,7 +83,7 @@ func testCells(t *testing.T) []Cell {
 func TestCellCodecRoundTrip(t *testing.T) {
 	for _, c := range testCells(t) {
 		payload := appendCell(nil, c)
-		got, err := decodeCell(payload)
+		got, err := decodeCell(payload, Version)
 		if err != nil {
 			t.Fatalf("decodeCell(%q): %v", c.Key(), err)
 		}
@@ -88,11 +93,11 @@ func TestCellCodecRoundTrip(t *testing.T) {
 		// Every truncation of a valid payload must error, never panic
 		// or misparse into a valid cell.
 		for n := 0; n < len(payload); n++ {
-			if _, err := decodeCell(payload[:n]); err == nil {
+			if _, err := decodeCell(payload[:n], Version); err == nil {
 				t.Fatalf("decodeCell of %d/%d-byte prefix: want error", n, len(payload))
 			}
 		}
-		if _, err := decodeCell(append(payload, 0)); err == nil {
+		if _, err := decodeCell(append(payload, 0), Version); err == nil {
 			t.Fatal("decodeCell with trailing byte: want error")
 		}
 	}
@@ -253,6 +258,69 @@ func TestOpenRejectsUnknownVersion(t *testing.T) {
 	}
 	if _, err := Open(path); err == nil {
 		t.Fatal("want error for future codec version")
+	}
+}
+
+func TestOpenMigratesV1(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.store")
+	cells := testCells(t)
+
+	// Write a version-1 file by hand: the v1 payload is the current one
+	// minus the trailing three simulated cost counters (24 bytes).
+	buf := append([]byte(magic), 0, 0)
+	binary.LittleEndian.PutUint16(buf[len(magic):], 1)
+	for _, c := range cells {
+		payload := appendCell(nil, c)
+		payload = payload[:len(payload)-24]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+		buf = append(buf, payload...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(path)
+	if err != nil {
+		t.Fatalf("open v1 store: %v", err)
+	}
+	if s.Len() != len(cells) {
+		t.Fatalf("Len = %d after migration, want %d", s.Len(), len(cells))
+	}
+	for i, c := range s.Cells() {
+		if c.SimCycles != 0 || c.SimInstructions != 0 || c.SimTransactions != 0 {
+			t.Fatalf("cell %d: migrated v1 cell has nonzero sim counters: %+v", i, c)
+		}
+	}
+	// Appends after migration must land on a clean v2 boundary.
+	extra := cells[0]
+	extra.Input = "grid2d"
+	extra.SimCycles, extra.SimInstructions, extra.SimTransactions = 7, 8, 9
+	if err := s.Append(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint16(hdr[len(magic):]); got != Version {
+		t.Fatalf("migrated file has codec version %d, want %d", got, Version)
+	}
+	r, err := Open(path)
+	if err != nil {
+		t.Fatalf("reopen migrated store: %v", err)
+	}
+	defer r.Close()
+	if r.Len() != len(cells)+1 {
+		t.Fatalf("Len = %d after reopen, want %d", r.Len(), len(cells)+1)
+	}
+	got := r.At(r.Len() - 1)
+	if !reflect.DeepEqual(got, extra) {
+		t.Fatalf("post-migration append:\n got %+v\nwant %+v", got, extra)
 	}
 }
 

@@ -19,13 +19,16 @@ import (
 //	2 — adds "reclaim" ("cancel" | "abandon") and "cancel_ns" to timeout
 //	    records, distinguishing cooperatively canceled cells (safe to
 //	    replay on resume) from abandoned ones (poisoned runtime; re-run)
+//	3 — adds "sim_cycles", "sim_instructions" and "sim_transactions" to
+//	    successful GPU records: the simulator's deterministic cost-model
+//	    outputs, exact for a given (kernel, graph, profile) triple
 //
-// Readers accept every version they know (0–2 parse identically; the
-// v2 fields are simply absent from older records) and reject records
+// Readers accept every version they know (0–3 parse identically; the
+// newer fields are simply absent from older records) and reject records
 // from the future, so the journal schema and the store's binary codec
 // can evolve independently without a new writer silently feeding
 // garbage to an old resume or import.
-const JournalVersion = 2
+const JournalVersion = 3
 
 // Record is the JSONL journal form of one supervised run. Throughput is
 // recorded only for successful runs (failed runs have no measurement,
@@ -45,6 +48,11 @@ type Record struct {
 	// for cancels, the deadline-to-return latency in nanoseconds.
 	Reclaim  string `json:"reclaim,omitempty"`
 	CancelNS int64  `json:"cancel_ns,omitempty"`
+	// Simulated cost counters (schema v3), recorded for successful GPU
+	// cells only. Deterministic: identical across re-runs of the cell.
+	SimCycles       int64 `json:"sim_cycles,omitempty"`
+	SimInstructions int64 `json:"sim_instructions,omitempty"`
+	SimTransactions int64 `json:"sim_transactions,omitempty"`
 }
 
 // journal appends one Record per completed run to a JSONL file. Appends
@@ -91,6 +99,9 @@ func (j *journal) append(o Outcome) error {
 	}
 	if o.Kind == OK {
 		rec.Tput = o.Tput
+		rec.SimCycles = o.SimCycles
+		rec.SimInstructions = o.SimInstructions
+		rec.SimTransactions = o.SimTransactions
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -162,6 +173,10 @@ func ReadJournal(path string) (map[string]Outcome, error) {
 			Elapsed:  time.Duration(rec.ElapsedMS * float64(time.Millisecond)),
 			Reclaim:  rec.Reclaim,
 			CancelNS: rec.CancelNS,
+
+			SimCycles:       rec.SimCycles,
+			SimInstructions: rec.SimInstructions,
+			SimTransactions: rec.SimTransactions,
 		}
 		if kind == Timeout && o.Reclaim == "" {
 			// Pre-v2 timeouts were always abandonments (cancellation did

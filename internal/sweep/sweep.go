@@ -136,6 +136,14 @@ type Outcome struct {
 	CancelNS int64
 	// Resumed marks outcomes replayed from the journal rather than run.
 	Resumed bool
+	// SimCycles, SimInstructions, and SimTransactions are the simulated
+	// device counters of a successful GPU cell (zero for CPU cells and
+	// failures). The simulator's sharded cost model makes them
+	// deterministic — a pure function of (kernel, graph, profile) — so
+	// they are exact, cacheable ground truth.
+	SimCycles       int64
+	SimInstructions int64
+	SimTransactions int64
 }
 
 // Failure is the failure view of an outcome, the record figure drivers
@@ -359,6 +367,11 @@ type poolHolder struct {
 	width int
 	pool  *par.Pool
 	arena *scratch.Arena
+	// devs holds one simulated device per GPU profile, reused across the
+	// worker's attempts (Reset between runs restores the post-New state,
+	// so reuse cannot perturb the deterministic Stats) instead of paying
+	// device construction — a few MB of cost-model tables — per attempt.
+	devs map[string]*gpusim.Device
 }
 
 func newPoolHolder(ropt algo.Options) *poolHolder {
@@ -366,7 +379,22 @@ func newPoolHolder(ropt algo.Options) *poolHolder {
 	if w <= 0 {
 		w = par.Threads()
 	}
-	return &poolHolder{width: w, pool: par.NewPool(w), arena: scratch.Acquire()}
+	return &poolHolder{width: w, pool: par.NewPool(w), arena: scratch.Acquire(),
+		devs: make(map[string]*gpusim.Device)}
+}
+
+// device returns the worker's reusable device for prof, reset to its
+// post-New state. Call from the supervisor goroutine before handing the
+// device to an attempt.
+func (h *poolHolder) device(prof gpusim.Profile) *gpusim.Device {
+	d := h.devs[prof.Name]
+	if d == nil {
+		d = gpusim.New(prof)
+		h.devs[prof.Name] = d
+	} else {
+		d.Reset()
+	}
+	return d
 }
 
 // replace retires the current pool and arena and builds fresh ones. It
@@ -382,6 +410,9 @@ func (h *poolHolder) replace() {
 	h.pool = par.NewPool(h.width)
 	h.arena.Retire()
 	h.arena = scratch.Acquire()
+	// The abandoned run may still be scribbling on its device's arrays
+	// and cost shards; abandon the devices with it.
+	h.devs = make(map[string]*gpusim.Device)
 }
 
 func (h *poolHolder) close() {
@@ -414,9 +445,11 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 	start := time.Now()
 	var o Outcome
 	for attempt := 1; ; attempt++ {
-		kind, tput, msg, reclaim, cancelNS := s.attempt(graphs, ropt, t, h)
+		kind, tput, sim, msg, reclaim, cancelNS := s.attempt(graphs, ropt, t, h)
 		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt,
-			Reclaim: reclaim, CancelNS: cancelNS}
+			Reclaim: reclaim, CancelNS: cancelNS,
+			SimCycles: sim.Cycles, SimInstructions: sim.Instructions,
+			SimTransactions: sim.Transactions}
 		if kind == OK || kind == Error || attempt > s.opt.Retries {
 			break
 		}
@@ -440,6 +473,7 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 type reply struct {
 	res      algo.Result
 	tput     float64
+	sim      gpusim.Stats
 	err      error
 	panicked any
 }
@@ -452,11 +486,19 @@ type reply struct {
 // never reaches a checkpoint within the reclaim grace window is
 // abandoned the old way — pool closed and replaced, arena retired — and
 // parks harmlessly on the buffered channel if it ever finishes.
-func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (kind Kind, tput float64, msg, reclaim string, cancelNS int64) {
+func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (kind Kind, tput float64, sim gpusim.Stats, msg, reclaim string, cancelNS int64) {
 	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
-		return Error, math.NaN(), fmt.Sprintf("no graph for input %q", t.Input), "", 0
+		return Error, math.NaN(), gpusim.Stats{}, fmt.Sprintf("no graph for input %q", t.Input), "", 0
 	}
 	g := graphs[t.Input]
+	// Resolve the reusable device here, before the run goroutine starts,
+	// so holder state is only ever touched from the supervisor goroutine.
+	var dev *gpusim.Device
+	if t.Device != DeviceCPU {
+		if prof, ok := profileByName(t.Device); ok {
+			dev = h.device(prof)
+		}
+	}
 	ropt.Pool = h.pool // pin CPU regions to this worker's persistent pool
 	if h.arena != nil {
 		// Reuse the worker's warmed arena. The previous attempt's result
@@ -503,8 +545,8 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 		var r reply
 		if t.Device == DeviceCPU {
 			r.res, r.tput, r.err = runner.TimeCPU(g, t.Cfg, ropt)
-		} else if prof, ok := profileByName(t.Device); ok {
-			r.res, r.tput, r.err = runner.TimeGPU(gpusim.New(prof), g, t.Cfg, ropt)
+		} else if dev != nil {
+			r.res, r.tput, r.sim, r.err = runner.MeasureGPU(dev, g, t.Cfg, ropt)
 		} else {
 			r.err = fmt.Errorf("unknown device %q", t.Device)
 		}
@@ -519,7 +561,7 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 		// spawn-per-region), retire the arena (late checkouts panic inside
 		// the attempt's recover), and give later attempts clean state.
 		h.replace()
-		return Timeout, math.NaN(),
+		return Timeout, math.NaN(), gpusim.Stats{},
 			fmt.Sprintf("no result within %v and no checkpoint within the %v grace window",
 				s.opt.Timeout, grace), ReclaimAbandon, 0
 	case r := <-ch:
@@ -533,27 +575,27 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 			if lat < 0 {
 				lat = 0
 			}
-			return Timeout, math.NaN(),
+			return Timeout, math.NaN(), gpusim.Stats{},
 				fmt.Sprintf("canceled after %v deadline", s.opt.Timeout),
 				ReclaimCancel, int64(lat)
 		case errors.Is(r.err, guard.ErrBudgetExceeded):
 			// Deterministic — the variant needs more memory than the budget
 			// allows — so Error, which the retry loop never re-attempts.
-			return Error, math.NaN(),
+			return Error, math.NaN(), gpusim.Stats{},
 				fmt.Sprintf("memory budget of %d bytes exceeded", s.opt.MemBudget), "", 0
 		case r.panicked != nil:
-			return Panic, math.NaN(), fmt.Sprint(r.panicked), "", 0
+			return Panic, math.NaN(), gpusim.Stats{}, fmt.Sprint(r.panicked), "", 0
 		case r.err != nil:
-			return Error, math.NaN(), r.err.Error(), "", 0
+			return Error, math.NaN(), gpusim.Stats{}, r.err.Error(), "", 0
 		case !(r.tput > 0): // catches NaN from zero/negative elapsed
-			return Error, math.NaN(), fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput), "", 0
+			return Error, math.NaN(), gpusim.Stats{}, fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput), "", 0
 		}
 		if s.opt.Verify {
 			if err := s.check(g, ropt, t.Cfg, r.res); err != nil {
-				return WrongAnswer, math.NaN(), err.Error(), "", 0
+				return WrongAnswer, math.NaN(), gpusim.Stats{}, err.Error(), "", 0
 			}
 		}
-		return OK, r.tput, "", "", 0
+		return OK, r.tput, r.sim, "", "", 0
 	}
 }
 
