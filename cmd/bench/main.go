@@ -20,6 +20,9 @@
 //	                       # instead (source of BENCH_ingest.json); with
 //	                       # -alloccheck also pins the parallel read's
 //	                       # allocation ceiling
+//	bench -tune            # race the autotuner against an exhaustive
+//	                       # per-cell sweep (source of BENCH_tune.json);
+//	                       # exits 1 past the regret/spend bars
 package main
 
 import (
@@ -82,6 +85,8 @@ func main() {
 		"measure the chunked parallel graph ingest against the serial readers and emit that report instead (source of BENCH_ingest.json)")
 	gpusimFlag := flag.Bool("gpusim", false,
 		"measure the sharded GPU cost model against the shared-atomic baseline and emit that report instead (source of BENCH_gpusim.json); with -alloccheck also pins the warmed Launch at zero allocations")
+	tuneFlag := flag.Bool("tune", false,
+		"race the autotuner against an exhaustive sweep per cell and emit that report instead (source of BENCH_tune.json); exits 1 if any cell misses the regret or spend bar")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
@@ -106,6 +111,17 @@ func main() {
 			}
 		}
 		emit(ingestBench(bt, *quick), *out)
+		return
+	}
+
+	if *tuneFlag {
+		rep := tuneBench(*quick)
+		emit(rep, *out)
+		if rep.MaxRegretPct > tuneRegretBarPct || rep.MaxSpendPct > tuneSpendBarPct {
+			fmt.Fprintf(os.Stderr, "bench: tuner misses the bar: regret %.2f%% (max %.0f%%), spend %.2f%% (max %.0f%%)\n",
+				rep.MaxRegretPct, tuneRegretBarPct, rep.MaxSpendPct, tuneSpendBarPct)
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/styles"
+	"indigo/internal/sweep"
+	"indigo/internal/tune"
+)
+
+// tuneBars are the pinned acceptance thresholds: the tuner must land
+// within tuneRegretBarPct of the exhaustive best while spending at most
+// tuneSpendBarPct of the full sweep's measurements, on every cell.
+const (
+	tuneRegretBarPct = 5.0
+	tuneSpendBarPct  = 25.0
+)
+
+// TuneCell is one (algo, model, input) cell's tuner-vs-sweep record:
+// what the exhaustive census cost and found, what the racing tuner cost
+// and found, and the gap between them.
+type TuneCell struct {
+	Cell   string `json:"cell"`
+	Input  string `json:"input"`
+	Device string `json:"device"`
+	Space  int    `json:"space"`
+
+	SweepMeasurements int     `json:"sweep_measurements"`
+	SweepWallMS       float64 `json:"sweep_wall_ms"`
+	SweepBest         string  `json:"sweep_best"`
+	SweepBestTput     float64 `json:"sweep_best_tput"`
+
+	TuneMeasurements int     `json:"tune_measurements"`
+	TuneWallMS       float64 `json:"tune_wall_ms"`
+	TuneWinner       string  `json:"tune_winner"`
+	TuneWinnerTput   float64 `json:"tune_winner_tput"`
+
+	// RegretPct compares the winner's census throughput (not the
+	// tuner's own reading, though on the deterministic simulator they
+	// coincide) against the census best.
+	RegretPct float64 `json:"regret_pct"`
+	// SpendPct is tuner measurements as a percentage of the sweep's.
+	SpendPct float64 `json:"spend_pct"`
+}
+
+// TuneReport is the -tune document, source of BENCH_tune.json.
+type TuneReport struct {
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Quick      bool       `json:"quick"`
+	Scale      string     `json:"scale"`
+	Cells      []TuneCell `json:"cells"`
+
+	MeanRegretPct float64 `json:"mean_regret_pct"`
+	MaxRegretPct  float64 `json:"max_regret_pct"`
+	MeanSpendPct  float64 `json:"mean_spend_pct"`
+	MaxSpendPct   float64 `json:"max_spend_pct"`
+
+	RegretBarPct float64 `json:"regret_bar_pct"`
+	SpendBarPct  float64 `json:"spend_bar_pct"`
+}
+
+// tuneBench races the autotuner against an exhaustive sweep on CUDA
+// cells of the generated suite, measured on the deterministic GPU
+// simulator so the regret numbers are exact rather than wall-clock
+// noise. -quick drops from the small scale to tiny for CI smoke runs.
+func tuneBench(quick bool) TuneReport {
+	scale := gen.Small
+	if quick {
+		scale = gen.Tiny
+	}
+	cells := []struct {
+		a  styles.Algorithm
+		m  styles.Model
+		in gen.Input
+	}{
+		{styles.BFS, styles.CUDA, gen.InputRMAT},
+		{styles.SSSP, styles.CUDA, gen.InputRoad},
+		{styles.PR, styles.CUDA, gen.InputSocial},
+	}
+	rep := TuneReport{
+		GoVersion:    runtime.Version(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Quick:        quick,
+		Scale:        scale.String(),
+		RegretBarPct: tuneRegretBarPct,
+		SpendBarPct:  tuneSpendBarPct,
+	}
+	const device = "rtx-sim"
+	for _, c := range cells {
+		g := gen.Generate(c.in, scale)
+		space := styles.Enumerate(c.a, c.m)
+		popt := sweep.Options{Timeout: sweep.DefaultTimeout(scale), Verify: true}
+
+		// Exhaustive census: every applicable variant once.
+		census := make(map[string]float64, len(space))
+		bestName, bestTput := "", 0.0
+		pr := tune.NewProbeRunner(g, device, algo.Options{Threads: 2}, popt)
+		start := time.Now()
+		for _, cfg := range space {
+			t, err := pr.Measure(cfg)
+			if err != nil {
+				continue
+			}
+			census[cfg.Name()] = t
+			if t > bestTput {
+				bestName, bestTput = cfg.Name(), t
+			}
+		}
+		sweepWall := time.Since(start)
+		pr.Close()
+
+		// The racing tuner on the same cell, fresh runner, fixed seed.
+		pr = tune.NewProbeRunner(g, device, algo.Options{Threads: 2}, popt)
+		start = time.Now()
+		res, err := tune.Run(tune.Options{
+			Algo:   c.a,
+			Model:  c.m,
+			Device: device,
+			Shape:  g.Stats(),
+			Seed:   1,
+			Runner: pr,
+		})
+		tuneWall := time.Since(start)
+		pr.Close()
+		if err != nil {
+			fmt.Printf("bench: tune %s/%s: %v\n", c.a, c.m, err)
+			continue
+		}
+
+		regret := 0.0
+		if bestTput > 0 {
+			regret = 100 * (bestTput - census[res.Best.Name()]) / bestTput
+		}
+		spend := 100 * float64(res.Measurements) / float64(len(census))
+		rep.Cells = append(rep.Cells, TuneCell{
+			Cell:              fmt.Sprintf("%s/%s", c.a, c.m),
+			Input:             c.in.String(),
+			Device:            device,
+			Space:             len(space),
+			SweepMeasurements: len(census),
+			SweepWallMS:       float64(sweepWall.Microseconds()) / 1000,
+			SweepBest:         bestName,
+			SweepBestTput:     bestTput,
+			TuneMeasurements:  res.Measurements,
+			TuneWallMS:        float64(tuneWall.Microseconds()) / 1000,
+			TuneWinner:        res.Best.Name(),
+			TuneWinnerTput:    res.Tput,
+			RegretPct:         regret,
+			SpendPct:          spend,
+		})
+	}
+	for _, c := range rep.Cells {
+		rep.MeanRegretPct += c.RegretPct / float64(len(rep.Cells))
+		rep.MeanSpendPct += c.SpendPct / float64(len(rep.Cells))
+		rep.MaxRegretPct = max(rep.MaxRegretPct, c.RegretPct)
+		rep.MaxSpendPct = max(rep.MaxSpendPct, c.SpendPct)
+	}
+	return rep
+}

@@ -7,6 +7,8 @@
 //	indigo2 run -variant <name> [-input road] [-scale small] [-device rtx-sim] [-source 0]
 //	            [-timeout 2m] [-journal runs.jsonl [-resume]] [-store results.store]
 //	indigo2 verify [-algo bfs] [-model omp] [-scale tiny]
+//	indigo2 tune -algo bfs -model cuda [-input rmat -scale tiny | -graph g.el] [-device rtx-sim]
+//	            [-budget 0] [-seed 1] [-journal tune.jsonl [-resume]] [-store results.store]
 //	indigo2 serve [-addr :8080] [-store results.store] [-import runs.jsonl -scale small]
 package main
 
@@ -45,6 +47,8 @@ func main() {
 		err = cmdVerify(os.Args[2:])
 	case "emit":
 		err = cmdEmit(os.Args[2:])
+	case "tune":
+		err = cmdTune(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	default:
@@ -58,7 +62,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: indigo2 <list|run|verify|emit|serve> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: indigo2 <list|run|verify|emit|tune|serve> [flags]")
 }
 
 // cmdEmit writes the standalone Go source of a CPU SSSP variant, the

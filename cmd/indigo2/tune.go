@@ -1,0 +1,181 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/graph"
+	"indigo/internal/guard"
+	"indigo/internal/store"
+	"indigo/internal/styles"
+	"indigo/internal/sweep"
+	"indigo/internal/tune"
+)
+
+// cmdTune races style variants on one graph to a near-best config
+// under a measurement budget — the empirical middle ground between
+// `indigo2 run` (one variant) and a full sweep (all of them).
+func cmdTune(args []string) error {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	algoName := fs.String("algo", "bfs", "algorithm to tune (bfs, sssp, cc, mis, pr, tc)")
+	modelName := fs.String("model", "cuda", "programming model (cuda, omp, cpp)")
+	input := fs.String("input", "rmat", "study input to tune on (ignored with -graph)")
+	scale := fs.String("scale", "tiny", "input scale (tiny, small, medium, large)")
+	graphPath := fs.String("graph", "", "graph file to tune on instead of a generated input (.gr = DIMACS, else edge list)")
+	device := fs.String("device", "", "measurement device: cpu, rtx-sim, titan-sim (default: cpu for CPU models, rtx-sim for cuda)")
+	seed := fs.Int64("seed", 1, "RNG seed; same seed + same graph = identical session")
+	budget := fs.Int("budget", 0, "measurement budget (0 = a quarter of the variant space)")
+	timeout := fs.Duration("timeout", 0, "whole-session deadline (0 = none)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "per-trial deadline (0 = scale-aware default)")
+	source := fs.Int("source", 0, "source vertex for bfs/sssp")
+	threads := fs.Int("threads", 0, "CPU worker count (0 = all cores)")
+	journal := fs.String("journal", "", "JSONL tune journal to write")
+	resume := fs.Bool("resume", false, "replay trials already in -journal instead of re-running them")
+	storePath := fs.String("store", "", "results store: warm-starts the cohort and reports regret vs the measured census")
+	quiet := fs.Bool("q", false, "suppress rung-by-rung progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, m, err := parseCell(*algoName, *modelName)
+	if err != nil {
+		return err
+	}
+
+	var g *graph.Graph
+	inputName := ""
+	if *graphPath != "" {
+		f, err := os.Open(*graphPath)
+		if err != nil {
+			return err
+		}
+		name := strings.TrimSuffix(filepath.Base(*graphPath), filepath.Ext(*graphPath))
+		if filepath.Ext(*graphPath) == ".gr" {
+			g, err = graph.ReadDIMACS(f, name)
+		} else {
+			g, err = graph.ReadEdgeList(f, name)
+		}
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		var in gen.Input
+		if g, in, err = loadInputIndexed(*input, *scale); err != nil {
+			return err
+		}
+		inputName = in.String()
+	}
+
+	dev := *device
+	if dev == "" {
+		dev = sweep.DeviceCPU
+		if m == styles.CUDA {
+			dev = "rtx-sim"
+		}
+	}
+	if m == styles.CUDA {
+		if _, err := profileByName(dev); err != nil {
+			return err
+		}
+	} else if dev != sweep.DeviceCPU {
+		return fmt.Errorf("device %q: %s variants run on the cpu", dev, m)
+	}
+	if *trialTimeout == 0 {
+		sc, _ := gen.ParseScale(*scale)
+		*trialTimeout = sweep.DefaultTimeout(sc)
+	}
+
+	var st *store.Store
+	if *storePath != "" {
+		if st, err = store.Open(*storePath); err != nil {
+			return err
+		}
+		defer st.Close()
+	}
+
+	var gd *guard.Token
+	if *timeout > 0 {
+		gd = guard.New().WithTimeout(*timeout)
+		defer gd.Release()
+	}
+
+	pr := tune.NewProbeRunner(g, dev, algo.Options{Threads: *threads, Source: int32(*source)},
+		sweep.Options{Timeout: *trialTimeout, Verify: true, Outer: gd})
+	defer pr.Close()
+
+	var obs *tune.Observer
+	if !*quiet {
+		obs = &tune.Observer{
+			Plan: func(space, budget, cohort int) {
+				fmt.Fprintf(os.Stderr, "tune: %s/%s on %s (%s): %d variants, budget %d, cohort %d\n",
+					a, m, g.Name, dev, space, budget, cohort)
+			},
+			RungStart: func(rung, alive, reps int) {
+				fmt.Fprintf(os.Stderr, "tune: rung %d: %d alive, %d rep(s) each\n", rung, alive, reps)
+			},
+			Eliminated: func(rung int, name string, score, median float64) {
+				fmt.Fprintf(os.Stderr, "tune:   cut %s (%.4f vs median %.4f)\n", name, score, median)
+			},
+			Improved: func(name, dim string, tput float64) {
+				fmt.Fprintf(os.Stderr, "tune: refine(%s) -> %s (%.4f)\n", dim, name, tput)
+			},
+		}
+	}
+
+	res, err := tune.Run(tune.Options{
+		Algo:            a,
+		Model:           m,
+		Device:          dev,
+		Shape:           g.Stats(),
+		Input:           inputName,
+		Seed:            *seed,
+		MaxMeasurements: *budget,
+		Guard:           gd,
+		Store:           st,
+		Journal:         *journal,
+		Resume:          *resume,
+		Observer:        obs,
+		Runner:          pr,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("winner:       %s\n", res.Best.Name())
+	fmt.Printf("throughput:   %.4f GE/s\n", res.Tput)
+	fmt.Printf("measurements: %d fresh", res.Measurements)
+	if res.Replayed > 0 {
+		fmt.Printf(" + %d replayed", res.Replayed)
+	}
+	fmt.Printf(" of %d-variant space (%d rung(s))\n", res.Space, res.Rungs)
+	for _, line := range res.Rationale {
+		fmt.Printf("  - %s\n", line)
+	}
+	if res.Partial {
+		fmt.Printf("partial:      %s\n", res.PartialReason)
+	}
+	if res.CensusBest > 0 {
+		fmt.Printf("census best:  %.4f GE/s (regret %.2f%%)\n", res.CensusBest, 100*res.Regret)
+	}
+	return nil
+}
+
+// parseCell resolves required -algo and -model flags to a single cell.
+func parseCell(algoName, modelName string) (styles.Algorithm, styles.Model, error) {
+	algos, models, err := parseFilters(algoName, modelName)
+	if err != nil {
+		return 0, 0, err
+	}
+	if algoName == "" || len(algos) != 1 {
+		return 0, 0, fmt.Errorf("tune needs exactly one -algo")
+	}
+	if modelName == "" || len(models) != 1 {
+		return 0, 0, fmt.Errorf("tune needs exactly one -model")
+	}
+	return algos[0], models[0], nil
+}

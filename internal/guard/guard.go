@@ -238,6 +238,39 @@ func (t *Token) BindContext(ctx context.Context) func() {
 	return func() { once.Do(func() { close(done) }) }
 }
 
+// Propagate couples inner to outer: when outer trips, inner is canceled
+// too (with outer's reason where it maps onto a trip: deadline stays
+// DeadlineExceeded, everything else cancels). The coupling is a polling
+// watcher, so propagation lands within a few milliseconds — the latency
+// that matters for a tuner whose session deadline must stop the trial
+// in flight, not after it. The returned stop function detaches the
+// watcher; callers must invoke it when the inner run completes, or the
+// watcher lingers until one of the tokens resolves it. A nil outer or
+// inner is a no-op.
+func Propagate(outer, inner *Token) (stop func()) {
+	if outer == nil || inner == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				if s := Reason(outer.state.Load()); s != running {
+					inner.trip(s)
+					return
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // Release ends the token's background machinery: the deadline timer is
 // stopped and every BindContext watcher is detached. The token's state
 // is left as-is (a stopped token stays stopped). Idempotent.

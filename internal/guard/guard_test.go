@@ -230,3 +230,78 @@ func TestConcurrentPollAndCancel(t *testing.T) {
 		tok.Release()
 	}
 }
+
+func TestPropagateCancel(t *testing.T) {
+	outer, inner := New(), New()
+	defer outer.Release()
+	defer inner.Release()
+	stop := Propagate(outer, inner)
+	defer stop()
+	outer.Cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for !inner.Stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("outer cancel never propagated to inner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(inner.Err(), ErrCanceled) {
+		t.Fatalf("inner Err = %v, want ErrCanceled", inner.Err())
+	}
+}
+
+func TestPropagateKeepsDeadlineReason(t *testing.T) {
+	outer, inner := New().WithTimeout(2*time.Millisecond), New()
+	defer outer.Release()
+	defer inner.Release()
+	stop := Propagate(outer, inner)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for !inner.Stopped() {
+		if time.Now().After(deadline) {
+			t.Fatal("outer deadline never propagated to inner")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(inner.Err(), ErrDeadlineExceeded) {
+		t.Fatalf("inner Err = %v, want ErrDeadlineExceeded (outer's reason)", inner.Err())
+	}
+}
+
+func TestPropagateStopDetaches(t *testing.T) {
+	outer, inner := New(), New()
+	defer outer.Release()
+	defer inner.Release()
+	stop := Propagate(outer, inner)
+	stop()
+	stop() // idempotent
+	outer.Cancel()
+	time.Sleep(20 * time.Millisecond)
+	if inner.Stopped() {
+		t.Fatal("detached watcher still tripped inner")
+	}
+}
+
+func TestPropagateNilIsInert(t *testing.T) {
+	tok := New()
+	defer tok.Release()
+	Propagate(nil, tok)()
+	Propagate(tok, nil)()
+	Propagate(nil, nil)()
+	if tok.Stopped() {
+		t.Fatal("nil propagation tripped a live token")
+	}
+}
+
+func TestPropagateDoesNotCoupleInnerToOuter(t *testing.T) {
+	outer, inner := New(), New()
+	defer outer.Release()
+	defer inner.Release()
+	stop := Propagate(outer, inner)
+	defer stop()
+	inner.Cancel()
+	time.Sleep(20 * time.Millisecond)
+	if outer.Stopped() {
+		t.Fatal("inner trip leaked upward to outer")
+	}
+}

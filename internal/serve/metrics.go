@@ -42,6 +42,8 @@ const (
 	routeCells
 	routeCensus
 	routeRatios
+	routeBest
+	routeTune
 	routeOther
 	numRoutes
 )
@@ -60,6 +62,10 @@ func (r route) String() string {
 		return "/v1/census"
 	case routeRatios:
 		return "/v1/ratios"
+	case routeBest:
+		return "/v1/best"
+	case routeTune:
+		return "/v1/tune"
 	}
 	return "other"
 }

@@ -14,6 +14,8 @@
 //	GET  /v1/cells    stored measurement cells (filterable)
 //	GET  /v1/census   best-style census per model (paper Fig. 14)
 //	GET  /v1/ratios   per-dimension throughput-ratio distributions (paper Figs. 1-13)
+//	GET  /v1/best     measured best config for one (algo, model, input, device) cell
+//	POST /v1/tune     race variants on a suite input or inline graph -> winning variant
 package serve
 
 import (
@@ -64,6 +66,15 @@ type Options struct {
 	// rejected with 413 instead of growing without bound. 0 disables
 	// the budget.
 	RequestBudget int64
+	// TuneMaxMeasurements caps the measurement budget one /v1/tune
+	// request may spend; a request asking for more is clamped, not
+	// rejected (the tuner degrades gracefully under a smaller budget).
+	// Default 64.
+	TuneMaxMeasurements int
+	// TuneTrialTimeout bounds each of a tune session's timed runs;
+	// the session's own ceiling is the request deadline, which stops
+	// the trial in flight through the request guard. Default 2s.
+	TuneTrialTimeout time.Duration
 }
 
 func (o *Options) defaults() {
@@ -81,6 +92,12 @@ func (o *Options) defaults() {
 	}
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 8 << 20
+	}
+	if o.TuneMaxMeasurements <= 0 {
+		o.TuneMaxMeasurements = 64
+	}
+	if o.TuneTrialTimeout <= 0 {
+		o.TuneTrialTimeout = 2 * time.Second
 	}
 }
 
@@ -133,6 +150,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/cells", s.limited(routeCells, s.handleCells))
 	mux.HandleFunc("/v1/census", s.limited(routeCensus, s.handleCensus))
 	mux.HandleFunc("/v1/ratios", s.limited(routeRatios, s.handleRatios))
+	mux.HandleFunc("/v1/best", s.limited(routeBest, s.handleBest))
+	mux.HandleFunc("/v1/tune", s.limited(routeTune, s.handleTune))
 	return mux
 }
 

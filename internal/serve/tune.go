@@ -1,0 +1,242 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/gpusim"
+	"indigo/internal/graph"
+	"indigo/internal/guard"
+	"indigo/internal/styles"
+	"indigo/internal/sweep"
+	"indigo/internal/tune"
+)
+
+// bestResponse is the /v1/best wire form.
+type bestResponse struct {
+	Variant string      `json:"variant"`
+	Tput    float64     `json:"tput"`
+	Input   string      `json:"input"`
+	Device  string      `json:"device"`
+	Graph   graph.Stats `json:"graph"`
+}
+
+// handleBest answers GET /v1/best?algo=&model=&input=&device= with the
+// store's measured best cell for that group — the tuner's warm-start
+// query exposed standalone.
+func (s *Server) handleBest(r *http.Request) (*response, error) {
+	if r.Method != http.MethodGet {
+		return nil, errf(http.StatusMethodNotAllowed, "use GET")
+	}
+	q := r.URL.Query()
+	a, aerr := parseAlgo(q.Get("algo"))
+	if aerr != nil {
+		return nil, aerr
+	}
+	m, merr := parseModel(q.Get("model"))
+	if merr != nil {
+		return nil, merr
+	}
+	input, device := q.Get("input"), q.Get("device")
+	if input == "" || device == "" {
+		return nil, errf(http.StatusBadRequest, "input and device are required")
+	}
+	key := "best?" + canonicalQuery(q)
+	return s.cached(key, func() (*response, error) {
+		c, ok := s.opt.Store.Best(a, m, input, device)
+		if !ok {
+			return nil, errf(http.StatusNotFound, "no cell for %s/%s on %s/%s", a, m, input, device)
+		}
+		body, err := json.MarshalIndent(bestResponse{
+			Variant: c.Cfg.Name(), Tput: c.Tput,
+			Input: c.Input, Device: c.Device, Graph: c.Graph,
+		}, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		return &response{status: http.StatusOK, contentType: "application/json", body: append(body, '\n')}, nil
+	})
+}
+
+// tuneRequest is the /v1/tune request body. The graph to tune on is
+// either a generated suite input ("input" + optional "scale", tiny or
+// small) or an inline upload ("graph" + "format"); exactly one.
+type tuneRequest struct {
+	Algo   string `json:"algo"`
+	Model  string `json:"model"`
+	Device string `json:"device"`
+	Input  string `json:"input,omitempty"`
+	Scale  string `json:"scale,omitempty"`
+	Graph  string `json:"graph,omitempty"`
+	Format string `json:"format,omitempty"`
+	Seed   int64  `json:"seed,omitempty"`
+	// Budget caps the session's measurements; 0 means the tuner's
+	// default (a quarter of the space), and the server clamps to
+	// Options.TuneMaxMeasurements either way.
+	Budget int `json:"budget,omitempty"`
+}
+
+// tuneResponse is the tuning outcome: the winner, how it was found,
+// and — when the store knows the cell — the regret against the
+// measured census best.
+type tuneResponse struct {
+	Variant       string      `json:"variant"`
+	Tput          float64     `json:"tput"`
+	Rationale     []string    `json:"rationale"`
+	Space         int         `json:"space"`
+	Measurements  int         `json:"measurements"`
+	Rungs         int         `json:"rungs"`
+	Partial       bool        `json:"partial,omitempty"`
+	PartialReason string      `json:"partial_reason,omitempty"`
+	CensusBest    float64     `json:"census_best,omitempty"`
+	Regret        float64     `json:"regret,omitempty"`
+	Stats         graph.Stats `json:"stats"`
+}
+
+// validDevice reports whether name is a measurement target this server
+// can run: the CPU or one of the simulated GPU profiles.
+func validDevice(name string) bool {
+	if name == sweep.DeviceCPU {
+		return true
+	}
+	for _, p := range gpusim.Profiles() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTune runs a budget-capped tuning session for the request's
+// cell on a server-side graph. It shares the limited pipeline's
+// semantics with /v1/advise: the request guard token is the session
+// token (a client disconnect or the request deadline stops the trial
+// in flight through sweep's cooperative cancellation), the response
+// caches on the body hash and store generation, and guard sentinels
+// map to 413/503/499.
+func (s *Server) handleTune(r *http.Request) (*response, error) {
+	if r.Method != http.MethodPost {
+		return nil, errf(http.StatusMethodNotAllowed, "use POST")
+	}
+	body, herr := readBody(r, s.opt.MaxUploadBytes)
+	if herr != nil {
+		return nil, herr
+	}
+	var req tuneRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, errf(http.StatusBadRequest, "bad request body: %v", err)
+	}
+	a, aerr := parseAlgo(req.Algo)
+	if aerr != nil {
+		return nil, aerr
+	}
+	m, merr := parseModel(req.Model)
+	if merr != nil {
+		return nil, merr
+	}
+	if !validDevice(req.Device) {
+		return nil, errf(http.StatusBadRequest, "unknown device %q (cpu or a gpusim profile)", req.Device)
+	}
+	if (req.Input == "") == (req.Graph == "") {
+		return nil, errf(http.StatusBadRequest, "provide exactly one of input or graph")
+	}
+	budget := req.Budget
+	if budget <= 0 || budget > s.opt.TuneMaxMeasurements {
+		budget = min(s.opt.TuneMaxMeasurements, max(1, len(styles.Enumerate(a, m))/4))
+	}
+
+	gd := tokenFrom(r.Context())
+	return s.cached(bodyCacheKey("tune", body), func() (resp *response, err error) {
+		defer guard.Recover(&err)
+		var g *graph.Graph
+		var input string
+		if req.Input != "" {
+			in, scale, herr := parseSuiteInput(req.Input, req.Scale)
+			if herr != nil {
+				return nil, herr
+			}
+			g = gen.Generate(in, scale)
+			input = in.String()
+		} else {
+			gd.Charge(int64(len(req.Graph)))
+			var herr *httpError
+			g, herr = parseInlineGraph(req.Graph, req.Format, gd)
+			if herr != nil {
+				return nil, herr
+			}
+		}
+		st := g.StatsGuarded(gd)
+
+		pr := tune.NewProbeRunner(g, req.Device, algo.Options{Threads: 2}, sweep.Options{
+			Timeout: s.opt.TuneTrialTimeout,
+			Verify:  true,
+			Outer:   gd,
+		})
+		defer pr.Close()
+		res, err := tune.Run(tune.Options{
+			Algo:            a,
+			Model:           m,
+			Device:          req.Device,
+			Shape:           st,
+			Input:           input,
+			Seed:            req.Seed,
+			MaxMeasurements: budget,
+			Guard:           gd,
+			Store:           s.opt.Store,
+			Runner:          pr,
+		})
+		if err != nil {
+			// A guard sentinel in the reason means the request itself
+			// stopped; surface it for the limited pipeline's mapping.
+			if gerr := gd.Err(); gerr != nil {
+				return nil, gerr
+			}
+			return nil, errf(http.StatusUnprocessableEntity, "tune: %v", err)
+		}
+		out, jerr := json.MarshalIndent(tuneResponse{
+			Variant:       res.Best.Name(),
+			Tput:          res.Tput,
+			Rationale:     res.Rationale,
+			Space:         res.Space,
+			Measurements:  res.Measurements,
+			Rungs:         res.Rungs,
+			Partial:       res.Partial,
+			PartialReason: res.PartialReason,
+			CensusBest:    res.CensusBest,
+			Regret:        res.Regret,
+			Stats:         st,
+		}, "", "  ")
+		if jerr != nil {
+			return nil, jerr
+		}
+		return &response{status: http.StatusOK, contentType: "application/json", body: append(out, '\n')}, nil
+	})
+}
+
+// parseSuiteInput resolves a generated-suite input name and scale.
+// Tuning is interactive, so only the tiny and small scales are served;
+// medium and large belong to offline sweeps.
+func parseSuiteInput(name, scale string) (gen.Input, gen.Scale, *httpError) {
+	var in gen.Input
+	found := false
+	for i := gen.Input(0); i < gen.NumInputs; i++ {
+		if i.String() == name {
+			in, found = i, true
+			break
+		}
+	}
+	if !found {
+		return 0, 0, errf(http.StatusBadRequest, "unknown input %q (grid2d, copaper, rmat, social, road)", name)
+	}
+	sc := gen.Tiny
+	if scale != "" {
+		parsed, ok := gen.ParseScale(scale)
+		if !ok || parsed > gen.Small {
+			return 0, 0, errf(http.StatusBadRequest, "scale %q not served (tiny, small)", scale)
+		}
+		sc = parsed
+	}
+	return in, sc, nil
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"indigo/internal/styles"
+	"indigo/internal/testutil"
+)
+
+func TestBestEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	code, body := get(t, ts.URL+"/v1/best?algo=bfs&model=omp&input=road&device=cpu")
+	if code != http.StatusOK {
+		t.Fatalf("best: %d %q", code, body)
+	}
+	var out bestResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tput != 4 || !strings.Contains(out.Variant, "push") {
+		t.Fatalf("best cell = %+v, want the 4.0 push cell", out)
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/best?algo=bfs&model=omp&input=road&device=rtx-sim"); code != http.StatusNotFound {
+		t.Fatalf("missing cell: %d, want 404", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/best?algo=nope&model=omp&input=road&device=cpu"); code != http.StatusBadRequest {
+		t.Fatalf("bad algo: %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/best?algo=bfs&model=omp"); code != http.StatusBadRequest {
+		t.Fatalf("missing input/device: %d, want 400", code)
+	}
+}
+
+// TestTuneEndpoint runs a real budget-capped tuning session on a tiny
+// generated input against the simulated GPU, end to end through the
+// limited pipeline.
+func TestTuneEndpoint(t *testing.T) {
+	leaks := testutil.Snapshot(t)
+	s := New(Options{Store: seedStore(t), TuneMaxMeasurements: 40})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		http.DefaultClient.CloseIdleConnections()
+		leaks.Check(t)
+	}()
+	code, body := post(t, ts.URL+"/v1/tune",
+		`{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"rmat","seed":1}`)
+	if code != http.StatusOK {
+		t.Fatalf("tune: %d %q", code, body)
+	}
+	var out tuneResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Partial {
+		t.Fatalf("partial tune: %s", out.PartialReason)
+	}
+	if out.Tput <= 0 || out.Variant == "" {
+		t.Fatalf("no winner: %+v", out)
+	}
+	space := len(styles.Enumerate(styles.BFS, styles.CUDA))
+	if out.Space != space {
+		t.Fatalf("space = %d, want %d", out.Space, space)
+	}
+	if out.Measurements > 40 || out.Measurements*4 > space {
+		t.Fatalf("spent %d measurements (space %d, cap 40)", out.Measurements, space)
+	}
+	if len(out.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+	if out.Stats.Vertices == 0 {
+		t.Fatal("no stats echoed")
+	}
+
+	// Same body again: deterministic and cacheable — identical answer.
+	code2, body2 := post(t, ts.URL+"/v1/tune",
+		`{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"rmat","seed":1}`)
+	if code2 != http.StatusOK || body2 != body {
+		t.Fatalf("repeat tune differs: %d (bodies equal: %v)", code2, body2 == body)
+	}
+}
+
+// TestTuneEndpointBudgetClamp: a request asking for more than the
+// server cap is clamped, and the session still completes (partial if
+// the clamp bites mid-race).
+func TestTuneEndpointBudgetClamp(t *testing.T) {
+	_, ts := newTestServer(t, Options{TuneMaxMeasurements: 6})
+	code, body := post(t, ts.URL+"/v1/tune",
+		`{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"rmat","seed":1,"budget":1000}`)
+	if code != http.StatusOK {
+		t.Fatalf("tune: %d %q", code, body)
+	}
+	var out tuneResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Measurements > 6 {
+		t.Fatalf("spent %d measurements past the server cap of 6", out.Measurements)
+	}
+}
+
+func TestTuneEndpointRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	cases := []struct {
+		name, body string
+		want       int
+	}{
+		{"bad algo", `{"algo":"nope","model":"cuda","device":"rtx-sim","input":"rmat"}`, http.StatusBadRequest},
+		{"bad device", `{"algo":"bfs","model":"cuda","device":"a100","input":"rmat"}`, http.StatusBadRequest},
+		{"both sources", `{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"rmat","graph":"0 1"}`, http.StatusBadRequest},
+		{"neither source", `{"algo":"bfs","model":"cuda","device":"rtx-sim"}`, http.StatusBadRequest},
+		{"bad input", `{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"orkut"}`, http.StatusBadRequest},
+		{"oversized scale", `{"algo":"bfs","model":"cuda","device":"rtx-sim","input":"rmat","scale":"large"}`, http.StatusBadRequest},
+		{"not json", `{"algo":`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code, body := post(t, ts.URL+"/v1/tune", tc.body); code != tc.want {
+			t.Errorf("%s: %d %q, want %d", tc.name, code, body, tc.want)
+		}
+	}
+}
+
+// TestTuneEndpointInlineGraph tunes on an uploaded edge list rather
+// than a suite input.
+func TestTuneEndpointInlineGraph(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	var edges strings.Builder
+	for v := 0; v < 63; v++ {
+		fmt.Fprintf(&edges, "%d %d 1\n", v, v+1)
+	}
+	req, _ := json.Marshal(map[string]any{
+		"algo": "bfs", "model": "omp", "device": "cpu",
+		"graph": edges.String(), "format": "edgelist", "seed": 3,
+	})
+	code, body := post(t, ts.URL+"/v1/tune", string(req))
+	if code != http.StatusOK {
+		t.Fatalf("inline tune: %d %q", code, body)
+	}
+	var out tuneResponse
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Tput <= 0 || !strings.HasPrefix(out.Variant, "bfs/omp/") {
+		t.Fatalf("winner = %+v", out)
+	}
+}

@@ -2,8 +2,10 @@ package store
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
+	"indigo/internal/graph"
 	"indigo/internal/stats"
 	"indigo/internal/styles"
 )
@@ -216,6 +218,89 @@ const CensusHeader = "model\tvertex%\ttopo%\tdup%\tpush%\trw%\tnondet%"
 func (r CensusRow) Line() string {
 	return fmt.Sprintf("%s\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f\t%.0f",
 		r.Model, r.Vertex, r.Topo, r.Dup, r.Push, r.RW, r.NonDet)
+}
+
+// Best returns the highest-throughput stored cell for one (algorithm,
+// model, input, device) group — the measured best config for that cell,
+// the tuner's warm-start source and the /v1/best answer. Ties break to
+// the lexicographically smaller variant name, like the census. ok is
+// false when the store holds no cell for the group.
+func (s *Store) Best(a styles.Algorithm, m styles.Model, input, device string) (Cell, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best Cell
+	found := false
+	for i := range s.cfg {
+		c := s.cellAt(i)
+		if c.Cfg.Algo != a || c.Cfg.Model != m || c.Input != input || c.Device != device {
+			continue
+		}
+		if !found || c.Tput > best.Tput ||
+			(c.Tput == best.Tput && c.Cfg.Name() < best.Cfg.Name()) {
+			best = c
+			found = true
+		}
+	}
+	return best, found
+}
+
+// shapeDistance scores how alike two input shapes are on the properties
+// the paper ties style performance to (§5.13): average degree, maximum
+// degree, diameter, and size. Each term compares log-scale — a road
+// graph at two scales is "nearer" than a road and a social graph of
+// equal vertex count.
+func shapeDistance(a, b graph.Stats) float64 {
+	ld := func(x, y float64) float64 {
+		if x < 1 {
+			x = 1
+		}
+		if y < 1 {
+			y = 1
+		}
+		d := math.Log2(x) - math.Log2(y)
+		return d * d
+	}
+	return ld(a.AvgDegree, b.AvgDegree) +
+		ld(float64(a.MaxDegree), float64(b.MaxDegree)) +
+		ld(float64(a.Diameter), float64(b.Diameter)) +
+		0.25*ld(float64(a.Vertices), float64(b.Vertices))
+}
+
+// BestForShape returns the measured best cells of (algorithm, model,
+// device) groups whose input shape is nearest to shape, nearest first,
+// at most k of them — the store-census warm start for tuning on an
+// input the store has never seen. Groups are one per distinct input.
+func (s *Store) BestForShape(a styles.Algorithm, m styles.Model, device string, shape graph.Stats, k int) []Cell {
+	s.mu.RLock()
+	inputs := map[string]bool{}
+	for i := range s.cfg {
+		if s.cfg[i].Algo == a && s.cfg[i].Model == m && s.device[i] == device {
+			inputs[s.input[i]] = true
+		}
+	}
+	s.mu.RUnlock()
+	names := make([]string, 0, len(inputs))
+	for in := range inputs {
+		names = append(names, in)
+	}
+	sort.Strings(names)
+	var best []Cell
+	for _, in := range names {
+		if c, ok := s.Best(a, m, in, device); ok {
+			best = append(best, c)
+		}
+	}
+	sort.SliceStable(best, func(i, j int) bool {
+		di, dj := shapeDistance(best[i].Graph, shape), shapeDistance(best[j].Graph, shape)
+		if di != dj {
+			return di < dj
+		}
+		return best[i].Input < best[j].Input
+	})
+	if k >= 0 && len(best) > k {
+		best = best[:k]
+	}
+	return best
 }
 
 // ComboCount pairs a variant name with how many (algorithm, input,

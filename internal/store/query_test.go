@@ -105,3 +105,85 @@ func TestBestComboCounts(t *testing.T) {
 		t.Fatalf("BestComboCounts = %+v, want one variant winning both inputs", got)
 	}
 }
+
+// shapedCell builds a cell with a given config, input, and graph shape.
+func shapedCell(cfg styles.Config, input, device string, tput float64, shape graph.Stats) Cell {
+	shape.Name = input
+	return Cell{Cfg: cfg, Input: input, Device: device, Graph: shape, Tput: tput}
+}
+
+func TestBestPicksHighestThroughput(t *testing.T) {
+	s := NewMem()
+	if err := s.Append(
+		queryCell(t, styles.TopologyDriven, styles.Push, "road", 2.0),
+		queryCell(t, styles.TopologyDriven, styles.Pull, "road", 5.0),
+		queryCell(t, styles.DataDrivenDup, styles.Push, "road", 3.0),
+		queryCell(t, styles.TopologyDriven, styles.Pull, "grid2d", 9.0), // other input
+	); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.Best(styles.BFS, styles.OMP, "road", "cpu")
+	if !ok {
+		t.Fatal("Best found nothing")
+	}
+	if c.Tput != 5.0 || c.Cfg.Flow != styles.Pull {
+		t.Fatalf("Best = %s (%.1f), want the 5.0 pull cell", c.Cfg.Name(), c.Tput)
+	}
+	if _, ok := s.Best(styles.BFS, styles.OMP, "road", "rtx-sim"); ok {
+		t.Fatal("Best found a cell for a device the store has never seen")
+	}
+	if _, ok := s.Best(styles.PR, styles.OMP, "road", "cpu"); ok {
+		t.Fatal("Best found a cell for an algorithm the store has never seen")
+	}
+}
+
+func TestBestBreaksTiesByName(t *testing.T) {
+	s := NewMem()
+	a := queryCell(t, styles.TopologyDriven, styles.Push, "road", 4.0)
+	b := queryCell(t, styles.TopologyDriven, styles.Pull, "road", 4.0)
+	if err := s.Append(a, b); err != nil {
+		t.Fatal(err)
+	}
+	want := a.Cfg.Name()
+	if b.Cfg.Name() < want {
+		want = b.Cfg.Name()
+	}
+	c, ok := s.Best(styles.BFS, styles.OMP, "road", "cpu")
+	if !ok || c.Cfg.Name() != want {
+		t.Fatalf("tie broke to %s, want %s", c.Cfg.Name(), want)
+	}
+}
+
+func TestBestForShapeOrdersByShapeSimilarity(t *testing.T) {
+	s := NewMem()
+	road := graph.Stats{Vertices: 1000, AvgDegree: 2.5, MaxDegree: 4, Diameter: 120}
+	social := graph.Stats{Vertices: 1000, AvgDegree: 30, MaxDegree: 5000, Diameter: 6}
+	grid := graph.Stats{Vertices: 900, AvgDegree: 4, MaxDegree: 4, Diameter: 60}
+	pull := queryCell(t, styles.TopologyDriven, styles.Pull, "", 0).Cfg
+	push := queryCell(t, styles.TopologyDriven, styles.Push, "", 0).Cfg
+	if err := s.Append(
+		shapedCell(pull, "road", "cpu", 3.0, road),
+		shapedCell(push, "road", "cpu", 1.0, road),
+		shapedCell(push, "social", "cpu", 8.0, social),
+		shapedCell(pull, "grid2d", "cpu", 2.0, grid),
+	); err != nil {
+		t.Fatal(err)
+	}
+	// Query with a road-like shape: road's best first, grid next,
+	// social last.
+	query := graph.Stats{Vertices: 2000, AvgDegree: 2.7, MaxDegree: 5, Diameter: 200}
+	got := s.BestForShape(styles.BFS, styles.OMP, "cpu", query, -1)
+	if len(got) != 3 {
+		t.Fatalf("got %d cells, want 3 (one per input)", len(got))
+	}
+	if got[0].Input != "road" || got[0].Tput != 3.0 {
+		t.Fatalf("nearest = %s (%.1f), want road's 3.0 best", got[0].Input, got[0].Tput)
+	}
+	if got[1].Input != "grid2d" || got[2].Input != "social" {
+		t.Fatalf("order = %s, %s; want grid2d then social", got[1].Input, got[2].Input)
+	}
+	// k truncates.
+	if got := s.BestForShape(styles.BFS, styles.OMP, "cpu", query, 1); len(got) != 1 || got[0].Input != "road" {
+		t.Fatalf("k=1 returned %v", got)
+	}
+}

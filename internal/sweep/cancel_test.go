@@ -40,7 +40,7 @@ func TestCooperativeCancelReclaimsPool(t *testing.T) {
 	// reaches its next checkpoint promptly, so the cancel lands well
 	// inside the grace window.
 	par.SetChaos(&par.Chaos{Delay: 5 * time.Millisecond})
-	kind, _, _, msg, reclaim, cancelNS := sup.attempt(gs, ropt, task, h)
+	kind, _, _, msg, reclaim, cancelNS := sup.attempt(gs[task.Input], ropt, task.Cfg, task.Device, h)
 	par.SetChaos(nil)
 
 	if kind != Timeout {
@@ -63,7 +63,7 @@ func TestCooperativeCancelReclaimsPool(t *testing.T) {
 	}
 
 	// The reclaimed pool and arena serve the next attempt as-is.
-	kind, tput, _, msg, _, _ := sup.attempt(gs, ropt, task, h)
+	kind, tput, _, msg, _, _ := sup.attempt(gs[task.Input], ropt, task.Cfg, task.Device, h)
 	if kind != OK || !(tput > 0) {
 		t.Errorf("healthy run after cancel: kind %s tput %v err %q, want ok", kind, tput, msg)
 	}
@@ -92,7 +92,7 @@ func TestStallFallsBackToAbandonment(t *testing.T) {
 
 	stall := make(chan struct{})
 	par.SetChaos(&par.Chaos{Stall: stall})
-	kind, _, _, msg, reclaim, cancelNS := sup.attempt(gs, ropt, task, h)
+	kind, _, _, msg, reclaim, cancelNS := sup.attempt(gs[task.Input], ropt, task.Cfg, task.Device, h)
 	par.SetChaos(nil)
 	// Release the wedged workers: they observe the tripped token (or the
 	// retired arena) and unwind, which is what the leak check asserts.
@@ -115,7 +115,7 @@ func TestStallFallsBackToAbandonment(t *testing.T) {
 	}
 
 	// The replacement pool serves a healthy attempt.
-	kind, tput, _, msg, _, _ := sup.attempt(gs, ropt, task, h)
+	kind, tput, _, msg, _, _ := sup.attempt(gs[task.Input], ropt, task.Cfg, task.Device, h)
 	if kind != OK || !(tput > 0) {
 		t.Errorf("healthy run after abandonment: kind %s tput %v err %q, want ok", kind, tput, msg)
 	}

@@ -1,0 +1,65 @@
+package sweep
+
+import (
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+)
+
+// Prober gives non-sweep clients — chiefly the internal/tune racing
+// autotuner — single supervised runs built on the same attempt machinery
+// the Supervisor uses: a persistent worker pool and warmed scratch arena
+// reused across probes, reusable simulated devices, a per-probe deadline
+// enforced through a guard token with the abandon-and-replace fallback
+// for wedged runs, panic isolation, and optional verification against
+// the cached serial reference.
+//
+// Unlike Supervisor.Run, a Prober runs exactly one attempt per Probe
+// call (no retries, no quarantine, no journal): the caller owns the
+// failure policy, which for the tuner is "a failing variant is
+// eliminated, not re-tried". A Prober is not safe for concurrent use —
+// probes share one pool and one arena by design, because concurrent
+// timed runs would perturb each other's measurements.
+type Prober struct {
+	s    *Supervisor
+	h    *poolHolder
+	ropt algo.Options
+}
+
+// NewProber creates a Prober. Options fields beyond Timeout,
+// ReclaimGrace, MemBudget, and Verify are ignored (there is no retry
+// loop, journal, or worker fan-out to configure). ropt carries the
+// thread count, source vertex, and the rest of the per-run options;
+// its Pool/Scratch/Guard fields are overwritten per probe.
+func NewProber(ropt algo.Options, opt Options) *Prober {
+	s := &Supervisor{
+		opt:         opt,
+		prior:       map[string]Outcome{},
+		failCount:   map[string]int{},
+		quarantined: map[string]bool{},
+		refs:        map[*graph.Graph]*refEntry{},
+	}
+	return &Prober{s: s, h: newPoolHolder(ropt), ropt: ropt}
+}
+
+// Probe runs cfg on g once on the given device ("cpu" or a gpusim
+// profile name) and classifies the result exactly like a supervised
+// sweep task: OK with a throughput, or Timeout/Panic/WrongAnswer/Error
+// with a message. The outcome's Input field is zero — probes are not
+// tied to the generated suite.
+func (p *Prober) Probe(g *graph.Graph, cfg styles.Config, device string) Outcome {
+	start := time.Now()
+	kind, tput, sim, msg, reclaim, cancelNS := p.s.attempt(g, p.ropt, cfg, device, p.h)
+	return Outcome{
+		Task: Task{Cfg: cfg, Device: device},
+		Kind: kind, Tput: tput, Err: msg, Attempts: 1,
+		Elapsed: time.Since(start), Reclaim: reclaim, CancelNS: cancelNS,
+		SimCycles: sim.Cycles, SimInstructions: sim.Instructions,
+		SimTransactions: sim.Transactions,
+	}
+}
+
+// Close releases the prober's pool, arena, and devices.
+func (p *Prober) Close() { p.h.close() }

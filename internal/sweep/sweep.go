@@ -177,6 +177,15 @@ type Options struct {
 	// guard.ErrBudgetExceeded (a deterministic Error, never retried)
 	// instead of OOMing the sweep.
 	MemBudget int64
+	// Outer, when non-nil, couples every attempt's per-run guard token
+	// to this session-level token: when Outer trips (a tune-session
+	// deadline or budget, an HTTP request cancel), the in-flight attempt
+	// is canceled cooperatively at its next checkpoint instead of
+	// running on to its own per-run deadline. The attempt then surfaces
+	// as a Timeout (outer deadline) or Error (outer cancel); callers
+	// that armed Outer inspect it to tell a session stop from a variant
+	// failure.
+	Outer *guard.Token
 	// Workers sizes the pool. The default (<= 1) runs tasks one at a
 	// time: variants are internally parallel, and concurrent runs
 	// perturb each other's timing. Raise it for verification sweeps
@@ -442,10 +451,16 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 			Err: "variant quarantined after repeated failures"}
 	}
 
+	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
+		return Outcome{Task: t, Kind: Error,
+			Err: fmt.Sprintf("no graph for input %q", t.Input)}
+	}
+	g := graphs[t.Input]
+
 	start := time.Now()
 	var o Outcome
 	for attempt := 1; ; attempt++ {
-		kind, tput, sim, msg, reclaim, cancelNS := s.attempt(graphs, ropt, t, h)
+		kind, tput, sim, msg, reclaim, cancelNS := s.attempt(g, ropt, t.Cfg, t.Device, h)
 		o = Outcome{Task: t, Kind: kind, Tput: tput, Err: msg, Attempts: attempt,
 			Reclaim: reclaim, CancelNS: cancelNS,
 			SimCycles: sim.Cycles, SimInstructions: sim.Instructions,
@@ -478,7 +493,7 @@ type reply struct {
 	panicked any
 }
 
-// attempt executes the task once under deadline, budget, and panic
+// attempt executes one run of cfg on g under deadline, budget, and panic
 // isolation. The deadline is enforced cooperatively: the attempt's guard
 // token is armed with the timeout and threaded through the run (pool
 // regions, kernel rounds, arena charges), so a timed-out run normally
@@ -486,16 +501,17 @@ type reply struct {
 // never reaches a checkpoint within the reclaim grace window is
 // abandoned the old way — pool closed and replaced, arena retired — and
 // parks harmlessly on the buffered channel if it ever finishes.
-func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h *poolHolder) (kind Kind, tput float64, sim gpusim.Stats, msg, reclaim string, cancelNS int64) {
-	if int(t.Input) < 0 || int(t.Input) >= len(graphs) || graphs[t.Input] == nil {
-		return Error, math.NaN(), gpusim.Stats{}, fmt.Sprintf("no graph for input %q", t.Input), "", 0
-	}
-	g := graphs[t.Input]
+//
+// attempt is the shared core of the supervisor's retry loop and the
+// exported Prober (the tuner's measurement primitive): it takes the
+// graph directly rather than a gen.Input, so callers may probe graphs
+// that are not part of the generated suite (e.g. a file-loaded input).
+func (s *Supervisor) attempt(g *graph.Graph, ropt algo.Options, cfg styles.Config, device string, h *poolHolder) (kind Kind, tput float64, sim gpusim.Stats, msg, reclaim string, cancelNS int64) {
 	// Resolve the reusable device here, before the run goroutine starts,
 	// so holder state is only ever touched from the supervisor goroutine.
 	var dev *gpusim.Device
-	if t.Device != DeviceCPU {
-		if prof, ok := profileByName(t.Device); ok {
+	if device != DeviceCPU {
+		if prof, ok := profileByName(device); ok {
 			dev = h.device(prof)
 		}
 	}
@@ -510,6 +526,8 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 
 	gd := guard.New().WithTimeout(s.opt.Timeout).WithBudget(s.opt.MemBudget)
 	defer gd.Release()
+	stopProp := guard.Propagate(s.opt.Outer, gd)
+	defer stopProp()
 	ropt.Guard = gd
 	// Charge the arena's fresh growth against this attempt's budget. The
 	// goroutine start below orders the write for the run; the reply
@@ -543,12 +561,12 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 			}
 		}()
 		var r reply
-		if t.Device == DeviceCPU {
-			r.res, r.tput, r.err = runner.TimeCPU(g, t.Cfg, ropt)
+		if device == DeviceCPU {
+			r.res, r.tput, r.err = runner.TimeCPU(g, cfg, ropt)
 		} else if dev != nil {
-			r.res, r.tput, r.sim, r.err = runner.MeasureGPU(dev, g, t.Cfg, ropt)
+			r.res, r.tput, r.sim, r.err = runner.MeasureGPU(dev, g, cfg, ropt)
 		} else {
-			r.err = fmt.Errorf("unknown device %q", t.Device)
+			r.err = fmt.Errorf("unknown device %q", device)
 		}
 		ch <- r
 	}()
@@ -591,7 +609,7 @@ func (s *Supervisor) attempt(graphs []*graph.Graph, ropt algo.Options, t Task, h
 			return Error, math.NaN(), gpusim.Stats{}, fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput), "", 0
 		}
 		if s.opt.Verify {
-			if err := s.check(g, ropt, t.Cfg, r.res); err != nil {
+			if err := s.check(g, ropt, cfg, r.res); err != nil {
 				return WrongAnswer, math.NaN(), gpusim.Stats{}, err.Error(), "", 0
 			}
 		}

@@ -1,0 +1,237 @@
+package tune
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The tune journal is a JSONL stream of the session's decisions in the
+// exact order they were made. Because the tuner's schedule is a pure
+// function of its options and the recorded trial results — no wall
+// clock or unseeded randomness enters any decision — replaying the
+// trial events of a journal reproduces every later event byte for
+// byte. That is the determinism contract the resume path leans on:
+// -resume reads the old journal, queues its trial results per variant,
+// truncates the file, and re-emits the stream, consuming a queued
+// result instead of running the kernel whenever the schedule asks for
+// a trial the journal already holds. An interrupted session therefore
+// continues where it died, and a completed session replayed under the
+// same options rewrites an identical file.
+
+// journalVersion gates the format; a bump invalidates old journals
+// instead of misreading them.
+const journalVersion = 1
+
+// evPlan opens every journal: the resolved session shape. Resume
+// refuses a journal whose plan does not match the current options,
+// because replaying trials into a different schedule would silently
+// corrupt the race.
+type evPlan struct {
+	Ev       string  `json:"ev"`
+	V        int     `json:"v"`
+	Algo     string  `json:"algo"`
+	Model    string  `json:"model"`
+	Device   string  `json:"device"`
+	Space    int     `json:"space"`
+	Budget   int     `json:"budget"`
+	Cohort   int     `json:"cohort"`
+	Pilot    int     `json:"pilot"`
+	Escalate int     `json:"escalate"`
+	Keep     float64 `json:"keep"`
+	Seed     int64   `json:"seed"`
+}
+
+// evCand records a variant entering the session and its origin.
+type evCand struct {
+	Ev     string `json:"ev"`
+	Name   string `json:"name"`
+	Origin string `json:"origin"`
+}
+
+// evRung opens a racing rung.
+type evRung struct {
+	Ev    string `json:"ev"`
+	Rung  int    `json:"rung"`
+	Alive int    `json:"alive"`
+	Reps  int    `json:"reps"`
+}
+
+// evTrial records one timed run. Rung is -1 for refinement trials.
+type evTrial struct {
+	Ev   string  `json:"ev"`
+	Rung int     `json:"rung"`
+	Name string  `json:"name"`
+	Rep  int     `json:"rep"`
+	Tput float64 `json:"tput"`
+	OK   bool    `json:"ok"`
+	Err  string  `json:"err,omitempty"`
+}
+
+// evElim records a candidate cut at the end of a rung.
+type evElim struct {
+	Ev     string  `json:"ev"`
+	Rung   int     `json:"rung"`
+	Name   string  `json:"name"`
+	Score  float64 `json:"score"`
+	Median float64 `json:"median"`
+	Failed bool    `json:"failed"`
+}
+
+// evImprove records a refinement mutation beating the incumbent.
+type evImprove struct {
+	Ev   string  `json:"ev"`
+	Name string  `json:"name"`
+	Dim  string  `json:"dim"`
+	Tput float64 `json:"tput"`
+}
+
+// evWinner closes the journal. Trials counts fresh and replayed runs
+// uniformly — the journal records the deterministic schedule, and how
+// many of its trials happened to be replays is a property of this
+// process, not of the schedule (splitting them would break the
+// byte-identical replay contract).
+type evWinner struct {
+	Ev      string  `json:"ev"`
+	Name    string  `json:"name"`
+	Tput    float64 `json:"tput"`
+	Trials  int     `json:"trials"`
+	Rungs   int     `json:"rungs"`
+	Partial bool    `json:"partial"`
+	Reason  string  `json:"reason,omitempty"`
+}
+
+// journal writes events as JSONL, flushing per event so a killed
+// session loses at most the trial in flight.
+type journal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openJournal(path string) (*journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("tune: journal: %w", err)
+	}
+	return &journal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// write appends one event. Marshaling is deterministic (struct fields
+// in declaration order, shortest float rendering), which is what makes
+// same-seed journals byte-comparable.
+func (j *journal) write(ev any) error {
+	if j == nil {
+		return nil
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		return err
+	}
+	return j.w.Flush()
+}
+
+func (j *journal) close() error {
+	if j == nil {
+		return nil
+	}
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// replayState is a prior journal's trial results queued per variant
+// name, consumed FIFO as the deterministic schedule re-requests them.
+type replayState struct {
+	plan   *evPlan
+	trials map[string][]evTrial
+}
+
+// loadJournal parses an existing journal for resume. A missing file is
+// a fresh start, not an error. Unknown event kinds are skipped so a
+// newer writer's journal degrades instead of failing; a version
+// mismatch on the plan line is an error.
+func loadJournal(path string) (*replayState, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &replayState{trials: map[string][]evTrial{}}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("tune: resume: %w", err)
+	}
+	defer f.Close()
+	st := &replayState{trials: map[string][]evTrial{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Ev string `json:"ev"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			// A torn final line from a killed session is expected;
+			// everything before it replays.
+			continue
+		}
+		switch probe.Ev {
+		case "plan":
+			var p evPlan
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, fmt.Errorf("tune: resume: bad plan line: %w", err)
+			}
+			if p.V != journalVersion {
+				return nil, fmt.Errorf("tune: resume: journal version %d, want %d", p.V, journalVersion)
+			}
+			st.plan = &p
+		case "trial":
+			var t evTrial
+			if err := json.Unmarshal(line, &t); err != nil {
+				continue
+			}
+			st.trials[t.Name] = append(st.trials[t.Name], t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("tune: resume: %w", err)
+	}
+	return st, nil
+}
+
+// matches reports whether a resumed journal's plan is compatible with
+// the current session's plan (same cell, same schedule parameters).
+func (st *replayState) matches(p evPlan) error {
+	old := st.plan
+	if old == nil {
+		return nil // journal died before its plan line; nothing to replay anyway
+	}
+	if old.Algo != p.Algo || old.Model != p.Model || old.Device != p.Device ||
+		old.Space != p.Space || old.Budget != p.Budget || old.Cohort != p.Cohort ||
+		old.Pilot != p.Pilot || old.Escalate != p.Escalate || old.Keep != p.Keep ||
+		old.Seed != p.Seed {
+		return fmt.Errorf("tune: resume: journal was written for %s/%s on %s (space %d, budget %d, cohort %d, seed %d); current options differ",
+			old.Algo, old.Model, old.Device, old.Space, old.Budget, old.Cohort, old.Seed)
+	}
+	return nil
+}
+
+// next pops the queued result for name, if any.
+func (st *replayState) next(name string) (evTrial, bool) {
+	if st == nil {
+		return evTrial{}, false
+	}
+	q := st.trials[name]
+	if len(q) == 0 {
+		return evTrial{}, false
+	}
+	st.trials[name] = q[1:]
+	return q[0], true
+}

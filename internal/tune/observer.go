@@ -1,0 +1,73 @@
+package tune
+
+// Observer streams a tuning session's progress: the plan, every
+// candidate entering the race, each rung's start, every trial (fresh or
+// replayed), each elimination, each refinement improvement, and the
+// winner. All fields are optional; a nil Observer or a nil field is
+// skipped. Callbacks run synchronously on the tuning goroutine, in the
+// deterministic event order the journal records, so an observer that
+// prints sees exactly what a journal reader would.
+type Observer struct {
+	// Plan reports the resolved session shape before any trial runs.
+	Plan func(space, budget, cohort int)
+	// Candidate reports a variant entering the session and where it
+	// came from ("advisor", "store", "store-shape", "mutate:<dim>",
+	// "fill", "refine:<dim>").
+	Candidate func(name, origin string)
+	// RungStart reports a racing rung: how many candidates are alive
+	// and how many timed reps each gets this rung.
+	RungStart func(rung, alive, reps int)
+	// Trial reports one timed run (or its journal replay).
+	Trial func(rung int, name string, rep int, tput float64, ok bool, replayed bool)
+	// Eliminated reports a candidate cut at the end of a rung, with its
+	// score and the rung median it was measured against.
+	Eliminated func(rung int, name string, score, median float64)
+	// Improved reports a refinement-phase mutation beating the
+	// incumbent.
+	Improved func(name, dim string, tput float64)
+	// Winner reports the final choice and the total trials spent
+	// (fresh + replayed).
+	Winner func(name string, tput float64, spent int, partial bool)
+}
+
+func (o *Observer) plan(space, budget, cohort int) {
+	if o != nil && o.Plan != nil {
+		o.Plan(space, budget, cohort)
+	}
+}
+
+func (o *Observer) candidate(name, origin string) {
+	if o != nil && o.Candidate != nil {
+		o.Candidate(name, origin)
+	}
+}
+
+func (o *Observer) rungStart(rung, alive, reps int) {
+	if o != nil && o.RungStart != nil {
+		o.RungStart(rung, alive, reps)
+	}
+}
+
+func (o *Observer) trial(rung int, name string, rep int, tput float64, ok, replayed bool) {
+	if o != nil && o.Trial != nil {
+		o.Trial(rung, name, rep, tput, ok, replayed)
+	}
+}
+
+func (o *Observer) eliminated(rung int, name string, score, median float64) {
+	if o != nil && o.Eliminated != nil {
+		o.Eliminated(rung, name, score, median)
+	}
+}
+
+func (o *Observer) improved(name, dim string, tput float64) {
+	if o != nil && o.Improved != nil {
+		o.Improved(name, dim, tput)
+	}
+}
+
+func (o *Observer) winner(name string, tput float64, spent int, partial bool) {
+	if o != nil && o.Winner != nil {
+		o.Winner(name, tput, spent, partial)
+	}
+}

@@ -1,0 +1,44 @@
+package tune
+
+import (
+	"fmt"
+
+	"indigo/internal/algo"
+	"indigo/internal/graph"
+	"indigo/internal/styles"
+	"indigo/internal/sweep"
+)
+
+// ProbeRunner is the production Runner: each Measure is one supervised
+// attempt through sweep.Prober — per-run deadline and memory budget via
+// a guard token, panic isolation, abandon-and-replace for wedged runs,
+// and optional verification against the cached serial reference. Wire
+// the tuning session's guard token into opt.Outer so a session
+// deadline or cancel stops the trial in flight, not after it.
+type ProbeRunner struct {
+	p      *sweep.Prober
+	g      *graph.Graph
+	device string
+}
+
+// NewProbeRunner builds a runner that measures variants on g on the
+// given device ("cpu" or a gpusim profile name). ropt carries thread
+// count and per-run options; opt carries Timeout/ReclaimGrace/
+// MemBudget/Verify/Outer (the rest is sweep-only and ignored).
+func NewProbeRunner(g *graph.Graph, device string, ropt algo.Options, opt sweep.Options) *ProbeRunner {
+	return &ProbeRunner{p: sweep.NewProber(ropt, opt), g: g, device: device}
+}
+
+// Measure runs cfg once and returns its throughput, or an error
+// carrying the sweep classification (timeout, panic, wrong answer,
+// error) — the tuner eliminates the variant on any of them.
+func (r *ProbeRunner) Measure(cfg styles.Config) (float64, error) {
+	o := r.p.Probe(r.g, cfg, r.device)
+	if o.Kind != sweep.OK {
+		return 0, fmt.Errorf("%s: %s", o.Kind, o.Err)
+	}
+	return o.Tput, nil
+}
+
+// Close releases the prober's worker pool, arena, and devices.
+func (r *ProbeRunner) Close() { r.p.Close() }

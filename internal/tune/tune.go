@@ -1,0 +1,703 @@
+// Package tune is the empirical autotuner sitting between the advisor
+// and the sweep: where internal/advisor predicts a variant from static
+// guidelines and internal/sweep measures every variant exhaustively,
+// the tuner finds a near-best variant for a concrete graph with a small
+// fraction of the sweep's measurements. The paper's census (§5) shows
+// no style wins everywhere — the best of the 850 variants shifts with
+// algorithm, model, and input shape — so a production service cannot
+// ship one config, and cannot afford a full sweep per input either.
+//
+// The tuner is a successive-halving race in the style of GraphIt's
+// schedule autotuner. It seeds a cohort from the advisor's guideline
+// pick, its single-dimension neighborhood, and store-known winners for
+// the same input or the nearest graph shapes, then fills the remainder
+// with seeded-random draws from the applicable space. Each rung times
+// every surviving candidate a few times (throughput score = best of
+// the rung's reps, the min-of-k dual), cuts everyone scoring below the
+// rung median, and escalates the rep count for the survivors so cheap
+// early rungs pay for accurate late ones. Whatever budget the race
+// leaves funds a hill-climbing refinement over the winner's
+// single-dimension mutations.
+//
+// Determinism contract: every decision is a pure function of the
+// options (including Seed) and the sequence of trial results. No wall
+// clock, no map-iteration order, and no unseeded randomness reaches a
+// decision or the journal, so on a deterministic runner (the GPU
+// simulator's timing model) two runs with the same seed produce
+// byte-identical journals — which is also what makes journal resume
+// sound (see journal.go).
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"indigo/internal/advisor"
+	"indigo/internal/graph"
+	"indigo/internal/guard"
+	"indigo/internal/store"
+	"indigo/internal/styles"
+)
+
+// Runner measures one variant once. The tuner owns scheduling and
+// failure policy; the runner owns the mechanics of a single timed run.
+// Production code uses ProbeRunner; tests substitute synthetic cost
+// models.
+type Runner interface {
+	Measure(cfg styles.Config) (tput float64, err error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(cfg styles.Config) (float64, error)
+
+// Measure implements Runner.
+func (f RunnerFunc) Measure(cfg styles.Config) (float64, error) { return f(cfg) }
+
+// Options configures one tuning session. Algo, Model, Device, Shape,
+// and Runner are required; everything else has serviceable defaults.
+type Options struct {
+	// Algo and Model pick the variant space (styles.Enumerate).
+	Algo  styles.Algorithm
+	Model styles.Model
+	// Device labels the measurement target for the journal, the store
+	// lookups, and the rationale; the Runner must already be bound to
+	// it.
+	Device string
+	// Shape is the input graph's signature, consumed by the advisor
+	// seed and the store's shape-similarity warm start.
+	Shape graph.Stats
+	// Input, when the graph is a known suite input, keys the store's
+	// exact-match warm start and the regret-vs-census report.
+	Input string
+	// Seed drives the only randomness in the session (cohort fill).
+	Seed int64
+	// MaxMeasurements caps total trials, fresh plus replayed; 0 means a
+	// quarter of the variant space — the budget the acceptance bar is
+	// stated against. The cap is hard: the session returns best-so-far
+	// with Partial set rather than exceed it.
+	MaxMeasurements int
+	// Cohort forces the initial cohort size; 0 sizes it adaptively so
+	// the race spends about 70% of the budget and refinement the rest.
+	Cohort int
+	// PilotReps is the rep count of rung 0; 0 means 1.
+	PilotReps int
+	// Escalate multiplies reps per rung; 0 means 2. Use 1 on
+	// deterministic runners, where repetition buys nothing.
+	Escalate int
+	// KeepFraction caps the survivors of each rung; 0 means 0.5.
+	KeepFraction float64
+	// Guard, when non-nil, is the session's deadline/cancel token.
+	// Checked before every trial; wire it into the runner (e.g.
+	// sweep.Options.Outer) so it also stops the trial in flight.
+	Guard *guard.Token
+	// Store, when non-nil, supplies warm-start candidates and the
+	// census baseline for the regret report.
+	Store *store.Store
+	// Journal is a JSONL path recording the session; empty disables.
+	Journal string
+	// Resume replays trial results already in Journal instead of
+	// re-running them, then rewrites the file as the replayed stream.
+	Resume bool
+	// Observer streams progress; nil is silent.
+	Observer *Observer
+	// Runner performs the timed runs.
+	Runner Runner
+}
+
+// Result is the tuning session's outcome.
+type Result struct {
+	// Best is the winning variant and Tput its best measured
+	// throughput.
+	Best styles.Config
+	Tput float64
+	// Rationale explains how the winner was found, in the advisor's
+	// report style.
+	Rationale []string
+	// Space is the applicable variant count; Measurements the fresh
+	// trials run; Replayed the trials answered from the journal;
+	// Rungs the completed racing rungs.
+	Space        int
+	Measurements int
+	Replayed     int
+	Rungs        int
+	// Partial reports that the session stopped early (budget or guard)
+	// and Best is best-so-far, with the reason in PartialReason.
+	Partial       bool
+	PartialReason string
+	// CensusBest is the store's measured best throughput for the same
+	// cell and Regret the winner's relative shortfall against it
+	// ((census-tuned)/census; negative when the tuner found better).
+	// Both are zero when the store has no cell to compare against —
+	// test CensusBest before trusting Regret.
+	CensusBest float64
+	Regret     float64
+}
+
+// candidate is one variant's state across the session.
+type candidate struct {
+	cfg     styles.Config
+	name    string
+	origin  string
+	score   float64
+	scored  bool
+	failed  bool
+	failMsg string
+}
+
+// tuner carries one session's working state.
+type tuner struct {
+	opt    Options
+	space  []styles.Config
+	budget int
+	pilot  int
+	esc    int
+	keep   float64
+
+	j      *journal
+	replay *replayState
+	jerr   error // first journal write error; reported at the end
+
+	fresh    int
+	replayed int
+	rungs    int
+
+	all []*candidate // every candidate ever trialed, for best-so-far
+}
+
+// errStop is the internal signal that the session must end now.
+// budget distinguishes the planned cap (normal completion when it
+// lands in refinement, Partial mid-race) from a guard trip (always
+// Partial); reason goes to PartialReason.
+type errStop struct {
+	reason string
+	budget bool
+}
+
+func (e errStop) Error() string { return e.reason }
+
+// Run executes one tuning session.
+func Run(opt Options) (Result, error) {
+	if opt.Runner == nil {
+		return Result{}, errors.New("tune: Options.Runner is required")
+	}
+	space := styles.Enumerate(opt.Algo, opt.Model)
+	if len(space) == 0 {
+		return Result{}, fmt.Errorf("tune: no valid variants for %s/%s", opt.Algo, opt.Model)
+	}
+	t := &tuner{opt: opt, space: space}
+	t.budget = opt.MaxMeasurements
+	if t.budget <= 0 {
+		// A quarter of the space, rounded down so the default never
+		// overshoots the 25%-of-sweep spending bar; at least one trial.
+		t.budget = max(1, len(space)/4)
+	}
+	t.pilot = opt.PilotReps
+	if t.pilot <= 0 {
+		t.pilot = 1
+	}
+	t.esc = opt.Escalate
+	if t.esc <= 0 {
+		t.esc = 2
+	}
+	t.keep = opt.KeepFraction
+	if t.keep <= 0 || t.keep >= 1 {
+		t.keep = 0.5
+	}
+
+	cohortN := opt.Cohort
+	if cohortN <= 0 {
+		cohortN = cohortFor(t.budget, len(space), t.pilot, t.esc, t.keep)
+	}
+	if cohortN > len(space) {
+		cohortN = len(space)
+	}
+	if cohortN < 1 {
+		cohortN = 1
+	}
+
+	plan := evPlan{
+		Ev: "plan", V: journalVersion,
+		Algo: opt.Algo.String(), Model: opt.Model.String(), Device: opt.Device,
+		Space: len(space), Budget: t.budget, Cohort: cohortN,
+		Pilot: t.pilot, Escalate: t.esc, Keep: t.keep, Seed: opt.Seed,
+	}
+	if opt.Journal != "" {
+		if opt.Resume {
+			st, err := loadJournal(opt.Journal)
+			if err != nil {
+				return Result{}, err
+			}
+			if err := st.matches(plan); err != nil {
+				return Result{}, err
+			}
+			t.replay = st
+		}
+		j, err := openJournal(opt.Journal)
+		if err != nil {
+			return Result{}, err
+		}
+		t.j = j
+		defer t.j.close()
+	}
+	t.emit(plan)
+	opt.Observer.plan(len(space), t.budget, cohortN)
+
+	cohort := t.seedCohort(cohortN)
+	for _, c := range cohort {
+		t.emit(evCand{Ev: "cand", Name: c.name, Origin: c.origin})
+		opt.Observer.candidate(c.name, c.origin)
+	}
+
+	winner, stopReason := t.race(cohort)
+	if stopReason == "" && len(t.space) > 1 {
+		winner, stopReason = t.refine(winner)
+	}
+
+	res := Result{
+		Space:        len(space),
+		Measurements: t.fresh,
+		Replayed:     t.replayed,
+		Rungs:        t.rungs,
+	}
+	if stopReason != "" {
+		res.Partial = true
+		res.PartialReason = stopReason
+		winner = t.bestSoFar()
+	}
+	if winner == nil {
+		t.emit(evWinner{Ev: "winner", Partial: res.Partial, Reason: res.PartialReason,
+			Trials: t.fresh + t.replayed, Rungs: t.rungs})
+		if t.jerr != nil {
+			return res, t.jerr
+		}
+		if res.Partial {
+			return res, fmt.Errorf("tune: stopped (%s) before any variant was measured", res.PartialReason)
+		}
+		return res, errors.New("tune: every candidate failed")
+	}
+	res.Best = winner.cfg
+	res.Tput = winner.score
+	res.Rationale = t.rationale(winner, cohortN, res.Partial)
+	if opt.Store != nil && opt.Input != "" {
+		if c, ok := opt.Store.Best(opt.Algo, opt.Model, opt.Input, opt.Device); ok && c.Tput > 0 {
+			res.CensusBest = c.Tput
+			res.Regret = (c.Tput - winner.score) / c.Tput
+		}
+	}
+	t.emit(evWinner{Ev: "winner", Name: winner.name, Tput: winner.score,
+		Trials: t.fresh + t.replayed, Rungs: t.rungs,
+		Partial: res.Partial, Reason: res.PartialReason})
+	opt.Observer.winner(winner.name, winner.score, t.fresh+t.replayed, res.Partial)
+	return res, t.jerr
+}
+
+// cohortFor sizes the initial cohort so the projected racing cost
+// (raceCost) fits in roughly half the budget, leaving the other half
+// for refinement. The split matters: the race is breadth (escaping the
+// advisor's neighborhood), refinement is depth (fixing the winner's
+// remaining wrong dimensions), and dimension interactions mean the
+// hill climb usually needs two passes to converge — starving it below
+// ~half the budget measurably raises regret on the CUDA cells.
+// Monotonic search; at least 1, at most spaceN.
+func cohortFor(budget, spaceN, pilot, esc int, keep float64) int {
+	if budget < 2*pilot {
+		return 1
+	}
+	target := (budget + 1) / 2
+	best := 1
+	for c := 2; c <= spaceN; c++ {
+		if raceCost(c, keep, pilot, esc) <= target {
+			best = c
+		} else {
+			break
+		}
+	}
+	return best
+}
+
+// raceCost is the projected trial count of racing a cohort of c to one
+// survivor: each rung times every alive candidate reps times, survivors
+// shrink by keep (at least one fewer per rung), reps escalate by esc.
+func raceCost(c int, keep float64, pilot, esc int) int {
+	cost := 0
+	reps := pilot
+	for alive := c; alive > 1; {
+		cost += alive * reps
+		next := int(math.Ceil(float64(alive) * keep))
+		if next >= alive {
+			next = alive - 1
+		}
+		if next < 1 {
+			next = 1
+		}
+		alive = next
+		reps *= esc
+	}
+	return cost
+}
+
+// seedCohort assembles the initial cohort in deterministic priority
+// order: the advisor's pick, the store's exact-input best, the store's
+// nearest-shape bests, the advisor pick's single-dimension neighborhood,
+// then seeded-random fill from the rest of the space.
+func (t *tuner) seedCohort(n int) []*candidate {
+	inSpace := make(map[string]bool, len(t.space))
+	for _, c := range t.space {
+		inSpace[c.Name()] = true
+	}
+	seen := map[string]bool{}
+	var cohort []*candidate
+	add := func(cfg styles.Config, origin string) bool {
+		name := cfg.Name()
+		if len(cohort) >= n || seen[name] || !inSpace[name] {
+			return false
+		}
+		seen[name] = true
+		cohort = append(cohort, &candidate{cfg: cfg, name: name, origin: origin})
+		return true
+	}
+
+	rec := advisor.Recommend(t.opt.Algo, t.opt.Model, t.opt.Shape)
+	add(rec.Config, "advisor")
+
+	if t.opt.Store != nil {
+		if t.opt.Input != "" {
+			if c, ok := t.opt.Store.Best(t.opt.Algo, t.opt.Model, t.opt.Input, t.opt.Device); ok {
+				add(c.Cfg, "store")
+			}
+		}
+		for _, c := range t.opt.Store.BestForShape(t.opt.Algo, t.opt.Model, t.opt.Device, t.opt.Shape, 3) {
+			add(c.Cfg, "store-shape")
+		}
+	}
+
+	for _, dim := range styles.Dims {
+		if !dim.Applies(rec.Config) {
+			continue
+		}
+		for v := 0; v < dim.NumValues; v++ {
+			m := dim.Set(rec.Config, v)
+			if m != rec.Config && styles.Valid(m) {
+				add(m, "mutate:"+dim.Key)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(t.opt.Seed))
+	for _, i := range rng.Perm(len(t.space)) {
+		if len(cohort) >= n {
+			break
+		}
+		add(t.space[i], "fill")
+	}
+	return cohort
+}
+
+// checkStop reports whether the session must end before the next trial.
+func (t *tuner) checkStop() error {
+	if err := t.opt.Guard.Err(); err != nil {
+		return errStop{reason: err.Error()}
+	}
+	if t.fresh+t.replayed >= t.budget {
+		return errStop{reason: "measurement budget exhausted", budget: true}
+	}
+	return nil
+}
+
+// trial runs (or replays) one timed rep of c and folds the result into
+// its score. rung is -1 during refinement.
+func (t *tuner) trial(c *candidate, rung, rep int) error {
+	if err := t.checkStop(); err != nil {
+		return err
+	}
+	var (
+		tput     float64
+		ok       bool
+		msg      string
+		replayed bool
+	)
+	if e, hit := t.replay.next(c.name); hit {
+		tput, ok, msg, replayed = e.Tput, e.OK, e.Err, true
+		t.replayed++
+	} else {
+		v, err := t.opt.Runner.Measure(c.cfg)
+		if err != nil {
+			// A session-guard trip surfaces as a failed run; charge it
+			// to the session, not the variant.
+			if gerr := t.opt.Guard.Err(); gerr != nil {
+				return errStop{reason: gerr.Error()}
+			}
+			ok, msg = false, err.Error()
+		} else {
+			tput, ok = v, true
+		}
+		t.fresh++
+	}
+	t.emit(evTrial{Ev: "trial", Rung: rung, Name: c.name, Rep: rep,
+		Tput: tput, OK: ok, Err: msg})
+	t.opt.Observer.trial(rung, c.name, rep, tput, ok, replayed)
+	if !ok {
+		c.failed = true
+		c.failMsg = msg
+		return nil
+	}
+	c.scored = true
+	if tput > c.score {
+		c.score = tput
+	}
+	return nil
+}
+
+// race runs the successive-halving rungs and returns the sole survivor,
+// or ("", reason) when the session stopped early.
+func (t *tuner) race(cohort []*candidate) (*candidate, string) {
+	t.all = append(t.all, cohort...)
+	alive := cohort
+	reps := t.pilot
+	for rung := 0; len(alive) > 1; rung++ {
+		t.emit(evRung{Ev: "rung", Rung: rung, Alive: len(alive), Reps: reps})
+		t.opt.Observer.rungStart(rung, len(alive), reps)
+		for _, c := range alive {
+			for r := 0; r < reps; r++ {
+				if c.failed {
+					break
+				}
+				if err := t.trial(c, rung, r); err != nil {
+					var stop errStop
+					errors.As(err, &stop)
+					return nil, stop.reason
+				}
+			}
+		}
+		alive = t.eliminate(alive, rung)
+		t.rungs++
+		reps *= t.esc
+		if len(alive) == 0 {
+			return nil, ""
+		}
+	}
+	if len(alive) == 1 && !alive[0].scored {
+		// Cohort of one: score it once so the winner has a throughput.
+		if err := t.trial(alive[0], 0, 0); err != nil {
+			var stop errStop
+			errors.As(err, &stop)
+			return nil, stop.reason
+		}
+		if alive[0].failed {
+			return nil, ""
+		}
+	}
+	if len(alive) == 0 {
+		return nil, ""
+	}
+	return alive[0], ""
+}
+
+// eliminate applies the median-ratio rule to one rung: failed
+// candidates are always cut; of the rest, only those scoring at or
+// above the rung median survive, further capped to KeepFraction of the
+// field (ties and lopsided rungs otherwise stall the halving). The
+// survivor list keeps score-descending order (name-ascending on ties),
+// so alive[0] is always the incumbent best.
+func (t *tuner) eliminate(alive []*candidate, rung int) []*candidate {
+	var ok []*candidate
+	for _, c := range alive {
+		if c.failed {
+			t.emit(evElim{Ev: "elim", Rung: rung, Name: c.name, Failed: true})
+			t.opt.Observer.eliminated(rung, c.name, 0, 0)
+		} else {
+			ok = append(ok, c)
+		}
+	}
+	if len(ok) <= 1 {
+		return ok
+	}
+	sort.SliceStable(ok, func(i, j int) bool {
+		if ok[i].score != ok[j].score {
+			return ok[i].score > ok[j].score
+		}
+		return ok[i].name < ok[j].name
+	})
+	med := ok[len(ok)/2].score // upper median of the descending order
+	maxKeep := int(math.Ceil(float64(len(ok)) * t.keep))
+	if maxKeep >= len(ok) {
+		maxKeep = len(ok) - 1
+	}
+	if maxKeep < 1 {
+		maxKeep = 1
+	}
+	cut := maxKeep
+	for cut > 1 && ok[cut-1].score < med {
+		cut--
+	}
+	for _, c := range ok[cut:] {
+		t.emit(evElim{Ev: "elim", Rung: rung, Name: c.name, Score: c.score, Median: med})
+		t.opt.Observer.eliminated(rung, c.name, c.score, med)
+	}
+	return ok[:cut]
+}
+
+// neighbor is one refinement move: a config one intent away from the
+// incumbent, tagged with the dimension that drove it.
+type neighbor struct {
+	cfg    styles.Config
+	dim    string
+	origin string
+}
+
+// dimDist counts the style dimensions on which two configs differ.
+func dimDist(a, b styles.Config) int {
+	d := 0
+	for _, dim := range styles.Dims {
+		if (dim.Applies(a) || dim.Applies(b)) && dim.Value(a) != dim.Value(b) {
+			d++
+		}
+	}
+	return d
+}
+
+// neighbors returns the refinement neighborhood of base in
+// deterministic order: every applicable single-dimension value change,
+// and — when a change is invalid on its own — its nearest valid
+// repairs: the variants of the space that hold the new value with the
+// fewest other dimensions changed. The repairs matter because the
+// validity matrix couples dimensions (e.g. §2: edge-based iteration is
+// thread-granularity-only), so some of the best moves are only legal
+// as joint changes a plain Hamming-1 climb can never make.
+func (t *tuner) neighbors(base styles.Config) []neighbor {
+	var out []neighbor
+	seen := map[string]bool{base.Name(): true}
+	add := func(cfg styles.Config, dim *styles.Dim, origin string) {
+		if name := cfg.Name(); !seen[name] {
+			seen[name] = true
+			out = append(out, neighbor{cfg: cfg, dim: dim.Key, origin: origin})
+		}
+	}
+	for _, dim := range styles.Dims {
+		if !dim.Applies(base) {
+			continue
+		}
+		for v := 0; v < dim.NumValues; v++ {
+			m := dim.Set(base, v)
+			if m == base {
+				continue
+			}
+			if styles.Valid(m) {
+				add(m, dim, "refine:"+dim.Key)
+				continue
+			}
+			minD := len(styles.Dims) + 1
+			var reps []styles.Config
+			for _, c := range t.space {
+				if dim.Set(c, v) != c { // c does not hold the new value
+					continue
+				}
+				if d := dimDist(c, m); d < minD {
+					minD, reps = d, reps[:0]
+					reps = append(reps, c)
+				} else if d == minD {
+					reps = append(reps, c)
+				}
+			}
+			for i, c := range reps {
+				if i >= 4 { // bound the per-move fan-out
+					break
+				}
+				add(c, dim, "repair:"+dim.Key)
+			}
+		}
+	}
+	return out
+}
+
+// refine hill-climbs the race winner: every neighborhood move of the
+// incumbent is trialed (pilot reps, cached scores reused), a strictly
+// better neighbor becomes the new incumbent, and passes repeat until a
+// full pass yields no improvement or the budget runs out.
+func (t *tuner) refine(winner *candidate) (*candidate, string) {
+	if winner == nil {
+		return nil, ""
+	}
+	cache := map[string]*candidate{}
+	for _, c := range t.all {
+		cache[c.name] = c
+	}
+	for improved := true; improved; {
+		improved = false
+		for _, nb := range t.neighbors(winner.cfg) {
+			name := nb.cfg.Name()
+			c := cache[name]
+			if c == nil {
+				c = &candidate{cfg: nb.cfg, name: name, origin: nb.origin}
+				cache[name] = c
+				t.all = append(t.all, c)
+				t.emit(evCand{Ev: "cand", Name: name, Origin: c.origin})
+				t.opt.Observer.candidate(name, c.origin)
+				for r := 0; r < t.pilot && !c.failed; r++ {
+					if err := t.trial(c, -1, r); err != nil {
+						var stop errStop
+						errors.As(err, &stop)
+						if stop.budget {
+							// Spending the planned budget during
+							// refinement is normal completion: the
+							// race already crowned this winner.
+							return winner, ""
+						}
+						return winner, stop.reason
+					}
+				}
+			}
+			if !c.failed && c.scored && c.score > winner.score {
+				winner = c
+				improved = true
+				t.emit(evImprove{Ev: "improve", Name: name, Dim: nb.dim, Tput: c.score})
+				t.opt.Observer.improved(name, nb.dim, c.score)
+			}
+		}
+	}
+	return winner, ""
+}
+
+// bestSoFar returns the highest-scoring non-failed candidate trialed so
+// far (ties to the smaller name), or nil when nothing scored.
+func (t *tuner) bestSoFar() *candidate {
+	var best *candidate
+	for _, c := range t.all {
+		if c.failed || !c.scored {
+			continue
+		}
+		if best == nil || c.score > best.score ||
+			(c.score == best.score && c.name < best.name) {
+			best = c
+		}
+	}
+	return best
+}
+
+// rationale renders the session's story for the Result.
+func (t *tuner) rationale(winner *candidate, cohortN int, partial bool) []string {
+	lines := []string{
+		fmt.Sprintf("raced %d of %d applicable variants over %d rung(s), eliminating below the rung median",
+			cohortN, len(t.space), t.rungs),
+		fmt.Sprintf("winner entered as %q", winner.origin),
+		fmt.Sprintf("spent %d trial(s) of a %d budget (full sweep: %d)",
+			t.fresh+t.replayed, t.budget, len(t.space)),
+	}
+	if t.replayed > 0 {
+		lines = append(lines, fmt.Sprintf("%d trial(s) replayed from the journal", t.replayed))
+	}
+	if partial {
+		lines = append(lines, "stopped early; winner is best-so-far")
+	}
+	return lines
+}
+
+// emit journals an event, latching the first write error.
+func (t *tuner) emit(ev any) {
+	if err := t.j.write(ev); err != nil && t.jerr == nil {
+		t.jerr = fmt.Errorf("tune: journal: %w", err)
+	}
+}

@@ -1,0 +1,336 @@
+package tune
+
+import (
+	"bytes"
+	"errors"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"indigo/internal/guard"
+	"indigo/internal/styles"
+	"indigo/internal/testutil"
+)
+
+// synthTput is a deterministic synthetic cost model: a stable
+// pseudo-random throughput in [1, 2) derived from the variant name.
+// It gives every test the same rugged-but-fixed performance landscape
+// without running kernels.
+func synthTput(cfg styles.Config) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(cfg.Name()))
+	return 1 + float64(h.Sum64()%1000)/1000
+}
+
+func synthRunner() Runner {
+	return RunnerFunc(func(cfg styles.Config) (float64, error) {
+		return synthTput(cfg), nil
+	})
+}
+
+// synthOptions is the shared base: bfs/cuda (132 variants, the largest
+// cell), tiny-ish shape, synthetic runner.
+func synthOptions() Options {
+	return Options{
+		Algo:   styles.BFS,
+		Model:  styles.CUDA,
+		Device: "rtx-sim",
+		Seed:   7,
+		Runner: synthRunner(),
+	}
+}
+
+func TestRunFindsAVariant(t *testing.T) {
+	defer testutil.Snapshot(t).Check(t)
+	res, err := Run(synthOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial {
+		t.Fatalf("unexpected partial result: %s", res.PartialReason)
+	}
+	if res.Tput < 1 {
+		t.Fatalf("winner has no throughput: %+v", res)
+	}
+	space := len(styles.Enumerate(styles.BFS, styles.CUDA))
+	if res.Space != space {
+		t.Fatalf("Space = %d, want %d", res.Space, space)
+	}
+	if res.Measurements > space/4 {
+		t.Fatalf("spent %d measurements, budget was %d", res.Measurements, space/4)
+	}
+	if !styles.Valid(res.Best) {
+		t.Fatalf("winner %s is not a valid variant", res.Best.Name())
+	}
+	if len(res.Rationale) == 0 {
+		t.Fatal("no rationale")
+	}
+}
+
+// TestSameSeedIdenticalJournals is the determinism acceptance bar: two
+// sessions with the same options write byte-identical journals.
+func TestSameSeedIdenticalJournals(t *testing.T) {
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.jsonl"), filepath.Join(dir, "b.jsonl")}
+	for _, p := range paths {
+		opt := synthOptions()
+		opt.Journal = p
+		if _, err := Run(opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("same-seed journals differ (%d vs %d bytes)", len(a), len(b))
+	}
+	// A different seed must change the cohort fill — and hence the file.
+	opt := synthOptions()
+	opt.Seed = 8
+	opt.Journal = filepath.Join(dir, "c.jsonl")
+	if _, err := Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(opt.Journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical journals")
+	}
+}
+
+// TestResumeReplaysBitIdentically re-runs a completed session with
+// -resume and a runner that must never fire: every trial comes from the
+// journal, and the rewritten file equals the original byte for byte.
+func TestResumeReplaysBitIdentically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	opt := synthOptions()
+	opt.Journal = path
+	first, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Resume = true
+	opt.Runner = RunnerFunc(func(cfg styles.Config) (float64, error) {
+		t.Errorf("runner invoked for %s during a full replay", cfg.Name())
+		return 0, errors.New("no fresh measurements allowed")
+	})
+	second, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, replayed) {
+		t.Fatalf("resumed journal differs from original (%d vs %d bytes)", len(orig), len(replayed))
+	}
+	if second.Measurements != 0 {
+		t.Fatalf("resume ran %d fresh measurements", second.Measurements)
+	}
+	if second.Replayed != first.Measurements {
+		t.Fatalf("replayed %d trials, original ran %d", second.Replayed, first.Measurements)
+	}
+	if second.Best != first.Best || second.Tput != first.Tput {
+		t.Fatalf("resume crowned %s (%.3f), original %s (%.3f)",
+			second.Best.Name(), second.Tput, first.Best.Name(), first.Tput)
+	}
+}
+
+// TestResumeRejectsMismatchedPlan guards against replaying a journal
+// into a different schedule.
+func TestResumeRejectsMismatchedPlan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tune.jsonl")
+	opt := synthOptions()
+	opt.Journal = path
+	if _, err := Run(opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.Resume = true
+	opt.Seed = 99
+	if _, err := Run(opt); err == nil || !strings.Contains(err.Error(), "current options differ") {
+		t.Fatalf("mismatched resume error = %v", err)
+	}
+}
+
+// TestBudgetExhaustionMidRung forces a cohort larger than the budget:
+// the race cannot finish rung 0, and the session returns best-so-far
+// with the partial flag.
+func TestBudgetExhaustionMidRung(t *testing.T) {
+	opt := synthOptions()
+	opt.Cohort = 8
+	opt.MaxMeasurements = 5
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("expected a partial result")
+	}
+	if !strings.Contains(res.PartialReason, "budget") {
+		t.Fatalf("PartialReason = %q", res.PartialReason)
+	}
+	if res.Measurements != 5 {
+		t.Fatalf("spent %d measurements, cap was 5", res.Measurements)
+	}
+	if res.Rungs != 0 {
+		t.Fatalf("completed %d rungs inside a 5-trial budget", res.Rungs)
+	}
+	if res.Tput < 1 {
+		t.Fatalf("best-so-far has no throughput: %+v", res)
+	}
+}
+
+// TestCohortOfOneShortCircuits: a forced cohort of one skips the race
+// entirely — no rungs, one measurement, that candidate crowned.
+func TestCohortOfOneShortCircuits(t *testing.T) {
+	opt := synthOptions()
+	opt.Cohort = 1
+	opt.MaxMeasurements = 1
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rungs != 0 {
+		t.Fatalf("ran %d rungs with a cohort of one", res.Rungs)
+	}
+	if res.Measurements != 1 {
+		t.Fatalf("spent %d measurements, want 1", res.Measurements)
+	}
+	if res.Partial {
+		t.Fatalf("unexpected partial result: %s", res.PartialReason)
+	}
+	if res.Tput != synthTput(res.Best) {
+		t.Fatalf("winner throughput %v does not match its measurement %v", res.Tput, synthTput(res.Best))
+	}
+}
+
+// TestFailingVariantEliminatedNotCrowned poisons the synthetic
+// landscape's global best: the tuner must crown someone else.
+func TestFailingVariantEliminatedNotCrowned(t *testing.T) {
+	space := styles.Enumerate(styles.BFS, styles.CUDA)
+	bestName := ""
+	best := 0.0
+	for _, cfg := range space {
+		if v := synthTput(cfg); v > best {
+			best, bestName = v, cfg.Name()
+		}
+	}
+	opt := synthOptions()
+	opt.Runner = RunnerFunc(func(cfg styles.Config) (float64, error) {
+		if cfg.Name() == bestName {
+			return 0, errors.New("wrong answer: poisoned variant")
+		}
+		return synthTput(cfg), nil
+	})
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Name() == bestName {
+		t.Fatalf("crowned the failing variant %s", bestName)
+	}
+	if res.Tput < 1 {
+		t.Fatalf("winner has no throughput: %+v", res)
+	}
+}
+
+// TestAllFailingIsAnError: when every candidate fails, the session
+// reports an error instead of crowning garbage.
+func TestAllFailingIsAnError(t *testing.T) {
+	opt := synthOptions()
+	opt.Runner = RunnerFunc(func(styles.Config) (float64, error) {
+		return 0, errors.New("panic: broken kernel")
+	})
+	if _, err := Run(opt); err == nil || !strings.Contains(err.Error(), "every candidate failed") {
+		t.Fatalf("all-failing error = %v", err)
+	}
+}
+
+// TestGuardStopsSession cancels the session token mid-race and expects
+// a partial best-so-far charged to the session, not to a variant.
+func TestGuardStopsSession(t *testing.T) {
+	defer testutil.Snapshot(t).Check(t)
+	gd := guard.New()
+	defer gd.Release()
+	n := 0
+	opt := synthOptions()
+	opt.Guard = gd
+	opt.Runner = RunnerFunc(func(cfg styles.Config) (float64, error) {
+		n++
+		if n == 3 {
+			gd.Cancel()
+		}
+		return synthTput(cfg), nil
+	})
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || !strings.Contains(res.PartialReason, "canceled") {
+		t.Fatalf("partial=%v reason=%q", res.Partial, res.PartialReason)
+	}
+	if res.Measurements > 3 {
+		t.Fatalf("ran %d measurements after the cancel landed", res.Measurements)
+	}
+	if res.Tput < 1 {
+		t.Fatalf("best-so-far has no throughput: %+v", res)
+	}
+}
+
+// TestObserverSeesTheSession wires every hook and cross-checks the
+// stream against the result.
+func TestObserverSeesTheSession(t *testing.T) {
+	var trials, elims, cands, rungs int
+	var winnerName string
+	opt := synthOptions()
+	opt.Observer = &Observer{
+		Plan:       func(space, budget, cohort int) {},
+		Candidate:  func(name, origin string) { cands++ },
+		RungStart:  func(rung, alive, reps int) { rungs++ },
+		Trial:      func(rung int, name string, rep int, tput float64, ok, replayed bool) { trials++ },
+		Eliminated: func(rung int, name string, score, median float64) { elims++ },
+		Improved:   func(name, dim string, tput float64) {},
+		Winner:     func(name string, tput float64, spent int, partial bool) { winnerName = name },
+	}
+	res, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trials != res.Measurements {
+		t.Fatalf("observer saw %d trials, result says %d", trials, res.Measurements)
+	}
+	if rungs != res.Rungs {
+		t.Fatalf("observer saw %d rungs, result says %d", rungs, res.Rungs)
+	}
+	if winnerName != res.Best.Name() {
+		t.Fatalf("observer winner %q, result %q", winnerName, res.Best.Name())
+	}
+	if cands == 0 || elims == 0 {
+		t.Fatalf("observer saw %d candidates, %d eliminations", cands, elims)
+	}
+}
+
+// TestRunnerRequired pins the one non-optional field.
+func TestRunnerRequired(t *testing.T) {
+	opt := synthOptions()
+	opt.Runner = nil
+	if _, err := Run(opt); err == nil {
+		t.Fatal("Run accepted a nil Runner")
+	}
+}
