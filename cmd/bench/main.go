@@ -23,6 +23,9 @@
 //	bench -tune            # race the autotuner against an exhaustive
 //	                       # per-cell sweep (source of BENCH_tune.json);
 //	                       # exits 1 past the regret/spend bars
+//	bench -traceoverhead   # measure live-tracing overhead on road BFS
+//	                       # (source of BENCH_trace.json); exits 1 at
+//	                       # or past the 1% bar
 package main
 
 import (
@@ -87,6 +90,8 @@ func main() {
 		"measure the sharded GPU cost model against the shared-atomic baseline and emit that report instead (source of BENCH_gpusim.json); with -alloccheck also pins the warmed Launch at zero allocations")
 	tuneFlag := flag.Bool("tune", false,
 		"race the autotuner against an exhaustive sweep per cell and emit that report instead (source of BENCH_tune.json); exits 1 if any cell misses the regret or spend bar")
+	traceFlag := flag.Bool("traceoverhead", false,
+		"measure live-tracing overhead on the road BFS and emit that report instead (source of BENCH_trace.json); exits 1 past the bar")
 	flag.Parse()
 
 	bt := 500 * time.Millisecond
@@ -100,6 +105,21 @@ func main() {
 			trials = 2
 		}
 		emit(guardOverhead(bt, 4, trials, *quick), *out)
+		return
+	}
+
+	if *traceFlag {
+		trials := 9
+		if *quick {
+			trials = 2
+		}
+		rep := traceOverhead(bt, 4, trials, *quick)
+		emit(rep, *out)
+		if rep.DisabledOverheadPct >= traceOverheadBarPct {
+			fmt.Fprintf(os.Stderr, "bench: disabled-tracing overhead %.2f%% on %s, bar is %.0f%%\n",
+				rep.DisabledOverheadPct, rep.Benchmark, traceOverheadBarPct)
+			os.Exit(1)
+		}
 		return
 	}
 

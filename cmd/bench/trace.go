@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"indigo/internal/algo"
+	"indigo/internal/gen"
+	"indigo/internal/par"
+	"indigo/internal/runner"
+	"indigo/internal/scratch"
+	"indigo/internal/styles"
+	"indigo/internal/trace"
+)
+
+// traceOverheadBarPct is the budgeted contract for DISABLED tracing on
+// the dispatch-bound road BFS: the off-by-default path is a nil check
+// per span site and must stay under this; -traceoverhead exits 1 at or
+// past it. Live tracing is reported alongside but not gated — turning
+// tracing on buys a journal and is allowed to cost more.
+const traceOverheadBarPct = 1.0
+
+// TraceReport is the -traceoverhead measurement. The gated number is
+// DisabledOverheadPct: a timed run through runner.TimeCPU with the
+// zero trace Ctx (tracing off, the default) against the identical
+// envelope with the span sites elided — with the pool and arena
+// pinned, TimeCPU minus its span sites is exactly RunCPU plus two
+// clock reads, which the baseline side inlines. The road BFS is the
+// worst case by design: the shortest runs the suite produces, so the
+// per-run envelope cost recurs at the highest rate.
+//
+// LiveOverheadPct is informational: the same workload with a live
+// tracer recording the full production span envelope and flushing
+// through the JSONL encoder to io.Discard after every run, relative to
+// the disabled path.
+type TraceReport struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Benchmark  string  `json:"benchmark"`
+	Trials     int     `json:"trials"`
+	BaselineNs float64 `json:"baseline_ns_per_op"`
+	DisabledNs float64 `json:"disabled_ns_per_op"`
+	LiveNs     float64 `json:"live_ns_per_op"`
+	// DisabledOverheadPct is the median over trials of the per-trial
+	// ratio (disabled/baseline - 1) * 100, the two sides alternating
+	// run by run inside a trial so drift cancels — the BENCH_guard.json
+	// methodology (see GuardReport).
+	DisabledOverheadPct float64 `json:"disabled_overhead_pct"`
+	LiveOverheadPct     float64 `json:"live_overhead_pct"`
+	BarPct              float64 `json:"bar_pct"`
+}
+
+// traceOverhead measures the road BFS three ways — span sites elided,
+// span sites present but disabled, and live tracing — interleaving the
+// first two inside each trial so machine drift hits both sides of the
+// gated ratio equally.
+func traceOverhead(bt time.Duration, threads, trials int, quick bool) TraceReport {
+	g := gen.Generate(gen.InputRoad, gen.Tiny)
+	cfg := styles.Config{
+		Algo: styles.BFS, Model: styles.CPP, Drive: styles.DataDrivenNoDup,
+		Flow: styles.Push, Update: styles.ReadModifyWrite,
+	}
+	p := par.NewPool(threads)
+	defer p.Close()
+	a := scratch.New()
+	opt := algo.Options{Threads: threads, Pool: p, Scratch: a}
+
+	// Baseline: TimeCPU with the span sites elided. With Pool and
+	// Scratch pinned the envelope reduces to the timed RunCPU itself.
+	runBaseline := func() {
+		a.Reset()
+		start := time.Now()
+		res, err := runner.RunCPU(g, cfg, opt)
+		elapsed := time.Since(start).Seconds()
+		_, _, _ = res, err, runner.Throughput(g, elapsed)
+	}
+	// Disabled: the production envelope with the zero trace Ctx — what
+	// every untraced run pays after this change.
+	runDisabled := func() {
+		a.Reset()
+		runner.TimeCPU(g, cfg, opt) //nolint:errcheck // benchmark body
+	}
+
+	tr := trace.New(trace.Config{Sink: trace.NewJSONLSink(io.Discard)})
+	defer tr.Close()
+	runLive := func() {
+		a.Reset()
+		lopt := opt
+		lopt.Trace = tr.NewTrace("bench.run")
+		runner.TimeCPU(g, cfg, lopt) //nolint:errcheck // benchmark body
+		lopt.Trace.End()
+		tr.Flush()
+	}
+
+	for w := 0; w < 200; w++ { // warm the pool, caches, and branch state
+		runBaseline()
+		runDisabled()
+		runLive()
+	}
+	baseline, disabled, live := math.Inf(1), math.Inf(1), math.Inf(1)
+	disabledRatios := make([]float64, 0, trials)
+	liveRatios := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		var tb, td, tl time.Duration
+		var n int
+		for tb+td < 2*bt {
+			n++
+			s := time.Now()
+			runBaseline()
+			tb += time.Since(s)
+			s = time.Now()
+			runDisabled()
+			td += time.Since(s)
+			s = time.Now()
+			runLive()
+			tl += time.Since(s)
+		}
+		b := float64(tb.Nanoseconds()) / float64(n)
+		d := float64(td.Nanoseconds()) / float64(n)
+		l := float64(tl.Nanoseconds()) / float64(n)
+		baseline = math.Min(baseline, b)
+		disabled = math.Min(disabled, d)
+		live = math.Min(live, l)
+		disabledRatios = append(disabledRatios, d/b)
+		liveRatios = append(liveRatios, l/d)
+	}
+	return TraceReport{
+		GoVersion:           runtime.Version(),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		Quick:               quick,
+		Benchmark:           fmt.Sprintf("bfs-road/t%d", threads),
+		Trials:              trials,
+		BaselineNs:          baseline,
+		DisabledNs:          disabled,
+		LiveNs:              live,
+		DisabledOverheadPct: (medianOf(disabledRatios) - 1) * 100,
+		LiveOverheadPct:     (medianOf(liveRatios) - 1) * 100,
+		BarPct:              traceOverheadBarPct,
+	}
+}
+
+// medianOf sorts xs and returns its median (mean of the middle pair on
+// even lengths).
+func medianOf(xs []float64) float64 {
+	sort.Float64s(xs)
+	m := xs[len(xs)/2]
+	if len(xs)%2 == 0 {
+		m = (m + xs[len(xs)/2-1]) / 2
+	}
+	return m
+}

@@ -29,6 +29,7 @@ import (
 	"indigo/internal/scratch"
 	"indigo/internal/store"
 	"indigo/internal/sweep"
+	"indigo/internal/trace"
 )
 
 func main() {
@@ -42,9 +43,19 @@ func main() {
 	storePath := flag.String("store", "", "results store file: completed runs are appended, existing cells seed the session")
 	useScratch := flag.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	parIngest := flag.Bool("ingest", true, "chunked parallel graph ingest (-ingest=false uses the serial readers/build)")
+	tracePath := flag.String("trace", "", "JSONL trace journal to write (one sweep.task span per run)")
 	flag.Parse()
 	scratch.SetEnabled(*useScratch)
 	graph.SetSerialIngest(!*parIngest)
+
+	tracer, err := trace.OpenJournal(*tracePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	defer tracer.Close()
+	root := tracer.Root("cli.experiments")
+	defer root.End()
 
 	scale, ok := gen.ParseScale(*scaleName)
 	if !ok {
@@ -59,6 +70,7 @@ func main() {
 	s.Sweep.Journal = *journal
 	s.Sweep.Resume = *resume
 	s.Sweep.Progress = progress(*verbose)
+	s.Sweep.Trace = root
 	if *storePath != "" {
 		st, err := store.Open(*storePath)
 		if err != nil {

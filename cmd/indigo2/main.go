@@ -6,10 +6,13 @@
 //	indigo2 list [-algo bfs] [-model cuda]
 //	indigo2 run -variant <name> [-input road] [-scale small] [-device rtx-sim] [-source 0]
 //	            [-timeout 2m] [-journal runs.jsonl [-resume]] [-store results.store]
+//	            [-trace spans.jsonl]
 //	indigo2 verify [-algo bfs] [-model omp] [-scale tiny]
 //	indigo2 tune -algo bfs -model cuda [-input rmat -scale tiny | -graph g.el] [-device rtx-sim]
 //	            [-budget 0] [-seed 1] [-journal tune.jsonl [-resume]] [-store results.store]
+//	            [-trace spans.jsonl]
 //	indigo2 serve [-addr :8080] [-store results.store] [-import runs.jsonl -scale small]
+//	            [-trace] [-pprof]
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"indigo/internal/store"
 	"indigo/internal/styles"
 	"indigo/internal/sweep"
+	"indigo/internal/trace"
 	"indigo/internal/verify"
 )
 
@@ -184,6 +188,7 @@ func cmdRun(args []string) error {
 	storePath := fs.String("store", "", "results store file to append the measurement to")
 	useScratch := fs.Bool("scratch", true, "reuse scratch arenas across runs (-scratch=false allocates per run)")
 	parIngest := fs.Bool("ingest", true, "chunked parallel graph ingest (-ingest=false uses the serial readers/build)")
+	tracePath := fs.String("trace", "", "JSONL trace journal to write (spans of the run's phases)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -192,6 +197,11 @@ func cmdRun(args []string) error {
 	if *variant == "" {
 		return fmt.Errorf("missing -variant")
 	}
+	tracer, err := trace.OpenJournal(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer tracer.Close()
 	cfg, err := findVariant(*variant)
 	if err != nil {
 		return err
@@ -212,12 +222,15 @@ func cmdRun(args []string) error {
 		sc, _ := gen.ParseScale(*scale)
 		*timeout = sweep.DefaultTimeout(sc)
 	}
+	root := tracer.Root("cli.run")
+	defer root.End()
 	opts := sweep.Options{
 		Timeout:   *timeout,
 		MemBudget: *budget,
 		Verify:    true,
 		Journal:   *journal,
 		Resume:    *resume,
+		Trace:     root,
 	}
 	if *storePath != "" {
 		st, err := store.Open(*storePath)

@@ -13,6 +13,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/serve"
 	"indigo/internal/store"
+	"indigo/internal/trace"
 )
 
 // cmdServe runs the advisor/query HTTP service over a results store.
@@ -36,6 +37,9 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight requests")
 	cacheEntries := fs.Int("cache", 256, "response cache entries (negative disables caching)")
 	parIngest := fs.Bool("ingest", true, "chunked parallel parse of uploaded graphs (-ingest=false uses the serial readers)")
+	traceOn := fs.Bool("trace", false, "per-request tracing: X-Trace-Id on every /v1 response, spans via GET /v1/trace/{id}")
+	traceRetain := fs.Int("trace-retain", 256, "traces kept in memory for /v1/trace lookups (with -trace)")
+	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (refused while draining)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -64,14 +68,23 @@ func cmdServe(args []string) error {
 		fmt.Fprintf(os.Stderr, "indigo2 serve: imported %d cells from %s\n", n, *importPath)
 	}
 
-	srv := serve.New(serve.Options{
+	opt := serve.Options{
 		Store:          st,
 		MaxInflight:    *maxInflight,
 		RequestTimeout: *timeout,
 		RequestBudget:  *budget,
 		DrainTimeout:   *drain,
 		CacheEntries:   *cacheEntries,
-	})
+		EnablePprof:    *pprofOn,
+	}
+	if *traceOn {
+		ms := trace.NewMemSink(*traceRetain, 4096)
+		tr := trace.New(trace.Config{Sink: ms})
+		defer tr.Close()
+		opt.Tracer = tr
+		opt.TraceStore = ms
+	}
+	srv := serve.New(opt)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

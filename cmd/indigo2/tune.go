@@ -14,6 +14,7 @@ import (
 	"indigo/internal/store"
 	"indigo/internal/styles"
 	"indigo/internal/sweep"
+	"indigo/internal/trace"
 	"indigo/internal/tune"
 )
 
@@ -38,6 +39,7 @@ func cmdTune(args []string) error {
 	resume := fs.Bool("resume", false, "replay trials already in -journal instead of re-running them")
 	storePath := fs.String("store", "", "results store: warm-starts the cohort and reports regret vs the measured census")
 	quiet := fs.Bool("q", false, "suppress rung-by-rung progress")
+	tracePath := fs.String("trace", "", "JSONL trace journal to write (session, rungs, trials, attempts)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -45,6 +47,13 @@ func cmdTune(args []string) error {
 	if err != nil {
 		return err
 	}
+	tracer, err := trace.OpenJournal(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer tracer.Close()
+	root := tracer.Root("cli.tune")
+	defer root.End()
 
 	var g *graph.Graph
 	inputName := ""
@@ -141,6 +150,7 @@ func cmdTune(args []string) error {
 		Resume:          *resume,
 		Observer:        obs,
 		Runner:          pr,
+		Trace:           root,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,58 @@
+// Command tracecheck validates JSONL trace journals written by the
+// -trace flags of indigo2 run/tune and the experiments driver.
+//
+// Usage:
+//
+//	tracecheck spans.jsonl [more.jsonl ...]
+//	indigo2 run -variant ... -trace /dev/stdout | tracecheck -
+//
+// A journal is well-formed when every line parses, every span's end
+// closes the innermost matching open span, no span reopens, and
+// nothing is left open at EOF — the invariants the tracer's
+// whole-span recording guarantees even under ring overflow. Exit
+// status 1 on any malformed journal.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"indigo/internal/trace"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <journal.jsonl ...|->")
+		os.Exit(2)
+	}
+	failed := false
+	for _, path := range args {
+		var r io.Reader
+		name := path
+		if path == "-" {
+			r, name = os.Stdin, "stdin"
+		} else {
+			f, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+				failed = true
+				continue
+			}
+			defer f.Close()
+			r = f
+		}
+		stats, err := trace.CheckJournal(r)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s: ok: %d lines, %d spans, %d points, %d traces\n",
+			name, stats.Lines, stats.Spans, stats.Points, stats.Traces)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

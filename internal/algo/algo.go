@@ -8,6 +8,7 @@ import (
 	"indigo/internal/par"
 	"indigo/internal/scratch"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 )
 
 // Options configures a variant run.
@@ -48,6 +49,11 @@ type Options struct {
 	// it to the token's sentinel error. nil means unguarded — the hot
 	// loops then carry no checkpoint branches at all.
 	Guard *guard.Token
+	// Trace, when live, is the parent span timed runs record under:
+	// runner.TimeCPU/MeasureGPU open child spans for acquisition and the
+	// kernel proper, and the GPU simulator tags launches. The zero value
+	// disables tracing at a nil-check per span site (see package trace).
+	Trace trace.Ctx
 }
 
 // Defaults fills zero fields given the vertex count n.

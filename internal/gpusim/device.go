@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"indigo/internal/guard"
+	"indigo/internal/trace"
 )
 
 // atomSlots is the size of the hashed same-address atomic-pressure
@@ -113,6 +114,10 @@ type Device struct {
 	// multi-launch algorithms) and each warp polls it every
 	// guardPollCycles simulated cycles inside a kernel.
 	gd *guard.Token
+	// tc, when live, is the parent span Launch records per-launch child
+	// spans under (kernel name, blocks, cycles). Installed alongside the
+	// guard by runner.RunGPU; the zero value disables launch tracing.
+	tc trace.Ctx
 	// legacy, when non-nil, routes launches through the shared-atomic
 	// baseline (cmd/bench -gpusim measures the sharded model against it).
 	legacy *legacyState
@@ -122,6 +127,11 @@ type Device struct {
 // launches run under. Call it from the launching goroutine before
 // Launch.
 func (d *Device) SetGuard(gd *guard.Token) { d.gd = gd }
+
+// SetTrace installs (or, with the zero Ctx, removes) the trace span
+// subsequent launches record under. Call it from the launching
+// goroutine before Launch, like SetGuard.
+func (d *Device) SetTrace(tc trace.Ctx) { d.tc = tc }
 
 // New creates a device with the given profile.
 func New(p Profile) *Device {

@@ -3,6 +3,7 @@ package gpusim
 import (
 	"fmt"
 	"iter"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -96,6 +97,8 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	if d.legacy != nil {
 		return d.launchLegacy(cfg, k)
 	}
+	sp := d.tc.Start("gpu.launch")
+	defer func() { sp.End() }()
 	ls := &d.ls
 	ls.cfg = cfg
 	ls.kern = k
@@ -136,6 +139,10 @@ func (d *Device) Launch(cfg LaunchCfg, k Kernel) Stats {
 	ls.panicked.rethrow()
 	total.AtomicSerial = serial
 	total.Cycles = maxSM + serial + d.Prof.LaunchOverhead
+	if sp.Live() {
+		sp = sp.Attr("blocks", strconv.FormatInt(cfg.Blocks, 10)).
+			Attr("cycles", strconv.FormatInt(total.Cycles, 10))
+	}
 	return total
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"indigo/internal/guard"
 	"indigo/internal/par"
+	"indigo/internal/trace"
 )
 
 // Builder accumulates undirected weighted edges and produces a Graph.
@@ -60,6 +61,9 @@ type BuildOptions struct {
 	// Guard is polled at region checkpoints and charged for the
 	// construction scratch and the graph's arrays; nil is free.
 	Guard *guard.Token
+	// Trace, when live, records the build as an ingest.build span; the
+	// zero value is free.
+	Trace trace.Ctx
 }
 
 // buildSerialCutoff is the edge count below which the counting-sort
@@ -77,6 +81,8 @@ func (b *Builder) Build() *Graph { return b.BuildOpts(BuildOptions{}) }
 // dedup-keep-first after that sort keeps the minimum weight exactly as
 // the serial sort+dedup does.
 func (b *Builder) BuildOpts(o BuildOptions) *Graph {
+	sp := o.Trace.Start("ingest.build")
+	defer sp.End()
 	if o.Serial || serialIngest.Load() || len(b.src) < buildSerialCutoff {
 		return b.buildSerial()
 	}

@@ -11,6 +11,7 @@ import (
 
 	"indigo/internal/guard"
 	"indigo/internal/par"
+	"indigo/internal/trace"
 )
 
 // This file is the parallel ingest path: chunked byte-level readers for
@@ -34,6 +35,10 @@ type ReadOptions struct {
 	// Guard is polled at chunk granularity and charged for the edge
 	// buffers the parallel path materializes; nil is free.
 	Guard *guard.Token
+	// Trace, when live, is the parent span the read records under: one
+	// ingest.read_* span covering the whole read, with parse and build
+	// child spans on the parallel path. The zero value is free.
+	Trace trace.Ctx
 
 	// chunkBytes overrides the chunk size target and forces the
 	// parallel path regardless of input size. Test hook: tiny chunks
@@ -69,8 +74,20 @@ const (
 	ingestPollStride = 4096
 )
 
+// startIngest opens one ingest phase span tagged with the input name.
+func startIngest(tc trace.Ctx, span, name string) trace.Ctx {
+	sp := tc.Start(span)
+	if sp.Live() {
+		sp = sp.Attr("input", name)
+	}
+	return sp
+}
+
 // ReadEdgeListOpts is ReadEdgeList with explicit options.
 func ReadEdgeListOpts(r io.Reader, name string, o ReadOptions) (*Graph, error) {
+	sp := startIngest(o.Trace, "ingest.read_edgelist", name)
+	defer sp.End()
+	o.Trace = sp
 	if o.Serial || serialIngest.Load() {
 		return readEdgeListSerial(r, name)
 	}
@@ -81,13 +98,22 @@ func ReadEdgeListOpts(r io.Reader, name string, o ReadOptions) (*Graph, error) {
 		// earlier parse error outranks the I/O error.
 		return readEdgeListSerial(replayReader(data, err), name)
 	}
-	return ReadEdgeListBytes(data, name, o)
+	return readEdgeListDispatch(data, name, o)
 }
 
 // ReadEdgeListBytes parses an in-memory edge list. It is the
 // allocation-light entry point: the reader form must copy the stream
 // first, this one parses fields in place.
 func ReadEdgeListBytes(data []byte, name string, o ReadOptions) (*Graph, error) {
+	sp := startIngest(o.Trace, "ingest.read_edgelist", name)
+	defer sp.End()
+	o.Trace = sp
+	return readEdgeListDispatch(data, name, o)
+}
+
+// readEdgeListDispatch picks the serial or parallel edge-list path;
+// o.Trace is already the enclosing read span.
+func readEdgeListDispatch(data []byte, name string, o ReadOptions) (*Graph, error) {
 	if o.Serial || serialIngest.Load() ||
 		(o.chunkBytes == 0 && len(data) < parallelReadCutoff) {
 		return readEdgeListSerial(bytes.NewReader(data), name)
@@ -97,6 +123,9 @@ func ReadEdgeListBytes(data []byte, name string, o ReadOptions) (*Graph, error) 
 
 // ReadDIMACSOpts is ReadDIMACS with explicit options.
 func ReadDIMACSOpts(r io.Reader, name string, o ReadOptions) (*Graph, error) {
+	sp := startIngest(o.Trace, "ingest.read_dimacs", name)
+	defer sp.End()
+	o.Trace = sp
 	if o.Serial || serialIngest.Load() {
 		return readDIMACSSerial(r, name)
 	}
@@ -104,12 +133,21 @@ func ReadDIMACSOpts(r io.Reader, name string, o ReadOptions) (*Graph, error) {
 	if err != nil {
 		return readDIMACSSerial(replayReader(data, err), name)
 	}
-	return ReadDIMACSBytes(data, name, o)
+	return readDIMACSDispatch(data, name, o)
 }
 
 // ReadDIMACSBytes parses an in-memory DIMACS .gr file (see
 // ReadEdgeListBytes for why the bytes form exists).
 func ReadDIMACSBytes(data []byte, name string, o ReadOptions) (*Graph, error) {
+	sp := startIngest(o.Trace, "ingest.read_dimacs", name)
+	defer sp.End()
+	o.Trace = sp
+	return readDIMACSDispatch(data, name, o)
+}
+
+// readDIMACSDispatch picks the serial or parallel DIMACS path; o.Trace
+// is already the enclosing read span.
+func readDIMACSDispatch(data []byte, name string, o ReadOptions) (*Graph, error) {
 	if o.Serial || serialIngest.Load() ||
 		(o.chunkBytes == 0 && len(data) < parallelReadCutoff) {
 		return readDIMACSSerial(bytes.NewReader(data), name)
@@ -335,6 +373,7 @@ func readEdgeListParallel(data []byte, name string, o ReadOptions) (*Graph, erro
 	defer par.ReleasePool(pool)
 	ex := pool.Guarded(gd)
 
+	parseSpan := o.Trace.Start("ingest.parse")
 	lines := countLines(ex, chunks)
 	base := make([]int, len(chunks)+1)
 	for c, n := range lines {
@@ -345,6 +384,7 @@ func readEdgeListParallel(data []byte, name string, o ReadOptions) (*Graph, erro
 	ex.For(int64(len(chunks)), par.Static, func(c int64) {
 		parseEdgeListChunk(chunks[c], base[c], gd, &res[c])
 	})
+	parseSpan.End()
 	var total int64
 	maxID := int32(-1)
 	for c := range res {
@@ -371,7 +411,7 @@ func readEdgeListParallel(data []byte, name string, o ReadOptions) (*Graph, erro
 		copy(ws[off[c]:off[c+1]], res[c].w)
 	})
 	b := &Builder{name: name, n: maxID + 1, src: us, dst: vs, w: ws}
-	return b.BuildOpts(BuildOptions{Threads: t, Guard: gd}), nil
+	return b.BuildOpts(BuildOptions{Threads: t, Guard: gd, Trace: o.Trace}), nil
 }
 
 // parseEdgeListChunk parses one chunk; lineBase is the number of lines
@@ -485,6 +525,7 @@ func readDIMACSParallel(data []byte, name string, o ReadOptions) (*Graph, error)
 	defer par.ReleasePool(pool)
 	ex := pool.Guarded(gd)
 
+	parseSpan := o.Trace.Start("ingest.parse")
 	lines := countLines(ex, chunks)
 	base := make([]int, len(chunks)+1)
 	base[0] = headLines
@@ -496,6 +537,7 @@ func readDIMACSParallel(data []byte, name string, o ReadOptions) (*Graph, error)
 	ex.For(int64(len(chunks)), par.Static, func(c int64) {
 		parseDIMACSChunk(chunks[c], base[c], n, gd, &res[c], nil)
 	})
+	parseSpan.End()
 
 	// Error selection must match the serial reader's file-order stop:
 	// within a chunk, arcs counts only lines before the chunk's first
@@ -534,7 +576,7 @@ func readDIMACSParallel(data []byte, name string, o ReadOptions) (*Graph, error)
 		copy(ws[off[c]:off[c+1]], res[c].w)
 	})
 	b := &Builder{name: name, n: int32(n), src: us, dst: vs, w: ws}
-	return b.BuildOpts(BuildOptions{Threads: t, Guard: gd}), nil
+	return b.BuildOpts(BuildOptions{Threads: t, Guard: gd, Trace: o.Trace}), nil
 }
 
 // dimacsHeader serially scans data up to and including the problem

@@ -5,6 +5,7 @@ import (
 
 	"indigo/internal/guard"
 	"indigo/internal/par"
+	"indigo/internal/trace"
 )
 
 // statsPollStride is how many vertices (or BFS dequeues) each stats
@@ -45,6 +46,9 @@ type StatsOptions struct {
 	Threads int
 	// Guard is polled through the scan and both BFS sweeps; nil is free.
 	Guard *guard.Token
+	// Trace, when live, records the computation as an ingest.stats span;
+	// the zero value is free.
+	Trace trace.Ctx
 }
 
 // Stats returns the Table 4/5 summary of g, computed once and cached
@@ -81,6 +85,8 @@ func ComputeStats(g *Graph) Stats {
 // computes the same level array as the serial queue BFS, and both
 // resolve the farthest vertex as the smallest id at the maximum level.
 func ComputeStatsOpts(g *Graph, o StatsOptions) Stats {
+	sp := startIngest(o.Trace, "ingest.stats", g.Name)
+	defer sp.End()
 	if o.Serial || serialIngest.Load() || int64(g.N)+g.M() < statsParCutoff {
 		return computeStatsSerial(g, o.Guard)
 	}

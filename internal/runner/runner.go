@@ -64,6 +64,12 @@ func RunCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (res algo.Resul
 // outside the timed section. Callers that pass their own arena get the
 // aliasing result untouched.
 func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, float64, error) {
+	sp := opt.Trace.Start("runner.time_cpu")
+	if sp.Live() {
+		sp = sp.Attr("variant", cfg.Name())
+	}
+	defer sp.End()
+	acq := sp.Start("runner.acquire")
 	if opt.Pool == nil {
 		t := opt.Threads
 		if t <= 0 {
@@ -78,9 +84,13 @@ func TimeCPU(g *graph.Graph, cfg styles.Config, opt algo.Options) (algo.Result, 
 		owned = scratch.Acquire()
 		opt.Scratch = owned
 	}
+	acq.End()
+	kern := sp.Start("runner.kernel")
+	opt.Trace = kern
 	start := time.Now()
 	res, err := RunCPU(g, cfg, opt)
 	elapsed := time.Since(start).Seconds()
+	kern.End()
 	if owned != nil {
 		res = res.Detach()
 		scratch.Release(owned)

@@ -15,6 +15,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/guard"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 )
 
 // RunGPU executes a CUDA-model variant on the given simulated device and
@@ -31,8 +32,15 @@ func RunGPU(d *gpusim.Device, g *graph.Graph, cfg styles.Config, opt algo.Option
 	if d == nil {
 		return algo.Result{}, gpusim.Stats{}, fmt.Errorf("runner.RunGPU: nil device for %s", cfg.Name())
 	}
+	sp := opt.Trace.Start("runner.run_gpu")
+	if sp.Live() {
+		sp = sp.Attr("variant", cfg.Name())
+	}
+	defer sp.End()
 	d.SetGuard(opt.Guard)
 	defer d.SetGuard(nil)
+	d.SetTrace(sp)
+	defer d.SetTrace(trace.Ctx{})
 	defer guard.Recover(&err)
 	switch cfg.Algo {
 	case styles.BFS:

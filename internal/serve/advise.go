@@ -7,6 +7,7 @@ import (
 	"indigo/internal/advisor"
 	"indigo/internal/graph"
 	"indigo/internal/guard"
+	"indigo/internal/trace"
 )
 
 // adviseRequest is the /v1/advise request body. The client supplies the
@@ -65,6 +66,7 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 	// abort back into the sentinel error the limited pipeline maps to a
 	// status code.
 	gd := tokenFrom(r.Context())
+	tc := traceFrom(r.Context())
 	return s.cached(bodyCacheKey("advise", body), func() (resp *response, err error) {
 		defer guard.Recover(&err)
 		var st graph.Stats
@@ -72,7 +74,7 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 			st = *req.Stats
 		} else {
 			gd.Charge(int64(len(req.Graph))) // parsing materializes the upload
-			g, herr := parseInlineGraph(req.Graph, req.Format, gd)
+			g, herr := parseInlineGraph(req.Graph, req.Format, gd, tc)
 			if herr != nil {
 				return nil, herr
 			}
@@ -97,9 +99,11 @@ func (s *Server) handleAdvise(r *http.Request) (*response, error) {
 // absurd header counts (see internal/graph/io.go). The request's
 // guard rides into the chunked parallel parse and CSR build, so a
 // deadline or budget abort stops a large upload mid-chunk (the
-// guard panic unwinds to handleAdvise's Recover).
-func parseInlineGraph(text, format string, gd *guard.Token) (*graph.Graph, *httpError) {
-	opts := graph.ReadOptions{Guard: gd}
+// guard panic unwinds to handleAdvise's Recover). The request trace
+// rides in the same way: the parse, build, and stats phases show up as
+// ingest.* child spans of the request's root span.
+func parseInlineGraph(text, format string, gd *guard.Token, tc trace.Ctx) (*graph.Graph, *httpError) {
+	opts := graph.ReadOptions{Guard: gd, Trace: tc}
 	switch format {
 	case "edgelist", "":
 		g, err := graph.ReadEdgeListBytes([]byte(text), "upload", opts)

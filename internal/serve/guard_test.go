@@ -97,8 +97,8 @@ func TestMetricsFullCounterSet(t *testing.T) {
 	defer ts.Close()
 
 	get(t, ts.URL+"/healthz")
-	get(t, ts.URL+"/v1/census") // cache miss
-	get(t, ts.URL+"/v1/census") // cache hit
+	get(t, ts.URL+"/v1/census")                // cache miss
+	get(t, ts.URL+"/v1/census")                // cache hit
 	post(t, ts.URL+"/v1/advise", inlineAdvise) // budget rejection (413)
 
 	// Deadline and disconnect paths, via direct dispatch with test holds.
@@ -118,7 +118,7 @@ func TestMetricsFullCounterSet(t *testing.T) {
 	})
 	s.testHold = nil
 
-	code, body := get(t, ts.URL+"/metrics")
+	code, body := getJSON(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d %q", code, body)
 	}
@@ -129,7 +129,7 @@ func TestMetricsFullCounterSet(t *testing.T) {
 	for _, key := range []string{
 		"requests_total", "requests", "responses", "inflight", "shed_total",
 		"canceled_total", "deadline_exceeded_total", "budget_rejected_total",
-		"cache", "latency_ms", "store",
+		"cache", "latency_ms", "store", "trace",
 	} {
 		if _, ok := doc[key]; !ok {
 			t.Errorf("metrics document is missing %q:\n%s", key, body)

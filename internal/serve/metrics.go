@@ -3,17 +3,29 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
+
+	"indigo/internal/trace"
 )
 
 // latencyBucketsMS are the upper bounds (milliseconds, inclusive) of
 // the request-latency histogram; the final implicit bucket is +Inf.
 var latencyBucketsMS = [...]float64{0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
 
-// metrics holds the service counters exposed on /metrics, expvar-style:
-// plain atomics snapshotted into JSON, no external dependencies. All
-// methods are safe for concurrent use.
+// metrics holds the service counters exposed on /metrics: plain atomics
+// rendered as Prometheus text exposition (default) or a JSON snapshot
+// (Accept: application/json), no external dependencies. All methods are
+// safe for concurrent use.
+//
+// Histogram storage is per-bin — observe does exactly one atomic add per
+// observation — and the cumulative less-or-equal counts Prometheus
+// expects are computed at render time by summing bins left to right,
+// which makes the exported buckets monotone by construction. (The
+// previous encoding exported the raw per-bin counts under `le_*` names,
+// so consumers computing quantiles from less-or-equal semantics got
+// wrong answers.)
 type metrics struct {
 	requests  atomic.Int64 // every request that reached the handler tree
 	inflight  atomic.Int64 // currently inside the limited section
@@ -29,7 +41,10 @@ type metrics struct {
 	byRoute  [numRoutes]atomic.Int64
 	byStatus [6]atomic.Int64 // index = status / 100
 
-	latency [len(latencyBucketsMS) + 1]atomic.Int64
+	// latency[rt] is the route's histogram (per-bin; last bin is +Inf)
+	// and latencySumNS[rt] the route's total observed latency.
+	latency      [numRoutes][len(latencyBucketsMS) + 1]atomic.Int64
+	latencySumNS [numRoutes]atomic.Int64
 }
 
 // route indexes the per-endpoint request counters.
@@ -44,6 +59,7 @@ const (
 	routeRatios
 	routeBest
 	routeTune
+	routeTrace
 	routeOther
 	numRoutes
 )
@@ -66,6 +82,8 @@ func (r route) String() string {
 		return "/v1/best"
 	case routeTune:
 		return "/v1/tune"
+	case routeTrace:
+		return "/v1/trace"
 	}
 	return "other"
 }
@@ -76,19 +94,55 @@ func (m *metrics) observe(rt route, status int, elapsed time.Duration) {
 	if i := status / 100; i >= 0 && i < len(m.byStatus) {
 		m.byStatus[i].Add(1)
 	}
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	m.latencySumNS[rt].Add(int64(elapsed))
 	ms := float64(elapsed) / float64(time.Millisecond)
+	bin := len(latencyBucketsMS) // +Inf
 	for i, ub := range latencyBucketsMS {
 		if ms <= ub {
-			m.latency[i].Add(1)
-			return
+			bin = i
+			break
 		}
 	}
-	m.latency[len(latencyBucketsMS)].Add(1)
+	m.latency[rt][bin].Add(1)
 }
 
-// snapshot renders the counters as a JSON document. storeCells and
-// storeGen describe the backing store at snapshot time.
-func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
+// traceStats carries the tracer's live accounting into a scrape;
+// zero-valued when tracing is disabled (the series still render, so
+// dashboards see stable zeros rather than gaps).
+type traceStats struct {
+	trace.Counters
+	Retained int // traces held by the in-memory store
+}
+
+// statusClass renders byStatus index i ("0xx".."5xx").
+func statusClass(i int) string { return fmt.Sprintf("%dxx", i) }
+
+// cumLatency returns the route's cumulative bucket counts: cum[i] is
+// the number of observations <= latencyBucketsMS[i], and the final
+// entry (the +Inf bucket) the route's observation count. Monotone
+// non-decreasing by construction.
+func (m *metrics) cumLatency(rt route) [len(latencyBucketsMS) + 1]int64 {
+	var cum [len(latencyBucketsMS) + 1]int64
+	var run int64
+	for i := range m.latency[rt] {
+		run += m.latency[rt][i].Load()
+		cum[i] = run
+	}
+	return cum
+}
+
+// snapshot renders the counters as the legacy JSON document (served
+// under Accept: application/json). Every route, status class, and
+// bucket is always present — series never vanish between scrapes — and
+// the latency buckets are cumulative across all routes.
+func (m *metrics) snapshot(storeCells int, storeGen uint64, ts traceStats) []byte {
+	type storeDoc struct {
+		Cells      int64  `json:"cells"`
+		Generation uint64 `json:"generation"`
+	}
 	type doc struct {
 		RequestsTotal int64            `json:"requests_total"`
 		Requests      map[string]int64 `json:"requests"`
@@ -100,7 +154,8 @@ func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
 		BudgetReject  int64            `json:"budget_rejected_total"`
 		Cache         map[string]int64 `json:"cache"`
 		LatencyMS     map[string]int64 `json:"latency_ms"`
-		Store         map[string]int64 `json:"store"`
+		Trace         map[string]int64 `json:"trace"`
+		Store         storeDoc         `json:"store"`
 	}
 	d := doc{
 		RequestsTotal: m.requests.Load(),
@@ -117,25 +172,108 @@ func (m *metrics) snapshot(storeCells int, storeGen uint64) []byte {
 			"coalesced": m.coalesced.Load(),
 		},
 		LatencyMS: map[string]int64{},
-		Store: map[string]int64{
-			"cells":      int64(storeCells),
-			"generation": int64(storeGen),
+		Trace: map[string]int64{
+			"spans_started":  ts.Started,
+			"spans_finished": ts.Finished,
+			"points":         ts.Points,
+			"dropped":        ts.Dropped,
+			"retained":       int64(ts.Retained),
 		},
+		Store: storeDoc{Cells: int64(storeCells), Generation: storeGen},
 	}
 	for rt := route(0); rt < numRoutes; rt++ {
-		if n := m.byRoute[rt].Load(); n > 0 {
-			d.Requests[rt.String()] = n
-		}
+		d.Requests[rt.String()] = m.byRoute[rt].Load()
 	}
 	for i := range m.byStatus {
-		if v := m.byStatus[i].Load(); v > 0 {
-			d.Responses[fmt.Sprintf("%dxx", i)] = v
-		}
+		d.Responses[statusClass(i)] = m.byStatus[i].Load()
 	}
+	var cum int64
 	for i, ub := range latencyBucketsMS {
-		d.LatencyMS[fmt.Sprintf("le_%g", ub)] = m.latency[i].Load()
+		for rt := route(0); rt < numRoutes; rt++ {
+			cum += m.latency[rt][i].Load()
+		}
+		d.LatencyMS[fmt.Sprintf("le_%g", ub)] = cum
 	}
-	d.LatencyMS["le_inf"] = m.latency[len(latencyBucketsMS)].Load()
+	for rt := route(0); rt < numRoutes; rt++ {
+		cum += m.latency[rt][len(latencyBucketsMS)].Load()
+	}
+	d.LatencyMS["le_inf"] = cum
 	out, _ := json.MarshalIndent(d, "", "  ")
 	return append(out, '\n')
+}
+
+// prometheus renders the counters in the Prometheus text exposition
+// format (version 0.0.4): `_total` counters, a cumulative `le`-bucketed
+// histogram per route, and every series present on every scrape so
+// rate() never sees a gap.
+func (m *metrics) prometheus(storeCells int, storeGen uint64, ts traceStats) []byte {
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format, args...) }
+
+	w("# HELP indigo_http_requests_total Requests reaching the handler tree, by route.\n")
+	w("# TYPE indigo_http_requests_total counter\n")
+	for rt := route(0); rt < numRoutes; rt++ {
+		w("indigo_http_requests_total{route=%q} %d\n", rt.String(), m.byRoute[rt].Load())
+	}
+
+	w("# HELP indigo_http_responses_total Responses by status class.\n")
+	w("# TYPE indigo_http_responses_total counter\n")
+	for i := range m.byStatus {
+		w("indigo_http_responses_total{class=%q} %d\n", statusClass(i), m.byStatus[i].Load())
+	}
+
+	w("# HELP indigo_http_inflight Requests currently inside the limited section.\n")
+	w("# TYPE indigo_http_inflight gauge\n")
+	w("indigo_http_inflight %d\n", m.inflight.Load())
+
+	counters := []struct {
+		name, help string
+		v          int64
+	}{
+		{"indigo_http_shed_total", "Requests shed with 429 by the concurrency limiter.", m.shed.Load()},
+		{"indigo_http_canceled_total", "Requests stopped because the client disconnected.", m.canceled.Load()},
+		{"indigo_http_deadline_exceeded_total", "Requests stopped or discarded at the request deadline.", m.deadlineExceeded.Load()},
+		{"indigo_http_budget_rejected_total", "Requests rejected for overdrawing the compute budget.", m.budgetRejected.Load()},
+		{"indigo_cache_hits_total", "Response cache hits.", m.cacheHit.Load()},
+		{"indigo_cache_misses_total", "Response cache misses.", m.cacheMiss.Load()},
+		{"indigo_cache_coalesced_total", "Requests that waited on another request's in-flight compute.", m.coalesced.Load()},
+		{"indigo_trace_spans_started_total", "Trace spans opened.", ts.Started},
+		{"indigo_trace_spans_finished_total", "Trace spans closed.", ts.Finished},
+		{"indigo_trace_points_total", "Trace instant events recorded.", ts.Points},
+		{"indigo_trace_dropped_total", "Trace events dropped at full rings.", ts.Dropped},
+	}
+	for _, c := range counters {
+		w("# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
+	}
+
+	w("# HELP indigo_trace_open_spans Spans currently open (started minus finished).\n")
+	w("# TYPE indigo_trace_open_spans gauge\n")
+	w("indigo_trace_open_spans %d\n", ts.Started-ts.Finished)
+	w("# HELP indigo_trace_retained Traces retained for GET /v1/trace/{id}.\n")
+	w("# TYPE indigo_trace_retained gauge\n")
+	w("indigo_trace_retained %d\n", ts.Retained)
+
+	w("# HELP indigo_http_request_duration_ms Request latency by route, milliseconds.\n")
+	w("# TYPE indigo_http_request_duration_ms histogram\n")
+	for rt := route(0); rt < numRoutes; rt++ {
+		name := rt.String()
+		cum := m.cumLatency(rt)
+		for i, ub := range latencyBucketsMS {
+			w("indigo_http_request_duration_ms_bucket{route=%q,le=%q} %d\n", name, fmt.Sprintf("%g", ub), cum[i])
+		}
+		count := cum[len(latencyBucketsMS)]
+		w("indigo_http_request_duration_ms_bucket{route=%q,le=\"+Inf\"} %d\n", name, count)
+		w("indigo_http_request_duration_ms_sum{route=%q} %g\n", name,
+			float64(m.latencySumNS[rt].Load())/float64(time.Millisecond))
+		w("indigo_http_request_duration_ms_count{route=%q} %d\n", name, count)
+	}
+
+	w("# HELP indigo_store_cells Measurement cells in the backing store.\n")
+	w("# TYPE indigo_store_cells gauge\n")
+	w("indigo_store_cells %d\n", storeCells)
+	w("# HELP indigo_store_generation Store append generation.\n")
+	w("# TYPE indigo_store_generation counter\n")
+	w("indigo_store_generation %d\n", storeGen)
+
+	return []byte(b.String())
 }

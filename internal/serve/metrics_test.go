@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"indigo/internal/trace"
+)
+
+// parseExposition parses Prometheus text exposition into sample ->
+// value, failing the test on any line that is neither a comment nor a
+// well-formed sample. The full sample string (name plus label set) is
+// the key.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	sampleRe := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?) (-?[0-9.+eE]+|[+-]Inf|NaN)$`)
+	out := map[string]float64{}
+	for i, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("exposition line %d does not parse: %q", i+1, line)
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			t.Fatalf("exposition line %d value %q: %v", i+1, m[2], err)
+		}
+		if _, dup := out[m[1]]; dup {
+			t.Fatalf("exposition line %d repeats sample %q", i+1, m[1])
+		}
+		out[m[1]] = v
+	}
+	return out
+}
+
+// bucketSample renders the histogram sample key for one route/le pair.
+func bucketSample(route, le string) string {
+	return fmt.Sprintf("indigo_http_request_duration_ms_bucket{route=%q,le=%q}", route, le)
+}
+
+// checkBucketsCumulative asserts the route's exported buckets are
+// monotone non-decreasing in le and that +Inf equals _count.
+func checkBucketsCumulative(t *testing.T, samples map[string]float64, route string) {
+	t.Helper()
+	prev := -1.0
+	for _, ub := range latencyBucketsMS {
+		key := bucketSample(route, fmt.Sprintf("%g", ub))
+		v, ok := samples[key]
+		if !ok {
+			t.Fatalf("missing bucket sample %s", key)
+		}
+		if v < prev {
+			t.Errorf("bucket %s = %g < previous %g: not cumulative", key, v, prev)
+		}
+		prev = v
+	}
+	inf, ok := samples[bucketSample(route, "+Inf")]
+	if !ok {
+		t.Fatalf("missing +Inf bucket for route %s", route)
+	}
+	if inf < prev {
+		t.Errorf("+Inf bucket %g < last finite bucket %g for route %s", inf, prev, route)
+	}
+	count, ok := samples[fmt.Sprintf("indigo_http_request_duration_ms_count{route=%q}", route)]
+	if !ok {
+		t.Fatalf("missing _count for route %s", route)
+	}
+	if inf != count {
+		t.Errorf("+Inf bucket %g != _count %g for route %s", inf, count, route)
+	}
+}
+
+// TestHistogramBucketsCumulative is the regression test for the le_*
+// export bug: observations spread across bins must export as monotone
+// cumulative less-or-equal counts, not raw per-bin counts.
+func TestHistogramBucketsCumulative(t *testing.T) {
+	var m metrics
+	// One observation per bin, including +Inf, so a per-bin (broken)
+	// export would be flat 1s — visibly non-cumulative is impossible,
+	// but the cumulative sum must strictly grow.
+	for _, ms := range []float64{0.1, 0.4, 0.9, 2, 4, 9, 20, 40, 90, 200, 400, 900, 5000} {
+		m.observe(routeAdvise, 200, time.Duration(ms*float64(time.Millisecond)))
+	}
+	samples := parseExposition(t, string(m.prometheus(0, 0, traceStats{})))
+	checkBucketsCumulative(t, samples, "/v1/advise")
+	// With one observation per bin the cumulative counts are 1..13.
+	for i, ub := range latencyBucketsMS {
+		key := bucketSample("/v1/advise", fmt.Sprintf("%g", ub))
+		if got := samples[key]; got != float64(i+1) {
+			t.Errorf("%s = %g, want %d", key, got, i+1)
+		}
+	}
+	if got := samples[bucketSample("/v1/advise", "+Inf")]; got != 13 {
+		t.Errorf("+Inf = %g, want 13", got)
+	}
+
+	// The JSON form's latency_ms must be cumulative too.
+	var doc struct {
+		LatencyMS map[string]int64 `json:"latency_ms"`
+	}
+	if err := json.Unmarshal(m.snapshot(0, 0, traceStats{}), &doc); err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 0, len(doc.LatencyMS))
+	for k := range doc.LatencyMS {
+		keys = append(keys, k)
+	}
+	// Order keys by bucket bound (le_inf last).
+	sort.Slice(keys, func(i, j int) bool {
+		bound := func(k string) float64 {
+			if k == "le_inf" {
+				return 1e18
+			}
+			f, _ := strconv.ParseFloat(strings.TrimPrefix(k, "le_"), 64)
+			return f
+		}
+		return bound(keys[i]) < bound(keys[j])
+	})
+	var prev int64 = -1
+	for _, k := range keys {
+		if doc.LatencyMS[k] < prev {
+			t.Errorf("json latency %s = %d < previous %d: not cumulative", k, doc.LatencyMS[k], prev)
+		}
+		prev = doc.LatencyMS[k]
+	}
+	if doc.LatencyMS["le_inf"] != 13 {
+		t.Errorf("json le_inf = %d, want 13", doc.LatencyMS["le_inf"])
+	}
+}
+
+// TestSnapshotEmitsZeroSeries is the regression test for the series-
+// dropping bug: a fresh server's scrape must carry every route and
+// every status class at zero, in both representations, so dashboards
+// never see a series blink in and out of existence.
+func TestSnapshotEmitsZeroSeries(t *testing.T) {
+	var m metrics
+	var doc struct {
+		Requests  map[string]int64 `json:"requests"`
+		Responses map[string]int64 `json:"responses"`
+	}
+	if err := json.Unmarshal(m.snapshot(0, 0, traceStats{}), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for rt := route(0); rt < numRoutes; rt++ {
+		if v, ok := doc.Requests[rt.String()]; !ok || v != 0 {
+			t.Errorf("json requests[%s] = %d, present=%v; want 0, present", rt, v, ok)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if v, ok := doc.Responses[statusClass(i)]; !ok || v != 0 {
+			t.Errorf("json responses[%s] = %d, present=%v; want 0, present", statusClass(i), v, ok)
+		}
+	}
+
+	samples := parseExposition(t, string(m.prometheus(0, 0, traceStats{})))
+	for rt := route(0); rt < numRoutes; rt++ {
+		key := fmt.Sprintf("indigo_http_requests_total{route=%q}", rt.String())
+		if v, ok := samples[key]; !ok || v != 0 {
+			t.Errorf("%s = %g, present=%v; want 0, present", key, v, ok)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("indigo_http_responses_total{class=%q}", statusClass(i))
+		if v, ok := samples[key]; !ok || v != 0 {
+			t.Errorf("%s = %g, present=%v; want 0, present", key, v, ok)
+		}
+	}
+}
+
+// TestStoreGenerationUnsigned is the regression test for the
+// int64(storeGen) cast: a generation past the int64 midpoint must
+// render as a large positive number, not a negative one.
+func TestStoreGenerationUnsigned(t *testing.T) {
+	var m metrics
+	gen := uint64(1)<<63 + 42
+	body := m.snapshot(3, gen, traceStats{})
+	var doc struct {
+		Store struct {
+			Cells      int64  `json:"cells"`
+			Generation uint64 `json:"generation"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Store.Generation != gen {
+		t.Errorf("generation = %d, want %d", doc.Store.Generation, gen)
+	}
+	if strings.Contains(string(body), "-") {
+		// The whole document is counters; nothing should be negative.
+		t.Errorf("snapshot contains a negative number:\n%s", body)
+	}
+	want := strconv.FormatUint(gen, 10)
+	text := string(m.prometheus(3, gen, traceStats{}))
+	if !strings.Contains(text, "indigo_store_generation "+want) {
+		t.Errorf("exposition missing indigo_store_generation %s", want)
+	}
+}
+
+// TestRetryAfterFromPressure is the regression test for the hardcoded
+// Retry-After "1": light shedding still says 1, sustained shedding in
+// one second pushes clients out further, and the suggestion caps at 30.
+func TestRetryAfterFromPressure(t *testing.T) {
+	s := New(Options{Store: seedStore(t), MaxInflight: 4})
+	now := time.Unix(1000, 0)
+	if got := s.noteShed(now); got != 1 {
+		t.Errorf("first shed: Retry-After %d, want 1", got)
+	}
+	var last int
+	for i := 0; i < 40; i++ {
+		last = s.noteShed(now)
+	}
+	if last <= 1 {
+		t.Errorf("after 41 sheds in one second at capacity 4: Retry-After %d, want > 1", last)
+	}
+	for i := 0; i < 10000; i++ {
+		last = s.noteShed(now)
+	}
+	if last != 30 {
+		t.Errorf("under extreme shedding: Retry-After %d, want capped at 30", last)
+	}
+	// A fresh second resets the pressure window.
+	if got := s.noteShed(now.Add(time.Second)); got != 1 {
+		t.Errorf("next second: Retry-After %d, want 1", got)
+	}
+}
+
+// TestRetryAfterHeader drives the real shed path and asserts the header
+// is a positive integer (and 1 for an isolated shed).
+func TestRetryAfterHeader(t *testing.T) {
+	s, ts := newTestServer(t, Options{MaxInflight: 1})
+	release := make(chan struct{})
+	held := make(chan struct{})
+	s.testHold = func() {
+		held <- struct{}{}
+		<-release
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		get(t, ts.URL+"/v1/census")
+	}()
+	<-held
+	s.testHold = nil
+	resp, err := http.Get(ts.URL + "/v1/census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	close(release)
+	<-done
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 || ra > 30 {
+		t.Fatalf("Retry-After = %q, want integer in [1,30]", resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestConcurrentObserveScrape hammers observe from many goroutines
+// while scraping both representations, then reconciles: per route, the
+// +Inf bucket equals requests_total, and the exposition stays parseable
+// throughout. Run with -race, this is also the data-race test for the
+// metrics hot path.
+func TestConcurrentObserveScrape(t *testing.T) {
+	var m metrics
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	routes := []route{routeAdvise, routeCells, routeTune, routeHealthz}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				rt := routes[(w+i)%len(routes)]
+				m.observe(rt, 200+i%4*100, time.Duration(i%1500)*time.Microsecond)
+			}
+		}(w)
+	}
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			parseExposition(t, string(m.prometheus(0, 0, traceStats{})))
+			var doc map[string]any
+			if err := json.Unmarshal(m.snapshot(0, 0, traceStats{}), &doc); err != nil {
+				t.Errorf("snapshot mid-hammer is not JSON: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	samples := parseExposition(t, string(m.prometheus(0, 0, traceStats{})))
+	var total float64
+	for _, rt := range routes {
+		name := rt.String()
+		checkBucketsCumulative(t, samples, name)
+		inf := samples[bucketSample(name, "+Inf")]
+		reqs := samples[fmt.Sprintf("indigo_http_requests_total{route=%q}", name)]
+		if inf != reqs {
+			t.Errorf("route %s: sum of buckets %g != requests_total %g", name, inf, reqs)
+		}
+		total += reqs
+	}
+	if want := float64(workers * perW); total != want {
+		t.Errorf("total requests %g, want %g", total, want)
+	}
+	var classes float64
+	for i := 0; i < 6; i++ {
+		classes += samples[fmt.Sprintf("indigo_http_responses_total{class=%q}", statusClass(i))]
+	}
+	if classes != float64(workers*perW) {
+		t.Errorf("status classes sum to %g, want %d", classes, workers*perW)
+	}
+}
+
+// TestTraceEndpoint wires a tracer + retention store into the server,
+// makes a traced request, and reads its spans back via /v1/trace/{id}.
+func TestTraceEndpoint(t *testing.T) {
+	ms := trace.NewMemSink(16, 256)
+	tr := trace.New(trace.Config{Sink: ms})
+	defer tr.Close()
+	s, ts := newTestServer(t, Options{Tracer: tr, TraceStore: ms})
+	_ = s
+
+	resp, err := http.Get(ts.URL + "/v1/census")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Trace-Id")
+	if id == "" {
+		t.Fatal("traced request has no X-Trace-Id header")
+	}
+
+	code, body := get(t, ts.URL+"/v1/trace/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("trace lookup: %d %q", code, body)
+	}
+	var doc struct {
+		Trace  string `json:"trace"`
+		Events []struct {
+			Name string `json:"name"`
+		} `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("trace body is not JSON: %v\n%s", err, body)
+	}
+	if doc.Trace != id {
+		t.Errorf("trace id %q, want %q", doc.Trace, id)
+	}
+	found := false
+	for _, ev := range doc.Events {
+		if ev.Name == "http.request" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace %s has no http.request root span: %s", id, body)
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/trace/zzzz"); code != http.StatusBadRequest {
+		t.Errorf("bad id: %d, want 400", code)
+	}
+	if code, _ := get(t, ts.URL+"/v1/trace/00000000deadbeef"); code != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", code)
+	}
+
+	// Without a retention store the endpoint is a 404, not a panic.
+	_, ts2 := newTestServer(t, Options{Tracer: tr})
+	if code, _ := get(t, ts2.URL+"/v1/trace/"+id); code != http.StatusNotFound {
+		t.Errorf("no store: %d, want 404", code)
+	}
+}
+
+// TestMetricsContentNegotiation asserts the default scrape is
+// Prometheus text and Accept: application/json selects the snapshot.
+func TestMetricsContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("default content type %q, want text/plain exposition", ct)
+	}
+	code, body := getJSON(t, ts.URL+"/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("Accept: application/json gave %d %q", code, body[:min(len(body), 80)])
+	}
+}
+
+// TestPprofGate asserts pprof is absent by default, present with
+// EnablePprof, and refused once the server is draining.
+func TestPprofGate(t *testing.T) {
+	_, tsOff := newTestServer(t, Options{})
+	if code, _ := get(t, tsOff.URL+"/debug/pprof/cmdline"); code != http.StatusNotFound {
+		t.Errorf("pprof off: %d, want 404", code)
+	}
+
+	s := New(Options{Store: seedStore(t), EnablePprof: true})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof on: %d, want 200", code)
+	}
+	s.draining.Store(true)
+	if code, _ := get(t, ts.URL+"/debug/pprof/cmdline"); code != http.StatusServiceUnavailable {
+		t.Errorf("pprof while draining: %d, want 503", code)
+	}
+}

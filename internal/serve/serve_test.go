@@ -68,6 +68,27 @@ func get(t *testing.T, url string) (int, string) {
 	return resp.StatusCode, string(body)
 }
 
+// getJSON fetches url asking for the JSON representation — /metrics
+// defaults to Prometheus text and needs the Accept header to negotiate.
+func getJSON(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
 func post(t *testing.T, url, body string) (int, string) {
 	t.Helper()
 	resp, err := http.Post(url, "application/json", strings.NewReader(body))
@@ -94,7 +115,7 @@ func TestMetricsSnapshot(t *testing.T) {
 	_, ts := newTestServer(t, Options{})
 	get(t, ts.URL+"/healthz")
 	get(t, ts.URL+"/v1/census")
-	code, body := get(t, ts.URL+"/metrics")
+	code, body := getJSON(t, ts.URL+"/metrics")
 	if code != http.StatusOK {
 		t.Fatalf("metrics: %d %q", code, body)
 	}

@@ -3,19 +3,22 @@
 // instead of a one-shot report run. The service is built for sustained
 // traffic: a concurrency limiter that sheds overload with 429s instead
 // of queuing into collapse, an LRU response cache (invalidated when the
-// store appends) with request coalescing, per-request timeouts, an
-// expvar-style /metrics endpoint, and graceful drain on shutdown.
+// store appends) with request coalescing, per-request timeouts, a
+// Prometheus-compatible /metrics endpoint, optional per-request
+// tracing, and graceful drain on shutdown.
 //
 // Endpoints:
 //
-//	GET  /healthz     liveness (never limited, never cached)
-//	GET  /metrics     service counters as JSON
-//	POST /v1/advise   graph stats or an inline graph -> recommended variant + rationale
-//	GET  /v1/cells    stored measurement cells (filterable)
-//	GET  /v1/census   best-style census per model (paper Fig. 14)
-//	GET  /v1/ratios   per-dimension throughput-ratio distributions (paper Figs. 1-13)
-//	GET  /v1/best     measured best config for one (algo, model, input, device) cell
-//	POST /v1/tune     race variants on a suite input or inline graph -> winning variant
+//	GET  /healthz        liveness (never limited, never cached)
+//	GET  /metrics        Prometheus text exposition (JSON with Accept: application/json)
+//	POST /v1/advise      graph stats or an inline graph -> recommended variant + rationale
+//	GET  /v1/cells       stored measurement cells (filterable)
+//	GET  /v1/census      best-style census per model (paper Fig. 14)
+//	GET  /v1/ratios      per-dimension throughput-ratio distributions (paper Figs. 1-13)
+//	GET  /v1/best        measured best config for one (algo, model, input, device) cell
+//	POST /v1/tune        race variants on a suite input or inline graph -> winning variant
+//	GET  /v1/trace/{id}  spans of a recently traced request (Options.Tracer + TraceStore)
+//	GET  /debug/pprof/*  runtime profiles (Options.EnablePprof; refused while draining)
 package serve
 
 import (
@@ -28,15 +31,18 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"indigo/internal/graph"
 	"indigo/internal/guard"
 	"indigo/internal/store"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 )
 
 // Options configures a Server. Zero values select the defaults noted on
@@ -75,6 +81,22 @@ type Options struct {
 	// the session's own ceiling is the request deadline, which stops
 	// the trial in flight through the request guard. Default 2s.
 	TuneTrialTimeout time.Duration
+	// Tracer, when non-nil, gives every limited request its own trace:
+	// an http.request root span (route, method, status) with the
+	// request's ingest/tune/sweep spans beneath it, flushed to the
+	// tracer's sink as the request finishes. The trace id is echoed in
+	// the X-Trace-Id response header. Nil disables per-request tracing
+	// at zero cost.
+	Tracer *trace.Tracer
+	// TraceStore, when non-nil, is the in-memory sink backing
+	// GET /v1/trace/{id}. It must be (one of) the Tracer's sink(s), or
+	// lookups will always miss. Nil turns the endpoint into a 404.
+	TraceStore *trace.MemSink
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Profile
+	// endpoints are refused with 503 once the server starts draining, so
+	// a 30-second CPU profile cannot hold up shutdown. Off by default:
+	// profiles expose internals and cost real CPU.
+	EnablePprof bool
 }
 
 func (o *Options) defaults() {
@@ -107,6 +129,16 @@ type Server struct {
 	metrics metrics
 	cache   *respCache
 	sem     chan struct{} // concurrency limiter; len == in-flight
+
+	// draining flips once Serve begins graceful shutdown; pprof
+	// endpoints check it and refuse new profiles.
+	draining atomic.Bool
+
+	// shedWinSec/shedWinCount are a one-second shed-rate window backing
+	// the Retry-After computation: the heavier the shedding this second,
+	// the longer clients are told to back off.
+	shedWinSec   atomic.Int64
+	shedWinCount atomic.Int64
 
 	// testHold, when set (tests only), runs inside the limited section
 	// of every /v1 request, so tests can pin requests in flight and
@@ -152,7 +184,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/ratios", s.limited(routeRatios, s.handleRatios))
 	mux.HandleFunc("/v1/best", s.limited(routeBest, s.handleBest))
 	mux.HandleFunc("/v1/tune", s.limited(routeTune, s.handleTune))
+	mux.HandleFunc("GET /v1/trace/{id}", s.limited(routeTrace, s.handleTrace))
+	if s.opt.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", s.pprofGate(pprof.Index))
+		mux.HandleFunc("/debug/pprof/cmdline", s.pprofGate(pprof.Cmdline))
+		mux.HandleFunc("/debug/pprof/profile", s.pprofGate(pprof.Profile))
+		mux.HandleFunc("/debug/pprof/symbol", s.pprofGate(pprof.Symbol))
+		mux.HandleFunc("/debug/pprof/trace", s.pprofGate(pprof.Trace))
+	}
 	return mux
+}
+
+// pprofGate wraps a pprof handler so profiling stops mattering to
+// shutdown: once the server is draining, new profile requests get an
+// immediate 503 instead of a long-running collection that Shutdown
+// would then wait out.
+func (s *Server) pprofGate(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
 }
 
 // instrument wraps unlimited endpoints (health, metrics): these must
@@ -187,6 +241,21 @@ func tokenFrom(ctx context.Context) *guard.Token {
 	return gd
 }
 
+// traceKey carries the request's root span through its context, the
+// same way tokenKey carries the guard token.
+type traceKey struct{}
+
+func withTrace(ctx context.Context, tc trace.Ctx) context.Context {
+	return context.WithValue(ctx, traceKey{}, tc)
+}
+
+// traceFrom returns the request's root span, or the inert zero Ctx
+// outside the limited pipeline or when tracing is disabled.
+func traceFrom(ctx context.Context) trace.Ctx {
+	tc, _ := ctx.Value(traceKey{}).(trace.Ctx)
+	return tc
+}
+
 // limited wraps /v1 endpoints with the full pipeline: concurrency
 // limiting with load shedding, a per-request deadline and budget
 // enforced through a guard token bound to the request context (so a
@@ -204,7 +273,7 @@ func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) htt
 			// rate; telling the client when to retry is cheaper for both
 			// sides.
 			s.metrics.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", strconv.Itoa(s.noteShed(time.Now())))
 			s.write(w, nil, errf(http.StatusTooManyRequests, "server at capacity (%d in flight)", s.opt.MaxInflight))
 			s.metrics.observe(rt, http.StatusTooManyRequests, time.Since(start))
 			return
@@ -228,7 +297,13 @@ func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) htt
 		if s.testHold != nil {
 			s.testHold()
 		}
-		resp, err := h(r.WithContext(withToken(ctx, gd)))
+		var tc trace.Ctx
+		if s.opt.Tracer != nil {
+			tc = s.opt.Tracer.NewTrace("http.request").
+				Attr("route", rt.String()).Attr("method", r.Method)
+			w.Header().Set("X-Trace-Id", fmt.Sprintf("%016x", tc.TraceID()))
+		}
+		resp, err := h(r.WithContext(withToken(withTrace(ctx, tc), gd)))
 		switch {
 		case errors.Is(err, guard.ErrBudgetExceeded):
 			s.metrics.budgetRejected.Add(1)
@@ -252,7 +327,31 @@ func (s *Server) limited(rt route, h func(*http.Request) (*response, error)) htt
 		}
 		status := s.write(w, resp, err)
 		s.metrics.observe(rt, status, time.Since(start))
+		if tc.Live() {
+			tc.Attr("status", strconv.Itoa(status)).End()
+			tc.Flush()
+		}
 	}
+}
+
+// noteShed records one shed at now and returns the Retry-After delay
+// (seconds) to suggest: 1 when shedding is incidental, growing with the
+// number of sheds this second relative to capacity — the heavier the
+// overload, the further clients are pushed out — capped at 30 so a
+// burst never banishes clients for minutes. (The previous handler
+// hardcoded "1", which under sustained overload synchronized every
+// rejected client into a retry stampede one second later.)
+func (s *Server) noteShed(now time.Time) int {
+	sec := now.Unix()
+	if win := s.shedWinSec.Load(); win != sec && s.shedWinSec.CompareAndSwap(win, sec) {
+		s.shedWinCount.Store(0)
+	}
+	n := s.shedWinCount.Add(1)
+	after := 1 + int(n)/s.opt.MaxInflight
+	if after > 30 {
+		after = 30
+	}
+	return after
 }
 
 // write renders a handler result. Errors become JSON error bodies.
@@ -303,12 +402,62 @@ func (s *Server) handleHealthz(r *http.Request) (*response, error) {
 	return &response{status: http.StatusOK, contentType: "text/plain; charset=utf-8", body: []byte("ok\n")}, nil
 }
 
+// traceStats gathers the tracer's counters for a scrape; all zeros
+// when tracing is off, so the series still render.
+func (s *Server) traceStats() traceStats {
+	var ts traceStats
+	if s.opt.Tracer != nil {
+		ts.Counters = s.opt.Tracer.Counters()
+	}
+	if s.opt.TraceStore != nil {
+		ts.Retained = s.opt.TraceStore.Len()
+	}
+	return ts
+}
+
+// handleMetrics content-negotiates: Prometheus text exposition by
+// default, the legacy JSON snapshot when the client asks for
+// application/json.
 func (s *Server) handleMetrics(r *http.Request) (*response, error) {
+	if strings.Contains(r.Header.Get("Accept"), "application/json") {
+		return &response{
+			status:      http.StatusOK,
+			contentType: "application/json",
+			body:        s.metrics.snapshot(s.opt.Store.Len(), s.opt.Store.Generation(), s.traceStats()),
+		}, nil
+	}
 	return &response{
 		status:      http.StatusOK,
-		contentType: "application/json",
-		body:        s.metrics.snapshot(s.opt.Store.Len(), s.opt.Store.Generation()),
+		contentType: "text/plain; version=0.0.4; charset=utf-8",
+		body:        s.metrics.prometheus(s.opt.Store.Len(), s.opt.Store.Generation(), s.traceStats()),
 	}, nil
+}
+
+// handleTrace serves the retained spans of one trace by id (hex, as
+// echoed in X-Trace-Id). 404s when tracing or retention is off, or the
+// trace has been evicted.
+func (s *Server) handleTrace(r *http.Request) (*response, error) {
+	if s.opt.TraceStore == nil {
+		return nil, errf(http.StatusNotFound, "tracing is not enabled on this server")
+	}
+	idStr := r.PathValue("id")
+	id, err := strconv.ParseUint(idStr, 16, 64)
+	if err != nil || id == 0 {
+		return nil, errf(http.StatusBadRequest, "bad trace id %q (want the hex id from X-Trace-Id)", idStr)
+	}
+	events, truncated, ok := s.opt.TraceStore.Trace(id)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "trace %016x not retained (evicted, unflushed, or never existed)", id)
+	}
+	body, merr := json.MarshalIndent(struct {
+		Trace     string        `json:"trace"`
+		Events    []trace.Event `json:"events"`
+		Truncated int           `json:"truncated,omitempty"`
+	}{fmt.Sprintf("%016x", id), events, truncated}, "", "  ")
+	if merr != nil {
+		return nil, merr
+	}
+	return &response{status: http.StatusOK, contentType: "application/json", body: append(body, '\n')}, nil
 }
 
 // cellJSON is the /v1/cells wire form of one store cell.
@@ -550,6 +699,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
+		s.draining.Store(true) // pprof starts refusing before the drain begins
 		drainCtx, cancel := context.WithTimeout(context.Background(), s.opt.DrainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(drainCtx); err != nil {

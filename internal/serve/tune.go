@@ -148,6 +148,7 @@ func (s *Server) handleTune(r *http.Request) (*response, error) {
 	}
 
 	gd := tokenFrom(r.Context())
+	tc := traceFrom(r.Context())
 	return s.cached(bodyCacheKey("tune", body), func() (resp *response, err error) {
 		defer guard.Recover(&err)
 		var g *graph.Graph
@@ -162,7 +163,7 @@ func (s *Server) handleTune(r *http.Request) (*response, error) {
 		} else {
 			gd.Charge(int64(len(req.Graph)))
 			var herr *httpError
-			g, herr = parseInlineGraph(req.Graph, req.Format, gd)
+			g, herr = parseInlineGraph(req.Graph, req.Format, gd, tc)
 			if herr != nil {
 				return nil, herr
 			}
@@ -186,6 +187,7 @@ func (s *Server) handleTune(r *http.Request) (*response, error) {
 			Guard:           gd,
 			Store:           s.opt.Store,
 			Runner:          pr,
+			Trace:           tc,
 		})
 		if err != nil {
 			// A guard sentinel in the reason means the request itself

@@ -6,6 +6,7 @@ import (
 	"indigo/internal/algo"
 	"indigo/internal/graph"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 )
 
 // Prober gives non-sweep clients — chiefly the internal/tune racing
@@ -43,6 +44,11 @@ func NewProber(ropt algo.Options, opt Options) *Prober {
 	}
 	return &Prober{s: s, h: newPoolHolder(ropt), ropt: ropt}
 }
+
+// SetTrace installs the parent span subsequent probes record their
+// sweep.attempt spans under (the tuner points each trial's span here).
+// The zero Ctx detaches tracing.
+func (p *Prober) SetTrace(tc trace.Ctx) { p.ropt.Trace = tc }
 
 // Probe runs cfg on g once on the given device ("cpu" or a gpusim
 // profile name) and classifies the result exactly like a supervised

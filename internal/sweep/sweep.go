@@ -33,6 +33,7 @@ import (
 	"indigo/internal/runner"
 	"indigo/internal/scratch"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 	"indigo/internal/verify"
 )
 
@@ -221,6 +222,11 @@ type Options struct {
 	// passes an observer that appends OK outcomes as store cells.
 	// Called from worker goroutines; must be safe for concurrent use.
 	Observer func(Outcome)
+	// Trace, when live, is the span the sweep records under: one
+	// sweep.task span per executed task (with sweep.attempt children and
+	// retry/quarantine/reclaim points), flushed to the tracer's sink as
+	// each task finishes. The zero value disables tracing for free.
+	Trace trace.Ctx
 }
 
 // DefaultTimeout is the scale-aware per-run deadline: generous enough
@@ -366,6 +372,9 @@ func (s *Supervisor) finish(o Outcome, total int) {
 	if s.opt.Progress != nil {
 		s.opt.Progress(done, total, o)
 	}
+	// Task end is a run boundary: push the task's completed spans to the
+	// journal before the next task starts.
+	s.opt.Trace.Flush()
 }
 
 // poolHolder owns one sweep worker's persistent par pool and scratch
@@ -439,6 +448,7 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 		// too slow for the deadline.
 		if !(prior.Kind == Timeout && prior.Reclaim == ReclaimAbandon) {
 			prior.Resumed = true
+			s.opt.Trace.PointAttr("sweep.resume", "task", t.Key())
 			return prior
 		}
 	}
@@ -447,6 +457,7 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 	skip := s.quarantined[name]
 	s.mu.Unlock()
 	if skip {
+		s.opt.Trace.PointAttr("sweep.quarantine", "variant", name)
 		return Outcome{Task: t, Kind: Quarantined,
 			Err: "variant quarantined after repeated failures"}
 	}
@@ -456,6 +467,13 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 			Err: fmt.Sprintf("no graph for input %q", t.Input)}
 	}
 	g := graphs[t.Input]
+
+	sp := s.opt.Trace.Start("sweep.task")
+	if sp.Live() {
+		sp = sp.Attr("variant", name).Attr("input", t.Input.String()).Attr("device", t.Device)
+	}
+	defer sp.End()
+	ropt.Trace = sp
 
 	start := time.Now()
 	var o Outcome
@@ -468,6 +486,7 @@ func (s *Supervisor) runTask(graphs []*graph.Graph, ropt algo.Options, t Task, h
 		if kind == OK || kind == Error || attempt > s.opt.Retries {
 			break
 		}
+		sp.PointAttr("sweep.retry", "kind", kind.String())
 		if s.opt.Backoff > 0 {
 			time.Sleep(s.opt.Backoff << (attempt - 1))
 		}
@@ -507,6 +526,12 @@ type reply struct {
 // graph directly rather than a gen.Input, so callers may probe graphs
 // that are not part of the generated suite (e.g. a file-loaded input).
 func (s *Supervisor) attempt(g *graph.Graph, ropt algo.Options, cfg styles.Config, device string, h *poolHolder) (kind Kind, tput float64, sim gpusim.Stats, msg, reclaim string, cancelNS int64) {
+	asp := ropt.Trace.Start("sweep.attempt")
+	if asp.Live() {
+		asp = asp.Attr("variant", cfg.Name()).Attr("device", device)
+	}
+	defer asp.End()
+	ropt.Trace = asp
 	// Resolve the reusable device here, before the run goroutine starts,
 	// so holder state is only ever touched from the supervisor goroutine.
 	var dev *gpusim.Device
@@ -579,6 +604,7 @@ func (s *Supervisor) attempt(g *graph.Graph, ropt algo.Options, cfg styles.Confi
 		// spawn-per-region), retire the arena (late checkouts panic inside
 		// the attempt's recover), and give later attempts clean state.
 		h.replace()
+		asp.PointAttr("sweep.reclaim", "mode", ReclaimAbandon)
 		return Timeout, math.NaN(), gpusim.Stats{},
 			fmt.Sprintf("no result within %v and no checkpoint within the %v grace window",
 				s.opt.Timeout, grace), ReclaimAbandon, 0
@@ -593,6 +619,7 @@ func (s *Supervisor) attempt(g *graph.Graph, ropt algo.Options, cfg styles.Confi
 			if lat < 0 {
 				lat = 0
 			}
+			asp.PointAttr("sweep.reclaim", "mode", ReclaimCancel)
 			return Timeout, math.NaN(), gpusim.Stats{},
 				fmt.Sprintf("canceled after %v deadline", s.opt.Timeout),
 				ReclaimCancel, int64(lat)
@@ -609,7 +636,10 @@ func (s *Supervisor) attempt(g *graph.Graph, ropt algo.Options, cfg styles.Confi
 			return Error, math.NaN(), gpusim.Stats{}, fmt.Sprintf("invalid throughput %v (non-positive elapsed time)", r.tput), "", 0
 		}
 		if s.opt.Verify {
-			if err := s.check(g, ropt, cfg, r.res); err != nil {
+			vsp := asp.Start("sweep.verify")
+			err := s.check(g, ropt, cfg, r.res)
+			vsp.End()
+			if err != nil {
 				return WrongAnswer, math.NaN(), gpusim.Stats{}, err.Error(), "", 0
 			}
 		}

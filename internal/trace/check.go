@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JournalStats summarizes a validated trace journal.
+type JournalStats struct {
+	Lines  int // journal lines read
+	Spans  int // balanced b/e pairs
+	Points int // instant events
+	Traces int // distinct trace ids
+}
+
+// journalLine is the parse form of one JSONL journal record, the
+// reader-side mirror of the sink's hand-rendered wire format.
+type journalLine struct {
+	Ev     string            `json:"ev"` // "b", "e", or "p"
+	Seq    uint64            `json:"seq"`
+	Trace  uint64            `json:"trace"`
+	Span   uint64            `json:"span"`
+	Parent uint64            `json:"parent"`
+	Name   string            `json:"name"`
+	T      int64             `json:"t"` // ns on the tracer's monotonic clock
+	Dur    int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs"`
+}
+
+// CheckJournal validates a JSONL trace journal: every line parses,
+// every "e" closes a span opened by a prior "b" of the same trace,
+// span ids are never reopened, and at EOF every opened span is closed.
+// It is the CI observability gate (cmd/tracecheck) and the structural
+// contract of the JSONL sink.
+func CheckJournal(r io.Reader) (JournalStats, error) {
+	var st JournalStats
+	open := make(map[uint64]uint64) // span id -> trace id
+	closed := make(map[uint64]bool)
+	traces := make(map[uint64]bool)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		st.Lines++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			return st, fmt.Errorf("line %d: empty line", st.Lines)
+		}
+		var l journalLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			return st, fmt.Errorf("line %d: bad JSON: %v", st.Lines, err)
+		}
+		if l.Trace == 0 || l.Span == 0 {
+			return st, fmt.Errorf("line %d: missing trace/span id", st.Lines)
+		}
+		traces[l.Trace] = true
+		switch l.Ev {
+		case "b":
+			if l.Name == "" {
+				return st, fmt.Errorf("line %d: span %d opened without a name", st.Lines, l.Span)
+			}
+			if _, dup := open[l.Span]; dup || closed[l.Span] {
+				return st, fmt.Errorf("line %d: span %d opened twice", st.Lines, l.Span)
+			}
+			open[l.Span] = l.Trace
+		case "e":
+			tr, ok := open[l.Span]
+			if !ok {
+				return st, fmt.Errorf("line %d: close of span %d, which is not open", st.Lines, l.Span)
+			}
+			if tr != l.Trace {
+				return st, fmt.Errorf("line %d: span %d closed under trace %d, opened under %d",
+					st.Lines, l.Span, l.Trace, tr)
+			}
+			delete(open, l.Span)
+			closed[l.Span] = true
+			st.Spans++
+		case "p":
+			if l.Name == "" {
+				return st, fmt.Errorf("line %d: point without a name", st.Lines)
+			}
+			st.Points++
+		default:
+			return st, fmt.Errorf("line %d: unknown event kind %q", st.Lines, l.Ev)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if len(open) > 0 {
+		for span, tr := range open {
+			return st, fmt.Errorf("unbalanced journal: span %d of trace %d opened but never closed (%d open at EOF)",
+				span, tr, len(open))
+		}
+	}
+	st.Traces = len(traces)
+	return st, nil
+}

@@ -1,0 +1,29 @@
+package trace
+
+import "os"
+
+// OpenJournal creates (truncating) a JSONL trace journal at path and
+// returns a Tracer writing to it — the CLI wiring behind the -trace
+// flags of indigo2 run/tune and the experiments driver. Close the
+// tracer when the program is done: it flushes the rings and the file.
+// An empty path returns a nil Tracer (every derived Ctx is the inert
+// zero value), so callers can thread the flag through unconditionally.
+func OpenJournal(path string) (*Tracer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return New(Config{Sink: NewJSONLSink(f)}), nil
+}
+
+// Root opens a root trace on t, or returns the inert zero Ctx when t is
+// nil — pairs with OpenJournal's nil-on-empty-path contract.
+func (t *Tracer) Root(name string) Ctx {
+	if t == nil {
+		return Ctx{}
+	}
+	return t.NewTrace(name)
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// The JSONL wire form of one journal record: a completed span renders
+// as a "b" line at its begin sequence and an "e" line at its end
+// sequence; a point renders as a single "p" line —
+//
+//	{"ev":"b","seq":2,"trace":1,"span":2,"parent":1,"name":"sweep.task","t":1667363,"attrs":{"input":"road"}}
+//	{"ev":"e","seq":9,"trace":1,"span":2,"t":1785199,"dur_ns":117836}
+//
+// Interleaving the two halves by sequence keeps the journal well
+// nested (a parent opens before its children and closes after them)
+// and trivially checkable: every "e" must close the innermost matching
+// open "b" — see CheckJournal. Lines are rendered by hand (append into
+// a reused buffer) rather than through encoding/json: the sink sits on
+// the per-run flush path, where reflection and a map allocation per
+// line are the dominant cost of live tracing.
+type rec struct {
+	ev  byte // 'b', 'e', or 'p'
+	seq uint64
+	ei  int // index into the flush's events
+}
+
+// JSONLSink renders flushed events as a JSONL trace journal — the
+// -trace file of indigo2 run/experiments/tune.
+type JSONLSink struct {
+	w    *bufio.Writer
+	c    io.Closer // nil when the writer is not ours to close
+	recs []rec     // reused staging
+	buf  []byte    // reused render buffer
+	err  error     // first write error, latched
+	mu   sync.Mutex
+}
+
+// NewJSONLSink writes the journal to w; Close flushes but does not
+// close w unless it is an io.Closer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriterSize(w, 1<<16)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Err returns the first write error, if any.
+func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Write renders the flush as interleaved b/e/p lines ordered by
+// sequence number.
+func (s *JSONLSink) Write(events []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.recs[:0]
+	for i, e := range events {
+		if e.Point {
+			recs = append(recs, rec{'p', e.BeginSeq, i})
+			continue
+		}
+		recs = append(recs, rec{'b', e.BeginSeq, i}, rec{'e', e.EndSeq, i})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	buf := s.buf[:0]
+	for _, r := range recs {
+		buf = appendLine(buf, r, &events[r.ei])
+	}
+	if _, err := s.w.Write(buf); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.recs = recs
+	s.buf = buf
+}
+
+// appendLine renders one journal line. Fields render in a fixed order;
+// zero parent/dur, empty name, and empty attrs are omitted, matching
+// what an encoding/json round trip of the wire form would produce.
+func appendLine(buf []byte, r rec, e *Event) []byte {
+	buf = append(buf, `{"ev":"`...)
+	buf = append(buf, r.ev)
+	buf = append(buf, `","seq":`...)
+	buf = strconv.AppendUint(buf, r.seq, 10)
+	buf = append(buf, `,"trace":`...)
+	buf = strconv.AppendUint(buf, e.Trace, 10)
+	buf = append(buf, `,"span":`...)
+	buf = strconv.AppendUint(buf, e.Span, 10)
+	if r.ev != 'e' {
+		if e.Parent != 0 {
+			buf = append(buf, `,"parent":`...)
+			buf = strconv.AppendUint(buf, e.Parent, 10)
+		}
+		if e.Name != "" {
+			buf = append(buf, `,"name":`...)
+			buf = appendJSONString(buf, e.Name)
+		}
+	}
+	t := e.Start
+	if r.ev == 'e' {
+		t = e.Start + e.Dur
+	}
+	buf = append(buf, `,"t":`...)
+	buf = strconv.AppendInt(buf, t, 10)
+	if r.ev == 'e' && e.Dur != 0 {
+		buf = append(buf, `,"dur_ns":`...)
+		buf = strconv.AppendInt(buf, e.Dur, 10)
+	}
+	if r.ev != 'e' && len(e.Attrs) > 0 {
+		buf = append(buf, `,"attrs":{`...)
+		for i, a := range e.Attrs {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = appendJSONString(buf, a.Key)
+			buf = append(buf, ':')
+			buf = appendJSONString(buf, a.Val)
+		}
+		buf = append(buf, '}')
+	}
+	return append(buf, "}\n"...)
+}
+
+// appendJSONString appends s as a quoted JSON string, escaping quotes,
+// backslashes, and control characters. Span names and attr values are
+// plain ASCII in practice; the slow path exists for correctness, not
+// speed.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c >= 0x20:
+			buf = append(buf, c)
+		case c == '\n':
+			buf = append(buf, `\n`...)
+		case c == '\t':
+			buf = append(buf, `\t`...)
+		case c == '\r':
+			buf = append(buf, `\r`...)
+		default:
+			const hex = "0123456789abcdef"
+			buf = append(buf, `\u00`...)
+			buf = append(buf, hex[c>>4], hex[c&0xf])
+		}
+	}
+	return append(buf, '"')
+}
+
+// Close flushes the buffered journal (and closes the underlying file,
+// when the sink owns one).
+func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// MemSink retains recent traces in memory for the serve endpoint
+// GET /v1/trace/{id}: a bounded FIFO over trace ids, each trace capped
+// at MaxEvents (overflow is counted, not silently absorbed).
+type MemSink struct {
+	mu        sync.Mutex
+	maxTraces int
+	maxEvents int
+	traces    map[uint64][]Event
+	truncated map[uint64]int
+	order     []uint64 // insertion order, for eviction
+}
+
+// NewMemSink retains up to maxTraces traces of up to maxEvents events
+// each; non-positive arguments select 256 traces / 4096 events.
+func NewMemSink(maxTraces, maxEvents int) *MemSink {
+	if maxTraces <= 0 {
+		maxTraces = 256
+	}
+	if maxEvents <= 0 {
+		maxEvents = 4096
+	}
+	return &MemSink{
+		maxTraces: maxTraces,
+		maxEvents: maxEvents,
+		traces:    make(map[uint64][]Event),
+		truncated: make(map[uint64]int),
+	}
+}
+
+// Write files each event under its trace, evicting the oldest trace
+// past the retention cap.
+func (m *MemSink) Write(events []Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range events {
+		evs, ok := m.traces[e.Trace]
+		if !ok {
+			if len(m.order) >= m.maxTraces {
+				victim := m.order[0]
+				m.order = m.order[1:]
+				delete(m.traces, victim)
+				delete(m.truncated, victim)
+			}
+			m.order = append(m.order, e.Trace)
+		}
+		if len(evs) >= m.maxEvents {
+			m.truncated[e.Trace]++
+			continue
+		}
+		m.traces[e.Trace] = append(evs, e)
+	}
+}
+
+// Trace returns a copy of the retained events of one trace (ordered by
+// begin sequence), the count of events dropped past the per-trace cap,
+// and whether the trace is known.
+func (m *MemSink) Trace(id uint64) (events []Event, truncated int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	evs, ok := m.traces[id]
+	if !ok {
+		return nil, 0, false
+	}
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	sortEvents(out)
+	return out, m.truncated[id], true
+}
+
+// Len returns the number of retained traces.
+func (m *MemSink) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.traces)
+}
+
+// Close implements Sink; retained traces stay readable.
+func (m *MemSink) Close() error { return nil }

@@ -7,6 +7,7 @@ import (
 	"indigo/internal/graph"
 	"indigo/internal/styles"
 	"indigo/internal/sweep"
+	"indigo/internal/trace"
 )
 
 // ProbeRunner is the production Runner: each Measure is one supervised
@@ -28,6 +29,10 @@ type ProbeRunner struct {
 func NewProbeRunner(g *graph.Graph, device string, ropt algo.Options, opt sweep.Options) *ProbeRunner {
 	return &ProbeRunner{p: sweep.NewProber(ropt, opt), g: g, device: device}
 }
+
+// SetTrace implements TraceSetter: subsequent probes record their
+// supervised attempts under tc (the tuner passes each trial's span).
+func (r *ProbeRunner) SetTrace(tc trace.Ctx) { r.p.SetTrace(tc) }
 
 // Measure runs cfg once and returns its throughput, or an error
 // carrying the sweep classification (timeout, panic, wrong answer,

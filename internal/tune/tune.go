@@ -40,6 +40,7 @@ import (
 	"indigo/internal/guard"
 	"indigo/internal/store"
 	"indigo/internal/styles"
+	"indigo/internal/trace"
 )
 
 // Runner measures one variant once. The tuner owns scheduling and
@@ -105,6 +106,19 @@ type Options struct {
 	Observer *Observer
 	// Runner performs the timed runs.
 	Runner Runner
+	// Trace, when live, records the session as a tune.session span with
+	// tune.rung / tune.refine children, one tune.trial span per
+	// measurement, and improve/eliminate points; each trial's spans are
+	// flushed as it completes. When the Runner implements TraceSetter
+	// (ProbeRunner does), every trial's probe records under its trial
+	// span. The zero value disables tracing for free.
+	Trace trace.Ctx
+}
+
+// TraceSetter is implemented by Runners whose measurements can record
+// under the tuner's per-trial spans (sweep.Prober via ProbeRunner).
+type TraceSetter interface {
+	SetTrace(trace.Ctx)
 }
 
 // Result is the tuning session's outcome.
@@ -164,6 +178,11 @@ type tuner struct {
 	replayed int
 	rungs    int
 
+	// tc is the session span; cur is the phase (rung or refine) span
+	// current trials nest under.
+	tc  trace.Ctx
+	cur trace.Ctx
+
 	all []*candidate // every candidate ever trialed, for best-so-far
 }
 
@@ -188,6 +207,20 @@ func Run(opt Options) (Result, error) {
 		return Result{}, fmt.Errorf("tune: no valid variants for %s/%s", opt.Algo, opt.Model)
 	}
 	t := &tuner{opt: opt, space: space}
+	ssp := opt.Trace.Start("tune.session")
+	if ssp.Live() {
+		ssp = ssp.Attr("algo", opt.Algo.String()).Attr("model", opt.Model.String()).
+			Attr("device", opt.Device)
+	}
+	defer func() {
+		if ts, ok := opt.Runner.(TraceSetter); ok {
+			ts.SetTrace(trace.Ctx{})
+		}
+		ssp.End()
+		ssp.Flush()
+	}()
+	t.tc = ssp
+	t.cur = ssp
 	t.budget = opt.MaxMeasurements
 	if t.budget <= 0 {
 		// A quarter of the space, rounded down so the default never
@@ -413,6 +446,15 @@ func (t *tuner) trial(c *candidate, rung, rep int) error {
 	if err := t.checkStop(); err != nil {
 		return err
 	}
+	tsp := t.cur.Start("tune.trial")
+	if tsp.Live() {
+		tsp = tsp.Attr("variant", c.name)
+	}
+	defer func() {
+		tsp.End()
+		// Trial end is a run boundary: push its spans to the journal.
+		t.tc.Flush()
+	}()
 	var (
 		tput     float64
 		ok       bool
@@ -423,6 +465,9 @@ func (t *tuner) trial(c *candidate, rung, rep int) error {
 		tput, ok, msg, replayed = e.Tput, e.OK, e.Err, true
 		t.replayed++
 	} else {
+		if ts, isTS := t.opt.Runner.(TraceSetter); isTS {
+			ts.SetTrace(tsp)
+		}
 		v, err := t.opt.Runner.Measure(c.cfg)
 		if err != nil {
 			// A session-guard trip surfaces as a failed run; charge it
@@ -458,6 +503,12 @@ func (t *tuner) race(cohort []*candidate) (*candidate, string) {
 	alive := cohort
 	reps := t.pilot
 	for rung := 0; len(alive) > 1; rung++ {
+		rsp := t.tc.Start("tune.rung")
+		if rsp.Live() {
+			rsp = rsp.Attr("rung", fmt.Sprint(rung)).Attr("alive", fmt.Sprint(len(alive))).
+				Attr("reps", fmt.Sprint(reps))
+		}
+		t.cur = rsp
 		t.emit(evRung{Ev: "rung", Rung: rung, Alive: len(alive), Reps: reps})
 		t.opt.Observer.rungStart(rung, len(alive), reps)
 		for _, c := range alive {
@@ -468,11 +519,14 @@ func (t *tuner) race(cohort []*candidate) (*candidate, string) {
 				if err := t.trial(c, rung, r); err != nil {
 					var stop errStop
 					errors.As(err, &stop)
+					rsp.End()
 					return nil, stop.reason
 				}
 			}
 		}
 		alive = t.eliminate(alive, rung)
+		rsp.End()
+		t.cur = t.tc
 		t.rungs++
 		reps *= t.esc
 		if len(alive) == 0 {
@@ -506,6 +560,7 @@ func (t *tuner) eliminate(alive []*candidate, rung int) []*candidate {
 	var ok []*candidate
 	for _, c := range alive {
 		if c.failed {
+			t.cur.PointAttr("tune.eliminate", "variant", c.name)
 			t.emit(evElim{Ev: "elim", Rung: rung, Name: c.name, Failed: true})
 			t.opt.Observer.eliminated(rung, c.name, 0, 0)
 		} else {
@@ -534,6 +589,7 @@ func (t *tuner) eliminate(alive []*candidate, rung int) []*candidate {
 		cut--
 	}
 	for _, c := range ok[cut:] {
+		t.cur.PointAttr("tune.eliminate", "variant", c.name)
 		t.emit(evElim{Ev: "elim", Rung: rung, Name: c.name, Score: c.score, Median: med})
 		t.opt.Observer.eliminated(rung, c.name, c.score, med)
 	}
@@ -621,6 +677,9 @@ func (t *tuner) refine(winner *candidate) (*candidate, string) {
 	if winner == nil {
 		return nil, ""
 	}
+	rsp := t.tc.Start("tune.refine")
+	defer rsp.End()
+	t.cur = rsp
 	cache := map[string]*candidate{}
 	for _, c := range t.all {
 		cache[c.name] = c
@@ -653,6 +712,7 @@ func (t *tuner) refine(winner *candidate) (*candidate, string) {
 			if !c.failed && c.scored && c.score > winner.score {
 				winner = c
 				improved = true
+				rsp.PointAttr("tune.improve", "variant", name)
 				t.emit(evImprove{Ev: "improve", Name: name, Dim: nb.dim, Tput: c.score})
 				t.opt.Observer.improved(name, nb.dim, c.score)
 			}
